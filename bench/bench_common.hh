@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench harnesses.
+ *
+ * Every bench binary follows the same contract:
+ *  1. print the rows/series the paper's table or figure reports,
+ *     side by side with the paper's values where quoted;
+ *  2. write SVG/CSV artifacts into ./artifacts/;
+ *  3. run google-benchmark timers for the underlying model code.
+ */
+
+#ifndef UAVF1_BENCH_BENCH_COMMON_HH
+#define UAVF1_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace uavf1::bench {
+
+/** Ensure ./artifacts exists and return its path. */
+inline std::string
+artifactsDir()
+{
+    const std::string dir = "artifacts";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Print the figure banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("\n=== %s: %s ===\n\n", id.c_str(), title.c_str());
+}
+
+/** Print one "paper vs measured" comparison line. */
+inline void
+paperVsOurs(const std::string &what, double paper, double ours,
+            const std::string &unit)
+{
+    const double delta =
+        paper != 0.0 ? 100.0 * (ours - paper) / paper : 0.0;
+    std::printf("  %-46s paper %10.3f %-5s ours %10.3f %-5s "
+                "(%+.1f%%)\n",
+                what.c_str(), paper, unit.c_str(), ours,
+                unit.c_str(), delta);
+}
+
+/** Print a note line. */
+inline void
+note(const std::string &text)
+{
+    std::printf("  note: %s\n", text.c_str());
+}
+
+} // namespace uavf1::bench
+
+#endif // UAVF1_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 2b bench: UAV size classes vs battery capacity and
+ * endurance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "studies/fig02_swap.hh"
+#include "support/table.hh"
+#include "support/strings.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 2b", "Size, battery capacity and endurance "
+                             "across UAV classes");
+
+    const Fig02Result result = runFig02();
+    TextTable table({"Class", "Size (mm)", "Battery (mAh)",
+                     "Endurance (min)", "Usable energy (Wh)",
+                     "Implied draw (W)"});
+    for (const auto &row : result.rows) {
+        table.addRow({row.sizeClass,
+                      trimmedNumber(row.frameSizeMm),
+                      trimmedNumber(row.capacityMah),
+                      trimmedNumber(row.enduranceMin),
+                      trimmedNumber(row.usableEnergyWh, 2),
+                      trimmedNumber(row.impliedDrawW, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::paperVsOurs("nano battery", 240.0,
+                       result.rows[0].capacityMah, "mAh");
+    bench::paperVsOurs("micro battery", 1300.0,
+                       result.rows[1].capacityMah, "mAh");
+    bench::paperVsOurs("mini battery", 3830.0,
+                       result.rows[2].capacityMah, "mAh");
+    bench::paperVsOurs("nano endurance", 6.0,
+                       result.rows[0].enduranceMin, "min");
+    bench::paperVsOurs("mini endurance", 30.0,
+                       result.rows[2].enduranceMin, "min");
+}
+
+void
+BM_Fig02Study(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig02());
+}
+BENCHMARK(BM_Fig02Study);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

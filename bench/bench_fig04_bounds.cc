@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fig. 4 bench: the F-1 model's three bound regions demonstrated
+ * on one physical configuration.
+ *
+ * Fig. 4a shows the sensor-bound ceiling, compute-bound ceiling
+ * and the physics roof; Fig. 4b the optimal / over- / sub-optimal
+ * verdicts; Fig. 4c the effect of payload weight on the roof
+ * (a1 < a2 < a3). All three panels are regenerated here from real
+ * configurations instead of schematic sketches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "studies/presets.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 4", "Bounds, verdicts and the payload "
+                            "effect (Pelican configuration)");
+
+    // --- Fig. 4a: the three bound regions. ---
+    TextTable bounds({"Scenario", "f_sensor (Hz)", "f_compute (Hz)",
+                      "f_action (Hz)", "v_safe (m/s)", "Bound"});
+    const struct
+    {
+        const char *label;
+        double sensor;
+        double compute;
+    } scenarios[] = {
+        {"compute-bound (slow algorithm)", 60.0, 5.0},
+        {"sensor-bound (slow camera)", 10.0, 178.0},
+        {"physics-bound (both fast)", 60.0, 178.0},
+    };
+    for (const auto &scenario : scenarios) {
+        core::F1Inputs inputs = studies::pelicanInputs(
+            units::Hertz(scenario.compute));
+        inputs.sensorRate = units::Hertz(scenario.sensor);
+        const auto analysis = core::F1Model(inputs).analyze();
+        bounds.addRow(
+            {scenario.label, trimmedNumber(scenario.sensor),
+             trimmedNumber(scenario.compute),
+             trimmedNumber(analysis.actionThroughput.value()),
+             trimmedNumber(analysis.safeVelocity.value(), 2),
+             core::toString(analysis.bound)});
+    }
+    std::printf("%s\n", bounds.render().c_str());
+
+    // --- Fig. 4b: verdicts around the knee. ---
+    TextTable verdicts({"f_compute vs knee", "Verdict",
+                        "Factor"});
+    const double knee = core::F1Model(
+        studies::pelicanInputs(units::Hertz(43.0)))
+        .analyze()
+        .kneeThroughput.value();
+    for (double factor : {0.25, 1.0, 4.0}) {
+        const auto analysis =
+            core::F1Model(
+                studies::pelicanInputs(units::Hertz(knee * factor)))
+                .analyze();
+        verdicts.addRow(
+            {strFormat("%.2fx knee", factor),
+             core::toString(analysis.verdict),
+             analysis.verdict == core::DesignVerdict::SubOptimal
+                 ? strFormat("needs %.2fx",
+                             analysis.requiredSpeedup)
+                 : strFormat("over by %.2fx",
+                             analysis.overProvisionFactor)});
+    }
+    std::printf("%s\n", verdicts.render().c_str());
+
+    // --- Fig. 4c: heavier payload lowers the roof (a1 < a2 < a3
+    // in the paper's annotation). ---
+    TextTable payload({"a_max (m/s^2)", "Roof (m/s)", "Knee (Hz)"});
+    plot::Chart chart("Fig. 4c: payload weight moves the roofline",
+                      plot::Axis("Action Throughput (Hz)",
+                                 plot::Scale::Log10),
+                      plot::Axis("Safe Velocity (m/s)"));
+    for (double a : {2.0, 4.12, 8.0}) {
+        core::F1Inputs inputs =
+            studies::pelicanInputs(units::Hertz(178.0));
+        inputs.aMax = units::MetersPerSecondSquared(a);
+        const core::F1Model model(inputs);
+        const auto analysis = model.analyze();
+        payload.addRow(
+            {trimmedNumber(a, 2),
+             trimmedNumber(analysis.roofVelocity.value(), 2),
+             trimmedNumber(analysis.kneeThroughput.value(), 1)});
+        plot::Series line(strFormat("a_max = %.2f m/s^2", a));
+        for (const auto &point : model.curve().points) {
+            line.add(point.actionThroughput.value(),
+                     point.safeVelocity.value());
+        }
+        chart.add(std::move(line));
+    }
+    std::printf("%s\n", payload.render().c_str());
+    bench::note("lighter payload (higher a_max) raises both the "
+                "roof and the knee: a faster UAV needs faster "
+                "decisions to exploit its physics");
+
+    plot::SvgWriter().writeFile(
+        chart, bench::artifactsDir() + "/fig04c_payload_effect.svg");
+    std::printf("  artifacts: fig04c_payload_effect.svg\n");
+}
+
+void
+BM_BoundClassification(benchmark::State &state)
+{
+    core::F1Inputs inputs = studies::pelicanInputs(units::Hertz(5.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::F1Model(inputs).analyze());
+}
+BENCHMARK(BM_BoundClassification);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fig. 5 bench: the safety-model sweep (velocity vs T_action) and
+ * its F-1 re-plot (velocity vs f_action), with a_max = 50 m/s^2
+ * and d = 10 m.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/safety_model.hh"
+#include "plot/chart.hh"
+#include "plot/csv_writer.hh"
+#include "plot/svg_writer.hh"
+#include "studies/fig05_safety.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 5", "Safety model and the F-1 roofline "
+                            "(a_max = 50 m/s^2, d = 10 m)");
+
+    const Fig05Result result = runFig05();
+
+    std::printf("  %-12s %-12s %-12s\n", "T_action (s)",
+                "f_action (Hz)", "v_safe (m/s)");
+    for (std::size_t i = 0; i < result.sweep.size();
+         i += result.sweep.size() / 12) {
+        const auto &p = result.sweep[i];
+        std::printf("  %-12.3f %-12.3f %-12.3f\n", p.tAction,
+                    p.fAction, p.vSafe);
+    }
+
+    std::printf("\n");
+    bench::paperVsOurs("physics roof (T -> 0)", 32.0, result.roof,
+                       "m/s");
+    bench::paperVsOurs("point A velocity (1 Hz)", 10.0,
+                       result.velocityAtA, "m/s");
+    bench::paperVsOurs("velocity at 100 Hz mark", 30.0,
+                       result.velocityAt100Hz, "m/s");
+    bench::paperVsOurs("gain A -> 100 Hz (100x f)", 3.0,
+                       result.gainAToKnee, "x");
+    bench::paperVsOurs("gain 100 Hz -> 10 kHz", 1.0004,
+                       result.gainBeyondKnee, "x");
+    std::printf("  library knee (k = 0.98): %.1f Hz\n",
+                result.kneeThroughput);
+    bench::note("the paper marks the knee at ~100 Hz on this "
+                "example; our analytic knee criterion puts it at "
+                "the 98%-of-roof point");
+
+    // Artifacts: both panels of Fig. 5.
+    plot::Series sweep_t("v_safe vs T_action");
+    for (const auto &p : result.sweep)
+        sweep_t.add(p.tAction, p.vSafe);
+    plot::Chart chart_a("Fig. 5a: Safety model",
+                        plot::Axis("T_action (s)"),
+                        plot::Axis("Velocity (m/s)"));
+    chart_a.add(sweep_t);
+    plot::SvgWriter().writeFile(
+        chart_a, bench::artifactsDir() + "/fig05a_safety_model.svg");
+
+    plot::Series sweep_f("v_safe vs f_action");
+    for (auto it = result.sweep.rbegin(); it != result.sweep.rend();
+         ++it) {
+        sweep_f.add(it->fAction, it->vSafe);
+    }
+    plot::Chart chart_b(
+        "Fig. 5b: F-1 plot",
+        plot::Axis("f_action (Hz)", plot::Scale::Log10),
+        plot::Axis("v_safe (m/s)"));
+    chart_b.add(sweep_f);
+    chart_b.annotate(1.0, result.velocityAtA, "A");
+    chart_b.annotate(result.kneeThroughput,
+                     0.98 * result.roof, "knee");
+    plot::SvgWriter().writeFile(
+        chart_b, bench::artifactsDir() + "/fig05b_f1_plot.svg");
+    plot::CsvWriter::writeFile(
+        {sweep_f}, bench::artifactsDir() + "/fig05_sweep.csv",
+        "f_action_hz", "v_safe_mps");
+    std::printf("  artifacts: fig05a_safety_model.svg, "
+                "fig05b_f1_plot.svg, fig05_sweep.csv\n");
+}
+
+/** Timers. */
+void
+BM_SafetyModelEval(benchmark::State &state)
+{
+    const core::SafetyModel safety(
+        units::MetersPerSecondSquared(50.0), units::Meters(10.0));
+    double t = 0.001;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            safety.safeVelocity(units::Seconds(t)));
+        t = t < 5.0 ? t * 1.01 : 0.001;
+    }
+}
+BENCHMARK(BM_SafetyModelEval);
+
+void
+BM_KneeSolve(benchmark::State &state)
+{
+    const core::SafetyModel safety(
+        units::MetersPerSecondSquared(50.0), units::Meters(10.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(safety.kneeThroughput());
+}
+BENCHMARK(BM_KneeSolve);
+
+void
+BM_Fig05FullStudy(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig05());
+}
+BENCHMARK(BM_Fig05FullStudy);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fig. 7 bench: experimental validation of the F-1 model.
+ *
+ * (a) Simulated flight trajectories for UAV-A at a sweep of
+ *     commanded velocities around the predicted safe velocity;
+ * (b) model-predicted vs flight-observed safe velocity and the
+ *     per-UAV error, next to the paper's reported errors
+ *     (9.5 / 7.2 / 5.1 / 6.45 %).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/chart.hh"
+#include "plot/csv_writer.hh"
+#include "plot/svg_writer.hh"
+#include "sim/table1.hh"
+#include "sim/validation.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::sim;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 7", "Experimental validation (simulated "
+                            "flights, Section IV protocol)");
+
+    const auto cases = table1ValidationCases();
+
+    // --- Fig. 7a: UAV-A trajectories around the prediction. ---
+    const double seed =
+        ValidationHarness::predictedSafeVelocity(cases[0]);
+    std::printf("  UAV-A trajectories (obstacle plane at run-up + "
+                "3 m; prediction %.2f m/s):\n",
+                seed);
+    std::vector<plot::Series> trajectory_series;
+    for (double scale : {0.7, 0.9, 1.0, 1.1, 1.25}) {
+        const double v = seed * scale;
+        const TrialResult trial =
+            ValidationHarness::recordTrajectory(cases[0], v);
+        std::printf(
+            "    v_cmd %.2f m/s: stop margin %+.3f m -> %s\n", v,
+            trial.stopMargin,
+            trial.infraction ? "INFRACTION" : "safe");
+        plot::Series series(strFormat("v = %.2f m/s", v));
+        for (const auto &sample : trial.trajectory)
+            series.add(sample.time, sample.position);
+        trajectory_series.push_back(std::move(series));
+    }
+    plot::Chart chart_a("Fig. 7a: UAV-A flight trajectories",
+                        plot::Axis("time (s)"),
+                        plot::Axis("position (m)"));
+    for (auto &series : trajectory_series)
+        chart_a.add(series);
+    const double obstacle =
+        cases[0].scenario.runUp.value() +
+        cases[0].scenario.obstacleDistance.value();
+    chart_a.hline(obstacle, "obstacle plane");
+    plot::SvgWriter().writeFile(
+        chart_a,
+        bench::artifactsDir() + "/fig07a_trajectories.svg");
+    plot::CsvWriter::writeFile(
+        trajectory_series,
+        bench::artifactsDir() + "/fig07a_trajectories.csv",
+        "time_s", "position_m");
+
+    // --- Fig. 7b: predicted vs observed across all four UAVs. ---
+    const auto results = ValidationHarness::validateAll(cases);
+    const auto paper_errors = table1PaperErrorPercent();
+
+    std::printf("\n");
+    TextTable table({"UAV", "a_avail (m/s^2)", "Predicted (m/s)",
+                     "Observed (m/s)", "Error (%)",
+                     "Paper error (%)"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        table.addRow({r.name, trimmedNumber(r.availableAccel, 3),
+                      trimmedNumber(r.predicted, 2),
+                      trimmedNumber(r.observed, 2),
+                      trimmedNumber(r.errorPercent, 1),
+                      trimmedNumber(paper_errors[i], 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    bench::note("error = 100 * (predicted - observed) / observed; "
+                "positive = model optimistic, as in the paper");
+
+    plot::Series error_series("model error (%)",
+                              plot::SeriesStyle::Markers);
+    plot::Series paper_series("paper error (%)",
+                              plot::SeriesStyle::Markers);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        error_series.add(static_cast<double>(i + 1),
+                         results[i].errorPercent);
+        paper_series.add(static_cast<double>(i + 1),
+                         paper_errors[i]);
+    }
+    plot::Chart chart_b("Fig. 7b: model-vs-flight error",
+                        plot::Axis("UAV (1=A .. 4=D)"),
+                        plot::Axis("error (%)"));
+    chart_b.add(error_series).add(paper_series);
+    plot::SvgWriter().writeFile(
+        chart_b, bench::artifactsDir() + "/fig07b_errors.svg");
+    std::printf("  artifacts: fig07a_trajectories.svg/.csv, "
+                "fig07b_errors.svg\n");
+}
+
+void
+BM_SimulatorTrial(benchmark::State &state)
+{
+    const auto cases = table1ValidationCases();
+    const VehicleModel vehicle(cases[0].vehicle);
+    const FlightSimulator simulator(vehicle);
+    StopScenario scenario = cases[0].scenario;
+    scenario.commandedVelocity = units::MetersPerSecond(2.0);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulator.run(scenario, cases[0].noise, rng));
+    }
+}
+BENCHMARK(BM_SimulatorTrial)->Unit(benchmark::kMillisecond);
+
+void
+BM_VehicleStep(benchmark::State &state)
+{
+    const auto cases = table1ValidationCases();
+    VehicleModel vehicle(cases[0].vehicle);
+    vehicle.reset();
+    for (auto _ : state)
+        vehicle.step(units::Seconds(0.001), 1.0);
+}
+BENCHMARK(BM_VehicleStep);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 9 bench: the non-linear safe-velocity vs payload-weight
+ * relationship, with the four Table-I builds mapped onto the curve.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/chart.hh"
+#include "plot/csv_writer.hh"
+#include "plot/svg_writer.hh"
+#include "studies/fig09_payload.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 9", "Safe velocity vs payload weight "
+                            "(S500 validation build)");
+
+    const Fig09Result result = runFig09();
+
+    std::printf("  %-14s %-14s %-12s\n", "payload (g)",
+                "a_max (m/s^2)", "v_safe (m/s)");
+    for (std::size_t i = 0; i < result.sweep.size();
+         i += result.sweep.size() / 14) {
+        const auto &p = result.sweep[i];
+        std::printf("  %-14.0f %-14.3f %-12.3f\n", p.payloadGrams,
+                    p.aMax, p.vSafe);
+    }
+
+    std::printf("\n");
+    TextTable table({"UAV", "Payload (g)", "v_safe (m/s)"});
+    for (const auto &marker : result.markers) {
+        table.addRow({marker.name,
+                      trimmedNumber(marker.payloadGrams),
+                      trimmedNumber(marker.vSafe, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::paperVsOurs("A -> C velocity drop (+50 g)", 26.0,
+                       result.dropAtoC, "%");
+    bench::paperVsOurs("C -> D velocity drop (+50 g)", 3.0,
+                       result.dropCtoD, "%");
+    bench::paperVsOurs("A -> B velocity drop (+210 g)", 29.0,
+                       result.dropAtoB, "%");
+    bench::note("paper quotes ~35% / <3% / ~41% in prose but its "
+                "marker values (2.13/1.58/1.53/1.51) imply "
+                "26/3/29%; the reproduced claim is the "
+                "non-proportionality of equal 50 g increments, "
+                "which holds");
+
+    plot::Series curve("v_safe (10 Hz loop, d = 3 m)");
+    for (const auto &p : result.sweep)
+        curve.add(p.payloadGrams, p.vSafe);
+    plot::Series markers("Table I builds",
+                         plot::SeriesStyle::Markers);
+    plot::Chart chart("Fig. 9: velocity vs payload weight",
+                      plot::Axis("Payload Weight (g)"),
+                      plot::Axis("Velocity (m/s)"));
+    for (const auto &m : result.markers) {
+        markers.add(m.payloadGrams, m.vSafe);
+        chart.annotate(m.payloadGrams, m.vSafe, m.name);
+    }
+    chart.add(curve).add(markers);
+    plot::SvgWriter().writeFile(
+        chart, bench::artifactsDir() + "/fig09_payload_sweep.svg");
+    plot::CsvWriter::writeFile(
+        {curve}, bench::artifactsDir() + "/fig09_payload_sweep.csv",
+        "payload_g", "v_safe_mps");
+    std::printf("  artifacts: fig09_payload_sweep.svg/.csv\n");
+}
+
+void
+BM_Fig09Study(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig09());
+}
+BENCHMARK(BM_Fig09Study);
+
+void
+BM_PayloadPointEval(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig09(8));
+}
+BENCHMARK(BM_PayloadPointEval);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fig. 11 bench: Intel NCS vs Nvidia AGX on a DJI Spark running
+ * DroNet, including the AGX 30 W -> 15 W TDP what-if.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "studies/fig11_compute.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 11", "Choosing onboard compute for DJI "
+                             "Spark + DroNet");
+
+    const Fig11Result result = runFig11();
+
+    TextTable table({"Option", "DroNet (Hz)", "Heatsink (g)",
+                     "Takeoff (g)", "a_max (m/s^2)", "Roof (m/s)",
+                     "Bound"});
+    for (const auto *option :
+         {&result.ncs, &result.agx30, &result.agx15}) {
+        table.addRow({option->name,
+                      trimmedNumber(option->throughputHz),
+                      trimmedNumber(option->heatsinkGrams, 1),
+                      trimmedNumber(option->takeoffGrams, 1),
+                      trimmedNumber(option->aMax, 2),
+                      trimmedNumber(
+                          option->analysis.roofVelocity.value(), 2),
+                      core::toString(option->analysis.bound)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::paperVsOurs("DroNet on NCS", 150.0,
+                       result.ncs.throughputHz, "Hz");
+    bench::paperVsOurs("DroNet on AGX", 230.0,
+                       result.agx30.throughputHz, "Hz");
+    bench::paperVsOurs("AGX-30W heatsink", 162.0,
+                       result.agx30.heatsinkGrams, "g");
+    bench::paperVsOurs("AGX-15W heatsink", 81.0,
+                       result.agx15.heatsinkGrams, "g");
+    bench::paperVsOurs("AGX 15 W roofline gain", 1.75,
+                       result.agxTdpGain, "x");
+    std::printf("  NCS roofline tops AGX-30W: %s (paper: yes -- "
+                "\"high compute performance cannot always "
+                "translate to higher safe velocity\")\n",
+                result.ncsWins ? "yes" : "NO");
+
+    // Overlayed rooflines like the paper's Fig. 11b.
+    plot::Chart chart = plot::makeRooflineChart(
+        "Fig. 11b: Intel NCS vs Nvidia AGX on DJI Spark",
+        {{"Intel NCS", fig11Model("Intel NCS").curve(), true, true},
+         {"Nvidia AGX-30W", fig11Model("Nvidia AGX").curve(), false,
+          true},
+         {"Nvidia AGX-15W", fig11Model("Nvidia AGX-15W").curve(),
+          false, true}});
+    plot::SvgWriter().writeFile(
+        chart, bench::artifactsDir() + "/fig11_compute_choice.svg");
+    std::printf("  artifacts: fig11_compute_choice.svg\n");
+}
+
+void
+BM_Fig11Study(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig11());
+}
+BENCHMARK(BM_Fig11Study);
+
+void
+BM_ConfigBuildAndAnalyze(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            fig11Model("Intel NCS").analyze());
+}
+BENCHMARK(BM_ConfigBuildAndAnalyze);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 12 bench: heat-sink weight vs TDP (162 g @ 30 W, 81 g @
+ * 15 W, ~10 g @ 1.5 W; "~20x in TDP -> ~16.2x in heatsink
+ * weight").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/chart.hh"
+#include "plot/csv_writer.hh"
+#include "plot/svg_writer.hh"
+#include "thermal/heatsink.hh"
+
+namespace {
+
+using namespace uavf1;
+using thermal::HeatsinkModel;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 12", "Heat-sink weight vs TDP");
+
+    const HeatsinkModel model;
+    std::printf("  %-10s %-14s\n", "TDP (W)", "heatsink (g)");
+    plot::Series curve("heatsink mass");
+    for (double tdp = 1.0; tdp <= 34.0; tdp *= 1.3) {
+        const double mass =
+            model.mass(units::Watts(tdp)).value();
+        std::printf("  %-10.2f %-14.2f\n", tdp, mass);
+        curve.add(tdp, mass);
+    }
+    std::printf("\n");
+    bench::paperVsOurs("heatsink @ 30 W", 162.0,
+                       model.mass(units::Watts(30.0)).value(), "g");
+    bench::paperVsOurs("heatsink @ 15 W", 81.0,
+                       model.mass(units::Watts(15.0)).value(), "g");
+    bench::paperVsOurs("heatsink @ 1.5 W", 10.0,
+                       model.mass(units::Watts(1.5)).value(), "g");
+    bench::paperVsOurs(
+        "mass ratio across ~20x TDP", 16.2,
+        model.mass(units::Watts(30.0)).value() /
+            model.mass(units::Watts(1.5)).value(),
+        "x");
+
+    plot::Chart chart("Fig. 12: heat-sink weight vs TDP",
+                      plot::Axis("TDP (W)"),
+                      plot::Axis("Heatsink weight (g)"));
+    chart.add(curve);
+    chart.annotate(30.0, model.mass(units::Watts(30.0)).value(),
+                   "162 g @ 30 W");
+    chart.annotate(15.0, model.mass(units::Watts(15.0)).value(),
+                   "81 g @ 15 W");
+    chart.annotate(1.5, model.mass(units::Watts(1.5)).value(),
+                   "10 g @ 1.5 W");
+    plot::SvgWriter().writeFile(
+        chart, bench::artifactsDir() + "/fig12_heatsink.svg");
+    plot::CsvWriter::writeFile(
+        {curve}, bench::artifactsDir() + "/fig12_heatsink.csv",
+        "tdp_w", "heatsink_g");
+    std::printf("  artifacts: fig12_heatsink.svg/.csv\n");
+}
+
+void
+BM_HeatsinkMass(benchmark::State &state)
+{
+    const HeatsinkModel model;
+    double tdp = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.mass(units::Watts(tdp)));
+        tdp = tdp < 30.0 ? tdp + 0.1 : 1.0;
+    }
+}
+BENCHMARK(BM_HeatsinkMass);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

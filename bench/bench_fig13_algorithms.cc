@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 13 bench: autonomy-algorithm characterization on AscTec
+ * Pelican + Nvidia TX2 (SPA vs TrailNet vs DroNet).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "studies/fig13_algorithms.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 13", "Autonomy algorithms on AscTec "
+                             "Pelican + Nvidia TX2");
+
+    const Fig13Result result = runFig13();
+
+    TextTable table({"Algorithm", "f_compute (Hz)", "v_safe (m/s)",
+                     "Bound", "Factor vs knee"});
+    for (const auto &entry : result.entries) {
+        table.addRow(
+            {entry.algorithm, trimmedNumber(entry.throughputHz, 2),
+             trimmedNumber(entry.analysis.safeVelocity.value(), 2),
+             core::toString(entry.analysis.bound),
+             trimmedNumber(entry.factorVsKnee, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::paperVsOurs("knee throughput", 43.0,
+                       result.kneeThroughput, "Hz");
+    bench::paperVsOurs("SPA safe velocity", 2.3,
+                       result.entries[0].analysis.safeVelocity
+                           .value(),
+                       "m/s");
+    bench::paperVsOurs("SPA needed speedup", 39.0,
+                       result.entries[0].factorVsKnee, "x");
+    bench::paperVsOurs("TrailNet over-provisioning", 1.27,
+                       result.entries[1].factorVsKnee, "x");
+    bench::paperVsOurs(
+        "DroNet compute margin vs knee", 4.13,
+        result.entries[2].throughputHz / result.kneeThroughput,
+        "x");
+
+    plot::Chart chart = plot::makeRooflineChart(
+        "Fig. 13b: algorithms on Pelican + TX2",
+        {{"Sense-Plan-Act", fig13Model("SPA package delivery")
+                                .curve(),
+          true, true},
+         {"TrailNet", fig13Model("TrailNet").curve(), false, true},
+         {"DroNet", fig13Model("DroNet").curve(), false, true}});
+    plot::SvgWriter().writeFile(
+        chart, bench::artifactsDir() + "/fig13_algorithms.svg");
+    std::printf("  artifacts: fig13_algorithms.svg\n");
+}
+
+void
+BM_Fig13Study(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig13());
+}
+BENCHMARK(BM_Fig13Study);
+
+void
+BM_RooflineCurveSampling(benchmark::State &state)
+{
+    const auto model = fig13Model("DroNet");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.curve(256));
+}
+BENCHMARK(BM_RooflineCurveSampling);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

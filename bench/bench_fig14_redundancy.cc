@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 14 bench: dual-modular-redundant compute on the AscTec
+ * Pelican (single TX2 vs 2x TX2 + validator).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "studies/fig14_redundancy.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 14", "Dual modular redundancy on AscTec "
+                             "Pelican (DroNet @ 178 Hz)");
+
+    const Fig14Result result = runFig14();
+
+    TextTable table({"Configuration", "Replicas", "Compute (g)",
+                     "Takeoff (g)", "a_max (m/s^2)", "Roof (m/s)",
+                     "Bound"});
+    for (const auto *option : {&result.single, &result.dual}) {
+        table.addRow(
+            {option->name, trimmedNumber(option->replicas),
+             trimmedNumber(option->computeGrams, 1),
+             trimmedNumber(option->takeoffGrams, 1),
+             trimmedNumber(option->aMax, 2),
+             trimmedNumber(option->analysis.roofVelocity.value(),
+                           2),
+             core::toString(option->analysis.bound)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::paperVsOurs("DMR safe-velocity loss", 33.0,
+                       result.velocityLossPercent, "%");
+    bench::note("both points sit past their knees (physics-bound): "
+                "the redundancy cost is pure payload weight, not "
+                "throughput");
+
+    plot::Chart chart = plot::makeRooflineChart(
+        "Fig. 14b: modular redundancy",
+        {{"TX2", fig14Model(pipeline::RedundancyScheme::None)
+                     .curve(),
+          true, true},
+         {"2x TX2 (DMR)",
+          fig14Model(pipeline::RedundancyScheme::Dual).curve(),
+          false, true}});
+    plot::SvgWriter().writeFile(
+        chart, bench::artifactsDir() + "/fig14_redundancy.svg");
+    std::printf("  artifacts: fig14_redundancy.svg\n");
+}
+
+void
+BM_Fig14Study(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig14());
+}
+BENCHMARK(BM_Fig14Study);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

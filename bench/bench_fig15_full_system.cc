@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fig. 15 bench: full-system characterization — every (UAV,
+ * algorithm, compute) combination, classified as compute-bound or
+ * physics-bound.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "studies/fig15_full_system.hh"
+#include "studies/presets.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 15", "Full UAV system characterization");
+
+    const Fig15Result result = runFig15();
+
+    TextTable table({"UAV", "Algorithm", "Compute", "f (Hz)",
+                     "source", "v_safe (m/s)", "Bound",
+                     "Factor vs knee"});
+    for (const auto &entry : result.entries) {
+        table.addRow(
+            {entry.uav, entry.algorithm, entry.compute,
+             trimmedNumber(entry.throughputHz, 3),
+             workload::toString(entry.source),
+             trimmedNumber(entry.analysis.safeVelocity.value(), 2),
+             core::toString(entry.analysis.bound),
+             trimmedNumber(entry.factorVsKnee, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::paperVsOurs("Pelican knee", 43.0, result.pelicanKnee,
+                       "Hz");
+    bench::paperVsOurs("Spark knee", 30.0, result.sparkKnee, "Hz");
+    const auto &spark_tx2 =
+        result.find("DJI Spark", "DroNet", "Nvidia TX2");
+    bench::paperVsOurs("Spark+TX2 DroNet over-provisioning", 6.0,
+                       spark_tx2.throughputHz / result.sparkKnee,
+                       "x");
+    bench::paperVsOurs(
+        "Ras-Pi4 DroNet needed speedup (Pelican)", 3.3,
+        result.find("AscTec Pelican", "DroNet", "Ras-Pi4")
+            .factorVsKnee,
+        "x");
+    bench::paperVsOurs(
+        "Ras-Pi4 TrailNet needed speedup (Pelican)", 110.0,
+        result.find("AscTec Pelican", "TrailNet", "Ras-Pi4")
+            .factorVsKnee,
+        "x");
+    bench::paperVsOurs(
+        "Ras-Pi4 CAD2RL needed speedup (Pelican)", 660.0,
+        result.find("AscTec Pelican", "CAD2RL", "Ras-Pi4")
+            .factorVsKnee,
+        "x");
+
+    // The paper's Fig. 15b chart: both rooflines with the design
+    // points that have measured throughputs.
+    const auto oracle = workload::ThroughputOracle::standard();
+    plot::Chart chart = plot::makeRooflineChart(
+        "Fig. 15b: full-system characterization",
+        {{"AscTec Pelican",
+          core::F1Model(pelicanInputs(units::Hertz(178.0))).curve(),
+          true, false},
+         {"DJI Spark",
+          core::F1Model(sparkInputs(units::Hertz(178.0))).curve(),
+          true, false}});
+    plot::Series pelican_points("Pelican design points",
+                                plot::SeriesStyle::Markers);
+    plot::Series spark_points("Spark design points",
+                              plot::SeriesStyle::Markers);
+    for (const auto &entry : result.entries) {
+        if (entry.source != workload::ThroughputSource::Measured)
+            continue;
+        const double f =
+            std::min(entry.throughputHz,
+                     entry.analysis.actionThroughput.value());
+        if (entry.uav == "AscTec Pelican") {
+            pelican_points.add(f,
+                               entry.analysis.safeVelocity.value());
+        } else {
+            spark_points.add(f,
+                             entry.analysis.safeVelocity.value());
+        }
+    }
+    chart.add(pelican_points).add(spark_points);
+    plot::SvgWriter().writeFile(
+        chart, bench::artifactsDir() + "/fig15_full_system.svg");
+    std::printf("  artifacts: fig15_full_system.svg\n");
+}
+
+void
+BM_Fig15Sweep(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig15());
+}
+BENCHMARK(BM_Fig15Sweep);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fig. 16 bench: hardware-accelerator pitfalls on a nano-UAV
+ * (Navion in the SPA pipeline; PULP-DroNet end-to-end).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "studies/fig16_accelerators.hh"
+#include "studies/presets.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printFigure()
+{
+    bench::banner("Fig. 16", "Accelerator pitfalls on a nano-UAV");
+
+    const Fig16Result result = runFig16();
+
+    // SPA pipeline breakdown (Fig. 16a).
+    std::printf("  SPA pipeline stages (host TX2 -> with Navion):\n");
+    for (std::size_t i = 0; i < result.hostPipeline.stages().size();
+         ++i) {
+        const auto &host = result.hostPipeline.stages()[i];
+        const auto &nav = result.navionPipeline.stages()[i];
+        std::printf("    %-18s %7.1f ms -> %7.1f ms\n",
+                    host.name.c_str(),
+                    host.latency.value() * 1000.0,
+                    nav.latency.value() * 1000.0);
+    }
+    std::printf("    %-18s %7.1f ms -> %7.1f ms\n", "TOTAL",
+                result.hostPipeline.totalLatency().value() * 1000.0,
+                result.navionPipeline.totalLatency().value() *
+                    1000.0);
+    std::printf("\n");
+
+    TextTable table({"Accelerator", "f_action (Hz)", "Power (W)",
+                     "v_safe (m/s)", "Bound", "Needed speedup"});
+    for (const auto *entry : {&result.pulp, &result.navion}) {
+        table.addRow(
+            {entry->name, trimmedNumber(entry->throughputHz, 2),
+             trimmedNumber(entry->powerWatts, 3),
+             trimmedNumber(entry->analysis.safeVelocity.value(), 2),
+             core::toString(entry->analysis.bound),
+             trimmedNumber(entry->requiredSpeedup, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::paperVsOurs("nano-UAV knee", 26.0, result.kneeThroughput,
+                       "Hz");
+    bench::paperVsOurs("PULP-DroNet throughput", 6.0,
+                       result.pulp.throughputHz, "Hz");
+    bench::paperVsOurs("PULP needed speedup", 4.33,
+                       result.pulp.requiredSpeedup, "x");
+    bench::paperVsOurs("Navion SPA latency", 810.0,
+                       result.navionPipeline.totalLatency().value() *
+                           1000.0,
+                       "ms");
+    bench::paperVsOurs("Navion SPA throughput", 1.23,
+                       result.navion.throughputHz, "Hz");
+    bench::paperVsOurs("Navion needed speedup", 21.1,
+                       result.navion.requiredSpeedup, "x");
+    bench::note("a 172 FPS @ 2 mW SLAM kernel barely moves the "
+                "end-to-end SPA rate: the bottleneck is the "
+                "mapping/planning stages");
+
+    plot::Chart chart = plot::makeRooflineChart(
+        "Fig. 16c: accelerators on the nano-UAV",
+        {{"PULP-DroNet",
+          core::F1Model(nanoInputs(
+                            units::Hertz(result.pulp.throughputHz)))
+              .curve(),
+          true, true},
+         {"Navion (SPA)",
+          core::F1Model(nanoInputs(units::Hertz(
+                            result.navion.throughputHz)))
+              .curve(),
+          false, true}});
+    plot::SvgWriter().writeFile(
+        chart, bench::artifactsDir() + "/fig16_accelerators.svg");
+    std::printf("  artifacts: fig16_accelerators.svg\n");
+}
+
+void
+BM_Fig16Study(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFig16());
+}
+BENCHMARK(BM_Fig16Study);
+
+void
+BM_SpaStageSubstitution(benchmark::State &state)
+{
+    const auto host =
+        workload::SpaPipeline::mavbenchPackageDeliveryTx2();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(host.withStageLatency(
+            "SLAM", workload::SpaPipeline::navionSlamLatency(),
+            " + Navion"));
+    }
+}
+BENCHMARK(BM_SpaStageSubstitution);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cross-cutting performance micro-benchmarks: every hot path in
+ * the library under google-benchmark (model evaluation, curve
+ * sampling, config building, simulator stepping, DSE sweeps, and
+ * renderers).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "components/catalog.hh"
+#include "core/uav_config.hh"
+#include "plot/ascii_renderer.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "sim/table1.hh"
+#include "skyline/dse.hh"
+#include "skyline/session.hh"
+#include "studies/presets.hh"
+
+namespace {
+
+using namespace uavf1;
+
+void
+BM_F1Analyze(benchmark::State &state)
+{
+    const core::F1Model model(
+        studies::pelicanInputs(units::Hertz(178.0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.analyze());
+}
+BENCHMARK(BM_F1Analyze);
+
+void
+BM_F1Curve(benchmark::State &state)
+{
+    const core::F1Model model(
+        studies::pelicanInputs(units::Hertz(178.0)));
+    const auto samples = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.curve(samples));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_F1Curve)->Range(16, 1024)->Complexity();
+
+void
+BM_CatalogConstruction(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(components::Catalog::standard());
+}
+BENCHMARK(BM_CatalogConstruction);
+
+void
+BM_UavConfigBuild(benchmark::State &state)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    for (auto _ : state) {
+        core::UavConfig::Builder builder("bench");
+        benchmark::DoNotOptimize(
+            builder
+                .airframe(
+                    catalog.airframes().byName("AscTec Pelican"))
+                .sensor(
+                    catalog.sensors().byName("RGB-D 60FPS (4.5m)"))
+                .compute(catalog.computes().byName("Nvidia TX2"))
+                .algorithm(algorithms.byName("DroNet"))
+                .build());
+    }
+}
+BENCHMARK(BM_UavConfigBuild);
+
+void
+BM_SimTrialSweep(benchmark::State &state)
+{
+    const auto cases = sim::table1ValidationCases();
+    const sim::VehicleModel vehicle(cases[0].vehicle);
+    const sim::FlightSimulator simulator(vehicle);
+    sim::StopScenario scenario = cases[0].scenario;
+    scenario.commandedVelocity =
+        units::MetersPerSecond(0.001 * state.range(0));
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulator.run(scenario, cases[0].noise, rng));
+    }
+}
+BENCHMARK(BM_SimTrialSweep)
+    ->Arg(1500)
+    ->Arg(2500)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DseSweep(benchmark::State &state)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    core::UavConfig::Builder prototype("dse");
+    prototype.airframe(catalog.airframes().byName("AscTec Pelican"))
+        .sensor(catalog.sensors().byName("RGB-D 60FPS (4.5m)"));
+    const skyline::DesignSpaceExplorer dse(prototype);
+    std::vector<components::ComputePlatform> computes;
+    for (const auto &platform : catalog.computes().items()) {
+        if (platform.role() ==
+            components::ComputeRole::GeneralPurpose) {
+            computes.push_back(platform);
+        }
+    }
+    std::vector<workload::AutonomyAlgorithm> algos;
+    for (const auto &algorithm : algorithms.items())
+        algos.push_back(algorithm);
+    for (auto _ : state) {
+        auto points = dse.sweep(computes, algos);
+        benchmark::DoNotOptimize(
+            skyline::DesignSpaceExplorer::paretoFront(points));
+    }
+}
+BENCHMARK(BM_DseSweep)->Unit(benchmark::kMillisecond);
+
+void
+BM_SvgRender(benchmark::State &state)
+{
+    const core::F1Model model(
+        studies::pelicanInputs(units::Hertz(178.0)));
+    for (auto _ : state) {
+        plot::Chart chart = plot::makeRooflineChart(
+            "bench", {{"pelican", model.curve(), true, true}});
+        benchmark::DoNotOptimize(plot::SvgWriter().render(chart));
+    }
+}
+BENCHMARK(BM_SvgRender);
+
+void
+BM_AsciiRender(benchmark::State &state)
+{
+    const core::F1Model model(
+        studies::pelicanInputs(units::Hertz(178.0)));
+    for (auto _ : state) {
+        plot::Chart chart = plot::makeRooflineChart(
+            "bench", {{"pelican", model.curve(), true, true}});
+        benchmark::DoNotOptimize(
+            plot::AsciiRenderer().render(chart));
+    }
+}
+BENCHMARK(BM_AsciiRender);
+
+void
+BM_SkylineRoundTrip(benchmark::State &state)
+{
+    for (auto _ : state) {
+        skyline::SkylineSession session;
+        session.set("compute_tdp", "15");
+        session.set("sensor_range", "6");
+        benchmark::DoNotOptimize(session.analyze());
+    }
+}
+BENCHMARK(BM_SkylineRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Table I bench: specifications of the four custom validation UAVs,
+ * with the derived quantities (takeoff mass, T/W, a_max, predicted
+ * safe velocity) our reproduction adds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/table1.hh"
+#include "sim/validation.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::sim;
+
+void
+printTable()
+{
+    bench::banner("Table I", "Specification of the four custom "
+                             "validation UAVs");
+
+    TextTable table({"Component", "UAV-A", "UAV-B", "UAV-C",
+                     "UAV-D"});
+    table.addRow({"Flight Controller", "NXP FMUk66", "NXP FMUk66",
+                  "NXP FMUk66", "NXP FMUk66"});
+    table.addRow({"Base Weight (g)", "1030", "1030", "1030",
+                  "1030"});
+    table.addRow({"Battery", "3S 5000 mAh", "3S 5000 mAh",
+                  "3S 5000 mAh", "3S 5000 mAh"});
+    table.addRow({"Autonomy Algorithm", "MAVROS custom",
+                  "MAVROS custom", "MAVROS custom",
+                  "MAVROS custom"});
+    table.addRow({"Onboard Compute", "Ras-Pi4", "UpBoard",
+                  "Ras-Pi4", "Ras-Pi4"});
+    table.addRow({"Motor Propulsion", "RtS 2212 920KV",
+                  "RtS 2212 920KV", "RtS 2212 920KV",
+                  "RtS 2212 920KV"});
+    table.addRow({"Motor Pull, Table I (g)", "~435", "~435", "~435",
+                  "~435"});
+    table.addRow({"Payload Weight (g)", "590", "800", "640",
+                  "690"});
+    std::printf("%s\n", table.render().c_str());
+
+    // Derived rows from our model.
+    const auto cases = table1ValidationCases();
+    TextTable derived({"Derived quantity", "UAV-A", "UAV-B", "UAV-C",
+                       "UAV-D"});
+    std::vector<std::string> mass_row = {"Takeoff mass (g)"};
+    std::vector<std::string> amax_row = {"a_max (m/s^2)"};
+    std::vector<std::string> pred_row = {"Predicted v_safe (m/s)"};
+    for (const auto &vcase : cases) {
+        const VehicleModel vehicle(vcase.vehicle);
+        mass_row.push_back(
+            trimmedNumber(vcase.vehicle.mass.value() * 1000.0));
+        amax_row.push_back(trimmedNumber(
+            vehicle.availableAcceleration().value(), 3));
+        pred_row.push_back(trimmedNumber(
+            ValidationHarness::predictedSafeVelocity(vcase), 2));
+    }
+    derived.addRow(mass_row);
+    derived.addRow(amax_row);
+    derived.addRow(pred_row);
+    std::printf("%s\n", derived.render().c_str());
+
+    bench::note("usable thrust calibrated to 1870 g-f (4 x 850 g "
+                "bench max x 55% sustained); Table I's 4 x 435 g "
+                "cannot hover UAV-B's 1830 g takeoff mass");
+    bench::paperVsOurs(
+        "UAV-A predicted v_safe", 2.13,
+        ValidationHarness::predictedSafeVelocity(cases[0]), "m/s");
+    bench::paperVsOurs(
+        "UAV-B predicted v_safe", 1.51,
+        ValidationHarness::predictedSafeVelocity(cases[1]), "m/s");
+    bench::paperVsOurs(
+        "UAV-C predicted v_safe", 1.58,
+        ValidationHarness::predictedSafeVelocity(cases[2]), "m/s");
+    bench::paperVsOurs(
+        "UAV-D predicted v_safe", 1.53,
+        ValidationHarness::predictedSafeVelocity(cases[3]), "m/s");
+}
+
+void
+BM_Table1Presets(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table1ValidationCases());
+}
+BENCHMARK(BM_Table1Presets);
+
+void
+BM_PredictedSafeVelocity(benchmark::State &state)
+{
+    const auto cases = table1ValidationCases();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ValidationHarness::predictedSafeVelocity(cases[0]));
+    }
+}
+BENCHMARK(BM_PredictedSafeVelocity);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

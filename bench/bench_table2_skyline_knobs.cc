@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table II bench: exercise all eight Skyline knobs end-to-end and
+ * show each knob's marginal effect on the analysis.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "skyline/report.hh"
+#include "skyline/session.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::skyline;
+
+void
+printTable()
+{
+    bench::banner("Table II", "Skyline knob set and per-knob "
+                              "sensitivity");
+
+    SkylineSession session;
+    std::printf("%s\n",
+                ReportWriter::text(session, "Skyline baseline")
+                    .c_str());
+
+    // Marginal sensitivity: change each knob by a meaningful step
+    // from the baseline and report the resulting v_safe.
+    const double base_v =
+        session.analyze().f1.safeVelocity.value();
+    const struct
+    {
+        const char *knob;
+        const char *value;
+    } deltas[] = {
+        {"sensor_framerate", "30"},
+        {"compute_tdp", "30"},
+        {"compute_runtime", "0.05"},
+        {"sensor_range", "9"},
+        {"drone_weight", "1400"},
+        {"rotor_pull", "2200"},
+        {"payload_weight", "450"},
+        {"control_rate", "100"},
+    };
+
+    TextTable table({"Knob changed", "New value",
+                     "v_safe (m/s)", "delta vs baseline"});
+    for (const auto &delta : deltas) {
+        SkylineSession variant = session;
+        variant.set(delta.knob, delta.value);
+        const double v =
+            variant.analyze().f1.safeVelocity.value();
+        table.addRow({delta.knob, delta.value, trimmedNumber(v, 3),
+                      strFormat("%+.1f%%",
+                                100.0 * (v - base_v) / base_v)});
+    }
+    std::printf("baseline v_safe: %.3f m/s\n%s\n", base_v,
+                table.render().c_str());
+
+    ReportWriter::writeHtml(
+        session, "Skyline report (Table II baseline)",
+        bench::artifactsDir() + "/table2_skyline_report.html");
+    std::printf("  artifacts: table2_skyline_report.html\n");
+}
+
+void
+BM_SessionAnalyze(benchmark::State &state)
+{
+    SkylineSession session;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(session.analyze());
+}
+BENCHMARK(BM_SessionAnalyze);
+
+void
+BM_HtmlReport(benchmark::State &state)
+{
+    SkylineSession session;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ReportWriter::html(session, "bench"));
+    }
+}
+BENCHMARK(BM_HtmlReport);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

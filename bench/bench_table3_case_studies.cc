@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Table III bench: the evaluation case-study overview matrix, with
+ * each study's headline result regenerated live.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "studies/fig11_compute.hh"
+#include "studies/fig13_algorithms.hh"
+#include "studies/fig14_redundancy.hh"
+#include "studies/fig15_full_system.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+void
+printTable()
+{
+    bench::banner("Table III", "Evaluation case-study overview");
+
+    const Fig11Result fig11 = runFig11();
+    const Fig13Result fig13 = runFig13();
+    const Fig14Result fig14 = runFig14();
+    const Fig15Result fig15 = runFig15();
+
+    TextTable table({"Case study", "Varied parameter", "UAV",
+                     "Headline result (regenerated)"});
+    table.addRow(
+        {"VI-A Onboard compute", "Intel NCS vs Nvidia AGX",
+         "DJI Spark",
+         strFormat("NCS roof %.1f m/s > AGX-30W %.1f m/s; "
+                   "15 W what-if +%.0f%%",
+                   fig11.ncs.analysis.roofVelocity.value(),
+                   fig11.agx30.analysis.roofVelocity.value(),
+                   (fig11.agxTdpGain - 1.0) * 100.0)});
+    table.addRow(
+        {"VI-B Autonomy algorithms", "SPA vs TrailNet vs DroNet",
+         "AscTec Pelican",
+         strFormat("knee %.0f Hz; SPA %.1f m/s needs %.0fx; "
+                   "TrailNet over by %.2fx",
+                   fig13.kneeThroughput,
+                   fig13.entries[0].analysis.safeVelocity.value(),
+                   fig13.entries[0].factorVsKnee,
+                   fig13.entries[1].factorVsKnee)});
+    table.addRow(
+        {"VI-C Payload redundancy", "1x vs 2x Nvidia TX2",
+         "AscTec Pelican",
+         strFormat("DMR lowers v_safe by %.0f%%",
+                   fig14.velocityLossPercent)});
+    table.addRow(
+        {"VI-D Full UAV system",
+         "{NCS,TX2,Ras-Pi} x {DroNet,TrailNet,VGG16,CAD2RL}",
+         "Pelican & Spark",
+         strFormat("knees %.0f / %.0f Hz; Spark+TX2 over by "
+                   "%.1fx; Ras-Pi needs 3.3/110/660x",
+                   fig15.pelicanKnee, fig15.sparkKnee,
+                   fig15.find("DJI Spark", "DroNet", "Nvidia TX2")
+                           .throughputHz /
+                       fig15.sparkKnee)});
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+BM_AllCaseStudies(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runFig11());
+        benchmark::DoNotOptimize(runFig13());
+        benchmark::DoNotOptimize(runFig14());
+        benchmark::DoNotOptimize(runFig15());
+    }
+}
+BENCHMARK(BM_AllCaseStudies)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

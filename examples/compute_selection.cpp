@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Section VI-A style study: rank every general-purpose onboard
+ * computer in the catalog for a chosen airframe and algorithm,
+ * showing why peak compute throughput alone is the wrong metric.
+ *
+ * Usage: compute_selection [airframe] [algorithm]
+ * Defaults: "DJI Spark" "DroNet".
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "components/catalog.hh"
+#include "core/uav_config.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+using namespace uavf1;
+
+namespace {
+
+struct Ranked
+{
+    std::string name;
+    double throughput_hz;
+    double takeoff_g;
+    double v_safe;
+    std::string bound;
+    bool feasible;
+    std::string why_not;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string airframe_name =
+        argc > 1 ? argv[1] : "DJI Spark";
+    const std::string algorithm_name =
+        argc > 2 ? argv[2] : "DroNet";
+
+    try {
+        const auto catalog = components::Catalog::standard();
+        const auto algorithms = workload::standardAlgorithms();
+        const auto &airframe =
+            catalog.airframes().byName(airframe_name);
+        const auto &algorithm =
+            algorithms.byName(algorithm_name);
+
+        std::vector<Ranked> ranking;
+        for (const auto &platform : catalog.computes().items()) {
+            if (platform.role() !=
+                components::ComputeRole::GeneralPurpose) {
+                continue; // Navion cannot run full autonomy.
+            }
+            Ranked entry;
+            entry.name = platform.name();
+            try {
+                const core::UavConfig config =
+                    core::UavConfig::Builder(airframe_name + "+" +
+                                             platform.name())
+                        .airframe(airframe)
+                        .sensor(catalog.sensors().byName(
+                            "60FPS camera (6m)"))
+                        .compute(platform)
+                        .algorithm(algorithm)
+                        .build();
+                const auto analysis = config.f1Model().analyze();
+                entry.feasible = true;
+                entry.throughput_hz = config.computeRate().value();
+                entry.takeoff_g = config.takeoffMass().value();
+                entry.v_safe = analysis.safeVelocity.value();
+                entry.bound = core::toString(analysis.bound);
+            } catch (const InfeasibleError &e) {
+                entry.feasible = false;
+                entry.why_not = "cannot hover (too heavy)";
+            }
+            ranking.push_back(std::move(entry));
+        }
+
+        std::sort(ranking.begin(), ranking.end(),
+                  [](const Ranked &a, const Ranked &b) {
+                      if (a.feasible != b.feasible)
+                          return a.feasible;
+                      return a.v_safe > b.v_safe;
+                  });
+
+        std::printf("Onboard-compute ranking for %s running %s\n\n",
+                    airframe_name.c_str(), algorithm_name.c_str());
+        TextTable table({"Rank", "Compute", "f_compute (Hz)",
+                         "Takeoff (g)", "v_safe (m/s)", "Bound"});
+        int rank = 1;
+        for (const auto &entry : ranking) {
+            if (entry.feasible) {
+                table.addRow({std::to_string(rank++), entry.name,
+                              trimmedNumber(entry.throughput_hz, 2),
+                              trimmedNumber(entry.takeoff_g, 0),
+                              trimmedNumber(entry.v_safe, 2),
+                              entry.bound});
+            } else {
+                table.addRow({"-", entry.name, "-", "-", "-",
+                              entry.why_not});
+            }
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        // The paper's Section VI-A takeaway, computed live.
+        const Ranked *fastest_compute = nullptr;
+        const Ranked *fastest_uav = nullptr;
+        for (const auto &entry : ranking) {
+            if (!entry.feasible)
+                continue;
+            if (!fastest_compute ||
+                entry.throughput_hz >
+                    fastest_compute->throughput_hz) {
+                fastest_compute = &entry;
+            }
+            if (!fastest_uav || entry.v_safe > fastest_uav->v_safe)
+                fastest_uav = &entry;
+        }
+        if (fastest_compute && fastest_uav &&
+            fastest_compute->name != fastest_uav->name) {
+            std::printf(
+                "Takeaway: %s has the highest compute throughput "
+                "(%.0f Hz), but %s yields the fastest UAV "
+                "(%.2f m/s) -- \"a high-performance computer does "
+                "not necessarily translate into a high-performing "
+                "UAV\".\n",
+                fastest_compute->name.c_str(),
+                fastest_compute->throughput_hz,
+                fastest_uav->name.c_str(), fastest_uav->v_safe);
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

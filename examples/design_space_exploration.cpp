@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Automated design-space exploration (the paper's Section IX
+ * outlook, implemented): sweep compute x algorithm over an
+ * airframe, print the full matrix, the Pareto frontier over
+ * (safe velocity, compute power, compute mass), and the pick.
+ *
+ * Usage: design_space_exploration [airframe]
+ * Default: "AscTec Pelican".
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "components/catalog.hh"
+#include "skyline/dse.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+using namespace uavf1;
+
+int
+main(int argc, char **argv)
+{
+    const std::string airframe_name =
+        argc > 1 ? argv[1] : "AscTec Pelican";
+
+    try {
+        const auto catalog = components::Catalog::standard();
+        const auto algorithms = workload::standardAlgorithms();
+
+        core::UavConfig::Builder prototype(airframe_name + " DSE");
+        prototype
+            .airframe(catalog.airframes().byName(airframe_name))
+            .sensor(catalog.sensors().byName("RGB-D 60FPS (4.5m)"));
+
+        std::vector<components::ComputePlatform> computes;
+        for (const auto &platform : catalog.computes().items()) {
+            if (platform.role() ==
+                components::ComputeRole::GeneralPurpose) {
+                computes.push_back(platform);
+            }
+        }
+        std::vector<workload::AutonomyAlgorithm> algos;
+        for (const auto &algorithm : algorithms.items())
+            algos.push_back(algorithm);
+
+        const skyline::DesignSpaceExplorer dse(prototype);
+        const auto points = dse.sweep(computes, algos);
+
+        std::printf("Design space for %s (%zu combinations)\n\n",
+                    airframe_name.c_str(), points.size());
+        TextTable table({"Compute", "Algorithm", "v_safe (m/s)",
+                         "Power (W)", "Compute mass (g)", "Bound",
+                         "f source"});
+        for (const auto &point : points) {
+            if (point.feasible) {
+                table.addRow(
+                    {point.compute, point.algorithm,
+                     trimmedNumber(point.safeVelocity, 2),
+                     trimmedNumber(point.computePower, 2),
+                     trimmedNumber(point.computeMass, 1),
+                     core::toString(point.analysis.bound),
+                     workload::toString(point.throughputSource)});
+            } else {
+                table.addRow({point.compute, point.algorithm,
+                              "infeasible", "-", "-", "-", "-"});
+            }
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        const auto front =
+            skyline::DesignSpaceExplorer::paretoFront(points);
+        std::printf("Pareto frontier (max v_safe, min power, min "
+                    "mass): %zu designs\n",
+                    front.size());
+        for (const auto &point : front) {
+            std::printf("  %-12s + %-22s v=%5.2f m/s  P=%6.2f W  "
+                        "m=%6.1f g\n",
+                        point.compute.c_str(),
+                        point.algorithm.c_str(), point.safeVelocity,
+                        point.computePower, point.computeMass);
+        }
+
+        const auto &best =
+            skyline::DesignSpaceExplorer::best(points);
+        std::printf("\nPick: %s running %s -> %.2f m/s (%s)\n",
+                    best.compute.c_str(), best.algorithm.c_str(),
+                    best.safeVelocity,
+                    core::toString(best.analysis.bound));
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mission-level consequences of the safe-velocity bound: why a
+ * higher v_safe lowers mission time and energy (the paper's
+ * motivation, quantified on a package-delivery leg).
+ *
+ * Compares an AscTec Pelican running SPA (compute-bound, slow)
+ * against the same airframe running DroNet (physics-bound, fast)
+ * over a 1 km delivery leg.
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "mission/mission_model.hh"
+#include "physics/rotor_aero.hh"
+#include "studies/presets.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "workload/throughput.hh"
+
+using namespace uavf1;
+using namespace uavf1::units;
+using namespace uavf1::units::literals;
+
+int
+main()
+{
+    try {
+        const auto oracle = workload::ThroughputOracle::standard();
+        const MilliampHours capacity(5000.0);
+        const physics::Battery battery("3S 5000mAh", capacity,
+                                       11.1_v, 380.0_g);
+
+        // Pelican power profile: hover power from ideal momentum
+        // theory (4 x 10-inch rotors, 1.21 kg takeoff mass,
+        // figure of merit 0.65) instead of a guessed constant.
+        const physics::RotorAero aero(4, 0.254, 0.65);
+        const Kilograms takeoff(1.21);
+        mission::PowerProfile profile;
+        profile.hoverPower = aero.hoverPower(takeoff);
+        profile.staticPower = 7.5_w; // TX2 TDP.
+        profile.drag = physics::DragModel(1.0, 0.02);
+        const mission::MissionModel leg(1000.0_m, profile);
+
+        std::printf("Package-delivery leg: 1 km, AscTec Pelican "
+                    "(%.0f g, hover %.0f W by momentum theory), "
+                    "Nvidia TX2 (7.5 W)\n\n",
+                    takeoff.value() * 1000.0,
+                    profile.hoverPower.value());
+
+        TextTable table({"Algorithm", "f_compute (Hz)",
+                         "v_safe (m/s)", "Mission time (s)",
+                         "Mission energy (Wh)",
+                         "Battery used (%)"});
+        for (const char *algo :
+             {"SPA package delivery", "DroNet"}) {
+            const Hertz f = oracle.measured(algo, "Nvidia TX2");
+            const auto analysis =
+                core::F1Model(studies::pelicanInputs(f)).analyze();
+            const MetersPerSecond v = analysis.safeVelocity;
+            const mission::MissionPoint point = leg.evaluate(v);
+            const double used_pct =
+                100.0 * point.energy /
+                toJoules(battery.usableEnergy()).value();
+            table.addRow(
+                {algo, trimmedNumber(f.value(), 1),
+                 trimmedNumber(v.value(), 2),
+                 trimmedNumber(point.time, 0),
+                 trimmedNumber(point.energy / 3600.0, 1),
+                 trimmedNumber(used_pct, 1)});
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        // Sweep: mission energy vs cruise velocity.
+        const auto dronet_analysis =
+            core::F1Model(studies::pelicanInputs(
+                              oracle.measured("DroNet",
+                                              "Nvidia TX2")))
+                .analyze();
+        const double v_max = dronet_analysis.safeVelocity.value();
+        std::printf("Mission energy vs cruise velocity (cap = "
+                    "DroNet v_safe %.2f m/s):\n",
+                    v_max);
+        std::printf("  %-12s %-14s %-16s\n", "v (m/s)", "time (s)",
+                    "energy (Wh)");
+        for (double v = 0.5; v <= v_max + 1e-9; v += 0.5) {
+            const auto point =
+                leg.evaluate(MetersPerSecond(v));
+            std::printf("  %-12.1f %-14.0f %-16.2f\n", v,
+                        point.time, point.energy / 3600.0);
+        }
+
+        const auto v_opt = leg.energyOptimalVelocity(
+            MetersPerSecond(v_max));
+        std::printf(
+            "\nEnergy-optimal cruise within the safe bound: "
+            "%.2f m/s -> the F-1 safe-velocity ceiling directly "
+            "caps how much mission energy a better computer can "
+            "save.\n",
+            v_opt.value());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

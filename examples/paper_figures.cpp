@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Regenerate every paper experiment in one command and emit a
+ * single self-contained HTML index with all charts and headline
+ * comparisons — the repository's "reproduce the paper" button.
+ *
+ * Usage: paper_figures [output.html]
+ * Default output: paper_reproduction.html
+ */
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "sim/table1.hh"
+#include "sim/validation.hh"
+#include "studies/fig02_swap.hh"
+#include "studies/fig05_safety.hh"
+#include "studies/fig09_payload.hh"
+#include "studies/fig11_compute.hh"
+#include "studies/fig13_algorithms.hh"
+#include "studies/fig14_redundancy.hh"
+#include "studies/fig15_full_system.hh"
+#include "studies/fig16_accelerators.hh"
+#include "studies/presets.hh"
+#include "support/strings.hh"
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+namespace {
+
+/** Append one comparison row. */
+std::string
+row(const std::string &what, double paper, double ours,
+    const std::string &unit)
+{
+    const double delta =
+        paper != 0.0 ? 100.0 * (ours - paper) / paper : 0.0;
+    return strFormat(
+        "<tr><td>%s</td><td>%.3f %s</td><td>%.3f %s</td>"
+        "<td>%+.1f%%</td></tr>\n",
+        what.c_str(), paper, unit.c_str(), ours, unit.c_str(),
+        delta);
+}
+
+std::string
+sectionHeader(const std::string &id, const std::string &title)
+{
+    return "<h2>" + id + " — " + title + "</h2>\n";
+}
+
+std::string
+tableWrap(const std::string &rows)
+{
+    return "<table border=1 cellpadding=4 cellspacing=0>"
+           "<tr><th>Quantity</th><th>Paper</th><th>Ours</th>"
+           "<th>Delta</th></tr>\n" +
+           rows + "</table>\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "paper_reproduction.html";
+    try {
+        std::string html =
+            "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+            "<title>F-1 model reproduction</title>"
+            "<style>body{font-family:Helvetica,Arial,sans-serif;"
+            "max-width:1000px;margin:24px auto;}table{border-"
+            "collapse:collapse;}</style></head><body>\n"
+            "<h1>Roofline Model for UAVs — full reproduction "
+            "index</h1>\n";
+
+        // Fig. 5.
+        const Fig05Result fig05 = runFig05();
+        html += sectionHeader("Fig. 5", "Safety model");
+        html += tableWrap(
+            row("physics roof", 32.0, fig05.roof, "m/s") +
+            row("point A (1 Hz)", 10.0, fig05.velocityAtA, "m/s") +
+            row("velocity @ 100 Hz", 30.0, fig05.velocityAt100Hz,
+                "m/s"));
+
+        // Fig. 7.
+        const auto cases = sim::table1ValidationCases();
+        const auto validation =
+            sim::ValidationHarness::validateAll(cases);
+        const auto paper_err = sim::table1PaperErrorPercent();
+        html += sectionHeader("Fig. 7", "Model validation");
+        std::string vrows;
+        for (std::size_t i = 0; i < validation.size(); ++i) {
+            vrows += row(validation[i].name + " error",
+                         paper_err[i],
+                         validation[i].errorPercent, "%");
+        }
+        html += tableWrap(vrows);
+
+        // Fig. 9.
+        const Fig09Result fig09 = runFig09();
+        html += sectionHeader("Fig. 9", "Payload sweep");
+        html += tableWrap(
+            row("A->C drop", 26.0, fig09.dropAtoC, "%") +
+            row("C->D drop", 3.0, fig09.dropCtoD, "%") +
+            row("A->B drop", 29.0, fig09.dropAtoB, "%"));
+
+        // Fig. 11.
+        const Fig11Result fig11 = runFig11();
+        html += sectionHeader("Fig. 11", "Compute choice on Spark");
+        html += tableWrap(
+            row("AGX-30W heatsink", 162.0,
+                fig11.agx30.heatsinkGrams, "g") +
+            row("AGX 15 W roof gain", 1.75, fig11.agxTdpGain,
+                "x"));
+        plot::Chart fig11_chart = plot::makeRooflineChart(
+            "Fig. 11b",
+            {{"Intel NCS", fig11Model("Intel NCS").curve(), true,
+              true},
+             {"Nvidia AGX-30W", fig11Model("Nvidia AGX").curve(),
+              false, true},
+             {"Nvidia AGX-15W",
+              fig11Model("Nvidia AGX-15W").curve(), false, true}});
+        html += plot::SvgWriter().render(fig11_chart);
+
+        // Fig. 13.
+        const Fig13Result fig13 = runFig13();
+        html += sectionHeader("Fig. 13", "Algorithms on Pelican");
+        html += tableWrap(
+            row("knee", 43.0, fig13.kneeThroughput, "Hz") +
+            row("SPA v_safe", 2.3,
+                fig13.entries[0].analysis.safeVelocity.value(),
+                "m/s") +
+            row("SPA needed speedup", 39.0,
+                fig13.entries[0].factorVsKnee, "x"));
+
+        // Fig. 14.
+        const Fig14Result fig14 = runFig14();
+        html += sectionHeader("Fig. 14", "Modular redundancy");
+        html += tableWrap(row("DMR velocity loss", 33.0,
+                              fig14.velocityLossPercent, "%"));
+        plot::Chart fig14_chart = plot::makeRooflineChart(
+            "Fig. 14b",
+            {{"TX2",
+              fig14Model(pipeline::RedundancyScheme::None).curve(),
+              true, true},
+             {"2x TX2",
+              fig14Model(pipeline::RedundancyScheme::Dual).curve(),
+              false, true}});
+        html += plot::SvgWriter().render(fig14_chart);
+
+        // Fig. 15.
+        const Fig15Result fig15 = runFig15();
+        html += sectionHeader("Fig. 15", "Full-system sweep");
+        html += tableWrap(
+            row("Pelican knee", 43.0, fig15.pelicanKnee, "Hz") +
+            row("Spark knee", 30.0, fig15.sparkKnee, "Hz") +
+            row("Ras-Pi DroNet gap", 3.3,
+                fig15.find("AscTec Pelican", "DroNet", "Ras-Pi4")
+                    .factorVsKnee,
+                "x") +
+            row("Ras-Pi CAD2RL gap", 660.0,
+                fig15.find("AscTec Pelican", "CAD2RL", "Ras-Pi4")
+                    .factorVsKnee,
+                "x"));
+
+        // Fig. 16.
+        const Fig16Result fig16 = runFig16();
+        html += sectionHeader("Fig. 16", "Accelerator pitfalls");
+        html += tableWrap(
+            row("nano knee", 26.0, fig16.kneeThroughput, "Hz") +
+            row("PULP needed speedup", 4.33,
+                fig16.pulp.requiredSpeedup, "x") +
+            row("Navion needed speedup", 21.1,
+                fig16.navion.requiredSpeedup, "x"));
+
+        html += "</body></html>\n";
+
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << html;
+        std::printf("wrote %s (%zu bytes): every paper experiment "
+                    "regenerated.\n",
+                    out_path.c_str(), html.size());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

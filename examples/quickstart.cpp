@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: build a UAV from catalog parts, run the F-1 model,
+ * and read the bound-and-bottleneck analysis.
+ *
+ * Usage: quickstart [airframe] [compute] [algorithm]
+ * Defaults: "AscTec Pelican" "Nvidia TX2" "DroNet".
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "components/catalog.hh"
+#include "core/uav_config.hh"
+#include "plot/ascii_renderer.hh"
+#include "plot/roofline_chart.hh"
+
+using namespace uavf1;
+
+int
+main(int argc, char **argv)
+{
+    const std::string airframe_name =
+        argc > 1 ? argv[1] : "AscTec Pelican";
+    const std::string compute_name =
+        argc > 2 ? argv[2] : "Nvidia TX2";
+    const std::string algorithm_name =
+        argc > 3 ? argv[3] : "DroNet";
+
+    try {
+        // 1. Pick parts from the standard catalog.
+        const auto catalog = components::Catalog::standard();
+        const auto algorithms = workload::standardAlgorithms();
+
+        // 2. Assemble the UAV. The builder rolls up the mass budget
+        //    (module + heat sink + sensor + flight controller),
+        //    derives a_max from thrust-to-weight, and resolves
+        //    f_compute from the paper-seeded throughput oracle.
+        const core::UavConfig config =
+            core::UavConfig::Builder(airframe_name + " + " +
+                                     compute_name)
+                .airframe(catalog.airframes().byName(airframe_name))
+                .sensor(
+                    catalog.sensors().byName("RGB-D 60FPS (4.5m)"))
+                .compute(catalog.computes().byName(compute_name))
+                .algorithm(algorithms.byName(algorithm_name))
+                .build();
+
+        std::printf("%s\n", config.describe().c_str());
+
+        // 3. Run the F-1 analysis.
+        const core::F1Model model = config.f1Model();
+        const core::F1Analysis analysis = model.analyze();
+        std::printf(
+            "F-1 analysis\n"
+            "  action throughput: %.2f Hz (bottleneck: %s)\n"
+            "  knee point:        %.2f Hz\n"
+            "  safe velocity:     %.2f m/s (roof %.2f m/s)\n"
+            "  classification:    %s, %s\n",
+            analysis.actionThroughput.value(),
+            analysis.bottleneckStage.c_str(),
+            analysis.kneeThroughput.value(),
+            analysis.safeVelocity.value(),
+            analysis.roofVelocity.value(),
+            core::toString(analysis.bound),
+            core::toString(analysis.verdict));
+        if (analysis.bound == core::BoundType::PhysicsBound) {
+            std::printf(
+                "  over-provisioned:  %.2fx past the knee\n",
+                analysis.overProvisionFactor);
+        } else {
+            std::printf(
+                "  needed speedup:    %.2fx to reach the knee\n",
+                analysis.requiredSpeedup);
+        }
+
+        // 4. Draw the roofline in the terminal.
+        plot::Chart chart = plot::makeRooflineChart(
+            config.name(),
+            {{config.name(), model.curve(), true, true}});
+        std::printf("\n%s",
+                    plot::AsciiRenderer().render(chart).c_str());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Skyline as a command-line tool: the interactive/batch equivalent
+ * of the paper's web tool (Section V).
+ *
+ * Commands (one per line, from stdin or a script piped in):
+ *   set <knob> <value>        change a Table-II knob
+ *   show                      print current knob values
+ *   analyze                   run the automatic analysis
+ *   plot                      ASCII roofline in the terminal
+ *   sweep <knob> <from> <to> [steps]  tabulate v_safe vs a knob
+ *   report <file.html>        write the self-contained HTML report
+ *   svg <file.svg>            write the roofline SVG
+ *   knobs                     list knob names
+ *   help                      this text
+ *   quit                      exit
+ *
+ * Example:
+ *   echo "set compute_runtime 0.9\nanalyze" | skyline_cli
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "plot/ascii_renderer.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "skyline/report.hh"
+#include "skyline/session.hh"
+#include "support/strings.hh"
+
+using namespace uavf1;
+
+namespace {
+
+void
+printHelp()
+{
+    std::printf(
+        "commands: set <knob> <value> | show | analyze | plot | "
+        "sweep <knob> <from> <to> [steps] | report <file.html> | "
+        "svg <file.svg> | knobs | help | quit\n");
+}
+
+void
+printKnobs(const skyline::SkylineSession &session)
+{
+    const auto &k = session.knobs();
+    std::printf(
+        "  sensor_framerate = %.2f Hz\n"
+        "  compute_tdp      = %.2f W\n"
+        "  algorithm        = %s\n"
+        "  compute_runtime  = %.5f s (f_compute %.2f Hz)\n"
+        "  sensor_range     = %.2f m\n"
+        "  drone_weight     = %.0f g\n"
+        "  rotor_pull       = %.0f g\n"
+        "  payload_weight   = %.0f g\n"
+        "  control_rate     = %.0f Hz\n"
+        "  knee_fraction    = %.3f\n",
+        k.sensorFramerate.value(), k.computeTdp.value(),
+        k.algorithm.c_str(), k.computeRuntime.value(),
+        1.0 / k.computeRuntime.value(), k.sensorRange.value(),
+        k.droneWeight.value(), k.rotorPull.value(),
+        k.payloadWeight.value(), k.controlRate.value(),
+        k.kneeFraction);
+}
+
+} // namespace
+
+int
+main()
+{
+    skyline::SkylineSession session;
+    const bool interactive = false; // Batch-friendly prompt-less IO.
+    (void)interactive;
+
+    std::printf("Skyline interactive tool for the F-1 model "
+                "(type 'help')\n");
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        std::istringstream in(line);
+        std::string command;
+        in >> command;
+        if (command.empty())
+            continue;
+        try {
+            if (command == "quit" || command == "exit") {
+                break;
+            } else if (command == "help") {
+                printHelp();
+            } else if (command == "knobs") {
+                std::printf("%s\n",
+                            join(skyline::SkylineSession::knobNames(),
+                                 ", ")
+                                .c_str());
+            } else if (command == "show") {
+                printKnobs(session);
+            } else if (command == "set") {
+                std::string knob;
+                std::string value;
+                in >> knob >> value;
+                session.set(knob, value);
+                std::printf("ok: %s = %s\n", knob.c_str(),
+                            value.c_str());
+            } else if (command == "analyze") {
+                std::printf("%s",
+                            session.renderAnalysis().c_str());
+            } else if (command == "plot") {
+                plot::Chart chart = plot::makeRooflineChart(
+                    "Skyline: " + session.knobs().algorithm,
+                    {{session.knobs().algorithm,
+                      session.model().curve(), true, true}});
+                std::printf(
+                    "%s",
+                    plot::AsciiRenderer().render(chart).c_str());
+            } else if (command == "sweep") {
+                std::string knob;
+                double from = 0.0;
+                double to = 0.0;
+                int steps = 9;
+                in >> knob >> from >> to;
+                if (!(in >> steps))
+                    steps = 9;
+                std::printf("  %-14s %-14s %-12s %-12s\n",
+                            knob.c_str(), "v_safe (m/s)",
+                            "knee (Hz)", "roof (m/s)");
+                for (const auto &point :
+                     session.sweep(knob, from, to, steps)) {
+                    if (point.feasible) {
+                        std::printf(
+                            "  %-14.4g %-14.3f %-12.2f %-12.3f\n",
+                            point.knobValue, point.safeVelocity,
+                            point.kneeThroughput,
+                            point.roofVelocity);
+                    } else {
+                        std::printf("  %-14.4g infeasible (cannot "
+                                    "hover)\n",
+                                    point.knobValue);
+                    }
+                }
+            } else if (command == "save") {
+                std::string path;
+                in >> path;
+                if (path.empty())
+                    path = "skyline_session.cfg";
+                std::ofstream out(path);
+                out << session.saveConfig();
+                std::printf("wrote %s\n", path.c_str());
+            } else if (command == "load") {
+                std::string path;
+                in >> path;
+                std::ifstream file(path);
+                if (!file) {
+                    std::printf("error: cannot open '%s'\n",
+                                path.c_str());
+                    continue;
+                }
+                std::string text(
+                    (std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+                session.loadConfig(text);
+                std::printf("loaded %s\n", path.c_str());
+            } else if (command == "report") {
+                std::string path;
+                in >> path;
+                if (path.empty())
+                    path = "skyline_report.html";
+                skyline::ReportWriter::writeHtml(
+                    session, "Skyline report", path);
+                std::printf("wrote %s\n", path.c_str());
+            } else if (command == "svg") {
+                std::string path;
+                in >> path;
+                if (path.empty())
+                    path = "skyline_roofline.svg";
+                plot::Chart chart = plot::makeRooflineChart(
+                    "Skyline: " + session.knobs().algorithm,
+                    {{session.knobs().algorithm,
+                      session.model().curve(), true, true}});
+                plot::SvgWriter().writeFile(chart, path);
+                std::printf("wrote %s\n", path.c_str());
+            } else {
+                std::printf("unknown command '%s' (try 'help')\n",
+                            command.c_str());
+            }
+        } catch (const std::exception &e) {
+            std::printf("error: %s\n", e.what());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Run one simulated validation flight (the paper's Section IV
+ * protocol) for a Table-I UAV, print the trajectory, and dump it
+ * as CSV for external plotting.
+ *
+ * Usage: validation_flight [A|B|C|D] [velocity_mps] [out.csv]
+ * Defaults: A, the F-1 predicted safe velocity, stdout only.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "plot/csv_writer.hh"
+#include "sim/table1.hh"
+#include "sim/validation.hh"
+#include "support/strings.hh"
+
+using namespace uavf1;
+using namespace uavf1::sim;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const char letter = argc > 1 ? argv[1][0] : 'A';
+        const auto cases = table1ValidationCases();
+        const ValidationCase *vcase = nullptr;
+        for (const auto &candidate : cases) {
+            if (candidate.name.back() == letter)
+                vcase = &candidate;
+        }
+        if (!vcase) {
+            std::fprintf(stderr,
+                         "error: UAV letter must be A..D\n");
+            return 1;
+        }
+
+        const double predicted =
+            ValidationHarness::predictedSafeVelocity(*vcase);
+        const double v_cmd =
+            argc > 2 ? std::stod(argv[2]) : predicted;
+
+        std::printf("%s: obstacle at %.1f m past the run-up, "
+                    "sensing %.1f m, loop %.0f Hz\n",
+                    vcase->name.c_str(),
+                    vcase->scenario.obstacleDistance.value(),
+                    vcase->scenario.sensingRange.value(),
+                    vcase->scenario.actionRate.value());
+        std::printf("F-1 predicted safe velocity: %.2f m/s; "
+                    "flying at %.2f m/s\n\n",
+                    predicted, v_cmd);
+
+        const TrialResult trial =
+            ValidationHarness::recordTrajectory(*vcase, v_cmd);
+
+        std::printf("  %-8s %-10s %-10s %-10s\n", "t (s)", "x (m)",
+                    "v (m/s)", "a (m/s^2)");
+        const std::size_t stride =
+            trial.trajectory.size() > 40
+                ? trial.trajectory.size() / 40
+                : 1;
+        for (std::size_t i = 0; i < trial.trajectory.size();
+             i += stride) {
+            const auto &s = trial.trajectory[i];
+            std::printf("  %-8.2f %-10.3f %-10.3f %-10.3f\n",
+                        s.time, s.position, s.velocity,
+                        s.acceleration);
+        }
+
+        std::printf("\nbrake command at t = %.2f s; stop margin "
+                    "%+.3f m -> %s\n",
+                    trial.brakeTime, trial.stopMargin,
+                    trial.infraction ? "INFRACTION (collided)"
+                                     : "stopped safely");
+        std::printf("peak velocity %.2f m/s, peak |accel| "
+                    "%.2f m/s^2 (IMU view)\n",
+                    trial.peakVelocity, trial.peakAcceleration);
+
+        if (argc > 3) {
+            plot::Series series(vcase->name + " @ " +
+                                trimmedNumber(v_cmd, 2) + " m/s");
+            for (const auto &s : trial.trajectory)
+                series.add(s.time, s.position);
+            plot::CsvWriter::writeFile({series}, argv[3], "time_s",
+                                       "position_m");
+            std::printf("wrote %s\n", argv[3]);
+        }
+        return trial.infraction ? 2 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

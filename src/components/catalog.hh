@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The standard component catalog.
+ *
+ * Ships every sensor, compute platform, airframe and battery the
+ * paper's validation and case studies reference, with the
+ * calibration rationale documented at the definition site in
+ * catalog.cc. Users can register additional parts.
+ */
+
+#ifndef UAVF1_COMPONENTS_CATALOG_HH
+#define UAVF1_COMPONENTS_CATALOG_HH
+
+#include "components/airframe.hh"
+#include "components/compute_platform.hh"
+#include "components/registry.hh"
+#include "components/sensor.hh"
+#include "physics/battery.hh"
+
+namespace uavf1::components {
+
+/**
+ * A bundle of component registries.
+ */
+class Catalog
+{
+  public:
+    /** Empty catalog. */
+    Catalog() = default;
+
+    /**
+     * The standard catalog with every part used by the paper:
+     *
+     * Compute: Ras-Pi4, UpBoard, Nvidia TX2, Nvidia AGX, Intel NCS,
+     * PULP-GAP8, Navion, ARM Cortex-M4, Intel NUC.
+     * Sensors: 60 FPS camera variants at several ranges, RGB-D
+     * (60 FPS / 4.5 m), nano camera.
+     * Airframes: S500 (validation builds), AscTec Pelican, DJI
+     * Spark, CrazyFlie-class nano.
+     * Batteries: 3S 5000 mAh (Table I), compute-payload packs,
+     * Fig. 2b packs (240 / 1300 / 3830 mAh).
+     */
+    static Catalog standard();
+
+    /** Sensors registry. */
+    Registry<Sensor> &sensors() { return _sensors; }
+    /** Sensors registry (const). */
+    const Registry<Sensor> &sensors() const { return _sensors; }
+
+    /** Compute platforms registry. */
+    Registry<ComputePlatform> &computes() { return _computes; }
+    /** Compute platforms registry (const). */
+    const Registry<ComputePlatform> &
+    computes() const
+    {
+        return _computes;
+    }
+
+    /** Airframes registry. */
+    Registry<Airframe> &airframes() { return _airframes; }
+    /** Airframes registry (const). */
+    const Registry<Airframe> &airframes() const { return _airframes; }
+
+    /** Batteries registry. */
+    Registry<physics::Battery> &batteries() { return _batteries; }
+    /** Batteries registry (const). */
+    const Registry<physics::Battery> &
+    batteries() const
+    {
+        return _batteries;
+    }
+
+  private:
+    Registry<Sensor> _sensors;
+    Registry<ComputePlatform> _computes;
+    Registry<Airframe> _airframes;
+    Registry<physics::Battery> _batteries;
+};
+
+} // namespace uavf1::components
+
+#endif // UAVF1_COMPONENTS_CATALOG_HH

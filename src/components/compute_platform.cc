@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ComputePlatform implementation.
+ */
+
+#include "components/compute_platform.hh"
+
+#include "support/errors.hh"
+#include "support/validate.hh"
+
+namespace uavf1::components {
+
+ComputePlatform::ComputePlatform(Spec spec) : _spec(std::move(spec))
+{
+    if (_spec.name.empty())
+        throw ModelError("compute platform requires a name");
+    requirePositive(_spec.tdp.value(), "tdp");
+    requireNonNegative(_spec.moduleMass.value(), "moduleMass");
+    requirePositive(_spec.peakThroughput.value(), "peakThroughput");
+    requirePositive(_spec.memoryBandwidth.value(), "memoryBandwidth");
+}
+
+units::Grams
+ComputePlatform::heatsinkMass(const thermal::HeatsinkModel &model) const
+{
+    return model.mass(_spec.tdp);
+}
+
+units::Grams
+ComputePlatform::totalMass(const thermal::HeatsinkModel &model) const
+{
+    return _spec.moduleMass + heatsinkMass(model);
+}
+
+ComputePlatform
+ComputePlatform::withTdp(units::Watts tdp,
+                         const std::string &suffix) const
+{
+    requirePositive(tdp.value(), "tdp");
+    Spec spec = _spec;
+    spec.tdp = tdp;
+    spec.name += suffix;
+    return ComputePlatform(std::move(spec));
+}
+
+} // namespace uavf1::components

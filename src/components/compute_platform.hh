@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Onboard compute platform component.
+ *
+ * Captures the attributes the F-1 model consumes: TDP (drives the
+ * heat-sink weight via thermal::HeatsinkModel), module mass, and the
+ * classic-roofline machine parameters (effective peak throughput and
+ * memory bandwidth) used to upper-bound algorithm throughput on
+ * platforms the paper did not measure.
+ */
+
+#ifndef UAVF1_COMPONENTS_COMPUTE_PLATFORM_HH
+#define UAVF1_COMPONENTS_COMPUTE_PLATFORM_HH
+
+#include <string>
+
+#include "thermal/heatsink.hh"
+#include "units/units.hh"
+
+namespace uavf1::components {
+
+/** How a compute part participates in the autonomy pipeline. */
+enum class ComputeRole
+{
+    /** General-purpose platform: can run any autonomy algorithm. */
+    GeneralPurpose,
+    /** Fixed-function accelerator for a single pipeline stage
+     * (e.g. Navion accelerates only visual-inertial odometry). */
+    StageAccelerator,
+};
+
+/**
+ * An onboard computer or accelerator.
+ */
+class ComputePlatform
+{
+  public:
+    /** Aggregate of all constructor attributes. */
+    struct Spec
+    {
+        std::string name;               ///< Catalog designation.
+        units::Watts tdp;               ///< Thermal design power.
+        units::Grams moduleMass;        ///< Mass without heat sink.
+        units::Gops peakThroughput;     ///< Effective peak GOPS.
+        units::GigabytesPerSecond memoryBandwidth; ///< DRAM BW.
+        ComputeRole role = ComputeRole::GeneralPurpose;
+        std::string description;        ///< Free-form notes.
+    };
+
+    /** Construct from a validated spec. */
+    explicit ComputePlatform(Spec spec);
+
+    /** Catalog designation. */
+    const std::string &name() const { return _spec.name; }
+
+    /** Thermal design power. */
+    units::Watts tdp() const { return _spec.tdp; }
+
+    /** Module mass without heat sink. */
+    units::Grams moduleMass() const { return _spec.moduleMass; }
+
+    /** Effective peak compute throughput. */
+    units::Gops peakThroughput() const { return _spec.peakThroughput; }
+
+    /** Memory bandwidth. */
+    units::GigabytesPerSecond
+    memoryBandwidth() const
+    {
+        return _spec.memoryBandwidth;
+    }
+
+    /** Pipeline role. */
+    ComputeRole role() const { return _spec.role; }
+
+    /** Free-form notes. */
+    const std::string &description() const { return _spec.description; }
+
+    /**
+     * Heat-sink mass this platform needs under a thermal model.
+     */
+    units::Grams
+    heatsinkMass(const thermal::HeatsinkModel &model) const;
+
+    /**
+     * Total payload mass contribution: module plus heat sink.
+     */
+    units::Grams
+    totalMass(const thermal::HeatsinkModel &model) const;
+
+    /**
+     * Copy of this platform with a reduced TDP (the paper's
+     * "optimize AGX from 30 W down to 15 W" what-if). Throughput is
+     * left unchanged, matching the paper's simplifying assumption.
+     *
+     * @param tdp new TDP; must be positive
+     * @param suffix appended to the name, e.g. "-15W"
+     */
+    ComputePlatform withTdp(units::Watts tdp,
+                            const std::string &suffix) const;
+
+  private:
+    Spec _spec;
+};
+
+} // namespace uavf1::components
+
+#endif // UAVF1_COMPONENTS_COMPUTE_PLATFORM_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sensor implementation.
+ */
+
+#include "components/sensor.hh"
+
+#include "support/validate.hh"
+
+namespace uavf1::components {
+
+Sensor::Sensor(std::string name, units::Hertz framerate,
+               units::Meters range, units::Degrees fov,
+               units::Grams mass, units::Watts power)
+    : _name(std::move(name)), _framerate(framerate), _range(range),
+      _fov(fov), _mass(mass), _power(power)
+{
+    requirePositive(framerate.value(), "framerate");
+    requirePositive(range.value(), "range");
+    requireInRange(fov.value(), 0.0, 360.0, "fov");
+    requireNonNegative(mass.value(), "mass");
+    requireNonNegative(power.value(), "power");
+}
+
+Sensor
+Sensor::withFramerate(units::Hertz framerate) const
+{
+    Sensor copy = *this;
+    requirePositive(framerate.value(), "framerate");
+    copy._framerate = framerate;
+    return copy;
+}
+
+Sensor
+Sensor::withRange(units::Meters range) const
+{
+    Sensor copy = *this;
+    requirePositive(range.value(), "range");
+    copy._range = range;
+    return copy;
+}
+
+} // namespace uavf1::components

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pid implementation.
+ */
+
+#include "control/pid.hh"
+
+#include "support/errors.hh"
+#include "support/validate.hh"
+
+namespace uavf1::control {
+
+Pid::Pid(const Gains &gains) : _gains(gains)
+{
+    if (!(_gains.outputMin < _gains.outputMax))
+        throw ModelError("PID outputMin must be below outputMax");
+}
+
+double
+Pid::step(double error, double dt)
+{
+    requirePositive(dt, "dt");
+
+    const double derivative =
+        _hasPrevious ? (error - _previousError) / dt : 0.0;
+    _previousError = error;
+    _hasPrevious = true;
+
+    const double tentative_integral = _integral + error * dt;
+    double output = _gains.kp * error +
+                    _gains.ki * tentative_integral +
+                    _gains.kd * derivative;
+
+    if (output > _gains.outputMax) {
+        output = _gains.outputMax;
+    } else if (output < _gains.outputMin) {
+        output = _gains.outputMin;
+    } else {
+        // Anti-windup: only integrate while unsaturated.
+        _integral = tentative_integral;
+    }
+    return output;
+}
+
+void
+Pid::reset()
+{
+    _integral = 0.0;
+    _previousError = 0.0;
+    _hasPrevious = false;
+}
+
+} // namespace uavf1::control

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SafetyModel implementation.
+ */
+
+#include "core/safety_model.hh"
+
+#include <cmath>
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+#include "support/validate.hh"
+
+namespace uavf1::core {
+
+SafetyModel::SafetyModel(units::MetersPerSecondSquared a_max,
+                         units::Meters sensing_range)
+    : _aMax(a_max), _range(sensing_range)
+{
+    requirePositive(a_max.value(), "a_max");
+    requireFinite(a_max.value(), "a_max");
+    requirePositive(sensing_range.value(), "sensing_range");
+    requireFinite(sensing_range.value(), "sensing_range");
+}
+
+units::MetersPerSecond
+SafetyModel::safeVelocity(units::Seconds t_action) const
+{
+    requireNonNegative(t_action.value(), "t_action");
+    const double a = _aMax.value();
+    const double d = _range.value();
+    const double t = t_action.value();
+    return units::MetersPerSecond(
+        a * (std::sqrt(t * t + 2.0 * d / a) - t));
+}
+
+units::MetersPerSecond
+SafetyModel::safeVelocityAtRate(units::Hertz f_action) const
+{
+    requirePositive(f_action.value(), "f_action");
+    return safeVelocity(units::period(f_action));
+}
+
+units::MetersPerSecond
+SafetyModel::physicsRoof() const
+{
+    return units::MetersPerSecond(
+        std::sqrt(2.0 * _range.value() * _aMax.value()));
+}
+
+units::Seconds
+SafetyModel::actionPeriodFor(units::MetersPerSecond v) const
+{
+    requirePositive(v.value(), "v");
+    const units::MetersPerSecond roof = physicsRoof();
+    if (v > roof) {
+        throw ModelError(strFormat(
+            "velocity %.3f m/s exceeds the physics roof %.3f m/s",
+            v.value(), roof.value()));
+    }
+    const double t =
+        _range.value() / v.value() - v.value() / (2.0 * _aMax.value());
+    // Numerical guard: at v == roof the period is exactly zero but
+    // floating point may produce a tiny negative value.
+    return units::Seconds(t < 0.0 ? 0.0 : t);
+}
+
+units::Hertz
+SafetyModel::kneeThroughput(double fraction) const
+{
+    requireInRange(fraction, 1e-6, 1.0 - 1e-9, "fraction");
+    const double x = (1.0 - fraction * fraction) / (2.0 * fraction);
+    const double scale =
+        std::sqrt(_aMax.value() / (2.0 * _range.value()));
+    return units::Hertz(scale / x);
+}
+
+units::Meters
+SafetyModel::stoppingDistance(units::MetersPerSecond v,
+                              units::Seconds t_action) const
+{
+    requireNonNegative(v.value(), "v");
+    requireNonNegative(t_action.value(), "t_action");
+    return units::Meters(v.value() * t_action.value() +
+                         v.value() * v.value() /
+                             (2.0 * _aMax.value()));
+}
+
+} // namespace uavf1::core

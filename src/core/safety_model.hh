@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Safe-velocity safety model (paper Eq. 4, from Liu et al. ICRA'16).
+ *
+ *   v_safe(T_action) = a_max * ( sqrt(T_action^2 + 2 d / a_max)
+ *                                - T_action )
+ *
+ * A UAV that senses an obstacle at distance d, needs T_action
+ * seconds to act on it, and can brake at a_max, can cruise at up to
+ * v_safe without colliding: it travels v * T_action during the
+ * reaction and v^2 / (2 a_max) while braking, and
+ * v_safe is exactly the speed at which the two sum to d.
+ *
+ * Key properties (all unit-tested):
+ * - monotonically decreasing in T_action;
+ * - as T_action -> 0, v_safe -> sqrt(2 d a_max) (the physics roof);
+ * - as T_action -> inf, v_safe -> 0;
+ * - stoppingDistance(v_safe, T) == d identically.
+ */
+
+#ifndef UAVF1_CORE_SAFETY_MODEL_HH
+#define UAVF1_CORE_SAFETY_MODEL_HH
+
+#include "units/units.hh"
+
+namespace uavf1::core {
+
+/**
+ * The Eq. 4 safety model for one (a_max, d) pair.
+ */
+class SafetyModel
+{
+  public:
+    /**
+     * @param a_max maximum braking acceleration; must be positive
+     * @param sensing_range sensor range d; must be positive
+     */
+    SafetyModel(units::MetersPerSecondSquared a_max,
+                units::Meters sensing_range);
+
+    /** Maximum braking acceleration. */
+    units::MetersPerSecondSquared maxAcceleration() const
+    {
+        return _aMax;
+    }
+
+    /** Sensing range d. */
+    units::Meters sensingRange() const { return _range; }
+
+    /** Safe velocity for an action period (Eq. 4). */
+    units::MetersPerSecond safeVelocity(units::Seconds t_action) const;
+
+    /** Safe velocity for an action throughput f = 1/T. */
+    units::MetersPerSecond
+    safeVelocityAtRate(units::Hertz f_action) const;
+
+    /** Physics roof: lim T->0 of Eq. 4 = sqrt(2 d a_max). */
+    units::MetersPerSecond physicsRoof() const;
+
+    /**
+     * Inverse of Eq. 4: the largest action period that still permits
+     * cruising at v. T = d/v - v/(2 a_max).
+     *
+     * @param v target velocity in (0, physicsRoof()]
+     * @throws ModelError if v is out of range
+     */
+    units::Seconds actionPeriodFor(units::MetersPerSecond v) const;
+
+    /**
+     * The knee throughput: the action rate at which safe velocity
+     * reaches `fraction` of the physics roof. Beyond the knee,
+     * faster sensing/compute no longer buys velocity (the paper's
+     * knee-point).
+     *
+     * Closed form: with x = (1 - k^2) / (2k) for fraction k,
+     * f_knee = sqrt(a_max / (2 d)) / x.
+     *
+     * @param fraction knee criterion k in (0, 1); default 0.98
+     */
+    units::Hertz kneeThroughput(double fraction = defaultKneeFraction)
+        const;
+
+    /**
+     * Total distance covered from speed v: reaction travel plus
+     * braking distance, v * T + v^2 / (2 a_max).
+     */
+    units::Meters stoppingDistance(units::MetersPerSecond v,
+                                   units::Seconds t_action) const;
+
+    /** Default knee criterion (98% of the physics roof). */
+    static constexpr double defaultKneeFraction = 0.98;
+
+  private:
+    units::MetersPerSecondSquared _aMax;
+    units::Meters _range;
+};
+
+} // namespace uavf1::core
+
+#endif // UAVF1_CORE_SAFETY_MODEL_HH

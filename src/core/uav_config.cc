@@ -1,0 +1,286 @@
+/**
+ * @file
+ * UavConfig and Builder implementation.
+ */
+
+#include "core/uav_config.hh"
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+#include "support/validate.hh"
+
+namespace uavf1::core {
+
+units::Newtons
+UavConfig::totalThrust() const
+{
+    return units::Newtons(
+        _airframe.propulsion().totalThrust().value() * _thrustDerate);
+}
+
+double
+UavConfig::thrustToWeight() const
+{
+    return physics::thrustToWeight(totalThrust(), _mass.totalKg());
+}
+
+units::MetersPerSecondSquared
+UavConfig::maxAcceleration() const
+{
+    if (_aMaxOverride)
+        return *_aMaxOverride;
+    return physics::maxAcceleration(totalThrust(), _mass.totalKg(),
+                                    _accelOptions);
+}
+
+units::Watts
+UavConfig::computePower() const
+{
+    if (!_compute)
+        return units::Watts(0.0);
+    return _redundancy.power(*_compute);
+}
+
+F1Inputs
+UavConfig::f1Inputs() const
+{
+    F1Inputs inputs;
+    inputs.aMax = maxAcceleration();
+    inputs.sensingRange = _sensor.range();
+    inputs.sensorRate = _sensor.framerate();
+    inputs.computeRate = _computeRate;
+    inputs.controlRate = _flightController.loopRate();
+    inputs.kneeFraction = _kneeFraction;
+    return inputs;
+}
+
+F1Model
+UavConfig::f1Model() const
+{
+    return F1Model(f1Inputs());
+}
+
+std::string
+UavConfig::describe() const
+{
+    std::string out;
+    out += strFormat("UAV configuration: %s\n", _name.c_str());
+    out += strFormat("  airframe: %s (%s, %.0f mm)\n",
+                     _airframe.name().c_str(),
+                     components::toString(_airframe.sizeClass()),
+                     _airframe.frameSizeMm());
+    out += strFormat("  sensor: %s (%.0f FPS, %.1f m range)\n",
+                     _sensor.name().c_str(),
+                     _sensor.framerate().value(),
+                     _sensor.range().value());
+    if (_compute) {
+        out += strFormat(
+            "  compute: %s x%d (TDP %.2f W, module %.0f g, "
+            "heatsink %.0f g)\n",
+            _compute->name().c_str(), _redundancy.replicas(),
+            _compute->tdp().value(), _compute->moduleMass().value(),
+            _compute->heatsinkMass(_heatsink).value());
+    }
+    if (_algorithm) {
+        out += strFormat("  algorithm: %s (%s)\n",
+                         _algorithm->name().c_str(),
+                         workload::toString(_algorithm->paradigm()));
+    }
+    out += strFormat("  f_compute: %.2f Hz (%s)\n",
+                     _computeRate.value(),
+                     workload::toString(_computeRateSource));
+    out += strFormat("  takeoff mass: %.0f g, thrust %.2f N",
+                     takeoffMass().value(), totalThrust().value());
+    if (!_aMaxOverride) {
+        out += strFormat(", T/W %.2f", thrustToWeight());
+    }
+    out += strFormat("\n  a_max: %.2f m/s^2%s\n",
+                     maxAcceleration().value(),
+                     _aMaxOverride ? " (override)" : "");
+    return out;
+}
+
+UavConfig::Builder::Builder(std::string name) : _name(std::move(name))
+{
+    if (_name.empty())
+        throw ModelError("UAV configuration requires a name");
+}
+
+UavConfig::Builder &
+UavConfig::Builder::airframe(components::Airframe airframe)
+{
+    _airframe = std::move(airframe);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::sensor(components::Sensor sensor)
+{
+    _sensor = std::move(sensor);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::flightController(control::FlightController fc)
+{
+    _flightController = std::move(fc);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::compute(components::ComputePlatform platform)
+{
+    _compute = std::move(platform);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::algorithm(workload::AutonomyAlgorithm algorithm)
+{
+    _algorithm = std::move(algorithm);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::throughputOracle(workload::ThroughputOracle oracle)
+{
+    _oracle = std::move(oracle);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::heatsinkModel(thermal::HeatsinkModel model)
+{
+    _heatsink = model;
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::redundancy(pipeline::ModularRedundancy redundancy)
+{
+    _redundancy = redundancy;
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::battery(physics::Battery battery)
+{
+    _batteries.push_back(std::move(battery));
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::payload(const std::string &label, units::Grams mass)
+{
+    _extraPayload.add(label, mass);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::accelerationOptions(
+    physics::AccelerationOptions options)
+{
+    _accelOptions = options;
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::thrustDerate(double derate)
+{
+    requireInRange(derate, 0.0, 1.0, "thrustDerate");
+    requirePositive(derate, "thrustDerate");
+    _thrustDerate = derate;
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::computeRateOverride(units::Hertz rate)
+{
+    requirePositive(rate.value(), "computeRateOverride");
+    _computeRateOverride = rate;
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::aMaxOverride(units::MetersPerSecondSquared a_max)
+{
+    requirePositive(a_max.value(), "aMaxOverride");
+    _aMaxOverride = a_max;
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::kneeFraction(double fraction)
+{
+    requireInRange(fraction, 1e-6, 1.0 - 1e-9, "kneeFraction");
+    _kneeFraction = fraction;
+    return *this;
+}
+
+UavConfig
+UavConfig::Builder::build() const
+{
+    if (!_airframe) {
+        throw ModelError("UAV configuration '" + _name +
+                         "' is missing an airframe");
+    }
+    if (!_sensor) {
+        throw ModelError("UAV configuration '" + _name +
+                         "' is missing a sensor");
+    }
+
+    UavConfig config;
+    config._name = _name;
+    config._airframe = *_airframe;
+    config._sensor = *_sensor;
+    config._flightController = _flightController;
+    config._compute = _compute;
+    config._algorithm = _algorithm;
+    config._redundancy = _redundancy;
+    config._heatsink = _heatsink;
+    config._accelOptions = _accelOptions;
+    config._thrustDerate = _thrustDerate;
+    config._aMaxOverride = _aMaxOverride;
+    config._kneeFraction = _kneeFraction;
+
+    // Compute rate: override wins; otherwise require the
+    // platform+algorithm pair and consult the oracle.
+    if (_computeRateOverride) {
+        config._computeRate =
+            _redundancy.effectiveThroughput(*_computeRateOverride);
+        config._computeRateSource = workload::ThroughputSource::Measured;
+    } else if (_compute && _algorithm) {
+        const auto estimate = _oracle.throughput(*_algorithm, *_compute);
+        config._computeRate =
+            _redundancy.effectiveThroughput(estimate.value);
+        config._computeRateSource = estimate.source;
+    } else {
+        throw ModelError(
+            "UAV configuration '" + _name +
+            "' has no compute rate: set computeRateOverride() or "
+            "both compute() and algorithm()");
+    }
+
+    // Mass roll-up.
+    physics::MassBudget mass;
+    mass.add(_airframe->name() + " (base)", _airframe->baseMass());
+    mass.add(_flightController.name() + " (FC)",
+             _flightController.mass());
+    mass.add(_sensor->name() + " (sensor)", _sensor->mass());
+    if (_compute) {
+        mass.add(_compute->name() + " (compute)",
+                 _redundancy.payloadMass(*_compute, _heatsink));
+    }
+    for (const auto &battery : _batteries)
+        mass.add(battery.name() + " (battery)", battery.mass());
+    mass.add(_extraPayload);
+    config._mass = mass;
+
+    // Validate physics feasibility eagerly (unless overridden):
+    // maxAcceleration() throws InfeasibleError for T/W <= 1.
+    (void)config.maxAcceleration();
+
+    return config;
+}
+
+} // namespace uavf1::core

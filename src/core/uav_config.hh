@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Full UAV system configuration.
+ *
+ * Joins every substrate — airframe, sensor, compute platform (with
+ * heat sink and optional modular redundancy), autonomy algorithm,
+ * flight controller, batteries and extra payload — and reduces the
+ * assembly to the scalar F1Inputs the model consumes:
+ *
+ *   payload masses -> total mass -> (with thrust) a_max
+ *   sensor         -> f_sensor and range d
+ *   algorithm on compute (oracle) -> f_compute
+ *   flight controller -> f_control
+ *
+ * Direct overrides for a_max and f_compute exist because the Skyline
+ * tool (Table II) exposes user-defined knobs that bypass the
+ * component path, and because several paper experiments are only
+ * specified at that level.
+ */
+
+#ifndef UAVF1_CORE_UAV_CONFIG_HH
+#define UAVF1_CORE_UAV_CONFIG_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "components/airframe.hh"
+#include "components/compute_platform.hh"
+#include "components/sensor.hh"
+#include "control/flight_controller.hh"
+#include "core/f1_model.hh"
+#include "physics/acceleration.hh"
+#include "physics/battery.hh"
+#include "physics/mass_budget.hh"
+#include "pipeline/redundancy.hh"
+#include "thermal/heatsink.hh"
+#include "workload/algorithm.hh"
+#include "workload/throughput.hh"
+
+namespace uavf1::core {
+
+/**
+ * An immutable, fully-validated UAV system configuration.
+ * Create via UavConfig::Builder.
+ */
+class UavConfig
+{
+  public:
+    class Builder;
+
+    /** Configuration name (for reports and chart legends). */
+    const std::string &name() const { return _name; }
+
+    /** The airframe. */
+    const components::Airframe &airframe() const { return _airframe; }
+
+    /** The sensor. */
+    const components::Sensor &sensor() const { return _sensor; }
+
+    /** The flight controller. */
+    const control::FlightController &flightController() const
+    {
+        return _flightController;
+    }
+
+    /** The compute platform, if componentized. */
+    const std::optional<components::ComputePlatform> &compute() const
+    {
+        return _compute;
+    }
+
+    /** The autonomy algorithm, if componentized. */
+    const std::optional<workload::AutonomyAlgorithm> &algorithm() const
+    {
+        return _algorithm;
+    }
+
+    /** Redundancy scheme applied to the compute subsystem. */
+    const pipeline::ModularRedundancy &redundancy() const
+    {
+        return _redundancy;
+    }
+
+    /** The heat-sink model used for compute payload mass. */
+    const thermal::HeatsinkModel &heatsinkModel() const
+    {
+        return _heatsink;
+    }
+
+    /** Itemized takeoff mass. */
+    const physics::MassBudget &massBudget() const { return _mass; }
+
+    /** Total takeoff mass. */
+    units::Grams takeoffMass() const { return _mass.total(); }
+
+    /** Usable thrust (after the configured derate). */
+    units::Newtons totalThrust() const;
+
+    /** Thrust-to-weight ratio at takeoff mass. */
+    double thrustToWeight() const;
+
+    /** a_max: the override if set, else from the acceleration law. */
+    units::MetersPerSecondSquared maxAcceleration() const;
+
+    /** f_compute: override, else oracle throughput through the
+     * redundancy voter. */
+    units::Hertz computeRate() const { return _computeRate; }
+
+    /** Provenance of the compute rate. */
+    workload::ThroughputSource computeRateSource() const
+    {
+        return _computeRateSource;
+    }
+
+    /** Total compute electrical power (replicas x TDP). */
+    units::Watts computePower() const;
+
+    /** Reduced model inputs. */
+    F1Inputs f1Inputs() const;
+
+    /** The F-1 model for this configuration. */
+    F1Model f1Model() const;
+
+    /** Multi-line human-readable description. */
+    std::string describe() const;
+
+  private:
+    UavConfig() = default;
+
+    std::string _name;
+    components::Airframe _airframe{components::Airframe::Spec{
+        .name = "unset",
+        .baseMass = units::Grams(1.0),
+        .frameSizeMm = 1.0,
+    }};
+    components::Sensor _sensor{
+        "unset", units::Hertz(1.0), units::Meters(1.0),
+        units::Degrees(90.0), units::Grams(0.0), units::Watts(0.0)};
+    control::FlightController _flightController{
+        control::FlightController::typical1kHz()};
+    std::optional<components::ComputePlatform> _compute;
+    std::optional<workload::AutonomyAlgorithm> _algorithm;
+    pipeline::ModularRedundancy _redundancy{
+        pipeline::RedundancyScheme::None};
+    thermal::HeatsinkModel _heatsink;
+    physics::MassBudget _mass;
+    physics::AccelerationOptions _accelOptions;
+    double _thrustDerate = 1.0;
+    std::optional<units::MetersPerSecondSquared> _aMaxOverride;
+    units::Hertz _computeRate{1.0};
+    workload::ThroughputSource _computeRateSource =
+        workload::ThroughputSource::Measured;
+    double _kneeFraction = SafetyModel::defaultKneeFraction;
+};
+
+/**
+ * Fluent builder for UavConfig.
+ */
+class UavConfig::Builder
+{
+  public:
+    /** Start a configuration with a report name. */
+    explicit Builder(std::string name);
+
+    /** Set the airframe (required). */
+    Builder &airframe(components::Airframe airframe);
+
+    /** Set the sensor (required). */
+    Builder &sensor(components::Sensor sensor);
+
+    /** Set the flight controller (default: generic 1 kHz). */
+    Builder &flightController(control::FlightController fc);
+
+    /** Set the compute platform. */
+    Builder &compute(components::ComputePlatform platform);
+
+    /** Set the autonomy algorithm. */
+    Builder &algorithm(workload::AutonomyAlgorithm algorithm);
+
+    /** Set the throughput oracle (default: paper-seeded). */
+    Builder &throughputOracle(workload::ThroughputOracle oracle);
+
+    /** Set the heat-sink model (default: paper-calibrated). */
+    Builder &heatsinkModel(thermal::HeatsinkModel model);
+
+    /** Apply compute redundancy (default: none). */
+    Builder &redundancy(pipeline::ModularRedundancy redundancy);
+
+    /** Add a battery pack to the payload. */
+    Builder &battery(physics::Battery battery);
+
+    /** Add an arbitrary labelled payload mass. */
+    Builder &payload(const std::string &label, units::Grams mass);
+
+    /** Select the acceleration law (default: hover-constrained). */
+    Builder &accelerationOptions(physics::AccelerationOptions options);
+
+    /** Derate usable thrust to a fraction of static pull. */
+    Builder &thrustDerate(double derate);
+
+    /** Override f_compute directly (Skyline "compute runtime"
+     * knob). */
+    Builder &computeRateOverride(units::Hertz rate);
+
+    /** Override a_max directly (bypasses mass/thrust). */
+    Builder &aMaxOverride(units::MetersPerSecondSquared a_max);
+
+    /** Set the knee criterion fraction. */
+    Builder &kneeFraction(double fraction);
+
+    /**
+     * Validate and assemble the configuration.
+     *
+     * @throws ModelError if the airframe or sensor is missing, or if
+     *         no compute rate is derivable (needs either an override
+     *         or both a platform and an algorithm)
+     * @throws InfeasibleError if thrust cannot lift the takeoff mass
+     *         (unless a_max is overridden)
+     */
+    UavConfig build() const;
+
+  private:
+    std::string _name;
+    std::optional<components::Airframe> _airframe;
+    std::optional<components::Sensor> _sensor;
+    control::FlightController _flightController{
+        control::FlightController::typical1kHz()};
+    std::optional<components::ComputePlatform> _compute;
+    std::optional<workload::AutonomyAlgorithm> _algorithm;
+    workload::ThroughputOracle _oracle{
+        workload::ThroughputOracle::standard()};
+    thermal::HeatsinkModel _heatsink;
+    pipeline::ModularRedundancy _redundancy{
+        pipeline::RedundancyScheme::None};
+    std::vector<physics::Battery> _batteries;
+    physics::MassBudget _extraPayload;
+    physics::AccelerationOptions _accelOptions;
+    double _thrustDerate = 1.0;
+    std::optional<units::Hertz> _computeRateOverride;
+    std::optional<units::MetersPerSecondSquared> _aMaxOverride;
+    double _kneeFraction = SafetyModel::defaultKneeFraction;
+};
+
+} // namespace uavf1::core
+
+#endif // UAVF1_CORE_UAV_CONFIG_HH

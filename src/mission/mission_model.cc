@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MissionModel implementation.
+ */
+
+#include "mission/mission_model.hh"
+
+#include <cmath>
+
+#include "support/validate.hh"
+
+namespace uavf1::mission {
+
+MissionModel::MissionModel(units::Meters distance,
+                           const PowerProfile &profile)
+    : _distance(distance), _profile(profile)
+{
+    requirePositive(distance.value(), "distance");
+    requireNonNegative(profile.hoverPower.value(), "hoverPower");
+    requireNonNegative(profile.staticPower.value(), "staticPower");
+}
+
+units::Watts
+MissionModel::power(units::MetersPerSecond v) const
+{
+    requireNonNegative(v.value(), "v");
+    // Parasite power: drag force times velocity.
+    const double drag_w =
+        _profile.drag.force(v).value() * v.value();
+    return units::Watts(_profile.hoverPower.value() +
+                        _profile.staticPower.value() + drag_w);
+}
+
+units::Seconds
+MissionModel::time(units::MetersPerSecond v) const
+{
+    requirePositive(v.value(), "v");
+    return units::Seconds(_distance.value() / v.value());
+}
+
+units::Joules
+MissionModel::energy(units::MetersPerSecond v) const
+{
+    return power(v) * time(v);
+}
+
+MissionPoint
+MissionModel::evaluate(units::MetersPerSecond v) const
+{
+    MissionPoint point;
+    point.velocity = v.value();
+    point.time = time(v).value();
+    point.power = power(v).value();
+    point.energy = energy(v).value();
+    return point;
+}
+
+units::MetersPerSecond
+MissionModel::energyOptimalVelocity(units::MetersPerSecond v_max) const
+{
+    requirePositive(v_max.value(), "v_max");
+    // Golden-section search on the unimodal energy(v) curve.
+    constexpr double phi = 0.6180339887498949;
+    double lo = 1e-3 * v_max.value();
+    double hi = v_max.value();
+    double a = hi - phi * (hi - lo);
+    double b = lo + phi * (hi - lo);
+    double ea = energy(units::MetersPerSecond(a)).value();
+    double eb = energy(units::MetersPerSecond(b)).value();
+    for (int i = 0; i < 96 && (hi - lo) > 1e-9 * v_max.value(); ++i) {
+        if (ea <= eb) {
+            hi = b;
+            b = a;
+            eb = ea;
+            a = hi - phi * (hi - lo);
+            ea = energy(units::MetersPerSecond(a)).value();
+        } else {
+            lo = a;
+            a = b;
+            ea = eb;
+            b = lo + phi * (hi - lo);
+            eb = energy(units::MetersPerSecond(b)).value();
+        }
+    }
+    return units::MetersPerSecond(0.5 * (lo + hi));
+}
+
+bool
+MissionModel::feasible(units::MetersPerSecond v,
+                       const physics::Battery &battery) const
+{
+    return units::toJoules(battery.usableEnergy()).value() >=
+           energy(v).value();
+}
+
+} // namespace uavf1::mission

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Mission time and energy model.
+ *
+ * The paper motivates high safe velocity by its mission-level
+ * effects: "a high safe velocity ensures that the UAV finishes tasks
+ * quickly, thereby lowering mission time and energy" (citing
+ * MAVBench). This model quantifies that: a mission of length L flown
+ * at velocity v takes L/v seconds while drawing hover power, drag
+ * power (F_D * v) and the static payload power (compute, sensor),
+ * so the hover+static term — which dominates small multirotors —
+ * shrinks linearly with mission time as v rises.
+ */
+
+#ifndef UAVF1_MISSION_MISSION_MODEL_HH
+#define UAVF1_MISSION_MISSION_MODEL_HH
+
+#include "physics/battery.hh"
+#include "physics/drag.hh"
+#include "units/units.hh"
+
+namespace uavf1::mission {
+
+/** Power characteristics of the platform. */
+struct PowerProfile
+{
+    /** Hover (induced + profile) power. */
+    units::Watts hoverPower{150.0};
+    /** Static payload power: compute + sensor + avionics. */
+    units::Watts staticPower{10.0};
+    /** Drag model for the parasite power term. */
+    physics::DragModel drag{physics::DragModel::none()};
+};
+
+/** Result of evaluating a mission at one cruise velocity. */
+struct MissionPoint
+{
+    double velocity = 0.0;  ///< m/s.
+    double time = 0.0;      ///< s.
+    double energy = 0.0;    ///< J.
+    double power = 0.0;     ///< Average electrical power, W.
+};
+
+/**
+ * Mission evaluation over cruise velocity.
+ */
+class MissionModel
+{
+  public:
+    /**
+     * @param distance mission leg length; must be positive
+     * @param profile power characteristics
+     */
+    MissionModel(units::Meters distance, const PowerProfile &profile);
+
+    /** Mission length. */
+    units::Meters distance() const { return _distance; }
+
+    /** Total electrical power at a cruise velocity. */
+    units::Watts power(units::MetersPerSecond v) const;
+
+    /** Mission duration at a cruise velocity. */
+    units::Seconds time(units::MetersPerSecond v) const;
+
+    /** Mission energy at a cruise velocity. */
+    units::Joules energy(units::MetersPerSecond v) const;
+
+    /** Full evaluation at one velocity. */
+    MissionPoint evaluate(units::MetersPerSecond v) const;
+
+    /**
+     * The energy-optimal cruise velocity within (0, v_max], found by
+     * golden-section search (the energy curve is unimodal: hover
+     * amortization falls with v, drag power rises).
+     *
+     * @param v_max upper bound, usually the UAV's safe velocity
+     */
+    units::MetersPerSecond
+    energyOptimalVelocity(units::MetersPerSecond v_max) const;
+
+    /**
+     * Whether a battery can supply the mission flown at v.
+     */
+    bool feasible(units::MetersPerSecond v,
+                  const physics::Battery &battery) const;
+
+  private:
+    units::Meters _distance;
+    PowerProfile _profile;
+};
+
+} // namespace uavf1::mission
+
+#endif // UAVF1_MISSION_MISSION_MODEL_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DragModel implementation.
+ */
+
+#include "physics/drag.hh"
+
+#include <cmath>
+
+#include "support/errors.hh"
+#include "support/validate.hh"
+
+namespace uavf1::physics {
+
+DragModel::DragModel(double drag_coefficient, double frontal_area_m2,
+                     double air_density_kg_m3)
+    : _coefficient(drag_coefficient), _areaM2(frontal_area_m2),
+      _airDensity(air_density_kg_m3)
+{
+    requireNonNegative(drag_coefficient, "drag_coefficient");
+    requireNonNegative(frontal_area_m2, "frontal_area_m2");
+    requirePositive(air_density_kg_m3, "air_density_kg_m3");
+}
+
+DragModel
+DragModel::none()
+{
+    return DragModel(0.0, 0.0);
+}
+
+double
+DragModel::quadraticFactor() const
+{
+    return 0.5 * _airDensity * _coefficient * _areaM2;
+}
+
+units::Newtons
+DragModel::force(units::MetersPerSecond v) const
+{
+    return units::Newtons(quadraticFactor() * v.value() * v.value());
+}
+
+units::MetersPerSecondSquared
+DragModel::deceleration(units::MetersPerSecond v,
+                        units::Kilograms mass) const
+{
+    requirePositive(mass.value(), "mass");
+    return force(v) / mass;
+}
+
+units::MetersPerSecond
+DragModel::terminalVelocity(units::Newtons horizontal_thrust) const
+{
+    requirePositive(horizontal_thrust.value(), "horizontal_thrust");
+    const double k = quadraticFactor();
+    if (k <= 0.0) {
+        throw ModelError(
+            "terminal velocity undefined for the zero-drag model");
+    }
+    return units::MetersPerSecond(
+        std::sqrt(horizontal_thrust.value() / k));
+}
+
+} // namespace uavf1::physics

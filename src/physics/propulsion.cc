@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Propulsion implementation.
+ */
+
+#include "physics/propulsion.hh"
+
+#include "support/validate.hh"
+
+namespace uavf1::physics {
+
+Propulsion::Propulsion(std::string name, int motor_count,
+                       units::Grams pull_per_motor, double derate)
+    : _name(std::move(name)), _motorCount(motor_count),
+      _pullPerMotor(pull_per_motor), _derate(derate)
+{
+    requirePositive(motor_count, "motor_count");
+    requirePositive(pull_per_motor.value(), "pull_per_motor");
+    requireInRange(derate, 0.0, 1.0, "derate");
+    requirePositive(derate, "derate");
+}
+
+units::Grams
+Propulsion::totalPull() const
+{
+    return _pullPerMotor * (_motorCount * _derate);
+}
+
+units::Newtons
+Propulsion::totalThrust() const
+{
+    return units::gramsForceToNewtons(totalPull());
+}
+
+} // namespace uavf1::physics

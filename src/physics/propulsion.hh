@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Rotor propulsion model.
+ *
+ * Motor vendors (and Table I of the paper) quote static thrust as
+ * "pull" in grams-force per motor; the model multiplies by motor count
+ * and converts to newtons. A derate factor captures that sustained
+ * usable thrust is below bench-test static pull.
+ */
+
+#ifndef UAVF1_PHYSICS_PROPULSION_HH
+#define UAVF1_PHYSICS_PROPULSION_HH
+
+#include <string>
+
+#include "units/units.hh"
+
+namespace uavf1::physics {
+
+/**
+ * A set of identical rotors.
+ */
+class Propulsion
+{
+  public:
+    /**
+     * @param name motor/propeller designation, e.g.
+     *             "ReadytoSky 2212 920KV"
+     * @param motor_count number of rotors (4 for a quadcopter)
+     * @param pull_per_motor max static pull per motor, grams-force
+     * @param derate usable fraction of static pull in (0, 1];
+     *               default 1 matches the paper's idealized model
+     */
+    Propulsion(std::string name, int motor_count,
+               units::Grams pull_per_motor, double derate = 1.0);
+
+    /** Motor designation string. */
+    const std::string &name() const { return _name; }
+
+    /** Number of rotors. */
+    int motorCount() const { return _motorCount; }
+
+    /** Static pull per motor, grams-force. */
+    units::Grams pullPerMotor() const { return _pullPerMotor; }
+
+    /** Usable fraction of static pull. */
+    double derate() const { return _derate; }
+
+    /** Total usable pull across all motors, grams-force. */
+    units::Grams totalPull() const;
+
+    /** Total usable thrust in newtons. */
+    units::Newtons totalThrust() const;
+
+  private:
+    std::string _name;
+    int _motorCount;
+    units::Grams _pullPerMotor;
+    double _derate;
+};
+
+} // namespace uavf1::physics
+
+#endif // UAVF1_PHYSICS_PROPULSION_HH

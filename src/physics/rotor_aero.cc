@@ -1,0 +1,58 @@
+/**
+ * @file
+ * RotorAero implementation.
+ */
+
+#include "physics/rotor_aero.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/validate.hh"
+
+namespace uavf1::physics {
+
+RotorAero::RotorAero(int rotor_count, double rotor_diameter_m,
+                     double figure_of_merit,
+                     double air_density_kg_m3)
+    : _rotorCount(rotor_count), _rotorDiameterM(rotor_diameter_m),
+      _figureOfMerit(figure_of_merit), _airDensity(air_density_kg_m3)
+{
+    requirePositive(rotor_count, "rotor_count");
+    requirePositive(rotor_diameter_m, "rotor_diameter_m");
+    requireInRange(figure_of_merit, 0.0, 1.0, "figure_of_merit");
+    requirePositive(figure_of_merit, "figure_of_merit");
+    requirePositive(air_density_kg_m3, "air_density_kg_m3");
+}
+
+double
+RotorAero::diskAreaM2() const
+{
+    const double radius = _rotorDiameterM / 2.0;
+    return _rotorCount * std::numbers::pi * radius * radius;
+}
+
+units::Watts
+RotorAero::hoverPower(units::Kilograms mass) const
+{
+    requirePositive(mass.value(), "mass");
+    const double weight =
+        mass.value() * units::standardGravity.value();
+    const double ideal =
+        std::pow(weight, 1.5) /
+        std::sqrt(2.0 * _airDensity * diskAreaM2());
+    return units::Watts(ideal / _figureOfMerit);
+}
+
+units::Seconds
+RotorAero::hoverEndurance(units::Kilograms mass,
+                          units::WattHours usable_energy,
+                          units::Watts static_draw) const
+{
+    requireNonNegative(static_draw.value(), "static_draw");
+    const units::Watts total =
+        hoverPower(mass) + static_draw;
+    return units::toJoules(usable_energy) / total;
+}
+
+} // namespace uavf1::physics

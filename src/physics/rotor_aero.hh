@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ideal-momentum-theory rotor aerodynamics.
+ *
+ * Supplies the hover-power estimate the mission model needs from
+ * first principles instead of a hand-picked constant: for a rotor
+ * disk of total area A lifting weight W = m g in air of density
+ * rho, ideal induced hover power is
+ *
+ *     P_hover = W^(3/2) / sqrt(2 rho A)
+ *
+ * divided by a figure of merit (~0.6-0.75 for small rotors) to
+ * account for non-ideal effects. This closes the loop with paper
+ * Fig. 2b: smaller UAVs hover more efficiently in absolute watts
+ * but carry proportionally smaller batteries.
+ */
+
+#ifndef UAVF1_PHYSICS_ROTOR_AERO_HH
+#define UAVF1_PHYSICS_ROTOR_AERO_HH
+
+#include "units/units.hh"
+
+namespace uavf1::physics {
+
+/**
+ * Momentum-theory hover power.
+ */
+class RotorAero
+{
+  public:
+    /**
+     * @param rotor_count number of rotors
+     * @param rotor_diameter_m diameter of one rotor disk, meters
+     * @param figure_of_merit hover efficiency in (0, 1];
+     *        default 0.65 (typical small-rotor value)
+     * @param air_density_kg_m3 default sea level
+     */
+    RotorAero(int rotor_count, double rotor_diameter_m,
+              double figure_of_merit = 0.65,
+              double air_density_kg_m3 = units::airDensityKgPerM3);
+
+    /** Total rotor disk area, m^2. */
+    double diskAreaM2() const;
+
+    /**
+     * Electrical hover power for a takeoff mass (ideal induced
+     * power / figure of merit).
+     */
+    units::Watts hoverPower(units::Kilograms mass) const;
+
+    /**
+     * Implied hover endurance for a battery and takeoff mass
+     * (hover power plus a static avionics draw).
+     */
+    units::Seconds hoverEndurance(units::Kilograms mass,
+                                  units::WattHours usable_energy,
+                                  units::Watts static_draw) const;
+
+  private:
+    int _rotorCount;
+    double _rotorDiameterM;
+    double _figureOfMerit;
+    double _airDensity;
+};
+
+} // namespace uavf1::physics
+
+#endif // UAVF1_PHYSICS_ROTOR_AERO_HH

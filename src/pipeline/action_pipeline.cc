@@ -1,0 +1,92 @@
+/**
+ * @file
+ * ActionPipeline implementation.
+ */
+
+#include "pipeline/action_pipeline.hh"
+
+#include <algorithm>
+
+#include "support/errors.hh"
+#include "support/validate.hh"
+
+namespace uavf1::pipeline {
+
+ActionPipeline::ActionPipeline(std::vector<PipelineStage> stages)
+    : _stages(std::move(stages))
+{
+    if (_stages.empty())
+        throw ModelError("action pipeline requires at least one stage");
+    for (const auto &stage : _stages) {
+        requirePositive(stage.throughput.value(),
+                        "throughput of stage '" + stage.name + "'");
+    }
+}
+
+ActionPipeline
+ActionPipeline::senseComputeControl(units::Hertz sensor,
+                                    units::Hertz compute,
+                                    units::Hertz control)
+{
+    return ActionPipeline({
+        {"sensor", sensor},
+        {"compute", compute},
+        {"control", control},
+    });
+}
+
+units::Hertz
+ActionPipeline::actionThroughput() const
+{
+    units::Hertz rate = _stages.front().throughput;
+    for (const auto &stage : _stages)
+        rate = units::min(rate, stage.throughput);
+    return rate;
+}
+
+units::Seconds
+ActionPipeline::actionPeriod() const
+{
+    return units::period(actionThroughput());
+}
+
+units::Seconds
+ActionPipeline::latencyLowerBound() const
+{
+    units::Seconds bound;
+    for (const auto &stage : _stages)
+        bound = units::max(bound, stage.latency());
+    return bound;
+}
+
+units::Seconds
+ActionPipeline::latencyUpperBound() const
+{
+    units::Seconds bound;
+    for (const auto &stage : _stages)
+        bound += stage.latency();
+    return bound;
+}
+
+const PipelineStage &
+ActionPipeline::bottleneck() const
+{
+    return *std::min_element(
+        _stages.begin(), _stages.end(),
+        [](const PipelineStage &a, const PipelineStage &b) {
+            return a.throughput < b.throughput;
+        });
+}
+
+std::vector<double>
+ActionPipeline::stageSlack() const
+{
+    const units::Hertz action = actionThroughput();
+    std::vector<double> slack;
+    slack.reserve(_stages.size());
+    for (const auto &stage : _stages)
+        slack.push_back(stage.throughput / action);
+    return slack;
+}
+
+} // namespace uavf1::pipeline

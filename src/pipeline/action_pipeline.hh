@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sensor-compute-control action pipeline (paper Section III-A,
+ * Eq. 1-3, Fig. 3b).
+ *
+ * The stages run concurrently (software pipelining), so:
+ *
+ *   max(T_sensor, T_compute, T_control) <= T_action            (Eq. 1)
+ *   T_action <= T_sensor + T_compute + T_control               (Eq. 2)
+ *   f_action  = min(f_sensor, f_compute, f_control)            (Eq. 3)
+ *
+ * The class is generic over any number of stages so redundancy
+ * voters or extra perception stages can be inserted.
+ */
+
+#ifndef UAVF1_PIPELINE_ACTION_PIPELINE_HH
+#define UAVF1_PIPELINE_ACTION_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "units/units.hh"
+
+namespace uavf1::pipeline {
+
+/** One concurrent stage of the action pipeline. */
+struct PipelineStage
+{
+    std::string name;       ///< "sensor", "compute", "control", ...
+    units::Hertz throughput; ///< Stage decision rate.
+
+    /** Per-decision latency (1 / throughput). */
+    units::Seconds latency() const { return units::period(throughput); }
+};
+
+/**
+ * The overlapped action pipeline.
+ */
+class ActionPipeline
+{
+  public:
+    /** Construct from stages; at least one, all rates positive. */
+    explicit ActionPipeline(std::vector<PipelineStage> stages);
+
+    /**
+     * Convenience three-stage constructor matching the paper's
+     * sensor-compute-control pipeline.
+     */
+    static ActionPipeline
+    senseComputeControl(units::Hertz sensor, units::Hertz compute,
+                        units::Hertz control);
+
+    /** Stages in order. */
+    const std::vector<PipelineStage> &stages() const { return _stages; }
+
+    /** Action throughput, Eq. 3: min of the stage throughputs. */
+    units::Hertz actionThroughput() const;
+
+    /** Action period (1 / action throughput). */
+    units::Seconds actionPeriod() const;
+
+    /** Eq. 1 lower bound: max of stage latencies (fully
+     * overlapped). Equals actionPeriod(). */
+    units::Seconds latencyLowerBound() const;
+
+    /** Eq. 2 upper bound: sum of stage latencies (no overlap). */
+    units::Seconds latencyUpperBound() const;
+
+    /** The throughput-limiting stage. */
+    const PipelineStage &bottleneck() const;
+
+    /**
+     * Per-stage slack: how much faster each stage is than the
+     * bottleneck (1.0 for the bottleneck itself).
+     */
+    std::vector<double> stageSlack() const;
+
+  private:
+    std::vector<PipelineStage> _stages;
+};
+
+} // namespace uavf1::pipeline
+
+#endif // UAVF1_PIPELINE_ACTION_PIPELINE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ReliabilityModel implementation.
+ */
+
+#include "pipeline/reliability.hh"
+
+#include <cmath>
+
+#include "support/errors.hh"
+#include "support/validate.hh"
+
+namespace uavf1::pipeline {
+
+ReliabilityModel::ReliabilityModel(double failures_per_hour)
+    : _failuresPerHour(failures_per_hour)
+{
+    requirePositive(failures_per_hour, "failures_per_hour");
+}
+
+double
+ReliabilityModel::moduleSurvival(units::Seconds mission) const
+{
+    requireNonNegative(mission.value(), "mission");
+    const double hours = mission.value() / 3600.0;
+    return std::exp(-_failuresPerHour * hours);
+}
+
+double
+ReliabilityModel::missionSuccess(RedundancyScheme scheme,
+                                 units::Seconds mission) const
+{
+    const double p = moduleSurvival(mission);
+    switch (scheme) {
+      case RedundancyScheme::None:
+        return p;
+      case RedundancyScheme::Dual:
+        // Mission completes only while both replicas agree.
+        return p * p;
+      case RedundancyScheme::Triple:
+        // Majority vote masks one failure: P(>=2 of 3 alive).
+        return p * p * p + 3.0 * p * p * (1.0 - p);
+    }
+    throw ModelError("unknown redundancy scheme");
+}
+
+double
+ReliabilityModel::unsafeFailure(RedundancyScheme scheme,
+                                units::Seconds mission) const
+{
+    const double q = 1.0 - moduleSurvival(mission);
+    switch (scheme) {
+      case RedundancyScheme::None:
+        return q;
+      case RedundancyScheme::Dual:
+        // Disagreement is detected (safe abort); unsafe only when
+        // both replicas fail.
+        return q * q;
+      case RedundancyScheme::Triple:
+        // Voter is outvoted once two replicas fail.
+        return q * q * q + 3.0 * q * q * (1.0 - q);
+    }
+    throw ModelError("unknown redundancy scheme");
+}
+
+} // namespace uavf1::pipeline

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Mission-reliability model for redundant compute (paper Section
+ * VI-C motivation).
+ *
+ * The paper motivates DMR/TMR with robustness — "redundancy in
+ * compute or sensor ensures safety in the event of a failure" —
+ * but only evaluates the velocity cost. This model supplies the
+ * benefit side so the trade can be stated quantitatively:
+ *
+ * With per-module failure rate lambda (exponential lifetimes,
+ * independent failures) over a mission of duration t, module
+ * survival is p = exp(-lambda t), and
+ *
+ * - Simplex fails if the single module fails: P = 1 - p.
+ * - DMR (two modules + comparator) *detects* a disagreement and
+ *   triggers a safe abort; the mission is lost but the vehicle is
+ *   safe. Uncontrolled failure requires both modules to fail:
+ *   P_unsafe = (1 - p)^2; mission success still needs both up.
+ * - TMR (three modules + majority voter) masks one failure:
+ *   mission succeeds if >= 2 of 3 survive.
+ */
+
+#ifndef UAVF1_PIPELINE_RELIABILITY_HH
+#define UAVF1_PIPELINE_RELIABILITY_HH
+
+#include "pipeline/redundancy.hh"
+#include "units/units.hh"
+
+namespace uavf1::pipeline {
+
+/**
+ * Reliability of a redundant compute subsystem over a mission.
+ */
+class ReliabilityModel
+{
+  public:
+    /**
+     * @param failures_per_hour per-module failure rate lambda
+     *        (transient upsets + hard faults); must be positive
+     */
+    explicit ReliabilityModel(double failures_per_hour);
+
+    /** Per-module failure rate (1/h). */
+    double failuresPerHour() const { return _failuresPerHour; }
+
+    /** Per-module survival probability over a mission. */
+    double moduleSurvival(units::Seconds mission) const;
+
+    /**
+     * Probability the subsystem completes the mission delivering
+     * correct outputs throughout (TMR masks one fault; simplex and
+     * DMR need all replicas alive).
+     */
+    double missionSuccess(RedundancyScheme scheme,
+                          units::Seconds mission) const;
+
+    /**
+     * Probability of an *unsafe* outcome: an undetected wrong
+     * output driving the vehicle. Simplex: any failure is unsafe.
+     * DMR: unsafe only if both fail (disagreement is detected and
+     * aborts safely). TMR: unsafe if two or more fail.
+     */
+    double unsafeFailure(RedundancyScheme scheme,
+                         units::Seconds mission) const;
+
+  private:
+    double _failuresPerHour;
+};
+
+} // namespace uavf1::pipeline
+
+#endif // UAVF1_PIPELINE_RELIABILITY_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * AsciiRenderer implementation.
+ */
+
+#include "plot/ascii_renderer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+
+namespace uavf1::plot {
+
+namespace {
+
+/** Marker glyph per series index. */
+const char seriesGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+constexpr int glyphCount = 8;
+
+} // namespace
+
+AsciiRenderer::AsciiRenderer(const Options &options) : _options(options)
+{
+    if (_options.width < 16 || _options.height < 6)
+        throw ModelError("ASCII canvas too small (min 16x6)");
+}
+
+std::string
+AsciiRenderer::render(Chart &chart) const
+{
+    chart.fitAxes();
+    const int w = _options.width;
+    const int h = _options.height;
+
+    std::vector<std::string> grid(h, std::string(w, ' '));
+
+    auto col = [&](double x) {
+        return std::clamp(
+            static_cast<int>(
+                std::lround(chart.xAxis().normalized(x) * (w - 1))),
+            0, w - 1);
+    };
+    auto row = [&](double y) {
+        return std::clamp(
+            static_cast<int>(std::lround(
+                (1.0 - chart.yAxis().normalized(y)) * (h - 1))),
+            0, h - 1);
+    };
+
+    // Reference lines first so data overdraws them.
+    for (const auto &hl : chart.hlines()) {
+        const int r = row(hl.y);
+        for (int c = 0; c < w; ++c)
+            grid[r][c] = '-';
+    }
+    for (const auto &vl : chart.vlines()) {
+        const int c = col(vl.x);
+        for (int r = 0; r < h; ++r)
+            grid[r][c] = grid[r][c] == '-' ? '+' : '|';
+    }
+
+    // Series: lines are rasterized by sampling segments.
+    int glyph_idx = 0;
+    for (const auto &series : chart.series()) {
+        const char glyph = seriesGlyphs[glyph_idx % glyphCount];
+        ++glyph_idx;
+        const auto &pts = series.points();
+        if (series.style() != SeriesStyle::Markers) {
+            for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+                const int c0 = col(pts[i].x);
+                const int r0 = row(pts[i].y);
+                const int c1 = col(pts[i + 1].x);
+                const int r1 = row(pts[i + 1].y);
+                const int steps =
+                    std::max({std::abs(c1 - c0), std::abs(r1 - r0),
+                              1});
+                for (int s = 0; s <= steps; ++s) {
+                    const double t =
+                        static_cast<double>(s) / steps;
+                    const int c = static_cast<int>(
+                        std::lround(c0 + t * (c1 - c0)));
+                    const int r = static_cast<int>(
+                        std::lround(r0 + t * (r1 - r0)));
+                    grid[r][c] = glyph;
+                }
+            }
+        }
+        if (series.style() != SeriesStyle::Line) {
+            for (const auto &point : pts)
+                grid[row(point.y)][col(point.x)] = glyph;
+        }
+    }
+
+    // Annotations (marker plus label to the right when it fits).
+    for (const auto &annotation : chart.annotations()) {
+        const int c = col(annotation.x);
+        const int r = row(annotation.y);
+        grid[r][c] = 'K';
+        const std::string &text = annotation.text;
+        for (std::size_t i = 0; i < text.size(); ++i) {
+            const std::size_t cc = c + 2 + i;
+            if (cc >= static_cast<std::size_t>(w))
+                break;
+            grid[r][cc] = text[i];
+        }
+    }
+
+    // Compose with a y-axis gutter and x-axis footer.
+    std::string out;
+    if (!chart.title().empty())
+        out += chart.title() + "\n";
+    const std::string y_hi = Axis::tickLabel(chart.yAxis().hi());
+    const std::string y_lo = Axis::tickLabel(chart.yAxis().lo());
+    const std::size_t gutter = std::max(y_hi.size(), y_lo.size()) + 1;
+
+    for (int r = 0; r < h; ++r) {
+        std::string label;
+        if (r == 0) {
+            label = y_hi;
+        } else if (r == h - 1) {
+            label = y_lo;
+        }
+        out += padLeft(label, gutter) + "|" + grid[r] + "\n";
+    }
+    out += std::string(gutter, ' ') + "+" + std::string(w, '-') + "\n";
+    const std::string x_lo = Axis::tickLabel(chart.xAxis().lo());
+    const std::string x_hi = Axis::tickLabel(chart.xAxis().hi());
+    std::string footer = std::string(gutter + 1, ' ') + x_lo;
+    const std::size_t target = gutter + 1 + w - x_hi.size();
+    if (footer.size() < target)
+        footer += std::string(target - footer.size(), ' ');
+    footer += x_hi;
+    out += footer + "\n";
+    out += std::string(gutter + 1, ' ') + "x: " +
+           chart.xAxis().label() + "   y: " + chart.yAxis().label() +
+           "\n";
+
+    // Legend.
+    glyph_idx = 0;
+    for (const auto &series : chart.series()) {
+        const char glyph = seriesGlyphs[glyph_idx % glyphCount];
+        ++glyph_idx;
+        out += std::string(gutter + 1, ' ') + glyph + " " +
+               series.name() + "\n";
+    }
+    return out;
+}
+
+} // namespace uavf1::plot

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Terminal (ASCII) chart renderer.
+ *
+ * Used by the examples and bench harnesses so the roofline is
+ * visible directly in a terminal, without opening the SVG.
+ */
+
+#ifndef UAVF1_PLOT_ASCII_RENDERER_HH
+#define UAVF1_PLOT_ASCII_RENDERER_HH
+
+#include <string>
+
+#include "plot/chart.hh"
+
+namespace uavf1::plot {
+
+/**
+ * Renders Chart objects to fixed-width text.
+ */
+class AsciiRenderer
+{
+  public:
+    /** Canvas geometry. */
+    struct Options
+    {
+        int width = 72;   ///< Plot area width in characters.
+        int height = 20;  ///< Plot area height in characters.
+    };
+
+    /** Renderer with default geometry. */
+    AsciiRenderer() = default;
+
+    /** Renderer with explicit geometry. */
+    explicit AsciiRenderer(const Options &options);
+
+    /** Render a chart to a multi-line string. */
+    std::string render(Chart &chart) const;
+
+  private:
+    Options _options;
+};
+
+} // namespace uavf1::plot
+
+#endif // UAVF1_PLOT_ASCII_RENDERER_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Chart: a titled collection of series, axes and annotations that
+ * the SVG writer and ASCII renderer consume.
+ */
+
+#ifndef UAVF1_PLOT_CHART_HH
+#define UAVF1_PLOT_CHART_HH
+
+#include <string>
+#include <vector>
+
+#include "plot/axis.hh"
+#include "plot/series.hh"
+
+namespace uavf1::plot {
+
+/** A point annotation with a text label (e.g. "knee-point"). */
+struct Annotation
+{
+    double x = 0.0;
+    double y = 0.0;
+    std::string text;
+};
+
+/** A horizontal reference line (e.g. a velocity ceiling). */
+struct HLine
+{
+    double y = 0.0;
+    std::string label;
+};
+
+/** A vertical reference line (e.g. the knee throughput). */
+struct VLine
+{
+    double x = 0.0;
+    std::string label;
+};
+
+/**
+ * A 2-D chart.
+ */
+class Chart
+{
+  public:
+    /** Construct with a title and axes. */
+    Chart(std::string title, Axis x_axis, Axis y_axis);
+
+    /** Add a data series. */
+    Chart &add(Series series);
+
+    /** Add a labelled point annotation. */
+    Chart &annotate(double x, double y, const std::string &text);
+
+    /** Add a horizontal reference line. */
+    Chart &hline(double y, const std::string &label);
+
+    /** Add a vertical reference line. */
+    Chart &vline(double x, const std::string &label);
+
+    /** Chart title. */
+    const std::string &title() const { return _title; }
+
+    /** X axis (finalized against the data). */
+    const Axis &xAxis() const { return _xAxis; }
+
+    /** Y axis (finalized against the data). */
+    const Axis &yAxis() const { return _yAxis; }
+
+    /** All series. */
+    const std::vector<Series> &series() const { return _series; }
+
+    /** All point annotations. */
+    const std::vector<Annotation> &annotations() const
+    {
+        return _annotations;
+    }
+
+    /** All horizontal reference lines. */
+    const std::vector<HLine> &hlines() const { return _hlines; }
+
+    /** All vertical reference lines. */
+    const std::vector<VLine> &vlines() const { return _vlines; }
+
+    /**
+     * Fit the axes to the data (no-op for fixed ranges). Called by
+     * renderers before projecting; idempotent.
+     */
+    void fitAxes();
+
+  private:
+    std::string _title;
+    Axis _xAxis;
+    Axis _yAxis;
+    std::vector<Series> _series;
+    std::vector<Annotation> _annotations;
+    std::vector<HLine> _hlines;
+    std::vector<VLine> _vlines;
+    bool _fitted = false;
+};
+
+} // namespace uavf1::plot
+
+#endif // UAVF1_PLOT_CHART_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CsvWriter implementation.
+ */
+
+#include "plot/csv_writer.hh"
+
+#include <fstream>
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+
+namespace uavf1::plot {
+
+std::string
+CsvWriter::quote(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::render(const std::vector<Series> &series,
+                  const std::string &x_name, const std::string &y_name)
+{
+    std::string out =
+        "series," + quote(x_name) + "," + quote(y_name) + "\n";
+    for (const auto &s : series) {
+        for (const auto &point : s.points()) {
+            out += quote(s.name()) + "," +
+                   strFormat("%.10g,%.10g", point.x, point.y) + "\n";
+        }
+    }
+    return out;
+}
+
+void
+CsvWriter::writeFile(const std::vector<Series> &series,
+                     const std::string &path, const std::string &x_name,
+                     const std::string &y_name)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw ModelError("cannot open '" + path + "' for writing");
+    out << render(series, x_name, y_name);
+    if (!out.good())
+        throw ModelError("failed while writing '" + path + "'");
+}
+
+} // namespace uavf1::plot

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CSV export for chart series (so experiments can be re-plotted by
+ * external tooling).
+ */
+
+#ifndef UAVF1_PLOT_CSV_WRITER_HH
+#define UAVF1_PLOT_CSV_WRITER_HH
+
+#include <string>
+#include <vector>
+
+#include "plot/series.hh"
+
+namespace uavf1::plot {
+
+/**
+ * Writes one or more series to CSV.
+ *
+ * Multiple series are written long-form: `series,x,y` per row, which
+ * keeps ragged (different-length) series simple.
+ */
+class CsvWriter
+{
+  public:
+    /** Render series to a CSV string with a header row. */
+    static std::string render(const std::vector<Series> &series,
+                              const std::string &x_name = "x",
+                              const std::string &y_name = "y");
+
+    /**
+     * Render and write to a file.
+     *
+     * @throws ModelError if the file cannot be written
+     */
+    static void writeFile(const std::vector<Series> &series,
+                          const std::string &path,
+                          const std::string &x_name = "x",
+                          const std::string &y_name = "y");
+
+    /** Quote a CSV field if it contains a comma, quote or newline. */
+    static std::string quote(const std::string &field);
+};
+
+} // namespace uavf1::plot
+
+#endif // UAVF1_PLOT_CSV_WRITER_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Roofline chart builder implementation.
+ */
+
+#include "plot/roofline_chart.hh"
+
+#include "support/strings.hh"
+
+namespace uavf1::plot {
+
+Chart
+makeRooflineChart(const std::string &title,
+                  const std::vector<NamedRoofline> &rooflines)
+{
+    Chart chart(title, Axis("Action Throughput (Hz)", Scale::Log10),
+                Axis("Safe Velocity (m/s)", Scale::Linear));
+
+    for (const auto &named : rooflines) {
+        Series line("Roofline: " + named.name, SeriesStyle::Line);
+        for (const auto &point : named.curve.points) {
+            line.add(point.actionThroughput.value(),
+                     point.safeVelocity.value());
+        }
+        chart.add(std::move(line));
+
+        if (named.annotateKnee) {
+            chart.annotate(
+                named.curve.knee.actionThroughput.value(),
+                named.curve.knee.safeVelocity.value(),
+                strFormat("knee %.1f Hz",
+                          named.curve.knee.actionThroughput.value()));
+        }
+        if (named.markOperating) {
+            Series marker(named.name + " design point",
+                          SeriesStyle::Markers);
+            marker.add(named.curve.operating.actionThroughput.value(),
+                       named.curve.operating.safeVelocity.value());
+            chart.add(std::move(marker));
+        }
+    }
+    return chart;
+}
+
+} // namespace uavf1::plot

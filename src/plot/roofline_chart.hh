@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Convenience builder turning core::RooflineCurve objects into the
+ * paper's standard F-1 chart (log throughput axis, knee annotation,
+ * operating-point markers).
+ */
+
+#ifndef UAVF1_PLOT_ROOFLINE_CHART_HH
+#define UAVF1_PLOT_ROOFLINE_CHART_HH
+
+#include <string>
+#include <vector>
+
+#include "core/f1_model.hh"
+#include "plot/chart.hh"
+
+namespace uavf1::plot {
+
+/** One roofline to overlay, with its legend name. */
+struct NamedRoofline
+{
+    std::string name;
+    core::RooflineCurve curve;
+    bool annotateKnee = true;
+    bool markOperating = true;
+};
+
+/**
+ * Build the standard F-1 chart from one or more rooflines.
+ *
+ * @param title chart title
+ * @param rooflines curves to overlay (same axes)
+ */
+Chart makeRooflineChart(const std::string &title,
+                        const std::vector<NamedRoofline> &rooflines);
+
+} // namespace uavf1::plot
+
+#endif // UAVF1_PLOT_ROOFLINE_CHART_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Data series for charts.
+ */
+
+#ifndef UAVF1_PLOT_SERIES_HH
+#define UAVF1_PLOT_SERIES_HH
+
+#include <string>
+#include <vector>
+
+namespace uavf1::plot {
+
+/** One x/y sample. */
+struct DataPoint
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** How a series is drawn. */
+enum class SeriesStyle
+{
+    Line,           ///< Polyline through the points.
+    Markers,        ///< Discrete markers only.
+    LineAndMarkers, ///< Both.
+};
+
+/**
+ * A named data series.
+ */
+class Series
+{
+  public:
+    /** Construct with a legend name and a style. */
+    explicit Series(std::string name,
+                    SeriesStyle style = SeriesStyle::Line)
+        : _name(std::move(name)), _style(style)
+    {}
+
+    /** Append one sample. */
+    Series &
+    add(double x, double y)
+    {
+        _points.push_back({x, y});
+        return *this;
+    }
+
+    /** Append many samples. */
+    Series &
+    add(const std::vector<DataPoint> &points)
+    {
+        _points.insert(_points.end(), points.begin(), points.end());
+        return *this;
+    }
+
+    /** Legend name. */
+    const std::string &name() const { return _name; }
+
+    /** Drawing style. */
+    SeriesStyle style() const { return _style; }
+
+    /** Samples in insertion order. */
+    const std::vector<DataPoint> &points() const { return _points; }
+
+    /** Number of samples. */
+    std::size_t size() const { return _points.size(); }
+
+  private:
+    std::string _name;
+    SeriesStyle _style;
+    std::vector<DataPoint> _points;
+};
+
+} // namespace uavf1::plot
+
+#endif // UAVF1_PLOT_SERIES_HH

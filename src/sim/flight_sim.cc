@@ -1,0 +1,141 @@
+/**
+ * @file
+ * FlightSimulator implementation.
+ */
+
+#include "sim/flight_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "control/pid.hh"
+#include "support/errors.hh"
+#include "support/validate.hh"
+
+namespace uavf1::sim {
+
+FlightSimulator::FlightSimulator(const VehicleModel &vehicle)
+    : _vehicle(vehicle)
+{
+}
+
+TrialResult
+FlightSimulator::run(const StopScenario &scenario,
+                     const NoiseParams &noise, Rng &rng,
+                     bool record_trajectory) const
+{
+    requirePositive(scenario.commandedVelocity.value(),
+                    "commandedVelocity");
+    requirePositive(scenario.actionRate.value(), "actionRate");
+    requirePositive(scenario.sensorRate.value(), "sensorRate");
+    requirePositive(scenario.timestep.value(), "timestep");
+
+    VehicleModel vehicle = _vehicle;
+    vehicle.reset(0.0);
+
+    const double dt = scenario.timestep.value();
+    const double run_up = scenario.runUp.value();
+    const double obstacle =
+        run_up + scenario.obstacleDistance.value();
+    const double sensing = scenario.sensingRange.value();
+    const double v_cmd = scenario.commandedVelocity.value();
+    const double decision_period = 1.0 / scenario.actionRate.value();
+    const double sensor_period = 1.0 / scenario.sensorRate.value();
+    const double a_avail = vehicle.availableAcceleration().value();
+
+    // Velocity-tracking PID for the run-up/cruise phase. Gains are
+    // deliberately soft (MAVROS-like) and scale with the available
+    // authority.
+    control::Pid velocity_pid(control::Pid::Gains{
+        .kp = 2.0,
+        .ki = 0.6,
+        .kd = 0.0,
+        .outputMin = -a_avail,
+        .outputMax = a_avail,
+    });
+
+    TrialResult result;
+
+    // Randomize where in the decision period the detection falls:
+    // this is the discretization error the F-1 model linearizes.
+    double next_decision =
+        noise.randomDecisionPhase
+            ? rng.uniform(0.0, decision_period)
+            : decision_period;
+    double next_sensor_sample = 0.0;
+    double sensed_range = 1e9; // Latest sensor reading.
+    bool braking = false;
+
+    const double max_time = scenario.maxDuration.value();
+    double time = 0.0;
+    int decimate = 0;
+
+    while (time < max_time) {
+        // Sensor stage: sample the range at the sensor rate.
+        if (time >= next_sensor_sample) {
+            const double true_range =
+                obstacle - vehicle.state().position;
+            sensed_range =
+                true_range + rng.normal(0.0, noise.sensorRangeStd);
+            next_sensor_sample += sensor_period;
+        }
+
+        // Compute stage: decisions at the action rate.
+        if (!braking && time >= next_decision) {
+            if (sensed_range <= sensing)
+                braking = true;
+            if (result.brakeTime < 0.0 && braking)
+                result.brakeTime = time;
+            next_decision += decision_period;
+        }
+
+        // Control stage: acceleration command.
+        double command;
+        if (braking) {
+            command = -a_avail * vehicle.params().brakeMargin;
+        } else {
+            command = velocity_pid.step(
+                v_cmd - vehicle.state().velocity, dt);
+        }
+
+        const double thrust_noise =
+            noise.thrustFraction > 0.0
+                ? rng.normal(0.0, noise.thrustFraction)
+                : 0.0;
+        vehicle.step(units::Seconds(dt), command, thrust_noise);
+
+        result.peakVelocity =
+            std::max(result.peakVelocity, vehicle.state().velocity);
+        result.peakAcceleration =
+            std::max(result.peakAcceleration,
+                     std::fabs(vehicle.state().acceleration));
+
+        if (record_trajectory && (decimate++ % 10 == 0)) {
+            result.trajectory.push_back(
+                {time, vehicle.state().position,
+                 vehicle.state().velocity,
+                 vehicle.state().acceleration});
+        }
+
+        time += dt;
+
+        // Trial ends when the vehicle has braked to a stop.
+        if (braking && vehicle.state().velocity <= 0.0)
+            break;
+        // Safety: a vehicle that never detects and sails past the
+        // obstacle by a frame length has certainly failed.
+        if (vehicle.state().position > obstacle + 5.0)
+            break;
+    }
+
+    result.stopMargin = vehicle.state().position - obstacle;
+    result.infraction = result.stopMargin > 0.0;
+    if (record_trajectory) {
+        result.trajectory.push_back(
+            {time, vehicle.state().position, vehicle.state().velocity,
+             vehicle.state().acceleration});
+    }
+    return result;
+}
+
+} // namespace uavf1::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Dash-and-stop flight simulator reproducing the paper's validation
+ * protocol (Section IV):
+ *
+ * "we start with an obstacle placed at 3 m from the drone's current
+ *  position, and the goal of the autonomy algorithm is to move and
+ *  safely stop before the obstacle [...] the sensing distance is at
+ *  least 3 m [...] the ROS loop rate parameter sets the action
+ *  throughput [10 Hz]."
+ *
+ * The simulated mission: from rest, a PID velocity controller
+ * accelerates the vehicle to the commanded velocity over a run-up
+ * segment; the obstacle plane sits `obstacleDistance` past the
+ * detection origin; the autonomy loop runs at the action rate,
+ * reads the (noisy, sensor-rate-limited) range measurement, and
+ * commands a full brake at the first decision epoch that sees the
+ * obstacle within sensing range. An infraction is recorded if the
+ * vehicle's final stop position crosses the obstacle plane.
+ */
+
+#ifndef UAVF1_SIM_FLIGHT_SIM_HH
+#define UAVF1_SIM_FLIGHT_SIM_HH
+
+#include <vector>
+
+#include "sim/vehicle.hh"
+#include "support/rng.hh"
+#include "units/units.hh"
+
+namespace uavf1::sim {
+
+/** Scenario geometry and rates. */
+struct StopScenario
+{
+    /** Distance from detection origin to the obstacle plane. */
+    units::Meters obstacleDistance{3.0};
+    /** Sensor range d (obstacle detected within this range). */
+    units::Meters sensingRange{3.0};
+    /** Run-up length before the detection origin. */
+    units::Meters runUp{8.0};
+    /** Autonomy decision rate (ROS loop rate in the paper). */
+    units::Hertz actionRate{10.0};
+    /** Sensor sample rate. */
+    units::Hertz sensorRate{60.0};
+    /** Commanded cruise velocity for this trial. */
+    units::MetersPerSecond commandedVelocity{2.0};
+    /** Integration step. */
+    units::Seconds timestep{0.001};
+    /** Hard wall-clock cap per trial. */
+    units::Seconds maxDuration{120.0};
+};
+
+/** Per-trial stochastic effects. */
+struct NoiseParams
+{
+    /** Std-dev of multiplicative thrust noise. */
+    double thrustFraction = 0.02;
+    /** Std-dev of range-measurement noise, meters. */
+    double sensorRangeStd = 0.02;
+    /** Randomize the phase of the decision loop vs detection. */
+    bool randomDecisionPhase = true;
+
+    /** Noise-free trial (for deterministic tests). */
+    static NoiseParams
+    none()
+    {
+        NoiseParams params;
+        params.thrustFraction = 0.0;
+        params.sensorRangeStd = 0.0;
+        params.randomDecisionPhase = false;
+        return params;
+    }
+};
+
+/** One sample of the recorded trajectory. */
+struct TrajectorySample
+{
+    double time = 0.0;         ///< s since trial start.
+    double position = 0.0;     ///< m past the run-up start.
+    double velocity = 0.0;     ///< m/s.
+    double acceleration = 0.0; ///< m/s^2.
+};
+
+/** Result of one dash-and-stop trial. */
+struct TrialResult
+{
+    /** True if the stop position crossed the obstacle plane. */
+    bool infraction = false;
+    /** Final position relative to the obstacle plane, m (negative =
+     * stopped short). */
+    double stopMargin = 0.0;
+    /** Peak cruise velocity reached. */
+    double peakVelocity = 0.0;
+    /** Peak realized acceleration magnitude (the IMU view). */
+    double peakAcceleration = 0.0;
+    /** Time at which the brake command was issued (-1 if never). */
+    double brakeTime = -1.0;
+    /** 100 Hz-decimated trajectory (Fig. 7a material). */
+    std::vector<TrajectorySample> trajectory;
+};
+
+/**
+ * Runs dash-and-stop trials.
+ */
+class FlightSimulator
+{
+  public:
+    /** Construct for a vehicle (copied). */
+    explicit FlightSimulator(const VehicleModel &vehicle);
+
+    /**
+     * Run one trial.
+     *
+     * @param scenario geometry, rates and commanded velocity
+     * @param noise stochastic effects
+     * @param rng deterministic random stream for the noise
+     * @param record_trajectory keep the decimated trajectory
+     */
+    TrialResult run(const StopScenario &scenario,
+                    const NoiseParams &noise, Rng &rng,
+                    bool record_trajectory = false) const;
+
+  private:
+    VehicleModel _vehicle;
+};
+
+} // namespace uavf1::sim
+
+#endif // UAVF1_SIM_FLIGHT_SIM_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * MonteCarloAnalyzer implementation.
+ */
+
+#include "sim/monte_carlo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/errors.hh"
+#include "support/rng.hh"
+#include "support/validate.hh"
+
+namespace uavf1::sim {
+
+Distribution
+Distribution::fromSamples(std::vector<double> samples)
+{
+    if (samples.empty())
+        throw ModelError("distribution requires samples");
+    std::sort(samples.begin(), samples.end());
+
+    Distribution out;
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    out.mean = sum / static_cast<double>(samples.size());
+    double var = 0.0;
+    for (double s : samples)
+        var += (s - out.mean) * (s - out.mean);
+    out.stddev = samples.size() > 1
+                     ? std::sqrt(var / static_cast<double>(
+                                           samples.size() - 1))
+                     : 0.0;
+
+    auto percentile = [&](double p) {
+        const double rank =
+            p / 100.0 * static_cast<double>(samples.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi =
+            std::min(lo + 1, samples.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return samples[lo] + frac * (samples[hi] - samples[lo]);
+    };
+    out.p5 = percentile(5.0);
+    out.p50 = percentile(50.0);
+    out.p95 = percentile(95.0);
+    return out;
+}
+
+MonteCarloAnalyzer::MonteCarloAnalyzer(const UncertaintySpec &spec)
+    : _spec(spec)
+{
+    // Validate the nominal by constructing the model once.
+    (void)core::F1Model(spec.nominal);
+    requireNonNegative(spec.aMaxRelStd, "aMaxRelStd");
+    requireNonNegative(spec.rangeRelStd, "rangeRelStd");
+    requireNonNegative(spec.computeRelStd, "computeRelStd");
+    requireNonNegative(spec.sensorRelStd, "sensorRelStd");
+}
+
+namespace {
+
+/**
+ * Multiplicative lognormal perturbation with E[factor] = 1 and the
+ * requested relative standard deviation (so nominal values stay
+ * unbiased).
+ */
+double
+perturb(double nominal, double rel_std, Rng &rng)
+{
+    if (rel_std <= 0.0)
+        return nominal;
+    const double sigma2 = std::log(1.0 + rel_std * rel_std);
+    const double mu = -sigma2 / 2.0;
+    return nominal * std::exp(mu + std::sqrt(sigma2) * rng.normal());
+}
+
+} // namespace
+
+UncertaintyResult
+MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed) const
+{
+    if (count < 10)
+        throw ModelError("Monte-Carlo run needs >= 10 samples");
+
+    Rng rng(seed);
+    std::vector<double> v_safe;
+    std::vector<double> knee;
+    std::vector<double> roof;
+    v_safe.reserve(count);
+    knee.reserve(count);
+    roof.reserve(count);
+
+    UncertaintyResult result;
+    result.samples = count;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        core::F1Inputs inputs = _spec.nominal;
+        inputs.aMax = units::MetersPerSecondSquared(perturb(
+            inputs.aMax.value(), _spec.aMaxRelStd, rng));
+        inputs.sensingRange = units::Meters(perturb(
+            inputs.sensingRange.value(), _spec.rangeRelStd, rng));
+        inputs.computeRate = units::Hertz(perturb(
+            inputs.computeRate.value(), _spec.computeRelStd, rng));
+        inputs.sensorRate = units::Hertz(perturb(
+            inputs.sensorRate.value(), _spec.sensorRelStd, rng));
+
+        const core::F1Analysis analysis =
+            core::F1Model(inputs).analyze();
+        v_safe.push_back(analysis.safeVelocity.value());
+        knee.push_back(analysis.kneeThroughput.value());
+        roof.push_back(analysis.roofVelocity.value());
+        switch (analysis.bound) {
+          case core::BoundType::ComputeBound:
+            result.probComputeBound += 1.0;
+            break;
+          case core::BoundType::SensorBound:
+            result.probSensorBound += 1.0;
+            break;
+          case core::BoundType::ControlBound:
+            result.probControlBound += 1.0;
+            break;
+          case core::BoundType::PhysicsBound:
+            result.probPhysicsBound += 1.0;
+            break;
+        }
+    }
+
+    const double n = static_cast<double>(count);
+    result.probComputeBound /= n;
+    result.probSensorBound /= n;
+    result.probControlBound /= n;
+    result.probPhysicsBound /= n;
+    result.safeVelocity = Distribution::fromSamples(std::move(v_safe));
+    result.kneeThroughput = Distribution::fromSamples(std::move(knee));
+    result.roofVelocity = Distribution::fromSamples(std::move(roof));
+    return result;
+}
+
+} // namespace uavf1::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Monte-Carlo uncertainty quantification for the F-1 model.
+ *
+ * The F-1 model is deterministic, but at the early design phase it
+ * targets, every input is uncertain: motor pull varies with battery
+ * sag, payload mass with integration details, algorithm throughput
+ * with scene content, sensor range with lighting. This analyzer
+ * propagates input distributions through the model and reports
+ * output distributions plus bound-classification probabilities —
+ * error bars for the paper's single-line rooflines.
+ */
+
+#ifndef UAVF1_SIM_MONTE_CARLO_HH
+#define UAVF1_SIM_MONTE_CARLO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/f1_model.hh"
+
+namespace uavf1::sim {
+
+/** Relative (1-sigma) input uncertainties around a nominal. */
+struct UncertaintySpec
+{
+    core::F1Inputs nominal;    ///< Nominal model inputs.
+    double aMaxRelStd = 0.10;  ///< On a_max (thrust/mass spread).
+    double rangeRelStd = 0.05; ///< On sensing range.
+    double computeRelStd = 0.10; ///< On f_compute.
+    double sensorRelStd = 0.0; ///< On f_sensor (usually exact).
+};
+
+/** Summary statistics of one sampled output. */
+struct Distribution
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double p5 = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+
+    /** Compute the summary from raw samples (consumes order). */
+    static Distribution fromSamples(std::vector<double> samples);
+};
+
+/** Monte-Carlo outputs. */
+struct UncertaintyResult
+{
+    Distribution safeVelocity;   ///< m/s.
+    Distribution kneeThroughput; ///< Hz.
+    Distribution roofVelocity;   ///< m/s.
+    double probComputeBound = 0.0;
+    double probSensorBound = 0.0;
+    double probControlBound = 0.0;
+    double probPhysicsBound = 0.0;
+    std::size_t samples = 0;
+};
+
+/**
+ * The analyzer.
+ */
+class MonteCarloAnalyzer
+{
+  public:
+    /** Construct for a spec; validates the nominal inputs. */
+    explicit MonteCarloAnalyzer(const UncertaintySpec &spec);
+
+    /**
+     * Draw `count` samples (lognormal multiplicative perturbations,
+     * deterministic for a seed) and summarize the outputs.
+     *
+     * @param count number of samples (>= 10)
+     * @param seed RNG seed
+     */
+    UncertaintyResult run(std::size_t count,
+                          std::uint64_t seed = 1) const;
+
+  private:
+    UncertaintySpec _spec;
+};
+
+} // namespace uavf1::sim
+
+#endif // UAVF1_SIM_MONTE_CARLO_HH

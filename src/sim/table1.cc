@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table I validation presets.
+ */
+
+#include "sim/table1.hh"
+
+#include "support/errors.hh"
+#include "units/units.hh"
+
+namespace uavf1::sim {
+
+using namespace units::literals;
+
+units::Grams
+table1UsableThrust()
+{
+    // 4 motors x 850 g-f bench max x 0.55 sustained fraction.
+    return units::Grams(4.0 * 850.0 * 0.55);
+}
+
+units::Grams
+table1TakeoffMass(char letter)
+{
+    // Base (motors + ESC + frame) 1030 g plus Table I payload
+    // (batteries + onboard compute).
+    switch (letter) {
+      case 'A':
+        return 1030.0_g + 590.0_g;
+      case 'B':
+        return 1030.0_g + 800.0_g;
+      case 'C':
+        return 1030.0_g + 640.0_g;
+      case 'D':
+        return 1030.0_g + 690.0_g;
+      default:
+        throw ModelError("Table I UAV letter must be A..D");
+    }
+}
+
+std::vector<ValidationCase>
+table1ValidationCases()
+{
+    const units::Newtons thrust =
+        units::gramsForceToNewtons(table1UsableThrust());
+
+    StopScenario scenario;
+    scenario.obstacleDistance = 3.0_m;
+    scenario.sensingRange = 3.0_m;
+    scenario.runUp = 10.0_m;
+    scenario.actionRate = 10.0_hz;
+    scenario.sensorRate = 60.0_hz;
+
+    // S500 aero shape for the drag term the F-1 model ignores.
+    const physics::DragModel drag(1.1, 0.022);
+
+    std::vector<ValidationCase> cases;
+    std::uint64_t seed = 20220422; // arXiv date of the paper.
+    for (char letter : {'A', 'B', 'C', 'D'}) {
+        ValidationCase vcase;
+        vcase.name = std::string("UAV-") + letter;
+        vcase.vehicle.mass =
+            units::toKilograms(table1TakeoffMass(letter));
+        vcase.vehicle.usableThrust = thrust;
+        vcase.vehicle.drag = drag;
+        vcase.vehicle.actuationLag = units::Seconds(0.15);
+        vcase.vehicle.brakeMargin = 0.95;
+        vcase.scenario = scenario;
+        vcase.noise = NoiseParams{};
+        vcase.trialsPerSetpoint = 5;
+        vcase.sweepResolution = 0.05;
+        vcase.seed = seed++;
+        cases.push_back(vcase);
+    }
+    return cases;
+}
+
+std::vector<double>
+table1PaperErrorPercent()
+{
+    return {9.5, 7.2, 5.1, 6.45};
+}
+
+} // namespace uavf1::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ValidationHarness implementation.
+ */
+
+#include "sim/validation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/errors.hh"
+
+namespace uavf1::sim {
+
+double
+ValidationHarness::predictedSafeVelocity(const ValidationCase &vcase)
+{
+    const VehicleModel vehicle(vcase.vehicle);
+    const core::SafetyModel safety(vehicle.availableAcceleration(),
+                                   vcase.scenario.sensingRange);
+    return safety
+        .safeVelocity(units::period(vcase.scenario.actionRate))
+        .value();
+}
+
+ValidationResult
+ValidationHarness::validate(const ValidationCase &vcase)
+{
+    const VehicleModel vehicle(vcase.vehicle);
+    const FlightSimulator simulator(vehicle);
+
+    ValidationResult result;
+    result.name = vcase.name;
+    result.predicted = predictedSafeVelocity(vcase);
+    result.availableAccel = vehicle.availableAcceleration().value();
+
+    // Sweep commanded velocities around the prediction, the way the
+    // paper sweeps 1.5 .. 2.5 m/s around UAV-A's 2.13 m/s seed.
+    const double resolution = vcase.sweepResolution;
+    if (resolution <= 0.0)
+        throw ModelError("sweepResolution must be positive");
+    const double v_lo =
+        std::max(resolution, 0.4 * result.predicted);
+    const double v_hi = 1.3 * result.predicted;
+
+    Rng master(vcase.seed);
+    double observed = 0.0;
+    bool seen_unsafe = false;
+
+    for (double v = v_lo; v <= v_hi + 1e-12; v += resolution) {
+        StopScenario scenario = vcase.scenario;
+        scenario.commandedVelocity = units::MetersPerSecond(v);
+
+        SetpointOutcome outcome;
+        outcome.velocity = v;
+        outcome.trials = vcase.trialsPerSetpoint;
+        for (int t = 0; t < vcase.trialsPerSetpoint; ++t) {
+            Rng trial_rng = master.fork();
+            const TrialResult trial =
+                simulator.run(scenario, vcase.noise, trial_rng);
+            if (trial.infraction)
+                ++outcome.infractions;
+        }
+        result.sweep.push_back(outcome);
+
+        // Paper protocol: any infraction marks the set-point
+        // unsafe; observed safe velocity is the last fully-safe
+        // set-point before the first unsafe one.
+        if (outcome.infractions == 0 && !seen_unsafe) {
+            observed = v;
+        } else if (outcome.infractions > 0) {
+            seen_unsafe = true;
+        }
+    }
+
+    result.observed = observed;
+    if (observed > 0.0) {
+        result.errorPercent =
+            100.0 * (result.predicted - observed) / observed;
+    } else {
+        result.errorPercent = std::numeric_limits<double>::quiet_NaN();
+    }
+    return result;
+}
+
+std::vector<ValidationResult>
+ValidationHarness::validateAll(const std::vector<ValidationCase> &cases)
+{
+    std::vector<ValidationResult> results;
+    results.reserve(cases.size());
+    for (const auto &vcase : cases)
+        results.push_back(validate(vcase));
+    return results;
+}
+
+TrialResult
+ValidationHarness::recordTrajectory(const ValidationCase &vcase,
+                                    double commanded_velocity)
+{
+    const VehicleModel vehicle(vcase.vehicle);
+    const FlightSimulator simulator(vehicle);
+    StopScenario scenario = vcase.scenario;
+    scenario.commandedVelocity =
+        units::MetersPerSecond(commanded_velocity);
+    Rng rng(vcase.seed);
+    return simulator.run(scenario, vcase.noise, rng, true);
+}
+
+} // namespace uavf1::sim

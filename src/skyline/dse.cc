@@ -1,0 +1,121 @@
+/**
+ * @file
+ * DesignSpaceExplorer implementation.
+ */
+
+#include "skyline/dse.hh"
+
+#include <algorithm>
+
+#include "support/errors.hh"
+
+namespace uavf1::skyline {
+
+DesignSpaceExplorer::DesignSpaceExplorer(
+    core::UavConfig::Builder prototype)
+    : _prototype(std::move(prototype))
+{
+}
+
+std::vector<DesignPoint>
+DesignSpaceExplorer::sweep(
+    const std::vector<components::ComputePlatform> &computes,
+    const std::vector<workload::AutonomyAlgorithm> &algorithms) const
+{
+    std::vector<DesignPoint> points;
+    points.reserve(computes.size() * algorithms.size());
+
+    for (const auto &platform : computes) {
+        for (const auto &algorithm : algorithms) {
+            DesignPoint point;
+            point.compute = platform.name();
+            point.algorithm = algorithm.name();
+            try {
+                core::UavConfig::Builder builder = _prototype;
+                const core::UavConfig config = builder
+                    .compute(platform)
+                    .algorithm(algorithm)
+                    .build();
+                point.analysis = config.f1Model().analyze();
+                point.feasible = true;
+                point.safeVelocity =
+                    point.analysis.safeVelocity.value();
+                point.computePower = config.computePower().value();
+                point.computeMass =
+                    config.redundancy()
+                        .payloadMass(platform, config.heatsinkModel())
+                        .value();
+                point.throughputSource = config.computeRateSource();
+            } catch (const InfeasibleError &e) {
+                point.feasible = false;
+                point.infeasibleReason = e.what();
+            }
+            points.push_back(std::move(point));
+        }
+    }
+    return points;
+}
+
+namespace {
+
+/** True if a dominates b (>= everywhere, > somewhere). */
+bool
+dominates(const DesignPoint &a, const DesignPoint &b)
+{
+    const bool no_worse = a.safeVelocity >= b.safeVelocity &&
+                          a.computePower <= b.computePower &&
+                          a.computeMass <= b.computeMass;
+    const bool better = a.safeVelocity > b.safeVelocity ||
+                        a.computePower < b.computePower ||
+                        a.computeMass < b.computeMass;
+    return no_worse && better;
+}
+
+} // namespace
+
+std::vector<DesignPoint>
+DesignSpaceExplorer::paretoFront(const std::vector<DesignPoint> &points)
+{
+    std::vector<DesignPoint> front;
+    for (const auto &candidate : points) {
+        if (!candidate.feasible)
+            continue;
+        bool dominated = false;
+        for (const auto &other : points) {
+            if (!other.feasible)
+                continue;
+            if (dominates(other, candidate)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(candidate);
+    }
+    // Present fastest-first.
+    std::sort(front.begin(), front.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  return a.safeVelocity > b.safeVelocity;
+              });
+    return front;
+}
+
+const DesignPoint &
+DesignSpaceExplorer::best(const std::vector<DesignPoint> &points)
+{
+    const DesignPoint *best = nullptr;
+    for (const auto &point : points) {
+        if (!point.feasible)
+            continue;
+        if (!best || point.safeVelocity > best->safeVelocity ||
+            (point.safeVelocity == best->safeVelocity &&
+             point.computePower < best->computePower)) {
+            best = &point;
+        }
+    }
+    if (!best)
+        throw ModelError("design space contains no feasible point");
+    return *best;
+}
+
+} // namespace uavf1::skyline

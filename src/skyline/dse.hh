@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Automated design-space exploration (paper Section IX: "the model
+ * can be used for automated design space exploration and aid with
+ * generating an optimal domain-specific architecture best suited
+ * for a UAV").
+ *
+ * Sweeps compute-platform x autonomy-algorithm combinations on a
+ * prototype UAV configuration, classifies each design with the F-1
+ * model, and extracts the Pareto frontier over (safe velocity up,
+ * compute power down, compute payload down).
+ */
+
+#ifndef UAVF1_SKYLINE_DSE_HH
+#define UAVF1_SKYLINE_DSE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/uav_config.hh"
+
+namespace uavf1::skyline {
+
+/** One evaluated design. */
+struct DesignPoint
+{
+    std::string compute;    ///< Platform name.
+    std::string algorithm;  ///< Algorithm name.
+    bool feasible = false;  ///< False if the build cannot hover.
+    std::string infeasibleReason; ///< Set when !feasible.
+    core::F1Analysis analysis;    ///< F-1 analysis (if feasible).
+    double safeVelocity = 0.0;    ///< m/s (0 if infeasible).
+    double computePower = 0.0;    ///< W.
+    double computeMass = 0.0;     ///< g, module + heatsink (+DMR).
+    workload::ThroughputSource throughputSource =
+        workload::ThroughputSource::Measured;
+};
+
+/**
+ * The explorer.
+ */
+class DesignSpaceExplorer
+{
+  public:
+    /**
+     * @param prototype a builder with everything except compute and
+     *        algorithm already configured (airframe, sensor,
+     *        batteries, derates, knee fraction, ...)
+     */
+    explicit DesignSpaceExplorer(core::UavConfig::Builder prototype);
+
+    /**
+     * Evaluate every (platform, algorithm) combination.
+     */
+    std::vector<DesignPoint>
+    sweep(const std::vector<components::ComputePlatform> &computes,
+          const std::vector<workload::AutonomyAlgorithm> &algorithms)
+        const;
+
+    /**
+     * Non-dominated subset: maximize safe velocity, minimize
+     * compute power and compute mass. Infeasible points never enter
+     * the frontier.
+     */
+    static std::vector<DesignPoint>
+    paretoFront(const std::vector<DesignPoint> &points);
+
+    /**
+     * Highest safe velocity; ties broken by lower compute power.
+     *
+     * @throws ModelError if no feasible point exists
+     */
+    static const DesignPoint &
+    best(const std::vector<DesignPoint> &points);
+
+  private:
+    core::UavConfig::Builder _prototype;
+};
+
+} // namespace uavf1::skyline
+
+#endif // UAVF1_SKYLINE_DSE_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Skyline UAV-system parameter knobs (paper Table II).
+ *
+ * | Knob | Unit | Description |
+ * |---|---|---|
+ * | sensor framerate | Hz | throughput of the sensor |
+ * | compute TDP | W | drives heat-sink sizing |
+ * | autonomy algorithm | - | pre-configured algorithm choice |
+ * | compute runtime | s | algorithm latency -> f_compute |
+ * | sensor range | m | maximum sensing distance |
+ * | drone weight | g | UAV weight without extra payload |
+ * | rotor pull | g | total thrust from the propulsion |
+ * | payload weight | g | compute + sensors + battery payload |
+ */
+
+#ifndef UAVF1_SKYLINE_KNOBS_HH
+#define UAVF1_SKYLINE_KNOBS_HH
+
+#include <string>
+
+#include "physics/acceleration.hh"
+#include "units/units.hh"
+
+namespace uavf1::skyline {
+
+/** The user-settable state of a Skyline session. */
+struct Knobs
+{
+    /** Sensor framerate (Hz). */
+    units::Hertz sensorFramerate{60.0};
+    /** Compute platform TDP (W); drives heat-sink weight. */
+    units::Watts computeTdp{7.5};
+    /** Selected autonomy algorithm (catalog name, informative). */
+    std::string algorithm = "DroNet";
+    /** Autonomy-algorithm latency (s); f_compute = 1/runtime. */
+    units::Seconds computeRuntime{1.0 / 178.0};
+    /** Sensor range (m). */
+    units::Meters sensorRange{4.5};
+    /** UAV weight without payload (g). */
+    units::Grams droneWeight{1000.0};
+    /** Total rotor pull (grams-force). */
+    units::Grams rotorPull{1792.0};
+    /** Payload weight excluding the heat sink (g). */
+    units::Grams payloadWeight{250.0};
+    /** Flight-controller rate (Hz). */
+    units::Hertz controlRate{1000.0};
+    /** Acceleration law for a_max. */
+    physics::AccelerationOptions acceleration{};
+    /** Knee criterion fraction. */
+    double kneeFraction = 0.98;
+};
+
+} // namespace uavf1::skyline
+
+#endif // UAVF1_SKYLINE_KNOBS_HH

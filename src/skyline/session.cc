@@ -1,0 +1,295 @@
+/**
+ * @file
+ * SkylineSession implementation.
+ */
+
+#include "skyline/session.hh"
+
+#include <cstdlib>
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+#include "support/validate.hh"
+
+namespace uavf1::skyline {
+
+namespace {
+
+/** Parse a strictly numeric, finite knob value. */
+double
+parseNumber(const std::string &name, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || (end && *end != '\0')) {
+        throw ModelError("knob '" + name + "' expects a number, got '" +
+                         value + "'");
+    }
+    // strtod parses overflow ("1e999") to +/-inf and accepts
+    // "nan"; neither is a usable knob value.
+    return requireFinite(parsed, "knob '" + name + "'");
+}
+
+} // namespace
+
+void
+SkylineSession::set(const std::string &name, const std::string &value)
+{
+    const std::string key = toLower(trim(name));
+    if (key == "algorithm") {
+        _knobs.algorithm = trim(value);
+        return;
+    }
+
+    const double number = parseNumber(key, trim(value));
+    if (key == "sensor_framerate") {
+        requirePositive(number, key);
+        _knobs.sensorFramerate = units::Hertz(number);
+    } else if (key == "compute_tdp") {
+        requirePositive(number, key);
+        _knobs.computeTdp = units::Watts(number);
+    } else if (key == "compute_runtime") {
+        requirePositive(number, key);
+        _knobs.computeRuntime = units::Seconds(number);
+    } else if (key == "sensor_range") {
+        requirePositive(number, key);
+        _knobs.sensorRange = units::Meters(number);
+    } else if (key == "drone_weight") {
+        requirePositive(number, key);
+        _knobs.droneWeight = units::Grams(number);
+    } else if (key == "rotor_pull") {
+        requirePositive(number, key);
+        _knobs.rotorPull = units::Grams(number);
+    } else if (key == "payload_weight") {
+        requireNonNegative(number, key);
+        _knobs.payloadWeight = units::Grams(number);
+    } else if (key == "control_rate") {
+        requirePositive(number, key);
+        _knobs.controlRate = units::Hertz(number);
+    } else if (key == "knee_fraction") {
+        requireInRange(number, 1e-6, 1.0 - 1e-9, key);
+        _knobs.kneeFraction = number;
+    } else {
+        throw ModelError("unknown knob '" + name + "'; knobs: " +
+                         join(knobNames(), ", "));
+    }
+}
+
+std::vector<std::string>
+SkylineSession::knobNames()
+{
+    return {
+        "sensor_framerate", "compute_tdp", "algorithm",
+        "compute_runtime", "sensor_range", "drone_weight",
+        "rotor_pull", "payload_weight", "control_rate",
+        "knee_fraction",
+    };
+}
+
+units::Grams
+SkylineSession::heatsinkMass() const
+{
+    return _heatsink.mass(_knobs.computeTdp);
+}
+
+units::Grams
+SkylineSession::takeoffMass() const
+{
+    return _knobs.droneWeight + _knobs.payloadWeight + heatsinkMass();
+}
+
+units::MetersPerSecondSquared
+SkylineSession::aMax() const
+{
+    const units::Newtons thrust =
+        units::gramsForceToNewtons(_knobs.rotorPull);
+    return physics::maxAcceleration(
+        thrust, units::toKilograms(takeoffMass()),
+        _knobs.acceleration);
+}
+
+core::F1Model
+SkylineSession::model() const
+{
+    core::F1Inputs inputs;
+    inputs.aMax = aMax();
+    inputs.sensingRange = _knobs.sensorRange;
+    inputs.sensorRate = _knobs.sensorFramerate;
+    inputs.computeRate = units::rate(_knobs.computeRuntime);
+    inputs.controlRate = _knobs.controlRate;
+    inputs.kneeFraction = _knobs.kneeFraction;
+    return core::F1Model(inputs);
+}
+
+Analysis
+SkylineSession::analyze() const
+{
+    Analysis analysis;
+    const core::F1Model f1 = model();
+    analysis.f1 = f1.analyze();
+    analysis.heatsinkMass = heatsinkMass();
+    analysis.takeoffMass = takeoffMass();
+    analysis.aMax = aMax();
+    analysis.thrustToWeight = physics::thrustToWeight(
+        units::gramsForceToNewtons(_knobs.rotorPull),
+        units::toKilograms(takeoffMass()));
+
+    const auto &a = analysis.f1;
+    switch (a.bound) {
+      case core::BoundType::SensorBound:
+        analysis.tips.push_back(strFormat(
+            "Sensor-bound: raise the sensor framerate from %.0f Hz "
+            "toward the %.1f Hz knee to unlock up to %.2f m/s.",
+            _knobs.sensorFramerate.value(), a.kneeThroughput.value(),
+            a.roofVelocity.value()));
+        break;
+      case core::BoundType::ComputeBound:
+        analysis.tips.push_back(strFormat(
+            "Compute-bound: improve algorithm/compute throughput by "
+            "%.2fx (from %.2f Hz to the %.1f Hz knee) to reach the "
+            "physics roof of %.2f m/s.",
+            a.requiredSpeedup, 1.0 / _knobs.computeRuntime.value(),
+            a.kneeThroughput.value(), a.roofVelocity.value()));
+        break;
+      case core::BoundType::ControlBound:
+        analysis.tips.push_back(strFormat(
+            "Control-bound: the flight-controller loop (%.0f Hz) "
+            "limits the pipeline; raise it toward %.1f Hz.",
+            _knobs.controlRate.value(), a.kneeThroughput.value()));
+        break;
+      case core::BoundType::PhysicsBound: {
+        analysis.tips.push_back(strFormat(
+            "Physics-bound: body dynamics cap the velocity at "
+            "%.2f m/s; faster compute/sensing buys nothing.",
+            a.roofVelocity.value()));
+        if (a.overProvisionFactor > 1.2) {
+            // Quantify the TDP-reduction opportunity the paper's
+            // AGX-30W -> AGX-15W what-if demonstrates. Use the raw
+            // F-1 model of the what-if session (analyze() here
+            // would recurse into this very tip).
+            SkylineSession what_if = *this;
+            what_if._knobs.computeTdp = _knobs.computeTdp / 2.0;
+            const double gained =
+                what_if.model().analyze().roofVelocity.value() /
+                a.roofVelocity.value();
+            analysis.tips.push_back(strFormat(
+                "Compute is over-provisioned by %.2fx: trading "
+                "excess throughput for half the TDP would shed "
+                "%.0f g of heat sink and raise the roof by %.0f%%.",
+                a.overProvisionFactor,
+                heatsinkMass().value() -
+                    what_if.heatsinkMass().value(),
+                (gained - 1.0) * 100.0));
+        }
+        break;
+      }
+    }
+    if (a.verdict == core::DesignVerdict::Optimal) {
+        analysis.tips.push_back(
+            "Balanced design: action throughput sits at the knee.");
+    }
+    return analysis;
+}
+
+std::string
+SkylineSession::saveConfig() const
+{
+    std::string out = "# Skyline session configuration\n";
+    out += strFormat("sensor_framerate = %.12g\n",
+                     _knobs.sensorFramerate.value());
+    out += strFormat("compute_tdp = %.12g\n",
+                     _knobs.computeTdp.value());
+    out += "algorithm = " + _knobs.algorithm + "\n";
+    out += strFormat("compute_runtime = %.12g\n",
+                     _knobs.computeRuntime.value());
+    out += strFormat("sensor_range = %.12g\n",
+                     _knobs.sensorRange.value());
+    out += strFormat("drone_weight = %.12g\n",
+                     _knobs.droneWeight.value());
+    out += strFormat("rotor_pull = %.12g\n",
+                     _knobs.rotorPull.value());
+    out += strFormat("payload_weight = %.12g\n",
+                     _knobs.payloadWeight.value());
+    out += strFormat("control_rate = %.12g\n",
+                     _knobs.controlRate.value());
+    out += strFormat("knee_fraction = %.12g\n",
+                     _knobs.kneeFraction);
+    return out;
+}
+
+void
+SkylineSession::loadConfig(const std::string &text)
+{
+    for (const auto &raw_line : splitAndTrim(text, '\n')) {
+        const std::string line = trim(raw_line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw ModelError("malformed config line '" + line +
+                             "' (expected 'knob = value')");
+        }
+        set(line.substr(0, eq), line.substr(eq + 1));
+    }
+}
+
+std::vector<SweepPoint>
+SkylineSession::sweep(const std::string &knob, double from,
+                      double to, int steps) const
+{
+    if (steps < 2)
+        throw ModelError("sweep requires at least 2 steps");
+    if (toLower(trim(knob)) == "algorithm")
+        throw ModelError("cannot sweep the non-numeric knob "
+                         "'algorithm'");
+
+    std::vector<SweepPoint> points;
+    points.reserve(static_cast<std::size_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+        const double value =
+            from + (to - from) * static_cast<double>(i) /
+                       static_cast<double>(steps - 1);
+        SkylineSession variant = *this;
+        variant.set(knob, strFormat("%.12g", value));
+        SweepPoint point;
+        point.knobValue = value;
+        try {
+            const core::F1Analysis a = variant.model().analyze();
+            point.safeVelocity = a.safeVelocity.value();
+            point.kneeThroughput = a.kneeThroughput.value();
+            point.roofVelocity = a.roofVelocity.value();
+        } catch (const InfeasibleError &) {
+            point.feasible = false;
+        }
+        points.push_back(point);
+    }
+    return points;
+}
+
+std::string
+SkylineSession::renderAnalysis() const
+{
+    const Analysis analysis = analyze();
+    const auto &a = analysis.f1;
+    std::string out;
+    out += strFormat("Skyline analysis (algorithm: %s)\n",
+                     _knobs.algorithm.c_str());
+    out += strFormat(
+        "  takeoff mass %.0f g (heatsink %.1f g), T/W %.2f, "
+        "a_max %.2f m/s^2\n",
+        analysis.takeoffMass.value(), analysis.heatsinkMass.value(),
+        analysis.thrustToWeight, analysis.aMax.value());
+    out += strFormat(
+        "  f_action %.2f Hz (bottleneck: %s), knee %.2f Hz\n",
+        a.actionThroughput.value(), a.bottleneckStage.c_str(),
+        a.kneeThroughput.value());
+    out += strFormat(
+        "  safe velocity %.2f m/s of %.2f m/s roof -> %s (%s)\n",
+        a.safeVelocity.value(), a.roofVelocity.value(),
+        core::toString(a.bound), core::toString(a.verdict));
+    for (const auto &tip : analysis.tips)
+        out += "  tip: " + tip + "\n";
+    return out;
+}
+
+} // namespace uavf1::skyline

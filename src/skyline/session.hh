@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Skyline analysis session (paper Section V).
+ *
+ * The session is the programmatic equivalent of the web tool: set
+ * knobs (interactively or by name/value strings from the CLI),
+ * derive the F-1 model, and obtain the automatic analysis — knee
+ * point, achievable safe velocity, limiting bound and optimization
+ * tips.
+ */
+
+#ifndef UAVF1_SKYLINE_SESSION_HH
+#define UAVF1_SKYLINE_SESSION_HH
+
+#include <string>
+#include <vector>
+
+#include "core/f1_model.hh"
+#include "skyline/knobs.hh"
+#include "thermal/heatsink.hh"
+
+namespace uavf1::skyline {
+
+/** One sample of a knob sweep (exploratory studies, Section V). */
+struct SweepPoint
+{
+    double knobValue = 0.0;     ///< The swept knob's value.
+    double safeVelocity = 0.0;  ///< m/s.
+    double kneeThroughput = 0.0; ///< Hz.
+    double roofVelocity = 0.0;  ///< m/s.
+    bool feasible = true;       ///< False if the build cannot hover.
+};
+
+/** The automatic-analysis output (paper Section V-D). */
+struct Analysis
+{
+    core::F1Analysis f1;           ///< Raw model analysis.
+    units::Grams heatsinkMass;     ///< Derived from the TDP knob.
+    units::Grams takeoffMass;      ///< drone + payload + heatsink.
+    double thrustToWeight = 0.0;   ///< At takeoff mass.
+    units::MetersPerSecondSquared aMax; ///< Derived acceleration.
+    std::vector<std::string> tips; ///< Optimization guidance.
+};
+
+/**
+ * A mutable Skyline session.
+ */
+class SkylineSession
+{
+  public:
+    /** Session with default knobs. */
+    SkylineSession() = default;
+
+    /** Session starting from explicit knobs. */
+    explicit SkylineSession(const Knobs &knobs) : _knobs(knobs) {}
+
+    /** Current knob values. */
+    const Knobs &knobs() const { return _knobs; }
+
+    /** Mutable knob access. */
+    Knobs &knobs() { return _knobs; }
+
+    /**
+     * Set a knob from CLI-style name/value strings. Knob names
+     * (case-insensitive): sensor_framerate, compute_tdp, algorithm,
+     * compute_runtime, sensor_range, drone_weight, rotor_pull,
+     * payload_weight, control_rate, knee_fraction.
+     *
+     * @throws ModelError for unknown names or unparsable values
+     */
+    void set(const std::string &name, const std::string &value);
+
+    /** All settable knob names (for CLI help). */
+    static std::vector<std::string> knobNames();
+
+    /** Heat-sink mass implied by the TDP knob. */
+    units::Grams heatsinkMass() const;
+
+    /** Takeoff mass: drone + payload + heat sink. */
+    units::Grams takeoffMass() const;
+
+    /** a_max from the rotor-pull and weight knobs. */
+    units::MetersPerSecondSquared aMax() const;
+
+    /** Build the F-1 model for the current knobs. */
+    core::F1Model model() const;
+
+    /** Run the automatic analysis. */
+    Analysis analyze() const;
+
+    /** Multi-line analysis text (the tool's guidance pane). */
+    std::string renderAnalysis() const;
+
+    /**
+     * Serialize the knob state to a "knob = value" text block
+     * (one knob per line, '#' comments allowed on load).
+     */
+    std::string saveConfig() const;
+
+    /**
+     * Apply a saved configuration (as produced by saveConfig()).
+     * Unknown knobs or unparsable values raise ModelError; knobs
+     * absent from the text keep their current values.
+     */
+    void loadConfig(const std::string &text);
+
+    /**
+     * Sweep one numeric knob across a range and collect the
+     * resulting model outputs — the programmatic version of
+     * dragging a slider in the web tool.
+     *
+     * @param knob knob name (any numeric knob from knobNames())
+     * @param from first value (inclusive)
+     * @param to last value (inclusive); may be below `from`
+     * @param steps number of samples (>= 2)
+     * @throws ModelError for non-numeric knobs or steps < 2
+     */
+    std::vector<SweepPoint> sweep(const std::string &knob,
+                                  double from, double to,
+                                  int steps) const;
+
+    /** The heat-sink model in use. */
+    const thermal::HeatsinkModel &heatsinkModel() const
+    {
+        return _heatsink;
+    }
+
+  private:
+    Knobs _knobs;
+    thermal::HeatsinkModel _heatsink;
+};
+
+} // namespace uavf1::skyline
+
+#endif // UAVF1_SKYLINE_SESSION_HH

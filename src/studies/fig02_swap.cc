@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 2b study implementation.
+ */
+
+#include "studies/fig02_swap.hh"
+
+#include "components/catalog.hh"
+#include "physics/battery.hh"
+#include "units/units.hh"
+
+namespace uavf1::studies {
+
+Fig02Result
+runFig02()
+{
+    const auto catalog = components::Catalog::standard();
+
+    const struct
+    {
+        const char *size_class;
+        const char *battery;
+        double frame_mm;
+        double endurance_min;
+    } rows[] = {
+        {"nano", "Nano 240mAh", 7.0, 6.0},
+        {"micro", "Micro 1300mAh", 250.0, 15.0},
+        {"mini", "Mini 3830mAh", 335.0, 30.0},
+    };
+
+    Fig02Result result;
+    for (const auto &row : rows) {
+        const physics::Battery &battery =
+            catalog.batteries().byName(row.battery);
+        SwapRow out;
+        out.sizeClass = row.size_class;
+        out.frameSizeMm = row.frame_mm;
+        out.capacityMah = battery.capacity().value();
+        out.enduranceMin = row.endurance_min;
+        out.usableEnergyWh = battery.usableEnergy().value();
+        out.impliedDrawW =
+            battery
+                .impliedDraw(units::Seconds(row.endurance_min * 60.0))
+                .value();
+        result.rows.push_back(std::move(out));
+    }
+    return result;
+}
+
+} // namespace uavf1::studies

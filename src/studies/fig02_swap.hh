@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 2b study: SWaP taxonomy — size, battery capacity and
+ * endurance across nano / micro / mini UAVs.
+ */
+
+#ifndef UAVF1_STUDIES_FIG02_SWAP_HH
+#define UAVF1_STUDIES_FIG02_SWAP_HH
+
+#include <string>
+#include <vector>
+
+namespace uavf1::studies {
+
+/** One size-class row (paper Fig. 2b). */
+struct SwapRow
+{
+    std::string sizeClass;      ///< "nano", "micro", "mini".
+    double frameSizeMm = 0.0;   ///< 7 / 250 / 335 in the paper.
+    double capacityMah = 0.0;   ///< 240 / 1300 / 3830.
+    double enduranceMin = 0.0;  ///< 6 / 15 / 30.
+    double usableEnergyWh = 0.0; ///< Derived.
+    double impliedDrawW = 0.0;  ///< Average power the endurance
+                                ///< implies.
+};
+
+/** Fig. 2b outputs. */
+struct Fig02Result
+{
+    std::vector<SwapRow> rows;
+};
+
+/** Run the Fig. 2b derivation. */
+Fig02Result runFig02();
+
+} // namespace uavf1::studies
+
+#endif // UAVF1_STUDIES_FIG02_SWAP_HH

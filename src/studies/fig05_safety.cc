@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 5 study implementation.
+ */
+
+#include "studies/fig05_safety.hh"
+
+namespace uavf1::studies {
+
+Fig05Result
+runFig05(std::size_t sweep_samples)
+{
+    using units::Hertz;
+    using units::Seconds;
+
+    const core::SafetyModel safety(
+        units::MetersPerSecondSquared(50.0), units::Meters(10.0));
+
+    Fig05Result result;
+    for (std::size_t i = 0; i < sweep_samples; ++i) {
+        SafetySweepPoint point;
+        point.tAction = 5.0 * static_cast<double>(i + 1) /
+                        static_cast<double>(sweep_samples);
+        point.fAction = 1.0 / point.tAction;
+        point.vSafe =
+            safety.safeVelocity(Seconds(point.tAction)).value();
+        result.sweep.push_back(point);
+    }
+
+    result.roof = safety.physicsRoof().value();
+    result.velocityAtA =
+        safety.safeVelocityAtRate(Hertz(1.0)).value();
+    result.velocityAt100Hz =
+        safety.safeVelocityAtRate(Hertz(100.0)).value();
+    result.kneeThroughput = safety.kneeThroughput().value();
+    result.gainAToKnee = result.velocityAt100Hz / result.velocityAtA;
+    result.gainBeyondKnee =
+        safety.safeVelocityAtRate(Hertz(10000.0)).value() /
+        result.velocityAt100Hz;
+    return result;
+}
+
+} // namespace uavf1::studies

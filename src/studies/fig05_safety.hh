@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 5 study: constructing the F-1 model from the safety model.
+ *
+ * Sweep T_action from 0 to 5 s with a_max = 50 m/s^2 and d = 10 m
+ * (the paper's example values); re-plot against f_action = 1/T to
+ * expose the roofline; annotate point A (1 Hz) and the knee-region
+ * point the paper marks at 100 Hz.
+ */
+
+#ifndef UAVF1_STUDIES_FIG05_SAFETY_HH
+#define UAVF1_STUDIES_FIG05_SAFETY_HH
+
+#include <vector>
+
+#include "core/safety_model.hh"
+
+namespace uavf1::studies {
+
+/** One sweep sample. */
+struct SafetySweepPoint
+{
+    double tAction = 0.0; ///< s.
+    double fAction = 0.0; ///< Hz (inf at T = 0 is skipped).
+    double vSafe = 0.0;   ///< m/s.
+};
+
+/** Fig. 5 outputs. */
+struct Fig05Result
+{
+    std::vector<SafetySweepPoint> sweep; ///< T from 5 s down.
+    double roof = 0.0;            ///< sqrt(2 d a) ~ 31.6 m/s.
+    double velocityAtA = 0.0;     ///< v at 1 Hz (~10 m/s).
+    double velocityAt100Hz = 0.0; ///< v at the paper's knee mark.
+    double kneeThroughput = 0.0;  ///< Library knee (k = 0.98).
+    /** Gain from A to 100 Hz (paper: 10 -> 30 m/s). */
+    double gainAToKnee = 0.0;
+    /** Gain from 100 Hz to 10 kHz (paper: ~1x; negligible). */
+    double gainBeyondKnee = 0.0;
+};
+
+/** Run the Fig. 5 sweep. */
+Fig05Result runFig05(std::size_t sweep_samples = 128);
+
+} // namespace uavf1::studies
+
+#endif // UAVF1_STUDIES_FIG05_SAFETY_HH

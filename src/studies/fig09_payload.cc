@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 9 study implementation.
+ */
+
+#include "studies/fig09_payload.hh"
+
+#include <cmath>
+
+#include "core/safety_model.hh"
+#include "physics/acceleration.hh"
+#include "sim/table1.hh"
+#include "units/units.hh"
+
+namespace uavf1::studies {
+
+namespace {
+
+using namespace units::literals;
+
+/** Velocity at the validation operating point for a payload. */
+PayloadPoint
+evaluatePayload(double payload_grams)
+{
+    const units::Grams base = 1030.0_g;
+    const units::Newtons thrust =
+        units::gramsForceToNewtons(sim::table1UsableThrust());
+    const units::Kilograms mass = units::toKilograms(
+        base + units::Grams(payload_grams));
+
+    physics::AccelerationOptions options;
+    options.law = physics::AccelerationLaw::VerticalExcess;
+    const auto a_max =
+        physics::maxAcceleration(thrust, mass, options);
+
+    const core::SafetyModel safety(a_max, 3.0_m);
+
+    PayloadPoint point;
+    point.payloadGrams = payload_grams;
+    point.aMax = a_max.value();
+    point.vSafe = safety.safeVelocityAtRate(10.0_hz).value();
+    return point;
+}
+
+} // namespace
+
+Fig09Result
+runFig09(std::size_t sweep_samples)
+{
+    Fig09Result result;
+
+    // Feasibility bound: base + payload must stay below the usable
+    // thrust (1870 g-f); sweep 100 g .. 800 g like the paper's
+    // operating region.
+    const double lo = 100.0;
+    const double hi = 800.0;
+    for (std::size_t i = 0; i < sweep_samples; ++i) {
+        const double payload =
+            lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(sweep_samples - 1);
+        result.sweep.push_back(evaluatePayload(payload));
+    }
+
+    const struct { const char *name; double payload; } uavs[] = {
+        {"UAV-A", 590.0},
+        {"UAV-B", 800.0},
+        {"UAV-C", 640.0},
+        {"UAV-D", 690.0},
+    };
+    for (const auto &uav : uavs) {
+        const PayloadPoint point = evaluatePayload(uav.payload);
+        result.markers.push_back(
+            {uav.name, uav.payload, point.vSafe});
+    }
+
+    const double v_a = result.markers[0].vSafe;
+    const double v_b = result.markers[1].vSafe;
+    const double v_c = result.markers[2].vSafe;
+    const double v_d = result.markers[3].vSafe;
+    result.dropAtoC = 100.0 * (1.0 - v_c / v_a);
+    result.dropCtoD = 100.0 * (1.0 - v_d / v_c);
+    result.dropAtoB = 100.0 * (1.0 - v_b / v_a);
+    return result;
+}
+
+} // namespace uavf1::studies

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 9 study: non-linear relationship between safe velocity and
+ * payload weight (paper Section IV).
+ *
+ * Sweeps the payload of the S500 validation build (1030 g base,
+ * usable thrust 1870 g-f as calibrated in sim/table1) and maps the
+ * four Table-I UAVs onto the curve. The paper's headline: equal
+ * 50 g payload increments do not produce equal velocity drops
+ * (A->C vs C->D), and the 210 g heavier UpBoard build (B) loses
+ * far more than proportionally.
+ */
+
+#ifndef UAVF1_STUDIES_FIG09_PAYLOAD_HH
+#define UAVF1_STUDIES_FIG09_PAYLOAD_HH
+
+#include <string>
+#include <vector>
+
+namespace uavf1::studies {
+
+/** One payload sweep sample. */
+struct PayloadPoint
+{
+    double payloadGrams = 0.0;
+    double aMax = 0.0;   ///< m/s^2 (vertical-excess law).
+    double vSafe = 0.0;  ///< m/s at the 10 Hz validation loop rate.
+};
+
+/** One Table-I UAV mapped onto the curve. */
+struct PayloadMarker
+{
+    std::string name;    ///< "UAV-A" ...
+    double payloadGrams = 0.0;
+    double vSafe = 0.0;
+};
+
+/** Fig. 9 outputs. */
+struct Fig09Result
+{
+    std::vector<PayloadPoint> sweep;    ///< Payload 100 .. 800 g.
+    std::vector<PayloadMarker> markers; ///< UAV-A..D.
+    double dropAtoC = 0.0; ///< % velocity loss for A -> C (+50 g).
+    double dropCtoD = 0.0; ///< % velocity loss for C -> D (+50 g).
+    double dropAtoB = 0.0; ///< % velocity loss for A -> B (+210 g).
+};
+
+/** Run the Fig. 9 sweep. */
+Fig09Result runFig09(std::size_t sweep_samples = 141);
+
+} // namespace uavf1::studies
+
+#endif // UAVF1_STUDIES_FIG09_PAYLOAD_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig. 11 study implementation.
+ */
+
+#include "studies/fig11_compute.hh"
+
+#include "components/catalog.hh"
+#include "core/uav_config.hh"
+#include "support/errors.hh"
+#include "workload/throughput.hh"
+
+namespace uavf1::studies {
+
+namespace {
+
+/** Build the Spark configuration for one compute option. */
+core::UavConfig
+buildConfig(const components::ComputePlatform &platform)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+
+    // The AGX-15W variant keeps the measured 30 W throughput (the
+    // paper assumes the optimization is performance-neutral).
+    workload::ThroughputOracle oracle =
+        workload::ThroughputOracle::standard();
+    if (!oracle.hasMeasurement("DroNet", platform.name())) {
+        oracle.addMeasurement("DroNet", platform.name(),
+                              oracle.measured("DroNet", "Nvidia AGX"));
+    }
+
+    core::UavConfig::Builder builder("DJI Spark + " + platform.name());
+    builder.airframe(catalog.airframes().byName("DJI Spark"))
+        .sensor(catalog.sensors().byName("60FPS camera (6m)"))
+        .compute(platform)
+        .algorithm(algorithms.byName("DroNet"))
+        .throughputOracle(oracle);
+    return builder.build();
+}
+
+/** The platform behind each option name. */
+components::ComputePlatform
+platformFor(const std::string &option_name)
+{
+    const auto catalog = components::Catalog::standard();
+    if (option_name == "Nvidia AGX-15W") {
+        return catalog.computes().byName("Nvidia AGX").withTdp(
+            units::Watts(15.0), "-15W");
+    }
+    return catalog.computes().byName(option_name);
+}
+
+Fig11Option
+buildOption(const std::string &option_name)
+{
+    const components::ComputePlatform platform =
+        platformFor(option_name);
+    const core::UavConfig config = buildConfig(platform);
+
+    Fig11Option option;
+    option.name = platform.name();
+    option.throughputHz = config.computeRate().value();
+    option.heatsinkGrams =
+        platform.heatsinkMass(config.heatsinkModel()).value();
+    option.takeoffGrams = config.takeoffMass().value();
+    option.aMax = config.maxAcceleration().value();
+    option.analysis = config.f1Model().analyze();
+    return option;
+}
+
+} // namespace
+
+core::F1Model
+fig11Model(const std::string &option_name)
+{
+    return buildConfig(platformFor(option_name)).f1Model();
+}
+
+Fig11Result
+runFig11()
+{
+    Fig11Result result;
+    result.ncs = buildOption("Intel NCS");
+    result.agx30 = buildOption("Nvidia AGX");
+    result.agx15 = buildOption("Nvidia AGX-15W");
+    result.agxTdpGain = result.agx15.analysis.roofVelocity.value() /
+                        result.agx30.analysis.roofVelocity.value();
+    result.ncsWins = result.ncs.analysis.roofVelocity >
+                     result.agx30.analysis.roofVelocity;
+    return result;
+}
+
+} // namespace uavf1::studies

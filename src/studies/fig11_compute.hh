@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 11 study: choosing between Intel NCS and Nvidia AGX for a
+ * DJI Spark running DroNet (paper Section VI-A).
+ *
+ * Built through the component path: the Spark airframe, a 60 FPS /
+ * 6 m camera, and the two platforms with their paper-quoted
+ * payloads (NCS 47 g; AGX 280 g module + 162 g heat sink at 30 W).
+ * The what-if reduces the AGX TDP to 15 W at equal throughput,
+ * halving the heat sink to 81 g — the paper reports the resulting
+ * roofline rises by ~75%, which this study reproduces.
+ */
+
+#ifndef UAVF1_STUDIES_FIG11_COMPUTE_HH
+#define UAVF1_STUDIES_FIG11_COMPUTE_HH
+
+#include <string>
+
+#include "core/f1_model.hh"
+
+namespace uavf1::studies {
+
+/** One compute option on the Spark. */
+struct Fig11Option
+{
+    std::string name;           ///< "Intel NCS", "Nvidia AGX", ...
+    double throughputHz = 0.0;  ///< DroNet rate on this platform.
+    double heatsinkGrams = 0.0; ///< Derived heat-sink mass.
+    double takeoffGrams = 0.0;  ///< Total takeoff mass.
+    double aMax = 0.0;          ///< Derived acceleration, m/s^2.
+    core::F1Analysis analysis;  ///< F-1 analysis.
+};
+
+/** Fig. 11 outputs. */
+struct Fig11Result
+{
+    Fig11Option ncs;    ///< Intel NCS option.
+    Fig11Option agx30;  ///< Nvidia AGX at 30 W.
+    Fig11Option agx15;  ///< Nvidia AGX optimized to 15 W.
+    /** Roof gain of AGX-15W over AGX-30W (paper: ~1.75x). */
+    double agxTdpGain = 0.0;
+    /** True when the NCS roofline tops the AGX-30W roofline. */
+    bool ncsWins = false;
+};
+
+/** Run the Fig. 11 study. */
+Fig11Result runFig11();
+
+/** The F-1 model for one of the three options (for plotting). */
+core::F1Model fig11Model(const std::string &option_name);
+
+} // namespace uavf1::studies
+
+#endif // UAVF1_STUDIES_FIG11_COMPUTE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 13 study implementation.
+ */
+
+#include "studies/fig13_algorithms.hh"
+
+#include "studies/presets.hh"
+#include "workload/throughput.hh"
+
+namespace uavf1::studies {
+
+namespace {
+
+const char *const fig13Algorithms[] = {
+    "SPA package delivery",
+    "TrailNet",
+    "DroNet",
+};
+
+} // namespace
+
+core::F1Model
+fig13Model(const std::string &algorithm)
+{
+    const auto oracle = workload::ThroughputOracle::standard();
+    return core::F1Model(
+        pelicanInputs(oracle.measured(algorithm, "Nvidia TX2")));
+}
+
+Fig13Result
+runFig13()
+{
+    const auto oracle = workload::ThroughputOracle::standard();
+
+    Fig13Result result;
+    for (const char *name : fig13Algorithms) {
+        Fig13Entry entry;
+        entry.algorithm = name;
+        entry.throughputHz =
+            oracle.measured(name, "Nvidia TX2").value();
+        entry.analysis = fig13Model(name).analyze();
+        entry.factorVsKnee =
+            entry.analysis.bound == core::BoundType::PhysicsBound
+                ? entry.analysis.overProvisionFactor
+                : entry.analysis.requiredSpeedup;
+        result.kneeThroughput =
+            entry.analysis.kneeThroughput.value();
+        result.entries.push_back(std::move(entry));
+    }
+    return result;
+}
+
+} // namespace uavf1::studies

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 13 study: autonomy-algorithm characterization on an AscTec
+ * Pelican with a Nvidia TX2 (paper Section VI-B).
+ *
+ * SPA (MAVBench package delivery) at 1.1 Hz is compute-bound and
+ * caps the velocity at ~2.3 m/s; the E2E algorithms TrailNet
+ * (55 Hz) and DroNet (178 Hz) are past the 43 Hz knee and therefore
+ * over-provisioned by 1.27x and 4.13x; SPA needs a 39x throughput
+ * improvement to reach the knee.
+ */
+
+#ifndef UAVF1_STUDIES_FIG13_ALGORITHMS_HH
+#define UAVF1_STUDIES_FIG13_ALGORITHMS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/f1_model.hh"
+
+namespace uavf1::studies {
+
+/** One algorithm on the Pelican+TX2. */
+struct Fig13Entry
+{
+    std::string algorithm;      ///< Algorithm name.
+    double throughputHz = 0.0;  ///< Measured on TX2.
+    core::F1Analysis analysis;  ///< F-1 analysis.
+    /** Over-provision factor (>1) or required speedup (<1 paths
+     * report requiredSpeedup in the analysis). */
+    double factorVsKnee = 0.0;
+};
+
+/** Fig. 13 outputs. */
+struct Fig13Result
+{
+    double kneeThroughput = 0.0; ///< ~43 Hz.
+    std::vector<Fig13Entry> entries; ///< SPA, TrailNet, DroNet.
+};
+
+/** Run the Fig. 13 study. */
+Fig13Result runFig13();
+
+/** The Pelican+TX2 F-1 model for one algorithm (for plotting). */
+core::F1Model fig13Model(const std::string &algorithm);
+
+} // namespace uavf1::studies
+
+#endif // UAVF1_STUDIES_FIG13_ALGORITHMS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 14 study implementation.
+ *
+ * Calibration: with the Pelican's 4 x 448 g-f static pull sustained
+ * at 83.3% (1493 g-f usable, the derate the conservative autonomy
+ * stack holds in reserve), the vertical-excess acceleration law
+ * yields a 0.449x acceleration drop when the second TX2 + validator
+ * joins the payload, i.e. sqrt(0.449) = 0.67x velocity — the
+ * paper's 33% loss.
+ */
+
+#include "studies/fig14_redundancy.hh"
+
+#include "components/catalog.hh"
+#include "core/uav_config.hh"
+#include "workload/throughput.hh"
+
+namespace uavf1::studies {
+
+namespace {
+
+/** Shared derate; see file comment. */
+constexpr double pelicanSustainedFraction = 0.833;
+
+core::UavConfig
+buildConfig(pipeline::RedundancyScheme scheme)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+
+    physics::AccelerationOptions accel;
+    accel.law = physics::AccelerationLaw::VerticalExcess;
+
+    const char *name =
+        scheme == pipeline::RedundancyScheme::None
+            ? "AscTec Pelican + TX2"
+            : "AscTec Pelican + 2x TX2 (DMR)";
+
+    core::UavConfig::Builder builder(name);
+    builder.airframe(catalog.airframes().byName("AscTec Pelican"))
+        .sensor(catalog.sensors().byName("RGB-D 60FPS (4.5m)"))
+        .compute(catalog.computes().byName("Nvidia TX2"))
+        .algorithm(algorithms.byName("DroNet"))
+        .redundancy(pipeline::ModularRedundancy(scheme))
+        .accelerationOptions(accel)
+        .thrustDerate(pelicanSustainedFraction);
+    return builder.build();
+}
+
+Fig14Option
+buildOption(pipeline::RedundancyScheme scheme)
+{
+    const core::UavConfig config = buildConfig(scheme);
+    Fig14Option option;
+    option.name = scheme == pipeline::RedundancyScheme::None
+                      ? "Roofline-TX2"
+                      : "Roofline-2x TX2";
+    option.replicas = config.redundancy().replicas();
+    option.computeGrams =
+        config.redundancy()
+            .payloadMass(*config.compute(), config.heatsinkModel())
+            .value();
+    option.takeoffGrams = config.takeoffMass().value();
+    option.aMax = config.maxAcceleration().value();
+    option.analysis = config.f1Model().analyze();
+    return option;
+}
+
+} // namespace
+
+core::F1Model
+fig14Model(pipeline::RedundancyScheme scheme)
+{
+    return buildConfig(scheme).f1Model();
+}
+
+Fig14Result
+runFig14()
+{
+    Fig14Result result;
+    result.single = buildOption(pipeline::RedundancyScheme::None);
+    result.dual = buildOption(pipeline::RedundancyScheme::Dual);
+    result.velocityLossPercent =
+        100.0 * (1.0 - result.dual.analysis.safeVelocity.value() /
+                           result.single.analysis.safeVelocity.value());
+    return result;
+}
+
+} // namespace uavf1::studies

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 14 study: dual-modular-redundant compute on an AscTec
+ * Pelican (paper Section VI-C).
+ *
+ * DroNet on a single TX2 (178 Hz) with an RGB-D camera (60 FPS,
+ * 4.5 m) is physics-bound; adding a second TX2 plus validator for
+ * DMR leaves the throughput unchanged but adds compute payload,
+ * which lowers a_max and with it the roofline — the paper reports a
+ * ~33% safe-velocity loss, which this study reproduces through the
+ * component path (Pelican propulsion sustained at ~83% of static
+ * pull; see the calibration note in fig14_redundancy.cc).
+ */
+
+#ifndef UAVF1_STUDIES_FIG14_REDUNDANCY_HH
+#define UAVF1_STUDIES_FIG14_REDUNDANCY_HH
+
+#include <string>
+
+#include "core/f1_model.hh"
+#include "pipeline/redundancy.hh"
+
+namespace uavf1::studies {
+
+/** One redundancy arrangement. */
+struct Fig14Option
+{
+    std::string name;            ///< "Roofline-TX2", "Roofline-2xTX2".
+    int replicas = 1;            ///< Compute replica count.
+    double computeGrams = 0.0;   ///< Compute payload mass.
+    double takeoffGrams = 0.0;   ///< Takeoff mass.
+    double aMax = 0.0;           ///< m/s^2.
+    core::F1Analysis analysis;   ///< F-1 analysis.
+};
+
+/** Fig. 14 outputs. */
+struct Fig14Result
+{
+    Fig14Option single; ///< Baseline single TX2.
+    Fig14Option dual;   ///< DMR: 2x TX2 + validator.
+    /** Safe-velocity loss of DMR vs baseline (paper: ~33%). */
+    double velocityLossPercent = 0.0;
+};
+
+/** Run the Fig. 14 study. */
+Fig14Result runFig14();
+
+/** The F-1 model for a redundancy scheme (for plotting). */
+core::F1Model fig14Model(pipeline::RedundancyScheme scheme);
+
+} // namespace uavf1::studies
+
+#endif // UAVF1_STUDIES_FIG14_REDUNDANCY_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 15 study implementation.
+ */
+
+#include "studies/fig15_full_system.hh"
+
+#include "components/catalog.hh"
+#include "studies/presets.hh"
+#include "support/errors.hh"
+#include "workload/algorithm.hh"
+
+namespace uavf1::studies {
+
+const Fig15Entry &
+Fig15Result::find(const std::string &uav, const std::string &algorithm,
+                  const std::string &compute) const
+{
+    for (const auto &entry : entries) {
+        if (entry.uav == uav && entry.algorithm == algorithm &&
+            entry.compute == compute) {
+            return entry;
+        }
+    }
+    throw ModelError("no Fig. 15 entry for " + uav + " / " +
+                     algorithm + " / " + compute);
+}
+
+Fig15Result
+runFig15()
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    const auto oracle = workload::ThroughputOracle::standard();
+
+    const std::vector<std::string> computes = {
+        "Intel NCS", "Nvidia TX2", "Ras-Pi4"};
+    const std::vector<std::string> algo_names = {
+        "DroNet", "TrailNet", "VGG16", "CAD2RL"};
+    const std::vector<std::string> uavs = {"AscTec Pelican",
+                                           "DJI Spark"};
+
+    Fig15Result result;
+    for (const auto &uav : uavs) {
+        for (const auto &algo_name : algo_names) {
+            for (const auto &compute : computes) {
+                const auto estimate = oracle.throughput(
+                    algorithms.byName(algo_name),
+                    catalog.computes().byName(compute));
+
+                Fig15Entry entry;
+                entry.uav = uav;
+                entry.algorithm = algo_name;
+                entry.compute = compute;
+                entry.throughputHz = estimate.value.value();
+                entry.source = estimate.source;
+
+                const core::F1Inputs inputs =
+                    uav == "AscTec Pelican"
+                        ? pelicanInputs(estimate.value)
+                        : sparkInputs(estimate.value);
+                entry.analysis = core::F1Model(inputs).analyze();
+                entry.factorVsKnee =
+                    entry.analysis.bound ==
+                            core::BoundType::PhysicsBound
+                        ? entry.analysis.overProvisionFactor
+                        : entry.analysis.requiredSpeedup;
+
+                if (uav == "AscTec Pelican") {
+                    result.pelicanKnee =
+                        entry.analysis.kneeThroughput.value();
+                } else {
+                    result.sparkKnee =
+                        entry.analysis.kneeThroughput.value();
+                }
+                result.entries.push_back(std::move(entry));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace uavf1::studies

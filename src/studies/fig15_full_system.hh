@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 15 study: full-system characterization (paper Section VI-D).
+ *
+ * Sweeps {Intel NCS, Nvidia TX2, Ras-Pi4} x {DroNet, TrailNet,
+ * VGG16, CAD2RL} over the AscTec Pelican (knee 43 Hz) and the DJI
+ * Spark (knee 30 Hz), classifying every pair as compute-bound or
+ * physics-bound. Headline reproductions: Spark+TX2+DroNet is
+ * over-provisioned ~6x; on the Pelican a Ras-Pi4 needs 3.3x
+ * (DroNet), 110x (TrailNet) and 660x (CAD2RL) more throughput to
+ * reach the knee.
+ */
+
+#ifndef UAVF1_STUDIES_FIG15_FULL_SYSTEM_HH
+#define UAVF1_STUDIES_FIG15_FULL_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "core/f1_model.hh"
+#include "workload/throughput.hh"
+
+namespace uavf1::studies {
+
+/** One (UAV, algorithm, platform) point. */
+struct Fig15Entry
+{
+    std::string uav;          ///< "AscTec Pelican" or "DJI Spark".
+    std::string algorithm;    ///< Algorithm name.
+    std::string compute;      ///< Platform name.
+    double throughputHz = 0.0;
+    workload::ThroughputSource source =
+        workload::ThroughputSource::Measured;
+    core::F1Analysis analysis;
+    double factorVsKnee = 0.0; ///< Over-provision or needed speedup.
+};
+
+/** Fig. 15 outputs. */
+struct Fig15Result
+{
+    double pelicanKnee = 0.0; ///< ~43 Hz.
+    double sparkKnee = 0.0;   ///< ~30 Hz.
+    std::vector<Fig15Entry> entries;
+
+    /** Find one entry (throws ModelError if absent). */
+    const Fig15Entry &find(const std::string &uav,
+                           const std::string &algorithm,
+                           const std::string &compute) const;
+};
+
+/** Run the Fig. 15 sweep. */
+Fig15Result runFig15();
+
+} // namespace uavf1::studies
+
+#endif // UAVF1_STUDIES_FIG15_FULL_SYSTEM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 16 study implementation.
+ */
+
+#include "studies/fig16_accelerators.hh"
+
+#include "studies/presets.hh"
+#include "workload/throughput.hh"
+
+namespace uavf1::studies {
+
+Fig16Result::Fig16Result()
+    : hostPipeline(workload::SpaPipeline::mavbenchPackageDeliveryTx2()),
+      navionPipeline(hostPipeline.withStageLatency(
+          "SLAM", workload::SpaPipeline::navionSlamLatency(),
+          " + Navion"))
+{
+}
+
+Fig16Result
+runFig16()
+{
+    Fig16Result result;
+
+    // PULP-DroNet: full autonomy at 6 Hz in 64 mW.
+    result.pulp.name = "PULP-DroNet";
+    result.pulp.throughputHz = workload::ThroughputOracle::standard()
+                                   .measured("DroNet", "PULP-GAP8")
+                                   .value();
+    result.pulp.powerWatts = 0.064;
+    result.pulp.analysis =
+        core::F1Model(
+            nanoInputs(units::Hertz(result.pulp.throughputHz)))
+            .analyze();
+    result.pulp.requiredSpeedup = result.pulp.analysis.requiredSpeedup;
+
+    // Navion: SLAM at 172 FPS @ 2 mW inside the full SPA pipeline.
+    result.navion.name = "Navion (SPA pipeline)";
+    result.navion.throughputHz =
+        result.navionPipeline.throughput().value();
+    result.navion.powerWatts = 0.002;
+    result.navion.analysis =
+        core::F1Model(
+            nanoInputs(units::Hertz(result.navion.throughputHz)))
+            .analyze();
+    result.navion.requiredSpeedup =
+        result.navion.analysis.requiredSpeedup;
+
+    result.kneeThroughput =
+        result.pulp.analysis.kneeThroughput.value();
+    return result;
+}
+
+} // namespace uavf1::studies

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 16 study: pitfalls of accelerator design by isolated metrics
+ * (paper Section VII).
+ *
+ * On a nano-UAV (knee 26 Hz):
+ * - PULP-DroNet runs full E2E autonomy at 6 Hz @ 64 mW ->
+ *   compute-bound, needs 4.33x more throughput;
+ * - Navion accelerates only the SLAM stage (172 FPS @ 2 mW) of the
+ *   MAVBench SPA pipeline; the end-to-end pipeline still takes
+ *   810 ms (1.23 Hz) -> compute-bound, needs 21.1x.
+ */
+
+#ifndef UAVF1_STUDIES_FIG16_ACCELERATORS_HH
+#define UAVF1_STUDIES_FIG16_ACCELERATORS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/f1_model.hh"
+#include "workload/spa_pipeline.hh"
+
+namespace uavf1::studies {
+
+/** One accelerator configuration on the nano-UAV. */
+struct Fig16Entry
+{
+    std::string name;          ///< "PULP-DroNet" / "Navion (SPA)".
+    double throughputHz = 0.0; ///< End-to-end decision rate.
+    double powerWatts = 0.0;   ///< Accelerator power.
+    core::F1Analysis analysis;
+    double requiredSpeedup = 0.0; ///< To reach the knee.
+};
+
+/** Fig. 16 outputs. */
+struct Fig16Result
+{
+    double kneeThroughput = 0.0; ///< ~26 Hz.
+    Fig16Entry pulp;             ///< PULP-DroNet.
+    Fig16Entry navion;           ///< Navion-in-SPA.
+    /** The SPA pipeline before the Navion swap (909 ms on TX2). */
+    workload::SpaPipeline hostPipeline;
+    /** The SPA pipeline with Navion SLAM (810 ms). */
+    workload::SpaPipeline navionPipeline;
+
+    Fig16Result();
+};
+
+/** Run the Fig. 16 study. */
+Fig16Result runFig16();
+
+} // namespace uavf1::studies
+
+#endif // UAVF1_STUDIES_FIG16_ACCELERATORS_HH

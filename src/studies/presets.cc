@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Calibrated presets.
+ */
+
+#include "studies/presets.hh"
+
+namespace uavf1::studies {
+
+using namespace units::literals;
+
+core::F1Inputs
+pelicanInputs(units::Hertz compute_rate)
+{
+    core::F1Inputs inputs;
+    inputs.aMax = 4.12_mps2;
+    inputs.sensingRange = 2.73_m;
+    inputs.sensorRate = 60.0_hz;
+    inputs.computeRate = compute_rate;
+    inputs.controlRate = 1000.0_hz;
+    return inputs;
+}
+
+core::F1Inputs
+sparkInputs(units::Hertz compute_rate)
+{
+    core::F1Inputs inputs;
+    inputs.aMax = 8.082_mps2;
+    inputs.sensingRange = 11.0_m;
+    inputs.sensorRate = 60.0_hz;
+    inputs.computeRate = compute_rate;
+    inputs.controlRate = 1000.0_hz;
+    return inputs;
+}
+
+core::F1Inputs
+nanoInputs(units::Hertz compute_rate)
+{
+    core::F1Inputs inputs;
+    inputs.aMax = 3.310_mps2;
+    inputs.sensingRange = 6.0_m;
+    inputs.sensorRate = 60.0_hz;
+    inputs.computeRate = compute_rate;
+    inputs.controlRate = 1000.0_hz;
+    return inputs;
+}
+
+} // namespace uavf1::studies

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Library error types.
+ *
+ * Following the gem5 fatal()/panic() split: user-facing configuration
+ * problems raise ModelError (the library equivalent of fatal());
+ * internal invariant violations use assert (the equivalent of panic()).
+ */
+
+#ifndef UAVF1_SUPPORT_ERRORS_HH
+#define UAVF1_SUPPORT_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace uavf1 {
+
+/**
+ * A user-correctable modeling error: invalid knob value, inconsistent
+ * configuration, unknown catalog entry, and so on.
+ */
+class ModelError : public std::runtime_error
+{
+  public:
+    /** Construct with a human-readable description. */
+    explicit ModelError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * A configuration that is physically infeasible, e.g. a UAV whose
+ * thrust-to-weight ratio is at or below 1 and therefore cannot hover.
+ */
+class InfeasibleError : public ModelError
+{
+  public:
+    /** Construct with a human-readable description. */
+    explicit InfeasibleError(const std::string &what_arg)
+        : ModelError(what_arg)
+    {}
+};
+
+} // namespace uavf1
+
+#endif // UAVF1_SUPPORT_ERRORS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SplitMix64 implementation.
+ */
+
+#include "support/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace uavf1 {
+
+std::uint64_t
+Rng::nextU64()
+{
+    std::uint64_t z = (_state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::normal()
+{
+    if (_haveSpare) {
+        _haveSpare = false;
+        return _spare;
+    }
+    // Box-Muller; guard against log(0).
+    double u1 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    _spare = r * std::sin(theta);
+    _haveSpare = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+Rng
+Rng::fork()
+{
+    // Mix the current stream into a fresh seed so substreams do not
+    // overlap with the parent.
+    return Rng(nextU64() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace uavf1

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic random number generation for the flight simulator.
+ *
+ * std::mt19937 plus the standard distributions are not guaranteed to
+ * produce identical streams across standard libraries, which would
+ * make the validation experiments irreproducible. SplitMix64 plus
+ * hand-rolled uniform/normal transforms are bit-exact everywhere.
+ */
+
+#ifndef UAVF1_SUPPORT_RNG_HH
+#define UAVF1_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace uavf1 {
+
+/**
+ * SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+ * Small state, excellent statistical quality for simulation noise.
+ */
+class Rng
+{
+  public:
+    /** Seeded constructor; the same seed always yields the same
+     * stream. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : _state(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal deviate via Box-Muller (deterministic). */
+    double normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Fork an independent substream (for per-trial determinism). */
+    Rng fork();
+
+  private:
+    std::uint64_t _state;
+    bool _haveSpare = false;
+    double _spare = 0.0;
+};
+
+} // namespace uavf1
+
+#endif // UAVF1_SUPPORT_RNG_HH

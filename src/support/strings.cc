@@ -1,0 +1,115 @@
+/**
+ * @file
+ * String helper implementations.
+ */
+
+#include "support/strings.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace uavf1 {
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+        out.resize(static_cast<std::size_t>(needed));
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+trimmedNumber(double value, int precision)
+{
+    std::string s = strFormat("%.*f", precision, value);
+    if (s.find('.') == std::string::npos)
+        return s;
+    while (!s.empty() && s.back() == '0')
+        s.pop_back();
+    if (!s.empty() && s.back() == '.')
+        s.pop_back();
+    return s;
+}
+
+std::string
+join(const std::vector<std::string> &pieces, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i)
+            out += sep;
+        out += pieces[i];
+    }
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+toLower(std::string s)
+{
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(s[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+    }
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+splitAndTrim(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    out.push_back(trim(current));
+    return out;
+}
+
+} // namespace uavf1

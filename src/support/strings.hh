@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string helpers shared by reports, tables and chart labels.
+ */
+
+#ifndef UAVF1_SUPPORT_STRINGS_HH
+#define UAVF1_SUPPORT_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace uavf1 {
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a double with the given precision, trimming trailing
+ * zeros ("2.130" -> "2.13", "3.000" -> "3"). */
+std::string trimmedNumber(double value, int precision = 3);
+
+/** Join pieces with a separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 const std::string &sep);
+
+/** Left-pad / right-pad a string to a width with spaces. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad a string to a width with spaces. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string s);
+
+/** Split on a delimiter, trimming surrounding whitespace. */
+std::vector<std::string> splitAndTrim(const std::string &s, char delim);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+} // namespace uavf1
+
+#endif // UAVF1_SUPPORT_STRINGS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Text table implementation.
+ */
+
+#include "support/table.hh"
+
+#include <algorithm>
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+
+namespace uavf1 {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        throw ModelError("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size()) {
+        throw ModelError(strFormat(
+            "TextTable row has %zu cells, expected %zu", cells.size(),
+            _headers.size()));
+    }
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += ' ';
+            line += padRight(row[c], widths[c]);
+            line += " |";
+        }
+        return line + "\n";
+    };
+
+    std::string out = render_row(_headers);
+    out += "|";
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        out += std::string(widths[c] + 2, '-') + "|";
+    out += "\n";
+    for (const auto &row : _rows)
+        out += render_row(row);
+    return out;
+}
+
+} // namespace uavf1

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table renderer used by the bench harnesses and the
+ * Skyline report writer to print paper-style tables.
+ */
+
+#ifndef UAVF1_SUPPORT_TABLE_HH
+#define UAVF1_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace uavf1 {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Example output:
+ * @code
+ * | UAV   | Payload (g) | v_safe (m/s) |
+ * |-------|-------------|--------------|
+ * | UAV-A |         590 |         2.13 |
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Render the table with pipes and a header separator. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace uavf1
+
+#endif // UAVF1_SUPPORT_TABLE_HH

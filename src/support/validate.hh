@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Argument validation helpers that raise ModelError with a useful
+ * message naming the offending parameter.
+ */
+
+#ifndef UAVF1_SUPPORT_VALIDATE_HH
+#define UAVF1_SUPPORT_VALIDATE_HH
+
+#include <string>
+
+#include "support/errors.hh"
+
+namespace uavf1 {
+
+/** Require value > 0, else throw ModelError naming the parameter. */
+inline double
+requirePositive(double value, const std::string &name)
+{
+    if (!(value > 0.0)) {
+        throw ModelError(name + " must be positive, got " +
+                         std::to_string(value));
+    }
+    return value;
+}
+
+/** Require value >= 0, else throw ModelError naming the parameter. */
+inline double
+requireNonNegative(double value, const std::string &name)
+{
+    if (value < 0.0) {
+        throw ModelError(name + " must be non-negative, got " +
+                         std::to_string(value));
+    }
+    return value;
+}
+
+/** Require lo <= value <= hi, else throw ModelError. */
+inline double
+requireInRange(double value, double lo, double hi,
+               const std::string &name)
+{
+    if (value < lo || value > hi) {
+        throw ModelError(name + " must be in [" + std::to_string(lo) +
+                         ", " + std::to_string(hi) + "], got " +
+                         std::to_string(value));
+    }
+    return value;
+}
+
+/** Require a finite value, else throw ModelError. */
+inline double
+requireFinite(double value, const std::string &name)
+{
+    if (!(value == value) || value > 1e300 || value < -1e300)
+        throw ModelError(name + " must be finite");
+    return value;
+}
+
+} // namespace uavf1
+
+#endif // UAVF1_SUPPORT_VALIDATE_HH

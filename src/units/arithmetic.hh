@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Physically meaningful cross-dimension arithmetic.
+ *
+ * Only the combinations the library actually needs are defined; any
+ * other cross-dimension product or quotient is a compile error, which
+ * is the point of the units layer.
+ */
+
+#ifndef UAVF1_UNITS_ARITHMETIC_HH
+#define UAVF1_UNITS_ARITHMETIC_HH
+
+#include <cmath>
+#include <numbers>
+
+#include "units/dimensions.hh"
+
+namespace uavf1::units {
+
+/** distance / time = velocity. */
+constexpr MetersPerSecond
+operator/(Meters d, Seconds t)
+{
+    return MetersPerSecond(d.value() / t.value());
+}
+
+/** velocity * time = distance. */
+constexpr Meters
+operator*(MetersPerSecond v, Seconds t)
+{
+    return Meters(v.value() * t.value());
+}
+
+/** time * velocity = distance. */
+constexpr Meters
+operator*(Seconds t, MetersPerSecond v)
+{
+    return v * t;
+}
+
+/** velocity / time = acceleration. */
+constexpr MetersPerSecondSquared
+operator/(MetersPerSecond v, Seconds t)
+{
+    return MetersPerSecondSquared(v.value() / t.value());
+}
+
+/** acceleration * time = velocity. */
+constexpr MetersPerSecond
+operator*(MetersPerSecondSquared a, Seconds t)
+{
+    return MetersPerSecond(a.value() * t.value());
+}
+
+/** time * acceleration = velocity. */
+constexpr MetersPerSecond
+operator*(Seconds t, MetersPerSecondSquared a)
+{
+    return a * t;
+}
+
+/** velocity / acceleration = time (e.g. braking time). */
+constexpr Seconds
+operator/(MetersPerSecond v, MetersPerSecondSquared a)
+{
+    return Seconds(v.value() / a.value());
+}
+
+/** mass * acceleration = force (mass in kilograms). */
+constexpr Newtons
+operator*(Kilograms m, MetersPerSecondSquared a)
+{
+    return Newtons(m.value() * a.value());
+}
+
+/** acceleration * mass = force. */
+constexpr Newtons
+operator*(MetersPerSecondSquared a, Kilograms m)
+{
+    return m * a;
+}
+
+/** force / mass = acceleration. */
+constexpr MetersPerSecondSquared
+operator/(Newtons f, Kilograms m)
+{
+    return MetersPerSecondSquared(f.value() / m.value());
+}
+
+/** force / acceleration = mass. */
+constexpr Kilograms
+operator/(Newtons f, MetersPerSecondSquared a)
+{
+    return Kilograms(f.value() / a.value());
+}
+
+/** power * time = energy. */
+constexpr Joules
+operator*(Watts p, Seconds t)
+{
+    return Joules(p.value() * t.value());
+}
+
+/** time * power = energy. */
+constexpr Joules
+operator*(Seconds t, Watts p)
+{
+    return p * t;
+}
+
+/** energy / time = power. */
+constexpr Watts
+operator/(Joules e, Seconds t)
+{
+    return Watts(e.value() / t.value());
+}
+
+/** energy / power = time (endurance). */
+constexpr Seconds
+operator/(Joules e, Watts p)
+{
+    return Seconds(e.value() / p.value());
+}
+
+/** A period is the reciprocal of a rate. */
+constexpr Seconds
+period(Hertz f)
+{
+    return Seconds(1.0 / f.value());
+}
+
+/** A rate is the reciprocal of a period. */
+constexpr Hertz
+rate(Seconds t)
+{
+    return Hertz(1.0 / t.value());
+}
+
+/** Grams -> kilograms. */
+constexpr Kilograms
+toKilograms(Grams g)
+{
+    return Kilograms(g.value() / 1000.0);
+}
+
+/** Kilograms -> grams. */
+constexpr Grams
+toGrams(Kilograms kg)
+{
+    return Grams(kg.value() * 1000.0);
+}
+
+/** Degrees -> radians. */
+constexpr Radians
+toRadians(Degrees d)
+{
+    return Radians(d.value() * std::numbers::pi / 180.0);
+}
+
+/** Radians -> degrees. */
+constexpr Degrees
+toDegrees(Radians r)
+{
+    return Degrees(r.value() * 180.0 / std::numbers::pi);
+}
+
+/** Joules -> watt-hours. */
+constexpr WattHours
+toWattHours(Joules j)
+{
+    return WattHours(j.value() / 3600.0);
+}
+
+/** Watt-hours -> joules. */
+constexpr Joules
+toJoules(WattHours wh)
+{
+    return Joules(wh.value() * 3600.0);
+}
+
+/** Battery charge at a nominal voltage -> stored energy. */
+constexpr WattHours
+batteryEnergy(MilliampHours capacity, Volts nominal)
+{
+    return WattHours(capacity.value() / 1000.0 * nominal.value());
+}
+
+} // namespace uavf1::units
+
+#endif // UAVF1_UNITS_ARITHMETIC_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Physical constants shared across the library.
+ */
+
+#ifndef UAVF1_UNITS_CONSTANTS_HH
+#define UAVF1_UNITS_CONSTANTS_HH
+
+#include "units/arithmetic.hh"
+#include "units/dimensions.hh"
+
+namespace uavf1::units {
+
+/** Standard gravity, m/s^2. */
+constexpr MetersPerSecondSquared standardGravity{9.80665};
+
+/** Sea-level air density, kg/m^3 (plain double: only drag uses it). */
+constexpr double airDensityKgPerM3 = 1.225;
+
+/**
+ * Convert a thrust quoted in grams-force (how motor vendors and
+ * Table I of the paper quote "motor pull") to newtons.
+ */
+constexpr Newtons
+gramsForceToNewtons(Grams pull)
+{
+    return Newtons(pull.value() / 1000.0 * standardGravity.value());
+}
+
+/** Convert newtons back to the grams-force convention. */
+constexpr Grams
+newtonsToGramsForce(Newtons f)
+{
+    return Grams(f.value() / standardGravity.value() * 1000.0);
+}
+
+} // namespace uavf1::units
+
+#endif // UAVF1_UNITS_CONSTANTS_HH

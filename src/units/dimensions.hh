@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dimension tags and canonical unit aliases for the F-1 model.
+ *
+ * Canonical units follow the paper's conventions: distances in meters,
+ * time in seconds, rates in hertz, masses in grams (the paper tabulates
+ * payloads in grams), power in watts, thrust in newtons.
+ */
+
+#ifndef UAVF1_UNITS_DIMENSIONS_HH
+#define UAVF1_UNITS_DIMENSIONS_HH
+
+#include "units/quantity.hh"
+
+namespace uavf1::units {
+
+/** @{ Dimension tags. Empty structs; never instantiated. */
+struct MeterTag {};
+struct SecondTag {};
+struct HertzTag {};
+struct GramTag {};
+struct KilogramTag {};
+struct WattTag {};
+struct JouleTag {};
+struct WattHourTag {};
+struct MilliampHourTag {};
+struct VoltTag {};
+struct NewtonTag {};
+struct MetersPerSecondTag {};
+struct MetersPerSecondSquaredTag {};
+struct RadianTag {};
+struct DegreeTag {};
+struct GopsTag {};          ///< Giga-operations per second.
+struct GigabytesPerSecondTag {};
+struct OpsPerByteTag {};    ///< Arithmetic intensity.
+/** @} */
+
+/** @{ Canonical quantity aliases. */
+using Meters = Quantity<MeterTag>;
+using Seconds = Quantity<SecondTag>;
+using Hertz = Quantity<HertzTag>;
+using Grams = Quantity<GramTag>;
+using Kilograms = Quantity<KilogramTag>;
+using Watts = Quantity<WattTag>;
+using Joules = Quantity<JouleTag>;
+using WattHours = Quantity<WattHourTag>;
+using MilliampHours = Quantity<MilliampHourTag>;
+using Volts = Quantity<VoltTag>;
+using Newtons = Quantity<NewtonTag>;
+using MetersPerSecond = Quantity<MetersPerSecondTag>;
+using MetersPerSecondSquared = Quantity<MetersPerSecondSquaredTag>;
+using Radians = Quantity<RadianTag>;
+using Degrees = Quantity<DegreeTag>;
+using Gops = Quantity<GopsTag>;
+using GigabytesPerSecond = Quantity<GigabytesPerSecondTag>;
+using OpsPerByte = Quantity<OpsPerByteTag>;
+/** @} */
+
+/** @{ Printable symbols. */
+template <> struct UnitTraits<MeterTag>
+{ static constexpr const char *symbol = "m"; };
+template <> struct UnitTraits<SecondTag>
+{ static constexpr const char *symbol = "s"; };
+template <> struct UnitTraits<HertzTag>
+{ static constexpr const char *symbol = "Hz"; };
+template <> struct UnitTraits<GramTag>
+{ static constexpr const char *symbol = "g"; };
+template <> struct UnitTraits<KilogramTag>
+{ static constexpr const char *symbol = "kg"; };
+template <> struct UnitTraits<WattTag>
+{ static constexpr const char *symbol = "W"; };
+template <> struct UnitTraits<JouleTag>
+{ static constexpr const char *symbol = "J"; };
+template <> struct UnitTraits<WattHourTag>
+{ static constexpr const char *symbol = "Wh"; };
+template <> struct UnitTraits<MilliampHourTag>
+{ static constexpr const char *symbol = "mAh"; };
+template <> struct UnitTraits<VoltTag>
+{ static constexpr const char *symbol = "V"; };
+template <> struct UnitTraits<NewtonTag>
+{ static constexpr const char *symbol = "N"; };
+template <> struct UnitTraits<MetersPerSecondTag>
+{ static constexpr const char *symbol = "m/s"; };
+template <> struct UnitTraits<MetersPerSecondSquaredTag>
+{ static constexpr const char *symbol = "m/s^2"; };
+template <> struct UnitTraits<RadianTag>
+{ static constexpr const char *symbol = "rad"; };
+template <> struct UnitTraits<DegreeTag>
+{ static constexpr const char *symbol = "deg"; };
+template <> struct UnitTraits<GopsTag>
+{ static constexpr const char *symbol = "GOPS"; };
+template <> struct UnitTraits<GigabytesPerSecondTag>
+{ static constexpr const char *symbol = "GB/s"; };
+template <> struct UnitTraits<OpsPerByteTag>
+{ static constexpr const char *symbol = "op/B"; };
+/** @} */
+
+} // namespace uavf1::units
+
+#endif // UAVF1_UNITS_DIMENSIONS_HH

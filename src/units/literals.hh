@@ -1,0 +1,109 @@
+/**
+ * @file
+ * User-defined literals for the canonical units.
+ *
+ * Pull in with `using namespace uavf1::units::literals;` inside a
+ * function or source file (never in a header).
+ */
+
+#ifndef UAVF1_UNITS_LITERALS_HH
+#define UAVF1_UNITS_LITERALS_HH
+
+#include "units/dimensions.hh"
+
+namespace uavf1::units::literals {
+
+/** Meters. */
+constexpr Meters operator""_m(long double v)
+{ return Meters(static_cast<double>(v)); }
+/** Meters (integral). */
+constexpr Meters operator""_m(unsigned long long v)
+{ return Meters(static_cast<double>(v)); }
+
+/** Seconds. */
+constexpr Seconds operator""_s(long double v)
+{ return Seconds(static_cast<double>(v)); }
+/** Seconds (integral). */
+constexpr Seconds operator""_s(unsigned long long v)
+{ return Seconds(static_cast<double>(v)); }
+
+/** Milliseconds, stored as seconds. */
+constexpr Seconds operator""_ms(long double v)
+{ return Seconds(static_cast<double>(v) / 1000.0); }
+/** Milliseconds (integral). */
+constexpr Seconds operator""_ms(unsigned long long v)
+{ return Seconds(static_cast<double>(v) / 1000.0); }
+
+/** Hertz. */
+constexpr Hertz operator""_hz(long double v)
+{ return Hertz(static_cast<double>(v)); }
+/** Hertz (integral). */
+constexpr Hertz operator""_hz(unsigned long long v)
+{ return Hertz(static_cast<double>(v)); }
+
+/** Grams. */
+constexpr Grams operator""_g(long double v)
+{ return Grams(static_cast<double>(v)); }
+/** Grams (integral). */
+constexpr Grams operator""_g(unsigned long long v)
+{ return Grams(static_cast<double>(v)); }
+
+/** Kilograms. */
+constexpr Kilograms operator""_kg(long double v)
+{ return Kilograms(static_cast<double>(v)); }
+/** Kilograms (integral). */
+constexpr Kilograms operator""_kg(unsigned long long v)
+{ return Kilograms(static_cast<double>(v)); }
+
+/** Watts. */
+constexpr Watts operator""_w(long double v)
+{ return Watts(static_cast<double>(v)); }
+/** Watts (integral). */
+constexpr Watts operator""_w(unsigned long long v)
+{ return Watts(static_cast<double>(v)); }
+
+/** Milliwatts, stored as watts. */
+constexpr Watts operator""_mw(long double v)
+{ return Watts(static_cast<double>(v) / 1000.0); }
+/** Milliwatts (integral). */
+constexpr Watts operator""_mw(unsigned long long v)
+{ return Watts(static_cast<double>(v) / 1000.0); }
+
+/** Meters per second. */
+constexpr MetersPerSecond operator""_mps(long double v)
+{ return MetersPerSecond(static_cast<double>(v)); }
+/** Meters per second (integral). */
+constexpr MetersPerSecond operator""_mps(unsigned long long v)
+{ return MetersPerSecond(static_cast<double>(v)); }
+
+/** Meters per second squared. */
+constexpr MetersPerSecondSquared operator""_mps2(long double v)
+{ return MetersPerSecondSquared(static_cast<double>(v)); }
+/** Meters per second squared (integral). */
+constexpr MetersPerSecondSquared operator""_mps2(unsigned long long v)
+{ return MetersPerSecondSquared(static_cast<double>(v)); }
+
+/** Milliamp-hours. */
+constexpr MilliampHours operator""_mah(long double v)
+{ return MilliampHours(static_cast<double>(v)); }
+/** Milliamp-hours (integral). */
+constexpr MilliampHours operator""_mah(unsigned long long v)
+{ return MilliampHours(static_cast<double>(v)); }
+
+/** Volts. */
+constexpr Volts operator""_v(long double v)
+{ return Volts(static_cast<double>(v)); }
+/** Volts (integral). */
+constexpr Volts operator""_v(unsigned long long v)
+{ return Volts(static_cast<double>(v)); }
+
+/** Degrees. */
+constexpr Degrees operator""_deg(long double v)
+{ return Degrees(static_cast<double>(v)); }
+/** Degrees (integral). */
+constexpr Degrees operator""_deg(unsigned long long v)
+{ return Degrees(static_cast<double>(v)); }
+
+} // namespace uavf1::units::literals
+
+#endif // UAVF1_UNITS_LITERALS_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Strongly-typed scalar physical quantity.
+ *
+ * The F-1 model mixes many thin scalar dimensions (meters, seconds,
+ * hertz, grams, watts, ...). Passing them all as `double` invites the
+ * classic "grams where kilograms were expected" class of bug, which in
+ * this domain silently shifts rooflines by 1000x. `Quantity<Tag>` wraps
+ * a double with a phantom tag so that distinct dimensions are distinct
+ * types, while staying a trivially-copyable value type with zero
+ * runtime overhead.
+ */
+
+#ifndef UAVF1_UNITS_QUANTITY_HH
+#define UAVF1_UNITS_QUANTITY_HH
+
+#include <cmath>
+#include <compare>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace uavf1::units {
+
+/**
+ * Per-tag traits; specializations provide the printable unit symbol.
+ * The primary template leaves the symbol empty so unknown tags still
+ * format as plain numbers.
+ */
+template <typename Tag>
+struct UnitTraits
+{
+    /** Printable SI symbol, e.g. "m/s". */
+    static constexpr const char *symbol = "";
+};
+
+/**
+ * A scalar physical quantity with a phantom dimension tag.
+ *
+ * Same-dimension arithmetic (+, -, scalar scaling, ratios) is defined
+ * here; dimension-crossing products and quotients (e.g. m/s / s ->
+ * m/s^2) are defined explicitly in arithmetic.hh so that only
+ * physically meaningful combinations compile.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    /** Zero-initialized quantity. */
+    constexpr Quantity() = default;
+
+    /** Wrap a raw magnitude. Explicit to keep dimensions honest. */
+    constexpr explicit Quantity(double value) : _value(value) {}
+
+    /** Raw magnitude in the canonical unit of this dimension. */
+    constexpr double value() const { return _value; }
+
+    /** Sum of two same-dimension quantities. */
+    constexpr Quantity operator+(Quantity other) const
+    {
+        return Quantity(_value + other._value);
+    }
+
+    /** Difference of two same-dimension quantities. */
+    constexpr Quantity operator-(Quantity other) const
+    {
+        return Quantity(_value - other._value);
+    }
+
+    /** Negation. */
+    constexpr Quantity operator-() const { return Quantity(-_value); }
+
+    /** Scale by a dimensionless factor. */
+    constexpr Quantity operator*(double factor) const
+    {
+        return Quantity(_value * factor);
+    }
+
+    /** Divide by a dimensionless factor. */
+    constexpr Quantity operator/(double factor) const
+    {
+        return Quantity(_value / factor);
+    }
+
+    /** Ratio of two same-dimension quantities is dimensionless. */
+    constexpr double operator/(Quantity other) const
+    {
+        return _value / other._value;
+    }
+
+    /** In-place accumulate. */
+    constexpr Quantity &operator+=(Quantity other)
+    {
+        _value += other._value;
+        return *this;
+    }
+
+    /** In-place subtract. */
+    constexpr Quantity &operator-=(Quantity other)
+    {
+        _value -= other._value;
+        return *this;
+    }
+
+    /** In-place scale. */
+    constexpr Quantity &operator*=(double factor)
+    {
+        _value *= factor;
+        return *this;
+    }
+
+    /** Three-way comparison on magnitude. */
+    friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+  private:
+    double _value = 0.0;
+};
+
+/** Commuted dimensionless scaling. */
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double factor, Quantity<Tag> q)
+{
+    return q * factor;
+}
+
+/** Absolute value of a quantity. */
+template <typename Tag>
+inline Quantity<Tag>
+abs(Quantity<Tag> q)
+{
+    return Quantity<Tag>(std::fabs(q.value()));
+}
+
+/** Smaller of two same-dimension quantities. */
+template <typename Tag>
+constexpr Quantity<Tag>
+min(Quantity<Tag> a, Quantity<Tag> b)
+{
+    return a < b ? a : b;
+}
+
+/** Larger of two same-dimension quantities. */
+template <typename Tag>
+constexpr Quantity<Tag>
+max(Quantity<Tag> a, Quantity<Tag> b)
+{
+    return a < b ? b : a;
+}
+
+/**
+ * Approximate equality with a relative tolerance (and an absolute
+ * floor for comparisons against zero).
+ *
+ * @param a first operand
+ * @param b second operand
+ * @param rel_tol relative tolerance, default 1e-9
+ * @param abs_tol absolute tolerance floor, default 1e-12
+ */
+template <typename Tag>
+inline bool
+almostEqual(Quantity<Tag> a, Quantity<Tag> b, double rel_tol = 1e-9,
+            double abs_tol = 1e-12)
+{
+    const double diff = std::fabs(a.value() - b.value());
+    const double scale =
+        std::fmax(std::fabs(a.value()), std::fabs(b.value()));
+    return diff <= std::fmax(rel_tol * scale, abs_tol);
+}
+
+/** Render a quantity as "<magnitude> <symbol>". */
+template <typename Tag>
+inline std::string
+toString(Quantity<Tag> q)
+{
+    std::string s = std::to_string(q.value());
+    // Trim trailing zeros that std::to_string always emits.
+    while (s.find('.') != std::string::npos &&
+           (s.back() == '0' || s.back() == '.')) {
+        const bool dot = s.back() == '.';
+        s.pop_back();
+        if (dot)
+            break;
+    }
+    const char *symbol = UnitTraits<Tag>::symbol;
+    if (symbol[0] != '\0') {
+        s += ' ';
+        s += symbol;
+    }
+    return s;
+}
+
+/** Stream insertion using toString(). */
+template <typename Tag>
+inline std::ostream &
+operator<<(std::ostream &os, Quantity<Tag> q)
+{
+    return os << toString(q);
+}
+
+} // namespace uavf1::units
+
+#endif // UAVF1_UNITS_QUANTITY_HH

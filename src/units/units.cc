@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Out-of-line helpers for the units library.
+ */
+
+#include "units/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace uavf1::units {
+
+std::string
+formatSi(double value, const std::string &symbol, int precision)
+{
+    static const struct { double scale; const char *prefix; } table[] = {
+        {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+        {1.0, ""}, {1e-3, "m"}, {1e-6, "u"},
+    };
+
+    double scaled = value;
+    const char *prefix = "";
+    const double mag = std::fabs(value);
+    if (mag > 0.0) {
+        for (const auto &entry : table) {
+            if (mag >= entry.scale) {
+                scaled = value / entry.scale;
+                prefix = entry.prefix;
+                break;
+            }
+        }
+    }
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s%s", precision, scaled,
+                  prefix, symbol.c_str());
+    return buf;
+}
+
+} // namespace uavf1::units

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * AutonomyAlgorithm implementation and standard registry.
+ */
+
+#include "workload/algorithm.hh"
+
+#include "support/validate.hh"
+
+namespace uavf1::workload {
+
+const char *
+toString(Paradigm paradigm)
+{
+    switch (paradigm) {
+      case Paradigm::SensePlanAct:
+        return "Sense-Plan-Act";
+      case Paradigm::EndToEnd:
+        return "End-to-End";
+    }
+    return "unknown";
+}
+
+AutonomyAlgorithm::AutonomyAlgorithm(std::string name,
+                                     Paradigm paradigm,
+                                     double work_per_frame,
+                                     double megabytes_per_frame)
+    : _name(std::move(name)), _paradigm(paradigm),
+      _workPerFrameGop(work_per_frame),
+      _megabytesPerFrame(megabytes_per_frame)
+{
+    requirePositive(_workPerFrameGop, "work_per_frame");
+    requirePositive(_megabytesPerFrame, "megabytes_per_frame");
+}
+
+units::OpsPerByte
+AutonomyAlgorithm::arithmeticIntensity() const
+{
+    return units::OpsPerByte(_workPerFrameGop * 1e9 /
+                             (_megabytesPerFrame * 1e6));
+}
+
+components::Registry<AutonomyAlgorithm>
+standardAlgorithms()
+{
+    components::Registry<AutonomyAlgorithm> reg;
+    reg.add(AutonomyAlgorithm("DroNet", Paradigm::EndToEnd, 0.04, 1.5));
+    reg.add(AutonomyAlgorithm("TrailNet", Paradigm::EndToEnd, 0.45,
+                              8.0));
+    reg.add(AutonomyAlgorithm("CAD2RL", Paradigm::EndToEnd, 2.0,
+                              30.0));
+    reg.add(AutonomyAlgorithm("VGG16", Paradigm::EndToEnd, 15.5,
+                              150.0));
+    reg.add(AutonomyAlgorithm("SPA package delivery",
+                              Paradigm::SensePlanAct, 12.0, 400.0));
+    return reg;
+}
+
+} // namespace uavf1::workload

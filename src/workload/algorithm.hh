@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Autonomy algorithm descriptors (paper Section II-E).
+ *
+ * Algorithms come in two paradigms: Sense-Plan-Act (SPA), a staged
+ * pipeline of perception / planning / control kernels, and End-to-End
+ * learning (E2E), a single neural network from pixels to actions.
+ * For the classic-roofline throughput bound each algorithm carries
+ * its per-frame work and memory traffic.
+ */
+
+#ifndef UAVF1_WORKLOAD_ALGORITHM_HH
+#define UAVF1_WORKLOAD_ALGORITHM_HH
+
+#include <string>
+
+#include "components/registry.hh"
+#include "units/units.hh"
+
+namespace uavf1::workload {
+
+/** Autonomy paradigm (paper Fig. 2c). */
+enum class Paradigm
+{
+    SensePlanAct,
+    EndToEnd,
+};
+
+/** Printable paradigm name. */
+const char *toString(Paradigm paradigm);
+
+/**
+ * A named autonomy algorithm with its per-frame resource profile.
+ */
+class AutonomyAlgorithm
+{
+  public:
+    /**
+     * @param name catalog designation, e.g. "DroNet"
+     * @param paradigm SPA or E2E
+     * @param work_per_frame compute work per decision, giga-ops
+     * @param megabytes_per_frame memory traffic per decision, MB
+     */
+    AutonomyAlgorithm(std::string name, Paradigm paradigm,
+                      double work_per_frame,
+                      double megabytes_per_frame);
+
+    /** Catalog designation. */
+    const std::string &name() const { return _name; }
+
+    /** Autonomy paradigm. */
+    Paradigm paradigm() const { return _paradigm; }
+
+    /** Compute work per decision, giga-ops. */
+    double workPerFrameGop() const { return _workPerFrameGop; }
+
+    /** Memory traffic per decision, megabytes. */
+    double megabytesPerFrame() const { return _megabytesPerFrame; }
+
+    /** Arithmetic intensity, ops per byte. */
+    units::OpsPerByte arithmeticIntensity() const;
+
+  private:
+    std::string _name;
+    Paradigm _paradigm;
+    double _workPerFrameGop;
+    double _megabytesPerFrame;
+};
+
+/**
+ * The algorithms the paper evaluates:
+ *
+ * - DroNet (E2E, Loquercio et al.): ResNet-8 class, ~0.04 GOP/frame.
+ * - TrailNet (E2E, Smolyanskiy et al.): ~0.45 GOP/frame.
+ * - CAD2RL (E2E, Sadeghi & Levine): ~2 GOP/frame.
+ * - VGG16 (E2E feature backbone): 15.5 GOP/frame.
+ * - SPA package delivery (MAVBench): staged pipeline; see
+ *   SpaPipeline for the stage breakdown.
+ */
+components::Registry<AutonomyAlgorithm> standardAlgorithms();
+
+} // namespace uavf1::workload
+
+#endif // UAVF1_WORKLOAD_ALGORITHM_HH

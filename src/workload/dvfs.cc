@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DvfsModel implementation.
+ */
+
+#include "workload/dvfs.hh"
+
+#include <cmath>
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+#include "support/validate.hh"
+
+namespace uavf1::workload {
+
+DvfsModel::DvfsModel(const Params &params) : _params(params)
+{
+    requireInRange(params.exponent, 1.0, 3.0, "exponent");
+    requireInRange(params.leakageFraction, 0.0, 0.9,
+                   "leakageFraction");
+    requireInRange(params.minFrequencyFraction, 0.01, 1.0,
+                   "minFrequencyFraction");
+}
+
+units::Watts
+DvfsModel::scaledTdp(units::Watts nominal_tdp,
+                     double frequency_fraction) const
+{
+    requirePositive(nominal_tdp.value(), "nominal_tdp");
+    if (frequency_fraction < _params.minFrequencyFraction ||
+        frequency_fraction > 1.0) {
+        throw ModelError(strFormat(
+            "frequency fraction %.3f outside the DVFS range "
+            "[%.2f, 1]",
+            frequency_fraction, _params.minFrequencyFraction));
+    }
+    const double leakage =
+        nominal_tdp.value() * _params.leakageFraction;
+    const double dynamic =
+        nominal_tdp.value() * (1.0 - _params.leakageFraction);
+    return units::Watts(
+        leakage +
+        dynamic * std::pow(frequency_fraction, _params.exponent));
+}
+
+components::ComputePlatform
+DvfsModel::derateToThroughput(
+    const components::ComputePlatform &platform,
+    units::Hertz measured, units::Hertz target,
+    const std::string &suffix) const
+{
+    requirePositive(measured.value(), "measured");
+    requirePositive(target.value(), "target");
+    const double fraction = target / measured;
+    if (fraction > 1.0) {
+        throw ModelError(strFormat(
+            "cannot DVFS %s up: target %.1f Hz exceeds measured "
+            "%.1f Hz",
+            platform.name().c_str(), target.value(),
+            measured.value()));
+    }
+    return platform.withTdp(scaledTdp(platform.tdp(), fraction),
+                            suffix);
+}
+
+} // namespace uavf1::workload

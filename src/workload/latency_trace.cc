@@ -1,0 +1,117 @@
+/**
+ * @file
+ * LatencyTrace implementation.
+ */
+
+#include "workload/latency_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/errors.hh"
+#include "support/rng.hh"
+#include "support/validate.hh"
+
+namespace uavf1::workload {
+
+LatencyTrace::LatencyTrace(std::string name,
+                           std::vector<units::Seconds> samples)
+    : _name(std::move(name))
+{
+    if (samples.empty())
+        throw ModelError("latency trace requires samples");
+    _sorted.reserve(samples.size());
+    double sum = 0.0;
+    for (const auto &sample : samples) {
+        requirePositive(sample.value(),
+                        "latency sample in '" + _name + "'");
+        _sorted.push_back(sample.value());
+        sum += sample.value();
+    }
+    std::sort(_sorted.begin(), _sorted.end());
+    _mean = sum / static_cast<double>(_sorted.size());
+}
+
+LatencyTrace
+LatencyTrace::synthesize(std::string name,
+                         units::Seconds mean_latency,
+                         double coefficient_of_variation,
+                         std::size_t count, std::uint64_t seed)
+{
+    requirePositive(mean_latency.value(), "mean_latency");
+    requireNonNegative(coefficient_of_variation,
+                       "coefficient_of_variation");
+    requirePositive(static_cast<double>(count), "count");
+
+    // Lognormal with E[X] = mean and sd/mean = cv:
+    // sigma^2 = ln(1 + cv^2), mu = ln(mean) - sigma^2 / 2.
+    const double cv2 =
+        coefficient_of_variation * coefficient_of_variation;
+    const double sigma2 = std::log(1.0 + cv2);
+    const double mu =
+        std::log(mean_latency.value()) - sigma2 / 2.0;
+    const double sigma = std::sqrt(sigma2);
+
+    Rng rng(seed);
+    std::vector<units::Seconds> samples;
+    samples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double z = sigma > 0.0 ? rng.normal() : 0.0;
+        samples.push_back(
+            units::Seconds(std::exp(mu + sigma * z)));
+    }
+    return LatencyTrace(std::move(name), std::move(samples));
+}
+
+units::Seconds
+LatencyTrace::mean() const
+{
+    return units::Seconds(_mean);
+}
+
+units::Seconds
+LatencyTrace::worst() const
+{
+    return units::Seconds(_sorted.back());
+}
+
+units::Seconds
+LatencyTrace::percentile(double p) const
+{
+    requireInRange(p, 0.0, 100.0, "percentile");
+    if (_sorted.size() == 1)
+        return units::Seconds(_sorted.front());
+    const double rank =
+        p / 100.0 * static_cast<double>(_sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi =
+        std::min(lo + 1, _sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return units::Seconds(_sorted[lo] +
+                          frac * (_sorted[hi] - _sorted[lo]));
+}
+
+units::Hertz
+LatencyTrace::meanThroughput() const
+{
+    return units::rate(mean());
+}
+
+units::Hertz
+LatencyTrace::percentileThroughput(double p) const
+{
+    return units::rate(percentile(p));
+}
+
+LatencyTrace
+LatencyTrace::scaledBy(double factor, const std::string &tag) const
+{
+    requirePositive(factor, "factor");
+    std::vector<units::Seconds> samples;
+    samples.reserve(_sorted.size());
+    for (double s : _sorted)
+        samples.push_back(units::Seconds(s * factor));
+    return LatencyTrace(_name + tag, std::move(samples));
+}
+
+} // namespace uavf1::workload

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-decision latency traces for autonomy algorithms.
+ *
+ * The F-1 model (and the paper) summarize an algorithm by a single
+ * throughput number. Real autonomy kernels — especially SPA
+ * planners (MAVBench reports heavy-tailed planning latencies) —
+ * have wide per-frame latency distributions, and a *safety* model
+ * should size the pipeline for the tail, not the mean: the obstacle
+ * arrives during the slow frame. This substrate models a latency
+ * distribution (synthetic lognormal or explicit samples) so the
+ * tail-vs-mean gap can be quantified (see
+ * bench_ablation_tail_latency).
+ */
+
+#ifndef UAVF1_WORKLOAD_LATENCY_TRACE_HH
+#define UAVF1_WORKLOAD_LATENCY_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "units/units.hh"
+
+namespace uavf1::workload {
+
+/**
+ * An ordered collection of per-decision latencies.
+ */
+class LatencyTrace
+{
+  public:
+    /**
+     * Build from explicit samples.
+     *
+     * @param name trace designation
+     * @param samples per-decision latencies; all positive, at
+     *        least one
+     */
+    LatencyTrace(std::string name,
+                 std::vector<units::Seconds> samples);
+
+    /**
+     * Synthesize a lognormal trace with a target mean latency and
+     * coefficient of variation (sigma/mu). Deterministic for a
+     * given seed (SplitMix64 + Box-Muller).
+     *
+     * @param name trace designation
+     * @param mean_latency target mean; must be positive
+     * @param coefficient_of_variation cv >= 0 (0 = constant)
+     * @param count number of samples (>= 1)
+     * @param seed RNG seed
+     */
+    static LatencyTrace
+    synthesize(std::string name, units::Seconds mean_latency,
+               double coefficient_of_variation, std::size_t count,
+               std::uint64_t seed = 1);
+
+    /** Trace designation. */
+    const std::string &name() const { return _name; }
+
+    /** Number of samples. */
+    std::size_t size() const { return _sorted.size(); }
+
+    /** Samples in ascending order, seconds. */
+    const std::vector<double> &sortedSeconds() const
+    {
+        return _sorted;
+    }
+
+    /** Mean latency. */
+    units::Seconds mean() const;
+
+    /** Maximum (worst-case) latency. */
+    units::Seconds worst() const;
+
+    /**
+     * Latency percentile by linear interpolation.
+     *
+     * @param p percentile in [0, 100]
+     */
+    units::Seconds percentile(double p) const;
+
+    /** Throughput implied by the mean latency. */
+    units::Hertz meanThroughput() const;
+
+    /**
+     * Throughput sustained at a percentile: the rate at which p %
+     * of decisions complete in time (1 / percentile latency).
+     */
+    units::Hertz percentileThroughput(double p) const;
+
+    /** Copy with every sample scaled (porting to another host). */
+    LatencyTrace scaledBy(double factor,
+                          const std::string &tag) const;
+
+  private:
+    std::string _name;
+    std::vector<double> _sorted; ///< Ascending, seconds.
+    double _mean = 0.0;
+};
+
+} // namespace uavf1::workload
+
+#endif // UAVF1_WORKLOAD_LATENCY_TRACE_HH

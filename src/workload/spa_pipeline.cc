@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SpaPipeline implementation.
+ */
+
+#include "workload/spa_pipeline.hh"
+
+#include <algorithm>
+
+#include "support/errors.hh"
+#include "support/validate.hh"
+
+namespace uavf1::workload {
+
+SpaPipeline::SpaPipeline(std::string name, std::vector<SpaStage> stages)
+    : _name(std::move(name)), _stages(std::move(stages))
+{
+    if (_stages.empty())
+        throw ModelError("SPA pipeline requires at least one stage");
+    for (const auto &stage : _stages) {
+        requirePositive(stage.latency.value(),
+                        "latency of SPA stage '" + stage.name + "'");
+    }
+}
+
+units::Seconds
+SpaPipeline::totalLatency() const
+{
+    units::Seconds total;
+    for (const auto &stage : _stages)
+        total += stage.latency;
+    return total;
+}
+
+units::Hertz
+SpaPipeline::throughput() const
+{
+    return units::rate(totalLatency());
+}
+
+const SpaStage &
+SpaPipeline::bottleneck() const
+{
+    return *std::max_element(
+        _stages.begin(), _stages.end(),
+        [](const SpaStage &a, const SpaStage &b) {
+            return a.latency < b.latency;
+        });
+}
+
+SpaPipeline
+SpaPipeline::withStageLatency(const std::string &stage_name,
+                              units::Seconds latency,
+                              const std::string &tag) const
+{
+    requirePositive(latency.value(), "latency");
+    std::vector<SpaStage> stages = _stages;
+    bool found = false;
+    for (auto &stage : stages) {
+        if (stage.name == stage_name) {
+            stage.latency = latency;
+            found = true;
+        }
+    }
+    if (!found) {
+        throw ModelError("SPA pipeline '" + _name + "' has no stage '" +
+                         stage_name + "'");
+    }
+    return SpaPipeline(_name + tag, std::move(stages));
+}
+
+SpaPipeline
+SpaPipeline::scaledBy(double factor, const std::string &tag) const
+{
+    requirePositive(factor, "factor");
+    std::vector<SpaStage> stages = _stages;
+    for (auto &stage : stages)
+        stage.latency *= factor;
+    return SpaPipeline(_name + tag, std::move(stages));
+}
+
+SpaPipeline
+SpaPipeline::mavbenchPackageDeliveryTx2()
+{
+    // Stage split calibrated to the paper's two anchors:
+    // total = 909 ms (1.1 Hz on TX2, Section VI-B) and
+    // total with Navion SLAM = 810 ms (1.23 Hz, Section VII).
+    // SLAM must therefore contribute 909 - 810 + 5.8 = 104.8 ms; the
+    // rest of the split follows MAVBench's published stage profile
+    // (mapping and planning dominate).
+    return SpaPipeline(
+        "MAVBench package delivery (TX2)",
+        {
+            {"SLAM", units::Seconds(0.1048)},
+            {"OctoMap", units::Seconds(0.3042)},
+            {"Path planner", units::Seconds(0.4000)},
+            {"Command tracking", units::Seconds(0.1000)},
+        });
+}
+
+units::Seconds
+SpaPipeline::navionSlamLatency()
+{
+    return units::Seconds(1.0 / 172.0);
+}
+
+} // namespace uavf1::workload

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sense-Plan-Act staged pipeline (paper Sections II-E, VII).
+ *
+ * SPA algorithms decompose into kernels (SLAM/perception, mapping,
+ * path planning, control) that execute sequentially per decision, so
+ * the compute latency is the *sum* of the stage latencies — unlike
+ * the sensor/compute/control pipeline of Eq. 1-3, whose stages
+ * overlap. This distinction is the crux of the paper's Navion
+ * analysis: a 172 FPS SLAM accelerator barely moves an 810 ms
+ * end-to-end SPA pipeline.
+ */
+
+#ifndef UAVF1_WORKLOAD_SPA_PIPELINE_HH
+#define UAVF1_WORKLOAD_SPA_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "units/units.hh"
+
+namespace uavf1::workload {
+
+/** One SPA stage with its per-decision latency. */
+struct SpaStage
+{
+    std::string name;        ///< e.g. "SLAM", "OctoMap".
+    units::Seconds latency;  ///< Per-decision latency.
+};
+
+/**
+ * A sequential stage pipeline with stage-substitution support.
+ */
+class SpaPipeline
+{
+  public:
+    /**
+     * @param name pipeline designation
+     * @param stages per-decision stages in execution order; at least
+     *        one, all latencies positive
+     */
+    SpaPipeline(std::string name, std::vector<SpaStage> stages);
+
+    /** Pipeline designation. */
+    const std::string &name() const { return _name; }
+
+    /** Stages in execution order. */
+    const std::vector<SpaStage> &stages() const { return _stages; }
+
+    /** Sum of stage latencies. */
+    units::Seconds totalLatency() const;
+
+    /** End-to-end decision throughput (1 / total latency). */
+    units::Hertz throughput() const;
+
+    /** The slowest stage (optimization target). */
+    const SpaStage &bottleneck() const;
+
+    /**
+     * Copy with one stage's latency replaced, e.g. swapping the SLAM
+     * stage for the Navion accelerator.
+     *
+     * @param stage_name stage to replace; must exist
+     * @param latency new latency; must be positive
+     * @param tag appended to the pipeline name, e.g. " + Navion"
+     * @throws ModelError if the stage does not exist
+     */
+    SpaPipeline withStageLatency(const std::string &stage_name,
+                                 units::Seconds latency,
+                                 const std::string &tag) const;
+
+    /** Copy with every stage latency scaled by a factor (porting the
+     * pipeline to a faster/slower host). */
+    SpaPipeline scaledBy(double factor,
+                         const std::string &tag) const;
+
+    /**
+     * The MAVBench package-delivery pipeline characterized on
+     * Nvidia TX2 (paper Section VI-B / VII): stage latencies chosen
+     * so that (a) the full pipeline runs at the paper's 1.1 Hz
+     * (909 ms) and (b) replacing SLAM with Navion's 172 FPS kernel
+     * yields the paper's 810 ms / 1.23 Hz.
+     */
+    static SpaPipeline mavbenchPackageDeliveryTx2();
+
+    /** Navion's measured SLAM kernel latency (172 FPS). */
+    static units::Seconds navionSlamLatency();
+
+  private:
+    std::string _name;
+    std::vector<SpaStage> _stages;
+};
+
+} // namespace uavf1::workload
+
+#endif // UAVF1_WORKLOAD_SPA_PIPELINE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Throughput oracle implementation.
+ */
+
+#include "workload/throughput.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+#include "support/validate.hh"
+
+namespace uavf1::workload {
+
+const char *
+toString(ThroughputSource source)
+{
+    switch (source) {
+      case ThroughputSource::Measured:
+        return "measured";
+      case ThroughputSource::RooflineBound:
+        return "roofline-bound";
+    }
+    return "unknown";
+}
+
+units::Hertz
+rooflineBound(const AutonomyAlgorithm &algorithm,
+              const components::ComputePlatform &platform)
+{
+    const double peak_gops = platform.peakThroughput().value();
+    const double bw_gbs = platform.memoryBandwidth().value();
+    const double ai = algorithm.arithmeticIntensity().value();
+    // Attainable GOPS is the lesser of the compute roof and the
+    // memory roof (classic roofline).
+    const double attainable = std::min(peak_gops, ai * bw_gbs);
+    return units::Hertz(attainable / algorithm.workPerFrameGop());
+}
+
+ThroughputOracle
+ThroughputOracle::standard()
+{
+    ThroughputOracle oracle;
+    oracle.addMeasurement("DroNet", "Nvidia TX2", units::Hertz(178.0));
+    oracle.addMeasurement("DroNet", "Nvidia AGX", units::Hertz(230.0));
+    oracle.addMeasurement("DroNet", "Intel NCS", units::Hertz(150.0));
+    oracle.addMeasurement("DroNet", "Ras-Pi4", units::Hertz(13.03));
+    oracle.addMeasurement("DroNet", "PULP-GAP8", units::Hertz(6.0));
+    oracle.addMeasurement("TrailNet", "Nvidia TX2", units::Hertz(55.0));
+    oracle.addMeasurement("TrailNet", "Ras-Pi4", units::Hertz(0.391));
+    oracle.addMeasurement("CAD2RL", "Ras-Pi4", units::Hertz(0.0652));
+    oracle.addMeasurement("VGG16", "Nvidia TX2", units::Hertz(16.0));
+    oracle.addMeasurement("SPA package delivery", "Nvidia TX2",
+                          units::Hertz(1.1));
+    return oracle;
+}
+
+void
+ThroughputOracle::addMeasurement(const std::string &algorithm,
+                                 const std::string &platform,
+                                 units::Hertz throughput)
+{
+    requirePositive(throughput.value(),
+                    "throughput of " + algorithm + " on " + platform);
+    _table[{algorithm, platform}] = throughput;
+}
+
+bool
+ThroughputOracle::hasMeasurement(const std::string &algorithm,
+                                 const std::string &platform) const
+{
+    return _table.count({algorithm, platform}) != 0;
+}
+
+ThroughputEstimate
+ThroughputOracle::throughput(
+    const AutonomyAlgorithm &algorithm,
+    const components::ComputePlatform &platform) const
+{
+    auto it = _table.find({algorithm.name(), platform.name()});
+    if (it != _table.end())
+        return {it->second, ThroughputSource::Measured};
+    return {rooflineBound(algorithm, platform),
+            ThroughputSource::RooflineBound};
+}
+
+units::Hertz
+ThroughputOracle::measured(const std::string &algorithm,
+                           const std::string &platform) const
+{
+    auto it = _table.find({algorithm, platform});
+    if (it == _table.end()) {
+        throw ModelError("no measured throughput for '" + algorithm +
+                         "' on '" + platform + "'");
+    }
+    return it->second;
+}
+
+ThroughputOracle
+ThroughputOracle::fromCsv(const std::string &csv)
+{
+    ThroughputOracle oracle;
+    bool header_seen = false;
+    for (const auto &raw_line : splitAndTrim(csv, '\n')) {
+        const std::string line = trim(raw_line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto fields = splitAndTrim(line, ',');
+        if (fields.size() != 3) {
+            throw ModelError("malformed throughput CSV row '" +
+                             line + "' (expected 3 fields)");
+        }
+        if (!header_seen) {
+            if (toLower(fields[0]) != "algorithm" ||
+                toLower(fields[1]) != "platform") {
+                throw ModelError(
+                    "throughput CSV must start with the header "
+                    "'algorithm,platform,throughput_hz'");
+            }
+            header_seen = true;
+            continue;
+        }
+        char *end = nullptr;
+        const double hz = std::strtod(fields[2].c_str(), &end);
+        if (end == fields[2].c_str() || (end && *end != '\0')) {
+            throw ModelError("non-numeric throughput '" +
+                             fields[2] + "' in row '" + line + "'");
+        }
+        oracle.addMeasurement(fields[0], fields[1],
+                              units::Hertz(hz));
+    }
+    if (!header_seen)
+        throw ModelError("throughput CSV contains no header row");
+    return oracle;
+}
+
+std::string
+ThroughputOracle::toCsv() const
+{
+    std::string out = "algorithm,platform,throughput_hz\n";
+    for (const auto &[key, value] : _table) {
+        out += key.first + "," + key.second + "," +
+               trimmedNumber(value.value(), 6) + "\n";
+    }
+    return out;
+}
+
+} // namespace uavf1::workload

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Algorithm-on-platform throughput oracle.
+ *
+ * The F-1 model consumes f_compute as an exogenous input. This
+ * oracle provides it from two sources:
+ *
+ * 1. A measured table seeded with every (algorithm, platform) number
+ *    the paper reports (Sections VI and VII).
+ * 2. A classic Williams-roofline *upper bound*
+ *    min(peak, AI x BW) / work_per_frame for unmeasured pairs —
+ *    a bound, not a prediction, exactly as the roofline model [24]
+ *    defines attainable performance.
+ */
+
+#ifndef UAVF1_WORKLOAD_THROUGHPUT_HH
+#define UAVF1_WORKLOAD_THROUGHPUT_HH
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "components/compute_platform.hh"
+#include "units/units.hh"
+#include "workload/algorithm.hh"
+
+namespace uavf1::workload {
+
+/** Where a throughput figure came from. */
+enum class ThroughputSource
+{
+    Measured,       ///< From the paper's characterization.
+    RooflineBound,  ///< Classic-roofline attainable upper bound.
+};
+
+/** Printable source name. */
+const char *toString(ThroughputSource source);
+
+/** A throughput figure with its provenance. */
+struct ThroughputEstimate
+{
+    units::Hertz value;       ///< Decisions per second.
+    ThroughputSource source;  ///< Provenance.
+};
+
+/**
+ * Classic-roofline attainable throughput for an algorithm on a
+ * platform: min(peak GOPS, AI * BW) / (GOP per frame).
+ */
+units::Hertz rooflineBound(const AutonomyAlgorithm &algorithm,
+                           const components::ComputePlatform &platform);
+
+/**
+ * Measured table + roofline-bound fallback.
+ */
+class ThroughputOracle
+{
+  public:
+    /** Empty oracle (roofline bound only). */
+    ThroughputOracle() = default;
+
+    /**
+     * Oracle seeded with the paper's measurements:
+     *
+     * | Algorithm | Platform | Hz | Paper anchor |
+     * |---|---|---|---|
+     * | DroNet | Nvidia TX2 | 178 | Section VI-B/C |
+     * | DroNet | Nvidia AGX | 230 | Section VI-A |
+     * | DroNet | Intel NCS | 150 | Section VI-A |
+     * | DroNet | Ras-Pi4 | 13.03 | 43 Hz knee / 3.3x gap |
+     * | DroNet | PULP-GAP8 | 6 | Section VII |
+     * | TrailNet | Nvidia TX2 | 55 | Section VI-B |
+     * | TrailNet | Ras-Pi4 | 0.391 | 43 Hz knee / 110x gap |
+     * | CAD2RL | Ras-Pi4 | 0.0652 | 43 Hz knee / 660x gap |
+     * | VGG16 | Nvidia TX2 | 16 | Fig. 15 |
+     * | SPA package delivery | Nvidia TX2 | 1.1 | Section VI-B |
+     */
+    static ThroughputOracle standard();
+
+    /** Record a measurement (overwrites an existing entry). */
+    void addMeasurement(const std::string &algorithm,
+                        const std::string &platform,
+                        units::Hertz throughput);
+
+    /** True if a measured entry exists for the pair. */
+    bool hasMeasurement(const std::string &algorithm,
+                        const std::string &platform) const;
+
+    /**
+     * Throughput for an algorithm on a platform: the measured value
+     * when available, otherwise the classic-roofline bound.
+     */
+    ThroughputEstimate
+    throughput(const AutonomyAlgorithm &algorithm,
+               const components::ComputePlatform &platform) const;
+
+    /**
+     * Measured throughput for the pair.
+     *
+     * @throws ModelError if the pair was never measured
+     */
+    units::Hertz measured(const std::string &algorithm,
+                          const std::string &platform) const;
+
+    /**
+     * Parse measurements from CSV text with the header
+     * `algorithm,platform,throughput_hz` ('#' comment lines and
+     * blank lines allowed), so downstream users can plug in their
+     * own characterizations.
+     *
+     * @throws ModelError on a malformed header or row
+     */
+    static ThroughputOracle fromCsv(const std::string &csv);
+
+    /** Serialize all measurements as fromCsv()-compatible CSV. */
+    std::string toCsv() const;
+
+  private:
+    std::map<std::pair<std::string, std::string>, units::Hertz> _table;
+};
+
+} // namespace uavf1::workload
+
+#endif // UAVF1_WORKLOAD_THROUGHPUT_HH

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Edge-case and failure-injection tests across modules: renderer
+ * options, file round trips, fuzz-ish knob input, describe()
+ * formats, and numeric corner cases not covered by the per-module
+ * suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "components/catalog.hh"
+#include "core/uav_config.hh"
+#include "mission/mission_model.hh"
+#include "plot/ascii_renderer.hh"
+#include "plot/csv_writer.hh"
+#include "plot/roofline_chart.hh"
+#include "plot/svg_writer.hh"
+#include "sim/monte_carlo.hh"
+#include "skyline/session.hh"
+#include "studies/presets.hh"
+#include "support/errors.hh"
+#include "support/rng.hh"
+#include "workload/throughput.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::units;
+using namespace uavf1::units::literals;
+
+TEST(SvgOptions, GridAndLegendCanBeDisabled)
+{
+    plot::Chart chart("opts", plot::Axis("x"), plot::Axis("y"));
+    plot::Series series("s");
+    series.add(0.0, 0.0).add(1.0, 1.0);
+    chart.add(series);
+
+    plot::SvgWriter::Options options;
+    options.grid = false;
+    options.legend = false;
+    const std::string svg = plot::SvgWriter(options).render(chart);
+    // No light-gray gridlines and no legend box/label.
+    EXPECT_EQ(svg.find("#dddddd"), std::string::npos);
+    EXPECT_EQ(svg.find("fill-opacity=\"0.85\""), std::string::npos);
+
+    const std::string with_grid = plot::SvgWriter().render(chart);
+    EXPECT_NE(with_grid.find("#dddddd"), std::string::npos);
+}
+
+TEST(SvgOptions, VlinesAreRendered)
+{
+    plot::Chart chart("vline", plot::Axis("x"), plot::Axis("y"));
+    plot::Series series("s");
+    series.add(0.0, 0.0).add(10.0, 5.0);
+    chart.add(series);
+    chart.vline(4.0, "knee here");
+    const std::string svg = plot::SvgWriter().render(chart);
+    EXPECT_NE(svg.find("knee here"), std::string::npos);
+    EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(AsciiRenderer, MarkersOnlySeriesUsesGlyph)
+{
+    plot::Chart chart("markers", plot::Axis("x"), plot::Axis("y"));
+    plot::Series markers("points", plot::SeriesStyle::Markers);
+    markers.add(1.0, 1.0).add(2.0, 2.0).add(3.0, 1.5);
+    chart.add(markers);
+    const std::string out = plot::AsciiRenderer().render(chart);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find("points"), std::string::npos);
+}
+
+TEST(AsciiRenderer, AnnotationGlyphAndLabel)
+{
+    plot::Chart chart("annot", plot::Axis("x"), plot::Axis("y"));
+    plot::Series series("s");
+    series.add(0.0, 0.0).add(10.0, 10.0);
+    chart.add(series);
+    chart.annotate(5.0, 5.0, "knee");
+    const std::string out = plot::AsciiRenderer().render(chart);
+    EXPECT_NE(out.find('K'), std::string::npos);
+    EXPECT_NE(out.find("knee"), std::string::npos);
+}
+
+TEST(CsvWriter, FileRoundTrip)
+{
+    plot::Series series("trip");
+    series.add(1.5, 2.5).add(3.0, 4.0);
+    const std::string path = "edge_csv_roundtrip.csv";
+    plot::CsvWriter::writeFile({series}, path, "a", "b");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    std::remove(path.c_str());
+    EXPECT_NE(content.find("series,a,b"), std::string::npos);
+    EXPECT_NE(content.find("trip,1.5,2.5"), std::string::npos);
+    EXPECT_THROW(plot::CsvWriter::writeFile(
+                     {series}, "/no-such-dir/x.csv"),
+                 ModelError);
+}
+
+TEST(RooflineChart, MultipleRooflinesShareAxes)
+{
+    const core::F1Model pelican(
+        studies::pelicanInputs(Hertz(178.0)));
+    const core::F1Model spark(studies::sparkInputs(Hertz(178.0)));
+    plot::Chart chart = plot::makeRooflineChart(
+        "both", {{"Pelican", pelican.curve(), true, true},
+                 {"Spark", spark.curve(), true, true}});
+    // 2 lines + 2 operating markers.
+    EXPECT_EQ(chart.series().size(), 4u);
+    EXPECT_EQ(chart.annotations().size(), 2u);
+    chart.fitAxes();
+    // The shared y range covers both roofs.
+    EXPECT_GE(chart.yAxis().hi(),
+              spark.analyze().roofVelocity.value());
+}
+
+TEST(SkylineFuzz, GarbageInputNeverCrashes)
+{
+    // Any garbage must produce ModelError, never UB or a crash.
+    skyline::SkylineSession session;
+    const char *garbage[] = {
+        "", " ", "=", "knee_fraction", "1e999", "NaN(ind)",
+        "--3", "0x1p3q", "12,5", "12 34",
+    };
+    for (const char *value : garbage) {
+        EXPECT_THROW(session.set("compute_tdp", value), ModelError)
+            << "value: '" << value << "'";
+    }
+    for (const char *knob : {"", " ", "tdp;drop table", "SET"}) {
+        EXPECT_THROW(session.set(knob, "1"), ModelError)
+            << "knob: '" << knob << "'";
+    }
+    // The session must remain usable after rejected inputs.
+    EXPECT_NO_THROW(session.analyze());
+}
+
+TEST(SkylineFuzz, RandomNumericKnobsStayConsistent)
+{
+    // Random (valid) knob settings: analyze() either succeeds with
+    // self-consistent output or raises InfeasibleError.
+    Rng rng(2024);
+    for (int i = 0; i < 200; ++i) {
+        skyline::SkylineSession session;
+        auto &knobs = session.knobs();
+        knobs.sensorFramerate = Hertz(rng.uniform(1.0, 240.0));
+        knobs.computeTdp = Watts(rng.uniform(0.1, 60.0));
+        knobs.computeRuntime =
+            Seconds(rng.uniform(0.001, 2.0));
+        knobs.sensorRange = Meters(rng.uniform(0.5, 30.0));
+        knobs.droneWeight = Grams(rng.uniform(100.0, 2000.0));
+        knobs.rotorPull = Grams(rng.uniform(200.0, 4000.0));
+        knobs.payloadWeight = Grams(rng.uniform(0.0, 1500.0));
+        try {
+            const auto analysis = session.analyze();
+            EXPECT_GT(analysis.f1.safeVelocity.value(), 0.0);
+            EXPECT_LE(analysis.f1.safeVelocity.value(),
+                      analysis.f1.roofVelocity.value() + 1e-9);
+            EXPECT_FALSE(analysis.tips.empty());
+        } catch (const InfeasibleError &) {
+            // Acceptable: the random build cannot hover.
+        }
+    }
+}
+
+TEST(UavConfigDescribe, RedundantOverriddenConfig)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    const auto config =
+        core::UavConfig::Builder("described")
+            .airframe(catalog.airframes().byName("AscTec Pelican"))
+            .sensor(catalog.sensors().byName("RGB-D 60FPS (4.5m)"))
+            .compute(catalog.computes().byName("Nvidia TX2"))
+            .algorithm(algorithms.byName("DroNet"))
+            .redundancy(pipeline::ModularRedundancy(
+                pipeline::RedundancyScheme::Dual))
+            .aMaxOverride(3.0_mps2)
+            .build();
+    const std::string text = config.describe();
+    EXPECT_NE(text.find("x2"), std::string::npos);
+    EXPECT_NE(text.find("(override)"), std::string::npos);
+}
+
+TEST(MissionModel, EnergySweepConsistentWithPower)
+{
+    mission::PowerProfile profile;
+    profile.hoverPower = 100.0_w;
+    profile.staticPower = 10.0_w;
+    profile.drag = physics::DragModel(1.0, 0.02);
+    const mission::MissionModel leg(800.0_m, profile);
+    for (double v = 0.5; v <= 12.0; v += 0.5) {
+        const auto point = leg.evaluate(MetersPerSecond(v));
+        EXPECT_NEAR(point.energy, point.power * point.time, 1e-6);
+        EXPECT_GE(point.power, 110.0);
+    }
+}
+
+TEST(Distribution, SingleSampleAndTwoSamples)
+{
+    const auto one = sim::Distribution::fromSamples({5.0});
+    EXPECT_DOUBLE_EQ(one.mean, 5.0);
+    EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(one.p50, 5.0);
+
+    const auto two = sim::Distribution::fromSamples({1.0, 3.0});
+    EXPECT_DOUBLE_EQ(two.mean, 2.0);
+    EXPECT_DOUBLE_EQ(two.p50, 2.0);
+    EXPECT_NEAR(two.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(OracleCsvFile, RoundTripViaDisk)
+{
+    const auto oracle = workload::ThroughputOracle::standard();
+    const std::string path = "edge_oracle.csv";
+    {
+        std::ofstream out(path);
+        out << oracle.toCsv();
+    }
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    std::remove(path.c_str());
+    const auto restored = workload::ThroughputOracle::fromCsv(content);
+    EXPECT_DOUBLE_EQ(
+        restored.measured("DroNet", "Nvidia AGX").value(), 230.0);
+}
+
+TEST(SafetyNumerics, ExtremeParameterRegimes)
+{
+    // Tiny acceleration + long range (a blimp with a lidar).
+    const core::SafetyModel slow(MetersPerSecondSquared(0.01),
+                                 Meters(100.0));
+    EXPECT_NEAR(slow.physicsRoof().value(), std::sqrt(2.0), 1e-9);
+    EXPECT_GT(slow.safeVelocity(Seconds(100.0)).value(), 0.0);
+
+    // Huge acceleration + tiny range (racing quad in a corridor).
+    const core::SafetyModel fast(MetersPerSecondSquared(100.0),
+                                 Meters(0.5));
+    EXPECT_NEAR(fast.physicsRoof().value(), 10.0, 1e-9);
+    // Even at 10 kHz the velocity stays below the roof.
+    EXPECT_LT(fast.safeVelocityAtRate(Hertz(10000.0)).value(),
+              10.0);
+}
+
+TEST(PipelineNumerics, VeryManyStages)
+{
+    std::vector<pipeline::PipelineStage> stages;
+    for (int i = 1; i <= 64; ++i) {
+        stages.push_back({"stage" + std::to_string(i),
+                          Hertz(10.0 + i)});
+    }
+    const pipeline::ActionPipeline pipeline(stages);
+    EXPECT_DOUBLE_EQ(pipeline.actionThroughput().value(), 11.0);
+    EXPECT_EQ(pipeline.bottleneck().name, "stage1");
+    EXPECT_EQ(pipeline.stageSlack().size(), 64u);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the mission model: power/time/energy accounting
+ * and the paper's claim that higher safe velocity lowers mission
+ * time and energy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mission/mission_model.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::units;
+using namespace uavf1::units::literals;
+using namespace uavf1::mission;
+
+PowerProfile
+hoverDominatedProfile()
+{
+    PowerProfile profile;
+    profile.hoverPower = 150.0_w;
+    profile.staticPower = 10.0_w;
+    profile.drag = physics::DragModel(1.1, 0.022);
+    return profile;
+}
+
+TEST(Mission, TimeIsDistanceOverVelocity)
+{
+    const MissionModel mission(1000.0_m, hoverDominatedProfile());
+    EXPECT_DOUBLE_EQ(mission.time(5.0_mps).value(), 200.0);
+    EXPECT_DOUBLE_EQ(mission.time(10.0_mps).value(), 100.0);
+}
+
+TEST(Mission, PowerGrowsWithVelocityViaDrag)
+{
+    const MissionModel mission(1000.0_m, hoverDominatedProfile());
+    const double p2 = mission.power(2.0_mps).value();
+    const double p10 = mission.power(10.0_mps).value();
+    EXPECT_GT(p10, p2);
+    // At rest, only hover + static power remain.
+    EXPECT_DOUBLE_EQ(mission.power(MetersPerSecond(0.0)).value(),
+                     160.0);
+}
+
+TEST(Mission, HigherVelocityLowersEnergyInHoverDominatedRegime)
+{
+    // The paper's motivation: for small UAVs, mission energy is
+    // dominated by hover power x mission time, so flying faster
+    // (up to the safe velocity) saves energy.
+    const MissionModel mission(1000.0_m, hoverDominatedProfile());
+    const double e1 = mission.energy(1.0_mps).value();
+    const double e2 = mission.energy(2.0_mps).value();
+    const double e5 = mission.energy(5.0_mps).value();
+    EXPECT_GT(e1, e2);
+    EXPECT_GT(e2, e5);
+}
+
+TEST(Mission, EnergyOptimalVelocityIsInterior)
+{
+    // With strong drag the energy curve turns back up; the optimum
+    // must be interior and better than both extremes.
+    PowerProfile draggy;
+    draggy.hoverPower = 50.0_w;
+    draggy.staticPower = 5.0_w;
+    draggy.drag = physics::DragModel(1.5, 0.3);
+    const MissionModel mission(1000.0_m, draggy);
+
+    const auto v_opt = mission.energyOptimalVelocity(30.0_mps);
+    EXPECT_GT(v_opt.value(), 0.1);
+    EXPECT_LT(v_opt.value(), 30.0);
+    const double e_opt = mission.energy(v_opt).value();
+    EXPECT_LT(e_opt, mission.energy(1.0_mps).value());
+    EXPECT_LT(e_opt, mission.energy(30.0_mps).value());
+}
+
+TEST(Mission, EvaluateBundlesAllQuantities)
+{
+    const MissionModel mission(500.0_m, hoverDominatedProfile());
+    const MissionPoint point = mission.evaluate(4.0_mps);
+    EXPECT_DOUBLE_EQ(point.velocity, 4.0);
+    EXPECT_DOUBLE_EQ(point.time, 125.0);
+    EXPECT_NEAR(point.energy, point.power * point.time, 1e-9);
+}
+
+TEST(Mission, BatteryFeasibility)
+{
+    const MissionModel mission(1000.0_m, hoverDominatedProfile());
+    const physics::Battery big("big", 5000.0_mah, 11.1_v, 380.0_g);
+    const physics::Battery tiny("tiny", 240.0_mah, 3.7_v, 7.0_g);
+    EXPECT_TRUE(mission.feasible(5.0_mps, big));
+    EXPECT_FALSE(mission.feasible(5.0_mps, tiny));
+}
+
+TEST(Mission, RejectsBadArguments)
+{
+    EXPECT_THROW(MissionModel(Meters(0.0), hoverDominatedProfile()),
+                 ModelError);
+    const MissionModel mission(100.0_m, hoverDominatedProfile());
+    EXPECT_THROW(mission.time(MetersPerSecond(0.0)), ModelError);
+    EXPECT_THROW(mission.power(MetersPerSecond(-1.0)), ModelError);
+    EXPECT_THROW(
+        mission.energyOptimalVelocity(MetersPerSecond(0.0)),
+        ModelError);
+}
+
+} // namespace

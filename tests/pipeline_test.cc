@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the pipeline library: Eq. 1-3 of the paper and the
+ * modular-redundancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "components/catalog.hh"
+#include "pipeline/action_pipeline.hh"
+#include "pipeline/redundancy.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::units;
+using namespace uavf1::pipeline;
+
+TEST(ActionPipeline, Eq3MinRule)
+{
+    // Paper's example: 60 FPS sensor, 178 Hz compute, 1 kHz control
+    // -> the sensor limits the pipeline.
+    const auto pipeline = ActionPipeline::senseComputeControl(
+        Hertz(60.0), Hertz(178.0), Hertz(1000.0));
+    EXPECT_DOUBLE_EQ(pipeline.actionThroughput().value(), 60.0);
+    EXPECT_EQ(pipeline.bottleneck().name, "sensor");
+}
+
+TEST(ActionPipeline, ComputeBottleneck)
+{
+    const auto pipeline = ActionPipeline::senseComputeControl(
+        Hertz(60.0), Hertz(1.1), Hertz(1000.0));
+    EXPECT_DOUBLE_EQ(pipeline.actionThroughput().value(), 1.1);
+    EXPECT_EQ(pipeline.bottleneck().name, "compute");
+}
+
+TEST(ActionPipeline, Eq1Eq2LatencyBounds)
+{
+    const auto pipeline = ActionPipeline::senseComputeControl(
+        Hertz(10.0), Hertz(20.0), Hertz(1000.0));
+    // Eq. 1: fully overlapped -> max stage latency (0.1 s).
+    EXPECT_NEAR(pipeline.latencyLowerBound().value(), 0.1, 1e-12);
+    // Eq. 2: no overlap -> sum (0.1 + 0.05 + 0.001).
+    EXPECT_NEAR(pipeline.latencyUpperBound().value(), 0.151, 1e-12);
+    // The bounds bracket the action period.
+    EXPECT_LE(pipeline.latencyLowerBound().value(),
+              pipeline.actionPeriod().value() + 1e-15);
+    EXPECT_GE(pipeline.latencyUpperBound().value(),
+              pipeline.actionPeriod().value());
+}
+
+TEST(ActionPipeline, StageSlack)
+{
+    const auto pipeline = ActionPipeline::senseComputeControl(
+        Hertz(10.0), Hertz(20.0), Hertz(1000.0));
+    const auto slack = pipeline.stageSlack();
+    ASSERT_EQ(slack.size(), 3u);
+    EXPECT_DOUBLE_EQ(slack[0], 1.0);   // Sensor is the bottleneck.
+    EXPECT_DOUBLE_EQ(slack[1], 2.0);   // Compute 2x faster.
+    EXPECT_DOUBLE_EQ(slack[2], 100.0); // Control 100x faster.
+}
+
+TEST(ActionPipeline, GenericStagesAndValidation)
+{
+    const ActionPipeline pipeline({{"sensor", Hertz(30.0)},
+                                   {"perception", Hertz(25.0)},
+                                   {"planning", Hertz(12.0)},
+                                   {"control", Hertz(1000.0)}});
+    EXPECT_DOUBLE_EQ(pipeline.actionThroughput().value(), 12.0);
+    EXPECT_EQ(pipeline.bottleneck().name, "planning");
+
+    EXPECT_THROW(ActionPipeline({}), ModelError);
+    EXPECT_THROW(
+        ActionPipeline({{"sensor", Hertz(0.0)}}), ModelError);
+}
+
+TEST(Redundancy, ReplicaCounts)
+{
+    EXPECT_EQ(replicaCount(RedundancyScheme::None), 1);
+    EXPECT_EQ(replicaCount(RedundancyScheme::Dual), 2);
+    EXPECT_EQ(replicaCount(RedundancyScheme::Triple), 3);
+    EXPECT_STREQ(toString(RedundancyScheme::Dual), "dual (DMR)");
+}
+
+TEST(Redundancy, PayloadMassScalesWithReplicas)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto &tx2 = catalog.computes().byName("Nvidia TX2");
+    const thermal::HeatsinkModel heatsink;
+    const double single_mass = tx2.totalMass(heatsink).value();
+
+    const ModularRedundancy none(RedundancyScheme::None);
+    const ModularRedundancy dual(RedundancyScheme::Dual);
+    const ModularRedundancy triple(RedundancyScheme::Triple);
+
+    EXPECT_DOUBLE_EQ(none.payloadMass(tx2, heatsink).value(),
+                     single_mass);
+    // DMR: two modules + 15 g voter.
+    EXPECT_NEAR(dual.payloadMass(tx2, heatsink).value(),
+                2.0 * single_mass + 15.0, 1e-9);
+    EXPECT_NEAR(triple.payloadMass(tx2, heatsink).value(),
+                3.0 * single_mass + 15.0, 1e-9);
+}
+
+TEST(Redundancy, PowerScalesWithReplicas)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto &tx2 = catalog.computes().byName("Nvidia TX2");
+    const ModularRedundancy dual(RedundancyScheme::Dual);
+    EXPECT_DOUBLE_EQ(dual.power(tx2).value(),
+                     2.0 * tx2.tdp().value());
+}
+
+TEST(Redundancy, ThroughputUnchangedExceptVoter)
+{
+    const ModularRedundancy none(RedundancyScheme::None);
+    EXPECT_DOUBLE_EQ(
+        none.effectiveThroughput(Hertz(178.0)).value(), 178.0);
+
+    // DMR adds 1 ms validator latency: 1/178 + 0.001.
+    const ModularRedundancy dual(RedundancyScheme::Dual);
+    const double expected = 1.0 / (1.0 / 178.0 + 0.001);
+    EXPECT_NEAR(dual.effectiveThroughput(Hertz(178.0)).value(),
+                expected, 1e-9);
+    // Replication never *increases* throughput.
+    EXPECT_LT(dual.effectiveThroughput(Hertz(178.0)).value(), 178.0);
+}
+
+TEST(Redundancy, CustomVoterParams)
+{
+    ModularRedundancy::Params params;
+    params.voterLatency = Seconds(0.0);
+    params.voterMass = Grams(0.0);
+    const ModularRedundancy dual(RedundancyScheme::Dual, params);
+    EXPECT_DOUBLE_EQ(
+        dual.effectiveThroughput(Hertz(100.0)).value(), 100.0);
+    EXPECT_THROW(dual.effectiveThroughput(Hertz(0.0)), ModelError);
+}
+
+} // namespace

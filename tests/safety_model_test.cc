@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the Eq. 4 safety model, including the paper's
+ * Fig. 5 worked example (a = 50 m/s^2, d = 10 m) and the model's
+ * analytic invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/safety_model.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::units;
+using core::SafetyModel;
+
+/** The paper's Fig. 5 example model. */
+SafetyModel
+fig5Model()
+{
+    return SafetyModel(MetersPerSecondSquared(50.0), Meters(10.0));
+}
+
+TEST(SafetyModel, Fig5Roof)
+{
+    // Paper: as T -> 0, velocity -> 32 m/s (exactly sqrt(1000)).
+    EXPECT_NEAR(fig5Model().physicsRoof().value(),
+                std::sqrt(2.0 * 10.0 * 50.0), 1e-12);
+    EXPECT_NEAR(fig5Model().physicsRoof().value(), 31.62, 0.01);
+}
+
+TEST(SafetyModel, Fig5PointA)
+{
+    // Paper: point A at 1 Hz sits near 10 m/s.
+    const double v =
+        fig5Model().safeVelocityAtRate(Hertz(1.0)).value();
+    EXPECT_NEAR(v, 50.0 * (std::sqrt(1.0 + 0.4) - 1.0), 1e-12);
+    EXPECT_NEAR(v, 9.16, 0.01);
+}
+
+TEST(SafetyModel, Fig5KneeRegion)
+{
+    // Paper: at 100 Hz the velocity is ~30 m/s and further
+    // throughput buys almost nothing.
+    const double v100 =
+        fig5Model().safeVelocityAtRate(Hertz(100.0)).value();
+    EXPECT_NEAR(v100, 31.13, 0.01);
+    const double v10k =
+        fig5Model().safeVelocityAtRate(Hertz(10000.0)).value();
+    EXPECT_LT(v10k / v100, 1.02); // < 2% for 100x the throughput.
+}
+
+TEST(SafetyModel, Eq4ClosedForm)
+{
+    // Hand-computed: a = 2, d = 4, T = 1:
+    // v = 2 (sqrt(1 + 4) - 1).
+    const SafetyModel model(MetersPerSecondSquared(2.0), Meters(4.0));
+    EXPECT_NEAR(model.safeVelocity(Seconds(1.0)).value(),
+                2.0 * (std::sqrt(5.0) - 1.0), 1e-12);
+}
+
+TEST(SafetyModel, StoppingDistanceIdentity)
+{
+    // The defining property of Eq. 4: cruising exactly at v_safe,
+    // reaction travel plus braking distance equals the sensing
+    // range.
+    const SafetyModel model(MetersPerSecondSquared(4.12),
+                            Meters(2.73));
+    for (double t : {0.01, 0.1, 0.5, 1.0, 2.0}) {
+        const auto v = model.safeVelocity(Seconds(t));
+        EXPECT_NEAR(model.stoppingDistance(v, Seconds(t)).value(),
+                    2.73, 1e-9)
+            << "T = " << t;
+    }
+}
+
+TEST(SafetyModel, InverseRoundTrip)
+{
+    const SafetyModel model(MetersPerSecondSquared(1.5134),
+                            Meters(3.0));
+    for (double t : {0.05, 0.1, 0.4, 1.0}) {
+        const auto v = model.safeVelocity(Seconds(t));
+        EXPECT_NEAR(model.actionPeriodFor(v).value(), t, 1e-9);
+    }
+    // The roof maps to a zero period.
+    EXPECT_NEAR(
+        model.actionPeriodFor(model.physicsRoof()).value(), 0.0,
+        1e-9);
+    // Above the roof is rejected.
+    EXPECT_THROW(
+        model.actionPeriodFor(model.physicsRoof() * 1.01),
+        ModelError);
+}
+
+TEST(SafetyModel, KneeClosedFormMatchesDefinition)
+{
+    const SafetyModel model(MetersPerSecondSquared(4.12),
+                            Meters(2.73));
+    const double fraction = 0.98;
+    const Hertz knee = model.kneeThroughput(fraction);
+    // At the knee, the velocity is exactly `fraction` of the roof.
+    const double v_knee = model.safeVelocityAtRate(knee).value();
+    EXPECT_NEAR(v_knee, fraction * model.physicsRoof().value(),
+                1e-9);
+}
+
+TEST(SafetyModel, PaperKneeCalibrations)
+{
+    // The calibrated case-study presets (see studies/presets.hh).
+    const SafetyModel pelican(MetersPerSecondSquared(4.12),
+                              Meters(2.73));
+    EXPECT_NEAR(pelican.kneeThroughput().value(), 43.0, 0.2);
+
+    const SafetyModel spark(MetersPerSecondSquared(8.082),
+                            Meters(11.0));
+    EXPECT_NEAR(spark.kneeThroughput().value(), 30.0, 0.1);
+
+    const SafetyModel nano(MetersPerSecondSquared(3.310),
+                           Meters(6.0));
+    EXPECT_NEAR(nano.kneeThroughput().value(), 26.0, 0.1);
+}
+
+TEST(SafetyModel, VelocityAtInfinitePeriodGoesToZero)
+{
+    const SafetyModel model = fig5Model();
+    EXPECT_LT(model.safeVelocity(Seconds(1e6)).value(), 1e-3);
+    EXPECT_GT(model.safeVelocity(Seconds(1e6)).value(), 0.0);
+}
+
+TEST(SafetyModel, RejectsBadArguments)
+{
+    EXPECT_THROW(
+        SafetyModel(MetersPerSecondSquared(0.0), Meters(10.0)),
+        ModelError);
+    EXPECT_THROW(
+        SafetyModel(MetersPerSecondSquared(50.0), Meters(-1.0)),
+        ModelError);
+    const SafetyModel model = fig5Model();
+    EXPECT_THROW(model.safeVelocity(Seconds(-0.1)), ModelError);
+    EXPECT_THROW(model.safeVelocityAtRate(Hertz(0.0)), ModelError);
+    EXPECT_THROW(model.kneeThroughput(0.0), ModelError);
+    EXPECT_THROW(model.kneeThroughput(1.0), ModelError);
+}
+
+/**
+ * Property sweep: monotonicity of Eq. 4 in all three arguments.
+ */
+struct SafetyParams
+{
+    double aMax;
+    double range;
+};
+
+class SafetyPropertyTest
+    : public ::testing::TestWithParam<SafetyParams>
+{
+};
+
+TEST_P(SafetyPropertyTest, VelocityDecreasesWithActionPeriod)
+{
+    const auto p = GetParam();
+    const SafetyModel model(MetersPerSecondSquared(p.aMax),
+                            Meters(p.range));
+    double previous = model.physicsRoof().value() + 1e-9;
+    for (double t = 0.01; t <= 5.0; t *= 1.7) {
+        const double v = model.safeVelocity(Seconds(t)).value();
+        EXPECT_LT(v, previous) << "T = " << t;
+        EXPECT_GT(v, 0.0);
+        previous = v;
+    }
+}
+
+TEST_P(SafetyPropertyTest, VelocityIncreasesWithRangeAndAccel)
+{
+    const auto p = GetParam();
+    const SafetyModel base(MetersPerSecondSquared(p.aMax),
+                           Meters(p.range));
+    const SafetyModel longer(MetersPerSecondSquared(p.aMax),
+                             Meters(p.range * 2.0));
+    const SafetyModel stronger(MetersPerSecondSquared(p.aMax * 2.0),
+                               Meters(p.range));
+    const Seconds t(0.1);
+    EXPECT_GT(longer.safeVelocity(t).value(),
+              base.safeVelocity(t).value());
+    EXPECT_GT(stronger.safeVelocity(t).value(),
+              base.safeVelocity(t).value());
+}
+
+TEST_P(SafetyPropertyTest, KneeScalesAsSqrtAOverD)
+{
+    const auto p = GetParam();
+    const SafetyModel base(MetersPerSecondSquared(p.aMax),
+                           Meters(p.range));
+    const SafetyModel quad_a(MetersPerSecondSquared(4.0 * p.aMax),
+                             Meters(p.range));
+    const SafetyModel quad_d(MetersPerSecondSquared(p.aMax),
+                             Meters(4.0 * p.range));
+    // f_k ~ sqrt(a / 2d): 4x a doubles the knee, 4x d halves it.
+    EXPECT_NEAR(quad_a.kneeThroughput().value(),
+                2.0 * base.kneeThroughput().value(), 1e-9);
+    EXPECT_NEAR(quad_d.kneeThroughput().value(),
+                0.5 * base.kneeThroughput().value(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, SafetyPropertyTest,
+    ::testing::Values(SafetyParams{0.5, 3.0}, SafetyParams{1.5, 3.0},
+                      SafetyParams{4.12, 2.73},
+                      SafetyParams{8.082, 11.0},
+                      SafetyParams{50.0, 10.0},
+                      SafetyParams{3.31, 6.0}));
+
+} // namespace

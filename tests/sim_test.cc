@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the flight simulator: vehicle integration, the
+ * dash-and-stop protocol and the validation harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/flight_sim.hh"
+#include "sim/table1.hh"
+#include "sim/validation.hh"
+#include "sim/vehicle.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::units;
+using namespace uavf1::units::literals;
+using namespace uavf1::sim;
+
+/** A light test vehicle: 1 kg, T/W 1.5, no drag, no lag. */
+VehicleParams
+idealVehicle()
+{
+    VehicleParams params;
+    params.mass = 1.0_kg;
+    params.usableThrust = Newtons(1.5 * 9.80665);
+    params.drag = physics::DragModel::none();
+    params.actuationLag = Seconds(0.0);
+    params.brakeMargin = 1.0;
+    return params;
+}
+
+TEST(Vehicle, AvailableAccelerationVerticalExcess)
+{
+    const VehicleModel vehicle(idealVehicle());
+    // twr 1.5 -> a = 0.5 g.
+    EXPECT_NEAR(vehicle.availableAcceleration().value(),
+                0.5 * 9.80665, 1e-9);
+}
+
+TEST(Vehicle, CannotHoverThrows)
+{
+    VehicleParams params = idealVehicle();
+    params.usableThrust = Newtons(9.0);
+    EXPECT_THROW(VehicleModel{params}, InfeasibleError);
+}
+
+TEST(Vehicle, StepIntegratesConstantAcceleration)
+{
+    VehicleModel vehicle(idealVehicle());
+    vehicle.reset();
+    const double a = vehicle.availableAcceleration().value();
+    // 1 s of full command at dt = 1 ms.
+    for (int i = 0; i < 1000; ++i)
+        vehicle.step(Seconds(0.001), a);
+    // v = a t; x ~ a t^2 / 2 (semi-implicit Euler is close).
+    EXPECT_NEAR(vehicle.state().velocity, a, 1e-9);
+    EXPECT_NEAR(vehicle.state().position, 0.5 * a, 0.01);
+}
+
+TEST(Vehicle, CommandIsClippedToAvailable)
+{
+    VehicleModel vehicle(idealVehicle());
+    vehicle.reset();
+    vehicle.step(Seconds(0.001), 1e6);
+    EXPECT_NEAR(vehicle.state().acceleration,
+                vehicle.availableAcceleration().value(), 1e-9);
+    vehicle.reset();
+    vehicle.step(Seconds(0.001), -1e6);
+    EXPECT_NEAR(vehicle.state().acceleration,
+                -vehicle.availableAcceleration().value(), 1e-9);
+}
+
+TEST(Vehicle, ActuationLagDelaysResponse)
+{
+    VehicleParams lagged = idealVehicle();
+    lagged.actuationLag = Seconds(0.2);
+    VehicleModel vehicle(lagged);
+    vehicle.reset();
+    vehicle.step(Seconds(0.001), 1.0);
+    // After one millisecond the realized acceleration is far from
+    // the command.
+    EXPECT_LT(vehicle.state().acceleration, 0.1);
+    // After many time constants it converges.
+    for (int i = 0; i < 5000; ++i)
+        vehicle.step(Seconds(0.001), 1.0);
+    EXPECT_NEAR(vehicle.state().acceleration, 1.0, 0.02);
+}
+
+TEST(Vehicle, DragOpposesMotion)
+{
+    VehicleParams draggy = idealVehicle();
+    draggy.drag = physics::DragModel(1.0, 0.1);
+    VehicleModel vehicle(draggy);
+    vehicle.reset();
+    // Coast at 5 m/s with zero command: drag must decelerate.
+    for (int i = 0; i < 100; ++i)
+        vehicle.step(Seconds(0.001), 0.0);
+    EXPECT_DOUBLE_EQ(vehicle.state().velocity, 0.0);
+
+    // Manually inject speed by resetting state through steps.
+    VehicleModel coaster(draggy);
+    coaster.reset();
+    const double a = coaster.availableAcceleration().value();
+    while (coaster.state().velocity < 3.0)
+        coaster.step(Seconds(0.001), a);
+    const double v0 = coaster.state().velocity;
+    for (int i = 0; i < 1000; ++i)
+        coaster.step(Seconds(0.001), 0.0);
+    EXPECT_LT(coaster.state().velocity, v0);
+}
+
+TEST(FlightSim, SlowCommandStopsSafely)
+{
+    const VehicleModel vehicle(idealVehicle());
+    const FlightSimulator simulator(vehicle);
+    StopScenario scenario;
+    scenario.commandedVelocity = 1.0_mps; // Far below safe.
+    Rng rng(1);
+    const TrialResult trial =
+        simulator.run(scenario, NoiseParams::none(), rng);
+    EXPECT_FALSE(trial.infraction);
+    EXPECT_LT(trial.stopMargin, 0.0);
+    EXPECT_GT(trial.brakeTime, 0.0);
+    // PI velocity tracking overshoots a little; ~10% is expected.
+    EXPECT_NEAR(trial.peakVelocity, 1.0, 0.15);
+}
+
+TEST(FlightSim, ExcessiveCommandCollides)
+{
+    const VehicleModel vehicle(idealVehicle());
+    const FlightSimulator simulator(vehicle);
+    // v_safe at 10 Hz with a ~ 4.9, d = 3 is ~5 m/s; 7 m/s must
+    // infract.
+    StopScenario scenario;
+    scenario.commandedVelocity = 7.0_mps;
+    Rng rng(1);
+    const TrialResult trial =
+        simulator.run(scenario, NoiseParams::none(), rng);
+    EXPECT_TRUE(trial.infraction);
+    EXPECT_GT(trial.stopMargin, 0.0);
+}
+
+TEST(FlightSim, DeterministicWithoutNoise)
+{
+    const VehicleModel vehicle(idealVehicle());
+    const FlightSimulator simulator(vehicle);
+    StopScenario scenario;
+    scenario.commandedVelocity = 3.0_mps;
+    Rng rng_a(1);
+    Rng rng_b(2); // Different seed must not matter without noise.
+    const TrialResult a =
+        simulator.run(scenario, NoiseParams::none(), rng_a);
+    const TrialResult b =
+        simulator.run(scenario, NoiseParams::none(), rng_b);
+    EXPECT_DOUBLE_EQ(a.stopMargin, b.stopMargin);
+    EXPECT_DOUBLE_EQ(a.peakVelocity, b.peakVelocity);
+}
+
+TEST(FlightSim, TrajectoryRecordingCoversTheDash)
+{
+    const VehicleModel vehicle(idealVehicle());
+    const FlightSimulator simulator(vehicle);
+    StopScenario scenario;
+    scenario.commandedVelocity = 2.0_mps;
+    Rng rng(1);
+    const TrialResult trial =
+        simulator.run(scenario, NoiseParams::none(), rng, true);
+    ASSERT_GT(trial.trajectory.size(), 100u);
+    // Time and position are non-decreasing.
+    for (std::size_t i = 1; i < trial.trajectory.size(); ++i) {
+        EXPECT_GE(trial.trajectory[i].time,
+                  trial.trajectory[i - 1].time);
+        EXPECT_GE(trial.trajectory[i].position,
+                  trial.trajectory[i - 1].position - 1e-9);
+    }
+    // The dash ends where the vehicle stopped.
+    EXPECT_NEAR(trial.trajectory.back().position,
+                scenario.runUp.value() +
+                    scenario.obstacleDistance.value() +
+                    trial.stopMargin,
+                1e-6);
+}
+
+TEST(FlightSim, InfractionMonotoneInCommandedVelocity)
+{
+    const VehicleModel vehicle(idealVehicle());
+    const FlightSimulator simulator(vehicle);
+    bool seen_infraction = false;
+    for (double v = 1.0; v <= 8.0; v += 0.5) {
+        StopScenario scenario;
+        scenario.commandedVelocity = MetersPerSecond(v);
+        Rng rng(1);
+        const TrialResult trial =
+            simulator.run(scenario, NoiseParams::none(), rng);
+        if (seen_infraction) {
+            EXPECT_TRUE(trial.infraction)
+                << "safe again at v = " << v;
+        }
+        seen_infraction = seen_infraction || trial.infraction;
+    }
+    EXPECT_TRUE(seen_infraction);
+}
+
+TEST(Validation, PredictionMatchesSafetyModel)
+{
+    ValidationCase vcase;
+    vcase.name = "test";
+    vcase.vehicle = idealVehicle();
+    const double predicted =
+        ValidationHarness::predictedSafeVelocity(vcase);
+    // a = 0.5 g, d = 3 m, T = 0.1 s.
+    const core::SafetyModel safety(
+        MetersPerSecondSquared(0.5 * 9.80665), Meters(3.0));
+    EXPECT_NEAR(predicted,
+                safety.safeVelocity(Seconds(0.1)).value(), 1e-12);
+}
+
+TEST(Validation, ObservedIsBelowPredictionWithRealism)
+{
+    // With lag + noise, the simulated flight must be slower than
+    // the optimistic model — the paper's central observation.
+    ValidationCase vcase;
+    vcase.name = "realism";
+    vcase.vehicle = idealVehicle();
+    vcase.vehicle.actuationLag = Seconds(0.15);
+    vcase.vehicle.drag = physics::DragModel(1.1, 0.022);
+    vcase.vehicle.brakeMargin = 0.95;
+    vcase.seed = 7;
+    const ValidationResult result =
+        ValidationHarness::validate(vcase);
+    EXPECT_GT(result.observed, 0.0);
+    EXPECT_GT(result.predicted, result.observed);
+    EXPECT_GT(result.errorPercent, 0.0);
+    EXPECT_LT(result.errorPercent, 25.0);
+    EXPECT_FALSE(result.sweep.empty());
+}
+
+TEST(Validation, Table1CasesAreWellFormed)
+{
+    const auto cases = table1ValidationCases();
+    ASSERT_EQ(cases.size(), 4u);
+    EXPECT_EQ(cases[0].name, "UAV-A");
+    EXPECT_EQ(cases[3].name, "UAV-D");
+    // Table I masses: 1620/1830/1670/1720 g.
+    EXPECT_NEAR(cases[0].vehicle.mass.value(), 1.620, 1e-9);
+    EXPECT_NEAR(cases[1].vehicle.mass.value(), 1.830, 1e-9);
+    EXPECT_NEAR(cases[2].vehicle.mass.value(), 1.670, 1e-9);
+    EXPECT_NEAR(cases[3].vehicle.mass.value(), 1.720, 1e-9);
+    // Protocol: 3 m obstacle, 3 m sensing, 10 Hz loop, 5 trials.
+    for (const auto &vcase : cases) {
+        EXPECT_DOUBLE_EQ(vcase.scenario.obstacleDistance.value(),
+                         3.0);
+        EXPECT_DOUBLE_EQ(vcase.scenario.sensingRange.value(), 3.0);
+        EXPECT_DOUBLE_EQ(vcase.scenario.actionRate.value(), 10.0);
+        EXPECT_EQ(vcase.trialsPerSetpoint, 5);
+    }
+    EXPECT_EQ(table1PaperErrorPercent().size(), 4u);
+    EXPECT_THROW(table1TakeoffMass('E'), ModelError);
+}
+
+TEST(Validation, Table1PredictionOrderingMatchesPaper)
+{
+    // Paper ordering: A fastest, then C, then D, then B slowest.
+    const auto cases = table1ValidationCases();
+    const double v_a =
+        ValidationHarness::predictedSafeVelocity(cases[0]);
+    const double v_b =
+        ValidationHarness::predictedSafeVelocity(cases[1]);
+    const double v_c =
+        ValidationHarness::predictedSafeVelocity(cases[2]);
+    const double v_d =
+        ValidationHarness::predictedSafeVelocity(cases[3]);
+    EXPECT_GT(v_a, v_c);
+    EXPECT_GT(v_c, v_d);
+    EXPECT_GT(v_d, v_b);
+}
+
+TEST(Validation, RecordTrajectoryUsesCommandedVelocity)
+{
+    const auto cases = table1ValidationCases();
+    const TrialResult trial =
+        ValidationHarness::recordTrajectory(cases[0], 1.5);
+    EXPECT_FALSE(trial.trajectory.empty());
+    EXPECT_NEAR(trial.peakVelocity, 1.5, 0.1);
+}
+
+} // namespace

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the skyline library: knob parsing (Table II),
+ * automatic analysis tips, reports and the design-space explorer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "components/catalog.hh"
+#include "skyline/dse.hh"
+#include "skyline/report.hh"
+#include "skyline/session.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::skyline;
+
+TEST(Session, DefaultKnobsAnalyzeCleanly)
+{
+    SkylineSession session;
+    EXPECT_NO_THROW(session.analyze());
+    EXPECT_FALSE(session.renderAnalysis().empty());
+}
+
+TEST(Session, SetKnobsByName)
+{
+    SkylineSession session;
+    session.set("sensor_framerate", "30");
+    session.set("compute_tdp", "15");
+    session.set("algorithm", "TrailNet");
+    session.set("compute_runtime", "0.018");
+    session.set("sensor_range", "4.5");
+    session.set("drone_weight", "1200");
+    session.set("rotor_pull", "2000");
+    session.set("payload_weight", "300");
+    session.set("control_rate", "500");
+    session.set("knee_fraction", "0.95");
+
+    const Knobs &knobs = session.knobs();
+    EXPECT_DOUBLE_EQ(knobs.sensorFramerate.value(), 30.0);
+    EXPECT_DOUBLE_EQ(knobs.computeTdp.value(), 15.0);
+    EXPECT_EQ(knobs.algorithm, "TrailNet");
+    EXPECT_DOUBLE_EQ(knobs.computeRuntime.value(), 0.018);
+    EXPECT_DOUBLE_EQ(knobs.sensorRange.value(), 4.5);
+    EXPECT_DOUBLE_EQ(knobs.droneWeight.value(), 1200.0);
+    EXPECT_DOUBLE_EQ(knobs.rotorPull.value(), 2000.0);
+    EXPECT_DOUBLE_EQ(knobs.payloadWeight.value(), 300.0);
+    EXPECT_DOUBLE_EQ(knobs.controlRate.value(), 500.0);
+    EXPECT_DOUBLE_EQ(knobs.kneeFraction, 0.95);
+}
+
+TEST(Session, KnobNameIsCaseInsensitiveAndTrimmed)
+{
+    SkylineSession session;
+    session.set("  Sensor_Framerate ", " 120 ");
+    EXPECT_DOUBLE_EQ(session.knobs().sensorFramerate.value(), 120.0);
+}
+
+TEST(Session, RejectsUnknownKnobAndBadValues)
+{
+    SkylineSession session;
+    EXPECT_THROW(session.set("warp_drive", "9"), ModelError);
+    EXPECT_THROW(session.set("compute_tdp", "alot"), ModelError);
+    EXPECT_THROW(session.set("compute_tdp", "30W"), ModelError);
+    EXPECT_THROW(session.set("compute_tdp", "-3"), ModelError);
+    EXPECT_EQ(SkylineSession::knobNames().size(), 10u);
+}
+
+TEST(Session, HeatsinkFollowsTdpKnob)
+{
+    SkylineSession session;
+    session.set("compute_tdp", "30");
+    EXPECT_NEAR(session.heatsinkMass().value(), 162.0, 0.5);
+    session.set("compute_tdp", "15");
+    EXPECT_NEAR(session.heatsinkMass().value(), 81.0, 0.5);
+}
+
+TEST(Session, TdpKnobMovesTheRoof)
+{
+    // The paper's core interactive insight: raising TDP adds
+    // heat-sink weight, which lowers a_max and the roof.
+    SkylineSession session;
+    session.set("compute_tdp", "5");
+    const double roof_light =
+        session.analyze().f1.roofVelocity.value();
+    session.set("compute_tdp", "30");
+    const double roof_heavy =
+        session.analyze().f1.roofVelocity.value();
+    EXPECT_GT(roof_light, roof_heavy);
+}
+
+TEST(Session, ComputeBoundTipSuggestsSpeedup)
+{
+    SkylineSession session;
+    session.set("compute_runtime", "1.0"); // 1 Hz: compute-bound.
+    const Analysis analysis = session.analyze();
+    EXPECT_EQ(analysis.f1.bound, core::BoundType::ComputeBound);
+    ASSERT_FALSE(analysis.tips.empty());
+    EXPECT_NE(analysis.tips[0].find("Compute-bound"),
+              std::string::npos);
+}
+
+TEST(Session, SensorBoundTipSuggestsFasterSensor)
+{
+    SkylineSession session;
+    session.set("sensor_framerate", "2");
+    const Analysis analysis = session.analyze();
+    EXPECT_EQ(analysis.f1.bound, core::BoundType::SensorBound);
+    ASSERT_FALSE(analysis.tips.empty());
+    EXPECT_NE(analysis.tips[0].find("Sensor-bound"),
+              std::string::npos);
+}
+
+TEST(Session, PhysicsBoundTipQuantifiesTdpOpportunity)
+{
+    SkylineSession session; // Defaults: DroNet 178 Hz.
+    // Remove the sensor limit so the compute margin over the knee
+    // is plainly visible (f_action = 178 Hz >> knee).
+    session.set("sensor_framerate", "240");
+    const Analysis analysis = session.analyze();
+    EXPECT_EQ(analysis.f1.bound, core::BoundType::PhysicsBound);
+    // Over-provisioned: the second tip quantifies the TDP trade.
+    ASSERT_GE(analysis.tips.size(), 2u);
+    EXPECT_NE(analysis.tips[1].find("over-provisioned"),
+              std::string::npos);
+    EXPECT_NE(analysis.tips[1].find("heat sink"), std::string::npos);
+}
+
+TEST(Session, InfeasibleKnobsThrowInfeasible)
+{
+    SkylineSession session;
+    session.set("payload_weight", "5000"); // Exceeds rotor pull.
+    EXPECT_THROW(session.analyze(), InfeasibleError);
+}
+
+TEST(Report, TextContainsAllThreePanes)
+{
+    SkylineSession session;
+    const std::string report =
+        ReportWriter::text(session, "Skyline Report");
+    EXPECT_NE(report.find("Skyline Report"), std::string::npos);
+    EXPECT_NE(report.find("Sensor Framerate"), std::string::npos);
+    EXPECT_NE(report.find("Rotor Pull"), std::string::npos);
+    EXPECT_NE(report.find("Skyline analysis"), std::string::npos);
+    EXPECT_NE(report.find("knee"), std::string::npos);
+}
+
+TEST(Report, HtmlIsSelfContained)
+{
+    SkylineSession session;
+    const std::string html =
+        ReportWriter::html(session, "Skyline Report");
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+    EXPECT_NE(html.find("Analysis"), std::string::npos);
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+/** A prototype builder shared by the DSE tests. */
+core::UavConfig::Builder
+dsePrototype()
+{
+    const auto catalog = components::Catalog::standard();
+    core::UavConfig::Builder builder("dse");
+    builder.airframe(catalog.airframes().byName("AscTec Pelican"))
+        .sensor(catalog.sensors().byName("RGB-D 60FPS (4.5m)"));
+    return builder;
+}
+
+TEST(Dse, SweepCoversTheCrossProduct)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    const DesignSpaceExplorer dse(dsePrototype());
+    const auto points = dse.sweep(
+        {catalog.computes().byName("Nvidia TX2"),
+         catalog.computes().byName("Intel NCS"),
+         catalog.computes().byName("Ras-Pi4")},
+        {algorithms.byName("DroNet"), algorithms.byName("TrailNet")});
+    EXPECT_EQ(points.size(), 6u);
+    int feasible = 0;
+    for (const auto &point : points) {
+        if (point.feasible)
+            ++feasible;
+    }
+    EXPECT_GT(feasible, 0);
+}
+
+TEST(Dse, HeavyPlatformsComeOutInfeasibleNotCrashing)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+
+    // A nano-UAV cannot lift a TX2; the sweep must record that
+    // instead of throwing.
+    const auto nano_catalog = components::Catalog::standard();
+    core::UavConfig::Builder builder("nano-dse");
+    builder
+        .airframe(nano_catalog.airframes().byName("Nano-UAV"))
+        .sensor(nano_catalog.sensors().byName(
+            "Nano camera 60FPS (6m)"));
+    const DesignSpaceExplorer dse(builder);
+    const auto points =
+        dse.sweep({catalog.computes().byName("Nvidia TX2"),
+                   catalog.computes().byName("PULP-GAP8")},
+                  {algorithms.byName("DroNet")});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_FALSE(points[0].feasible);
+    EXPECT_FALSE(points[0].infeasibleReason.empty());
+    EXPECT_TRUE(points[1].feasible);
+}
+
+TEST(Dse, ParetoFrontIsNonDominated)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    const DesignSpaceExplorer dse(dsePrototype());
+    const auto points = dse.sweep(
+        {catalog.computes().byName("Nvidia TX2"),
+         catalog.computes().byName("Intel NCS"),
+         catalog.computes().byName("Ras-Pi4"),
+         catalog.computes().byName("Nvidia AGX")},
+        {algorithms.byName("DroNet")});
+    const auto front = DesignSpaceExplorer::paretoFront(points);
+    ASSERT_FALSE(front.empty());
+    // No front member dominates another.
+    for (const auto &a : front) {
+        for (const auto &b : front) {
+            const bool dominates =
+                a.safeVelocity >= b.safeVelocity &&
+                a.computePower <= b.computePower &&
+                a.computeMass <= b.computeMass &&
+                (a.safeVelocity > b.safeVelocity ||
+                 a.computePower < b.computePower ||
+                 a.computeMass < b.computeMass);
+            EXPECT_FALSE(dominates)
+                << a.compute << " dominates " << b.compute;
+        }
+    }
+    // Sorted fastest-first.
+    for (std::size_t i = 1; i < front.size(); ++i)
+        EXPECT_GE(front[i - 1].safeVelocity, front[i].safeVelocity);
+}
+
+TEST(Dse, BestPicksHighestVelocity)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    const DesignSpaceExplorer dse(dsePrototype());
+    const auto points = dse.sweep(
+        {catalog.computes().byName("Nvidia TX2"),
+         catalog.computes().byName("Ras-Pi4")},
+        {algorithms.byName("DroNet")});
+    const auto &best = DesignSpaceExplorer::best(points);
+    for (const auto &point : points) {
+        if (point.feasible) {
+            EXPECT_GE(best.safeVelocity, point.safeVelocity);
+        }
+    }
+    EXPECT_THROW(DesignSpaceExplorer::best({}), ModelError);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Direct tests for the studies library: the calibrated presets and
+ * the per-figure helper entry points (the integration test asserts
+ * the headline numbers; these cover the plumbing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "studies/fig05_safety.hh"
+#include "studies/fig09_payload.hh"
+#include "studies/fig11_compute.hh"
+#include "studies/fig13_algorithms.hh"
+#include "studies/fig14_redundancy.hh"
+#include "studies/fig15_full_system.hh"
+#include "studies/fig16_accelerators.hh"
+#include "studies/presets.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::studies;
+
+TEST(Presets, CalibratedKnees)
+{
+    // The presets' whole point: the paper's quoted knees.
+    EXPECT_NEAR(core::F1Model(pelicanInputs(units::Hertz(178.0)))
+                    .analyze()
+                    .kneeThroughput.value(),
+                43.0, 0.2);
+    EXPECT_NEAR(core::F1Model(sparkInputs(units::Hertz(178.0)))
+                    .analyze()
+                    .kneeThroughput.value(),
+                30.0, 0.1);
+    EXPECT_NEAR(core::F1Model(nanoInputs(units::Hertz(6.0)))
+                    .analyze()
+                    .kneeThroughput.value(),
+                26.0, 0.1);
+}
+
+TEST(Presets, SensorAndControlRates)
+{
+    const core::F1Inputs inputs = pelicanInputs(units::Hertz(55.0));
+    EXPECT_DOUBLE_EQ(inputs.sensorRate.value(), 60.0);
+    EXPECT_DOUBLE_EQ(inputs.controlRate.value(), 1000.0);
+    EXPECT_DOUBLE_EQ(inputs.computeRate.value(), 55.0);
+}
+
+TEST(Fig05Helpers, SweepSampleCountRespected)
+{
+    const Fig05Result result = runFig05(32);
+    EXPECT_EQ(result.sweep.size(), 32u);
+    EXPECT_GT(result.sweep.front().fAction,
+              result.sweep.back().fAction);
+}
+
+TEST(Fig09Helpers, CustomSampleCount)
+{
+    const Fig09Result result = runFig09(21);
+    EXPECT_EQ(result.sweep.size(), 21u);
+    EXPECT_DOUBLE_EQ(result.sweep.front().payloadGrams, 100.0);
+    EXPECT_DOUBLE_EQ(result.sweep.back().payloadGrams, 800.0);
+}
+
+TEST(Fig11Helpers, ModelForEachOption)
+{
+    for (const char *name :
+         {"Intel NCS", "Nvidia AGX", "Nvidia AGX-15W"}) {
+        const core::F1Model model = fig11Model(name);
+        EXPECT_GT(model.analyze().roofVelocity.value(), 0.0)
+            << name;
+    }
+    EXPECT_THROW(fig11Model("Cray-1"), ModelError);
+}
+
+TEST(Fig11Helpers, Agx15WShedsHalfTheHeatsink)
+{
+    const Fig11Result result = runFig11();
+    EXPECT_NEAR(result.agx30.takeoffGrams -
+                    result.agx15.takeoffGrams,
+                81.0, 1.0);
+    // Throughput identical by construction of the what-if.
+    EXPECT_DOUBLE_EQ(result.agx15.throughputHz,
+                     result.agx30.throughputHz);
+}
+
+TEST(Fig13Helpers, ModelPerAlgorithm)
+{
+    EXPECT_NEAR(fig13Model("DroNet")
+                    .analyze()
+                    .actionThroughput.value(),
+                60.0, 1e-9); // Sensor-capped.
+    EXPECT_NEAR(fig13Model("SPA package delivery")
+                    .analyze()
+                    .actionThroughput.value(),
+                1.1, 1e-9);
+    EXPECT_THROW(fig13Model("AlphaPilot"), ModelError);
+}
+
+TEST(Fig14Helpers, ModelPerScheme)
+{
+    const auto single =
+        fig14Model(pipeline::RedundancyScheme::None).analyze();
+    const auto dual =
+        fig14Model(pipeline::RedundancyScheme::Dual).analyze();
+    EXPECT_GT(single.roofVelocity.value(),
+              dual.roofVelocity.value());
+}
+
+TEST(Fig15Helpers, EntriesCarryProvenance)
+{
+    const Fig15Result result = runFig15();
+    // DroNet on TX2 is measured; CAD2RL on TX2 is a roofline bound.
+    EXPECT_EQ(result.find("DJI Spark", "DroNet", "Nvidia TX2")
+                  .source,
+              workload::ThroughputSource::Measured);
+    EXPECT_EQ(result.find("DJI Spark", "CAD2RL", "Nvidia TX2")
+                  .source,
+              workload::ThroughputSource::RooflineBound);
+}
+
+TEST(Fig15Helpers, SparkAndPelicanDifferInKnee)
+{
+    const Fig15Result result = runFig15();
+    EXPECT_GT(result.pelicanKnee, result.sparkKnee);
+    // Same algorithm/compute pair classifies independently per UAV.
+    const auto &pelican =
+        result.find("AscTec Pelican", "VGG16", "Nvidia TX2");
+    const auto &spark =
+        result.find("DJI Spark", "VGG16", "Nvidia TX2");
+    EXPECT_NE(pelican.analysis.kneeThroughput.value(),
+              spark.analysis.kneeThroughput.value());
+}
+
+TEST(Fig16Helpers, DefaultConstructorBuildsBothPipelines)
+{
+    const Fig16Result result; // Before runFig16() fills analyses.
+    EXPECT_EQ(result.hostPipeline.stages().size(), 4u);
+    EXPECT_EQ(result.navionPipeline.stages().size(), 4u);
+    EXPECT_LT(result.navionPipeline.totalLatency().value(),
+              result.hostPipeline.totalLatency().value());
+}
+
+TEST(Fig16Helpers, NavionDoesNotChangeOtherStages)
+{
+    const Fig16Result result = runFig16();
+    for (std::size_t i = 1;
+         i < result.hostPipeline.stages().size(); ++i) {
+        EXPECT_DOUBLE_EQ(
+            result.hostPipeline.stages()[i].latency.value(),
+            result.navionPipeline.stages()[i].latency.value());
+    }
+    EXPECT_LT(result.navionPipeline.stages()[0].latency.value(),
+              result.hostPipeline.stages()[0].latency.value());
+}
+
+} // namespace

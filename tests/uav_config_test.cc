@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for UavConfig and its builder: validation, mass
+ * roll-up, throughput resolution, overrides and redundancy
+ * integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "components/catalog.hh"
+#include "core/uav_config.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::units;
+using namespace uavf1::units::literals;
+using core::UavConfig;
+
+/** A complete, valid Pelican + TX2 + DroNet builder. */
+UavConfig::Builder
+pelicanBuilder()
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    UavConfig::Builder builder("test-pelican");
+    builder.airframe(catalog.airframes().byName("AscTec Pelican"))
+        .sensor(catalog.sensors().byName("RGB-D 60FPS (4.5m)"))
+        .compute(catalog.computes().byName("Nvidia TX2"))
+        .algorithm(algorithms.byName("DroNet"));
+    return builder;
+}
+
+TEST(UavConfigBuilder, RequiresAirframeAndSensor)
+{
+    UavConfig::Builder no_airframe("x");
+    no_airframe.sensor(components::Catalog::standard()
+                           .sensors()
+                           .byName("60FPS camera (10m)"));
+    no_airframe.computeRateOverride(100.0_hz);
+    EXPECT_THROW(no_airframe.build(), ModelError);
+
+    UavConfig::Builder no_sensor("x");
+    no_sensor.airframe(components::Catalog::standard()
+                           .airframes()
+                           .byName("AscTec Pelican"));
+    no_sensor.computeRateOverride(100.0_hz);
+    EXPECT_THROW(no_sensor.build(), ModelError);
+
+    EXPECT_THROW(UavConfig::Builder(""), ModelError);
+}
+
+TEST(UavConfigBuilder, RequiresAComputeRateSource)
+{
+    const auto catalog = components::Catalog::standard();
+    UavConfig::Builder builder("x");
+    builder.airframe(catalog.airframes().byName("AscTec Pelican"))
+        .sensor(catalog.sensors().byName("60FPS camera (10m)"));
+    // No override and no compute+algorithm pair.
+    EXPECT_THROW(builder.build(), ModelError);
+    // Platform alone is not enough.
+    builder.compute(catalog.computes().byName("Nvidia TX2"));
+    EXPECT_THROW(builder.build(), ModelError);
+}
+
+TEST(UavConfig, ComputeRateFromOracle)
+{
+    const UavConfig config = pelicanBuilder().build();
+    EXPECT_DOUBLE_EQ(config.computeRate().value(), 178.0);
+    EXPECT_EQ(config.computeRateSource(),
+              workload::ThroughputSource::Measured);
+}
+
+TEST(UavConfig, ComputeRateOverrideWins)
+{
+    const UavConfig config =
+        pelicanBuilder().computeRateOverride(55.0_hz).build();
+    EXPECT_DOUBLE_EQ(config.computeRate().value(), 55.0);
+}
+
+TEST(UavConfig, MassRollUpIncludesEverything)
+{
+    const auto catalog = components::Catalog::standard();
+    const UavConfig config =
+        pelicanBuilder()
+            .battery(catalog.batteries().byName("3S 5000mAh"))
+            .payload("calibration weight", 50.0_g)
+            .build();
+
+    const auto &budget = config.massBudget();
+    // Airframe 1000 + FC 10 + sensor 72 + TX2 (85 + ~41 heatsink)
+    // + battery 380 + weight 50.
+    EXPECT_NEAR(config.takeoffMass().value(),
+                1000.0 + 10.0 + 72.0 + 85.0 + 41.2 + 380.0 + 50.0,
+                1.0);
+    EXPECT_DOUBLE_EQ(budget.massOf("calibration weight").value(),
+                     50.0);
+    EXPECT_GE(budget.items().size(), 6u);
+}
+
+TEST(UavConfig, AMaxOverrideBypassesPhysics)
+{
+    const UavConfig config =
+        pelicanBuilder().aMaxOverride(4.12_mps2).build();
+    EXPECT_DOUBLE_EQ(config.maxAcceleration().value(), 4.12);
+}
+
+TEST(UavConfig, InfeasibleBuildThrows)
+{
+    // Loading a Pelican with an Intel NUC plus a pile of lead
+    // exceeds its thrust.
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    UavConfig::Builder builder("overloaded");
+    builder.airframe(catalog.airframes().byName("AscTec Pelican"))
+        .sensor(catalog.sensors().byName("RGB-D 60FPS (4.5m)"))
+        .compute(catalog.computes().byName("Intel NUC"))
+        .algorithm(algorithms.byName("DroNet"))
+        .payload("lead brick", 2000.0_g);
+    EXPECT_THROW(builder.build(), InfeasibleError);
+    // With an a_max override, feasibility is the caller's problem.
+    EXPECT_NO_THROW(builder.aMaxOverride(1.0_mps2).build());
+}
+
+TEST(UavConfig, RedundancyAffectsMassAndRate)
+{
+    const UavConfig single = pelicanBuilder().build();
+    const UavConfig dual =
+        pelicanBuilder()
+            .redundancy(pipeline::ModularRedundancy(
+                pipeline::RedundancyScheme::Dual))
+            .build();
+    EXPECT_GT(dual.takeoffMass().value(),
+              single.takeoffMass().value() + 100.0);
+    EXPECT_LT(dual.computeRate().value(),
+              single.computeRate().value());
+    EXPECT_DOUBLE_EQ(dual.computePower().value(),
+                     2.0 * single.computePower().value());
+    // Heavier -> lower a_max.
+    EXPECT_LT(dual.maxAcceleration().value(),
+              single.maxAcceleration().value());
+}
+
+TEST(UavConfig, ThrustDerateLowersAcceleration)
+{
+    const UavConfig full = pelicanBuilder().build();
+    const UavConfig derated =
+        pelicanBuilder().thrustDerate(0.833).build();
+    EXPECT_LT(derated.maxAcceleration().value(),
+              full.maxAcceleration().value());
+    EXPECT_NEAR(derated.totalThrust().value(),
+                full.totalThrust().value() * 0.833, 1e-9);
+}
+
+TEST(UavConfig, F1InputsWiring)
+{
+    const UavConfig config = pelicanBuilder().build();
+    const core::F1Inputs inputs = config.f1Inputs();
+    EXPECT_DOUBLE_EQ(inputs.sensorRate.value(), 60.0);
+    EXPECT_DOUBLE_EQ(inputs.sensingRange.value(), 4.5);
+    EXPECT_DOUBLE_EQ(inputs.computeRate.value(), 178.0);
+    EXPECT_DOUBLE_EQ(inputs.controlRate.value(), 1000.0);
+    EXPECT_DOUBLE_EQ(inputs.aMax.value(),
+                     config.maxAcceleration().value());
+    // The model analyzes without throwing.
+    EXPECT_NO_THROW(config.f1Model().analyze());
+}
+
+TEST(UavConfig, DescribeMentionsKeyFacts)
+{
+    const UavConfig config = pelicanBuilder().build();
+    const std::string text = config.describe();
+    EXPECT_NE(text.find("AscTec Pelican"), std::string::npos);
+    EXPECT_NE(text.find("Nvidia TX2"), std::string::npos);
+    EXPECT_NE(text.find("DroNet"), std::string::npos);
+    EXPECT_NE(text.find("a_max"), std::string::npos);
+}
+
+TEST(UavConfig, BuilderKnobValidation)
+{
+    UavConfig::Builder builder("x");
+    EXPECT_THROW(builder.thrustDerate(0.0), ModelError);
+    EXPECT_THROW(builder.thrustDerate(1.5), ModelError);
+    EXPECT_THROW(builder.computeRateOverride(Hertz(0.0)), ModelError);
+    EXPECT_THROW(builder.aMaxOverride(MetersPerSecondSquared(0.0)),
+                 ModelError);
+    EXPECT_THROW(builder.kneeFraction(0.0), ModelError);
+    EXPECT_THROW(builder.kneeFraction(1.0), ModelError);
+}
+
+TEST(UavConfig, CustomKneeFractionPropagates)
+{
+    const UavConfig config =
+        pelicanBuilder().kneeFraction(0.95).build();
+    EXPECT_DOUBLE_EQ(config.f1Inputs().kneeFraction, 0.95);
+    // A looser knee criterion sits at a lower throughput.
+    const UavConfig strict =
+        pelicanBuilder().kneeFraction(0.99).build();
+    EXPECT_LT(config.f1Model().analyze().kneeThroughput.value(),
+              strict.f1Model().analyze().kneeThroughput.value());
+}
+
+} // namespace
