@@ -12,17 +12,32 @@
 #ifndef UAVF1_BENCH_BENCH_COMMON_HH
 #define UAVF1_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
 namespace uavf1::bench {
 
-/** Ensure ./artifacts exists and return its path. */
+/**
+ * Ensure the artifacts directory exists and return its path.
+ *
+ * Each binary writes into its own ./artifacts/<binary> subdirectory
+ * so that parallel `ctest -j` jobs never race on the same files.
+ * The binary name comes from glibc's program_invocation_short_name;
+ * on non-glibc platforms there is no portable argv[0] hook here, so
+ * everything falls back to the shared ./artifacts directory (and
+ * `ctest -j` isolation is not guaranteed).
+ */
 inline std::string
 artifactsDir()
 {
+#ifdef __GLIBC__
+    const std::string dir =
+        std::string("artifacts/") + program_invocation_short_name;
+#else
     const std::string dir = "artifacts";
+#endif
     std::filesystem::create_directories(dir);
     return dir;
 }

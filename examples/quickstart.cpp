@@ -58,7 +58,7 @@ main(int argc, char **argv)
             "  safe velocity:     %.2f m/s (roof %.2f m/s)\n"
             "  classification:    %s, %s\n",
             analysis.actionThroughput.value(),
-            analysis.bottleneckStage.c_str(),
+            core::toString(analysis.bottleneckStage),
             analysis.kneeThroughput.value(),
             analysis.safeVelocity.value(),
             analysis.roofVelocity.value(),

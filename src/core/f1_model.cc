@@ -43,6 +43,20 @@ toString(DesignVerdict verdict)
     return "unknown";
 }
 
+const char *
+toString(BottleneckStage stage)
+{
+    switch (stage) {
+      case BottleneckStage::Sensor:
+        return "sensor";
+      case BottleneckStage::Compute:
+        return "compute";
+      case BottleneckStage::Control:
+        return "control";
+    }
+    return "unknown";
+}
+
 F1Model::F1Model(const F1Inputs &inputs)
     : _inputs(inputs),
       _safety(inputs.aMax, inputs.sensingRange),
@@ -56,16 +70,44 @@ F1Model::F1Model(const F1Inputs &inputs)
 F1Analysis
 F1Model::analyze() const
 {
+    // Inputs were validated at construction; the static hot path
+    // re-checks cheap scalar predicates only.
     F1Analysis out;
-    out.actionThroughput = _pipeline.actionThroughput();
-    out.safeVelocity = _safety.safeVelocityAtRate(out.actionThroughput);
-    out.kneeThroughput = _safety.kneeThroughput(_inputs.kneeFraction);
-    out.roofVelocity = _safety.physicsRoof();
-    out.kneeVelocity = _safety.safeVelocityAtRate(out.kneeThroughput);
-    out.bottleneckStage = _pipeline.bottleneck().name;
-    out.sensorCeiling = _safety.safeVelocityAtRate(_inputs.sensorRate);
-    out.computeCeiling =
-        _safety.safeVelocityAtRate(_inputs.computeRate);
+    analyzeInto(_inputs, out);
+    return out;
+}
+
+void
+F1Model::analyzeInto(const F1Inputs &inputs, F1Analysis &out)
+{
+    requireInRange(inputs.kneeFraction, 1e-6, 1.0 - 1e-9,
+                   "kneeFraction");
+    requirePositive(inputs.sensorRate.value(), "sensorRate");
+    requirePositive(inputs.computeRate.value(), "computeRate");
+    requirePositive(inputs.controlRate.value(), "controlRate");
+    const SafetyModel safety(inputs.aMax, inputs.sensingRange);
+
+    // Eq. 3 with the sensor-compute-control pipeline unrolled:
+    // same argmin (first minimal stage) as ActionPipeline, but with
+    // no stage vector or name strings.
+    units::Hertz f_min = inputs.sensorRate;
+    out.bottleneckStage = BottleneckStage::Sensor;
+    if (inputs.computeRate < f_min) {
+        f_min = inputs.computeRate;
+        out.bottleneckStage = BottleneckStage::Compute;
+    }
+    if (inputs.controlRate < f_min) {
+        f_min = inputs.controlRate;
+        out.bottleneckStage = BottleneckStage::Control;
+    }
+
+    out.actionThroughput = f_min;
+    out.safeVelocity = safety.safeVelocityAtRate(out.actionThroughput);
+    out.kneeThroughput = safety.kneeThroughput(inputs.kneeFraction);
+    out.roofVelocity = safety.physicsRoof();
+    out.kneeVelocity = safety.safeVelocityAtRate(out.kneeThroughput);
+    out.sensorCeiling = safety.safeVelocityAtRate(inputs.sensorRate);
+    out.computeCeiling = safety.safeVelocityAtRate(inputs.computeRate);
 
     const double f_action = out.actionThroughput.value();
     const double f_knee = out.kneeThroughput.value();
@@ -77,12 +119,16 @@ F1Model::analyze() const
     } else {
         out.requiredSpeedup = f_knee / f_action;
         out.overProvisionFactor = 1.0;
-        if (out.bottleneckStage == "sensor") {
+        switch (out.bottleneckStage) {
+          case BottleneckStage::Sensor:
             out.bound = BoundType::SensorBound;
-        } else if (out.bottleneckStage == "control") {
+            break;
+          case BottleneckStage::Control:
             out.bound = BoundType::ControlBound;
-        } else {
+            break;
+          case BottleneckStage::Compute:
             out.bound = BoundType::ComputeBound;
+            break;
         }
     }
 
@@ -98,7 +144,16 @@ F1Model::analyze() const
     } else {
         out.verdict = DesignVerdict::SubOptimal;
     }
-    return out;
+}
+
+void
+F1Model::evaluateBatch(std::span<const F1Inputs> inputs,
+                       std::span<F1Analysis> out)
+{
+    if (inputs.size() != out.size())
+        throw ModelError("evaluateBatch spans must match in size");
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        analyzeInto(inputs[i], out[i]);
 }
 
 RooflineCurve

@@ -11,7 +11,7 @@
 #ifndef UAVF1_CORE_F1_MODEL_HH
 #define UAVF1_CORE_F1_MODEL_HH
 
-#include <string>
+#include <span>
 #include <vector>
 
 #include "core/safety_model.hh"
@@ -60,6 +60,22 @@ enum class DesignVerdict
 /** Printable verdict. */
 const char *toString(DesignVerdict verdict);
 
+/**
+ * The pipeline stage limiting action throughput (Eq. 3 argmin).
+ * A plain enum — not the stage's string name — so that F1Analysis
+ * stays trivially copyable and the per-sample analysis path never
+ * touches the heap.
+ */
+enum class BottleneckStage
+{
+    Sensor,
+    Compute,
+    Control,
+};
+
+/** Printable stage name ("sensor", "compute", "control"). */
+const char *toString(BottleneckStage stage);
+
 /** Result of F1Model::analyze(). */
 struct F1Analysis
 {
@@ -69,7 +85,8 @@ struct F1Analysis
     units::MetersPerSecond roofVelocity; ///< Physics roof.
     units::MetersPerSecond kneeVelocity; ///< v at the knee.
     BoundType bound;                ///< Limiting subsystem.
-    std::string bottleneckStage;    ///< Name of the limiting stage.
+    BottleneckStage bottleneckStage ///< The limiting stage.
+        = BottleneckStage::Compute;
     /** f_action / f_knee when past the knee, else 1. */
     double overProvisionFactor = 1.0;
     /** f_knee / f_action when short of the knee, else 1. */
@@ -122,6 +139,25 @@ class F1Model
 
     /** Full bound-and-bottleneck analysis. */
     F1Analysis analyze() const;
+
+    /**
+     * Allocation-free analysis for hot loops: validates `inputs`
+     * (throws ModelError on bad values) and writes the full
+     * bound-and-bottleneck analysis into `out` without constructing
+     * an F1Model — no pipeline vector, no strings, no heap traffic
+     * on the happy path. Produces bit-identical results to
+     * F1Model(inputs).analyze().
+     */
+    static void analyzeInto(const F1Inputs &inputs, F1Analysis &out);
+
+    /**
+     * Batch entry point: analyze inputs[i] into out[i] for every i.
+     *
+     * @throws ModelError if the spans differ in size or any input
+     *         is invalid
+     */
+    static void evaluateBatch(std::span<const F1Inputs> inputs,
+                              std::span<F1Analysis> out);
 
     /**
      * Sample the roofline curve over [f_min, f_max] (log-spaced).

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * parallelFor implementation.
+ */
+
+#include "exec/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+namespace uavf1::exec {
+
+namespace {
+
+/** State shared between the caller and its helper tasks. */
+struct LoopState
+{
+    std::size_t count = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    const std::function<void(std::size_t, std::size_t)> *body =
+        nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pendingHelpers = 0;
+
+    /** Pull and run chunks until the cursor runs out. */
+    void drain()
+    {
+        for (;;) {
+            const std::size_t chunk =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (chunk >= chunks || failed.load())
+                return;
+            const std::size_t begin = chunk * grain;
+            const std::size_t end =
+                std::min(count, begin + grain);
+            try {
+                (*body)(begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true);
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+parallelFor(std::size_t count,
+            const std::function<void(std::size_t, std::size_t)> &body,
+            const ParallelOptions &options)
+{
+    if (count == 0)
+        return;
+
+    ThreadPool &pool =
+        options.pool ? *options.pool : ThreadPool::global();
+
+    const std::size_t grain = std::max<std::size_t>(1, options.grain);
+    const std::size_t chunks = (count + grain - 1) / grain;
+
+    std::size_t participants = pool.threadCount();
+    if (options.maxThreads > 0)
+        participants = std::min(participants, options.maxThreads);
+    participants = std::min(participants, chunks);
+
+    // Serial fast path: a one-thread budget, a single chunk, or a
+    // nested call from one of this pool's own workers (which must
+    // not block on its own queue). Still walks the same chunk
+    // boundaries as the parallel path so callers keying state by
+    // chunk see identical geometry at every thread count.
+    if (participants <= 1 || pool.onWorkerThread()) {
+        for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+            const std::size_t begin = chunk * grain;
+            body(begin, std::min(count, begin + grain));
+        }
+        return;
+    }
+
+    auto state = std::make_shared<LoopState>();
+    state->count = count;
+    state->grain = grain;
+    state->chunks = chunks;
+    state->body = &body;
+    state->pendingHelpers = participants - 1;
+
+    for (std::size_t i = 0; i + 1 < participants; ++i) {
+        pool.submit([state] {
+            state->drain();
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (--state->pendingHelpers == 0)
+                state->done.notify_all();
+        });
+    }
+
+    state->drain();
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock,
+                     [&] { return state->pendingHelpers == 0; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace uavf1::exec

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic data-parallel loops on top of ThreadPool.
+ *
+ * The contract every caller relies on:
+ *
+ *  - The index space [0, count) is split into *statically sized*
+ *    chunks whose boundaries depend only on `count` and
+ *    `ParallelOptions::grain` — never on the thread count. Chunks
+ *    are handed to threads dynamically (an atomic cursor), but each
+ *    chunk always covers the same indices.
+ *  - Each index is visited exactly once, and all writes made by the
+ *    body are visible to the caller when parallelFor returns.
+ *  - Because per-index state (output slots, forked RNG substreams)
+ *    is keyed by chunk/index and not by thread, results are
+ *    bit-identical for any thread count, including 1.
+ *  - The first exception thrown by the body is rethrown on the
+ *    calling thread; remaining chunks are abandoned best-effort.
+ *  - Nested invocations from inside a worker run serially on that
+ *    worker (no deadlock, same results).
+ */
+
+#ifndef UAVF1_EXEC_PARALLEL_HH
+#define UAVF1_EXEC_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+
+namespace uavf1::exec {
+
+/** Tuning knobs for parallelFor / parallelMap. */
+struct ParallelOptions
+{
+    /** Pool to run on; nullptr means ThreadPool::global(). */
+    ThreadPool *pool = nullptr;
+    /** Cap on participating threads; 0 means the whole pool. */
+    std::size_t maxThreads = 0;
+    /** Minimum indices per chunk (chunk geometry, so it also pins
+     * the determinism granularity of chunk-keyed state). */
+    std::size_t grain = 1;
+};
+
+/**
+ * Run `body(begin, end)` over disjoint subranges covering
+ * [0, count). Blocks until every index is processed (or an
+ * exception is rethrown).
+ */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>
+                     &body,
+                 const ParallelOptions &options = {});
+
+/**
+ * Evaluate `fn(i)` for i in [0, count) and return the results in
+ * index order. T must be default-constructible.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(std::size_t count, Fn &&fn,
+            const ParallelOptions &options = {})
+{
+    // vector<bool> is bit-packed: concurrent writes to adjacent
+    // indices would race on the same word. Use char/int instead.
+    static_assert(!std::is_same_v<T, bool>,
+                  "parallelMap<bool> would race on vector<bool>'s "
+                  "packed words");
+    std::vector<T> out(count);
+    parallelFor(
+        count,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                out[i] = fn(i);
+        },
+        options);
+    return out;
+}
+
+} // namespace uavf1::exec
+
+#endif // UAVF1_EXEC_PARALLEL_HH

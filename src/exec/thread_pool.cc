@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ThreadPool implementation.
+ */
+
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/errors.hh"
+
+namespace uavf1::exec {
+
+namespace {
+
+/** Worker threads mark themselves so nested parallelism degrades to
+ * serial execution instead of deadlocking. */
+thread_local const ThreadPool *current_worker_pool = nullptr;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads < 1)
+        throw ModelError("thread pool requires at least one thread");
+    _workers.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _tasks.push(std::move(task));
+    }
+    _wake.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    current_worker_pool = this;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock,
+                       [this] { return _stop || !_tasks.empty(); });
+            if (_tasks.empty())
+                return; // _stop and drained.
+            task = std::move(_tasks.front());
+            _tasks.pop();
+        }
+        task();
+    }
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return current_worker_pool == this;
+}
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("UAVF1_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<std::size_t>(parsed);
+    }
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+} // namespace uavf1::exec

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the parallel sweep engine.
+ *
+ * Every hot evaluation loop in the library (Monte-Carlo uncertainty,
+ * design-space sweeps, the figure studies) is data-parallel over
+ * independent samples, so one shared pool is enough. A pool of size N
+ * represents N-way parallelism *including the calling thread*: it
+ * spawns N-1 workers and the caller always participates in
+ * parallelFor, so `ThreadPool(1)` degenerates to plain serial
+ * execution with no threads at all. That makes "run this sweep at 1,
+ * 2 and 8 threads" a pure configuration change, which the
+ * determinism tests exploit.
+ */
+
+#ifndef UAVF1_EXEC_THREAD_POOL_HH
+#define UAVF1_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace uavf1::exec {
+
+/**
+ * A fixed set of worker threads draining a task queue.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallelism including the caller (>= 1);
+     *        the pool spawns threads-1 workers
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Joins all workers; pending tasks are still executed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + the calling thread). */
+    std::size_t threadCount() const { return _workers.size() + 1; }
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /**
+     * The process-wide pool, sized from the UAVF1_THREADS environment
+     * variable when set, else from std::thread::hardware_concurrency.
+     */
+    static ThreadPool &global();
+
+    /** The size global() would pick (env override or hardware). */
+    static std::size_t defaultThreadCount();
+
+    /**
+     * True when the calling thread is one of this pool's workers.
+     * parallelFor uses this to run nested invocations serially
+     * instead of deadlocking on its own pool.
+     */
+    bool onWorkerThread() const;
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::queue<std::function<void()>> _tasks;
+    mutable std::mutex _mutex;
+    std::condition_variable _wake;
+    bool _stop = false;
+};
+
+} // namespace uavf1::exec
+
+#endif // UAVF1_EXEC_THREAD_POOL_HH

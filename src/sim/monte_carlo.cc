@@ -6,6 +6,7 @@
 #include "sim/monte_carlo.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "support/errors.hh"
@@ -19,7 +20,6 @@ Distribution::fromSamples(std::vector<double> samples)
 {
     if (samples.empty())
         throw ModelError("distribution requires samples");
-    std::sort(samples.begin(), samples.end());
 
     Distribution out;
     double sum = 0.0;
@@ -34,18 +34,46 @@ Distribution::fromSamples(std::vector<double> samples)
                                            samples.size() - 1))
                      : 0.0;
 
-    auto percentile = [&](double p) {
-        const double rank =
-            p / 100.0 * static_cast<double>(samples.size() - 1);
+    // Only six order statistics are needed, so select them with
+    // progressive nth_element passes (expected O(n)) instead of a
+    // full O(n log n) sort. After nth_element at rank k, position k
+    // is pinned and everything left of it is <= samples[k], so
+    // later (larger) ranks only repartition the suffix [k+1, end) —
+    // starting at k+1, not k, so pinned positions are never
+    // permuted again. The selected values are exact order
+    // statistics, identical to the sorted-array ones.
+    const std::size_t n = samples.size();
+    std::array<std::size_t, 6> ranks{};
+    std::array<double, 3> fracs{};
+    for (std::size_t i = 0; i < 3; ++i) {
+        constexpr double kPercentiles[3] = {5.0, 50.0, 95.0};
+        const double rank = kPercentiles[i] / 100.0 *
+                            static_cast<double>(n - 1);
         const std::size_t lo = static_cast<std::size_t>(rank);
-        const std::size_t hi =
-            std::min(lo + 1, samples.size() - 1);
-        const double frac = rank - static_cast<double>(lo);
-        return samples[lo] + frac * (samples[hi] - samples[lo]);
+        ranks[2 * i] = lo;
+        ranks[2 * i + 1] = std::min(lo + 1, n - 1);
+        fracs[i] = rank - static_cast<double>(lo);
+    }
+
+    std::array<std::size_t, 6> sorted_ranks = ranks;
+    std::sort(sorted_ranks.begin(), sorted_ranks.end());
+    std::size_t partitioned_up_to = 0;
+    for (std::size_t k : sorted_ranks) {
+        if (k < partitioned_up_to)
+            continue; // Duplicate rank, already pinned.
+        std::nth_element(samples.begin() + partitioned_up_to,
+                         samples.begin() + k, samples.end());
+        partitioned_up_to = k + 1;
+    }
+
+    auto interpolate = [&](std::size_t i) {
+        const double lo = samples[ranks[2 * i]];
+        const double hi = samples[ranks[2 * i + 1]];
+        return lo + fracs[i] * (hi - lo);
     };
-    out.p5 = percentile(5.0);
-    out.p50 = percentile(50.0);
-    out.p95 = percentile(95.0);
+    out.p5 = interpolate(0);
+    out.p50 = interpolate(1);
+    out.p95 = interpolate(2);
     return out;
 }
 
@@ -80,59 +108,98 @@ perturb(double nominal, double rel_std, Rng &rng)
 } // namespace
 
 UncertaintyResult
-MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed) const
+MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
+                        const exec::ParallelOptions &parallel) const
 {
     if (count < 10)
         throw ModelError("Monte-Carlo run needs >= 10 samples");
 
-    Rng rng(seed);
-    std::vector<double> v_safe;
-    std::vector<double> knee;
-    std::vector<double> roof;
-    v_safe.reserve(count);
-    knee.reserve(count);
-    roof.reserve(count);
+    // Deterministic decomposition: samples come in fixed-size
+    // blocks, each drawing from its own forked substream. Block
+    // geometry depends only on `count`, every sample writes to its
+    // own slot, and per-block tallies are merged in block order, so
+    // the result is bit-identical at any thread count.
+    const std::size_t blocks =
+        (count + sampleBlock - 1) / sampleBlock;
+    std::vector<Rng> block_rngs;
+    block_rngs.reserve(blocks);
+    Rng root(seed);
+    for (std::size_t b = 0; b < blocks; ++b)
+        block_rngs.push_back(root.fork());
+
+    std::vector<double> v_safe(count);
+    std::vector<double> knee(count);
+    std::vector<double> roof(count);
+    std::vector<std::array<std::uint64_t, 4>> bound_counts(
+        blocks, std::array<std::uint64_t, 4>{});
+
+    exec::ParallelOptions options = parallel;
+    options.grain = 1; // One block per chunk.
+    exec::parallelFor(
+        blocks,
+        [&](std::size_t block_begin, std::size_t block_end) {
+            core::F1Analysis analysis;
+            for (std::size_t b = block_begin; b < block_end; ++b) {
+                Rng rng = block_rngs[b];
+                // Tally on the stack and store once per block:
+                // adjacent blocks' slots share cache lines, so
+                // per-sample increments would false-share.
+                std::array<std::uint64_t, 4> counts{};
+                const std::size_t lo = b * sampleBlock;
+                const std::size_t hi =
+                    std::min(count, lo + sampleBlock);
+                for (std::size_t i = lo; i < hi; ++i) {
+                    core::F1Inputs inputs = _spec.nominal;
+                    inputs.aMax = units::MetersPerSecondSquared(
+                        perturb(inputs.aMax.value(),
+                                _spec.aMaxRelStd, rng));
+                    inputs.sensingRange = units::Meters(
+                        perturb(inputs.sensingRange.value(),
+                                _spec.rangeRelStd, rng));
+                    inputs.computeRate = units::Hertz(
+                        perturb(inputs.computeRate.value(),
+                                _spec.computeRelStd, rng));
+                    inputs.sensorRate = units::Hertz(
+                        perturb(inputs.sensorRate.value(),
+                                _spec.sensorRelStd, rng));
+
+                    core::F1Model::analyzeInto(inputs, analysis);
+                    v_safe[i] = analysis.safeVelocity.value();
+                    knee[i] = analysis.kneeThroughput.value();
+                    roof[i] = analysis.roofVelocity.value();
+                    ++counts[static_cast<std::size_t>(
+                        analysis.bound)];
+                }
+                bound_counts[b] = counts;
+            }
+        },
+        options);
 
     UncertaintyResult result;
     result.samples = count;
-
-    for (std::size_t i = 0; i < count; ++i) {
-        core::F1Inputs inputs = _spec.nominal;
-        inputs.aMax = units::MetersPerSecondSquared(perturb(
-            inputs.aMax.value(), _spec.aMaxRelStd, rng));
-        inputs.sensingRange = units::Meters(perturb(
-            inputs.sensingRange.value(), _spec.rangeRelStd, rng));
-        inputs.computeRate = units::Hertz(perturb(
-            inputs.computeRate.value(), _spec.computeRelStd, rng));
-        inputs.sensorRate = units::Hertz(perturb(
-            inputs.sensorRate.value(), _spec.sensorRelStd, rng));
-
-        const core::F1Analysis analysis =
-            core::F1Model(inputs).analyze();
-        v_safe.push_back(analysis.safeVelocity.value());
-        knee.push_back(analysis.kneeThroughput.value());
-        roof.push_back(analysis.roofVelocity.value());
-        switch (analysis.bound) {
-          case core::BoundType::ComputeBound:
-            result.probComputeBound += 1.0;
-            break;
-          case core::BoundType::SensorBound:
-            result.probSensorBound += 1.0;
-            break;
-          case core::BoundType::ControlBound:
-            result.probControlBound += 1.0;
-            break;
-          case core::BoundType::PhysicsBound:
-            result.probPhysicsBound += 1.0;
-            break;
-        }
-    }
+    std::array<std::uint64_t, 4> totals{};
+    for (const auto &counts : bound_counts)
+        for (std::size_t k = 0; k < totals.size(); ++k)
+            totals[k] += counts[k];
 
     const double n = static_cast<double>(count);
-    result.probComputeBound /= n;
-    result.probSensorBound /= n;
-    result.probControlBound /= n;
-    result.probPhysicsBound /= n;
+    using core::BoundType;
+    result.probComputeBound =
+        static_cast<double>(
+            totals[static_cast<std::size_t>(BoundType::ComputeBound)]) /
+        n;
+    result.probSensorBound =
+        static_cast<double>(
+            totals[static_cast<std::size_t>(BoundType::SensorBound)]) /
+        n;
+    result.probControlBound =
+        static_cast<double>(
+            totals[static_cast<std::size_t>(BoundType::ControlBound)]) /
+        n;
+    result.probPhysicsBound =
+        static_cast<double>(
+            totals[static_cast<std::size_t>(BoundType::PhysicsBound)]) /
+        n;
     result.safeVelocity = Distribution::fromSamples(std::move(v_safe));
     result.kneeThroughput = Distribution::fromSamples(std::move(knee));
     result.roofVelocity = Distribution::fromSamples(std::move(roof));

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/f1_model.hh"
+#include "exec/parallel.hh"
 
 namespace uavf1::sim {
 
@@ -70,11 +71,21 @@ class MonteCarloAnalyzer
      * Draw `count` samples (lognormal multiplicative perturbations,
      * deterministic for a seed) and summarize the outputs.
      *
+     * Runs on the parallel sweep engine. Samples are drawn in
+     * fixed-size blocks, each from its own Rng::fork() substream
+     * keyed by block index, so the result is bit-identical for a
+     * given seed at any thread count.
+     *
      * @param count number of samples (>= 10)
      * @param seed RNG seed
+     * @param parallel executor options (pool, thread cap)
      */
-    UncertaintyResult run(std::size_t count,
-                          std::uint64_t seed = 1) const;
+    UncertaintyResult
+    run(std::size_t count, std::uint64_t seed = 1,
+        const exec::ParallelOptions &parallel = {}) const;
+
+    /** Samples per RNG substream block (the determinism grain). */
+    static constexpr std::size_t sampleBlock = 2048;
 
   private:
     UncertaintySpec _spec;

@@ -281,7 +281,8 @@ SkylineSession::renderAnalysis() const
         analysis.thrustToWeight, analysis.aMax.value());
     out += strFormat(
         "  f_action %.2f Hz (bottleneck: %s), knee %.2f Hz\n",
-        a.actionThroughput.value(), a.bottleneckStage.c_str(),
+        a.actionThroughput.value(),
+        core::toString(a.bottleneckStage),
         a.kneeThroughput.value());
     out += strFormat(
         "  safe velocity %.2f m/s of %.2f m/s roof -> %s (%s)\n",

@@ -8,8 +8,10 @@
 #include <cmath>
 
 #include "core/safety_model.hh"
+#include "exec/parallel.hh"
 #include "physics/acceleration.hh"
 #include "sim/table1.hh"
+#include "support/errors.hh"
 #include "units/units.hh"
 
 namespace uavf1::studies {
@@ -47,6 +49,11 @@ evaluatePayload(double payload_grams)
 Fig09Result
 runFig09(std::size_t sweep_samples)
 {
+    if (sweep_samples < 2) {
+        throw ModelError(
+            "fig09 payload sweep requires sweep_samples >= 2");
+    }
+
     Fig09Result result;
 
     // Feasibility bound: base + payload must stay below the usable
@@ -54,12 +61,18 @@ runFig09(std::size_t sweep_samples)
     // operating region.
     const double lo = 100.0;
     const double hi = 800.0;
-    for (std::size_t i = 0; i < sweep_samples; ++i) {
-        const double payload =
-            lo + (hi - lo) * static_cast<double>(i) /
-                     static_cast<double>(sweep_samples - 1);
-        result.sweep.push_back(evaluatePayload(payload));
-    }
+    result.sweep.resize(sweep_samples);
+    exec::parallelFor(
+        sweep_samples,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const double payload =
+                    lo + (hi - lo) * static_cast<double>(i) /
+                             static_cast<double>(sweep_samples - 1);
+                result.sweep[i] = evaluatePayload(payload);
+            }
+        },
+        {.grain = 16});
 
     const struct { const char *name; double payload; } uavs[] = {
         {"UAV-A", 590.0},

@@ -5,8 +5,11 @@
 
 #include "studies/fig11_compute.hh"
 
+#include <array>
+
 #include "components/catalog.hh"
 #include "core/uav_config.hh"
+#include "exec/parallel.hh"
 #include "support/errors.hh"
 #include "workload/throughput.hh"
 
@@ -80,10 +83,19 @@ fig11Model(const std::string &option_name)
 Fig11Result
 runFig11()
 {
+    // The three options build independent configurations (each one
+    // resolves its own catalog and oracle), so they evaluate
+    // concurrently on the sweep engine.
+    const std::array<const char *, 3> names = {
+        "Intel NCS", "Nvidia AGX", "Nvidia AGX-15W"};
+    const auto options = exec::parallelMap<Fig11Option>(
+        names.size(),
+        [&](std::size_t i) { return buildOption(names[i]); });
+
     Fig11Result result;
-    result.ncs = buildOption("Intel NCS");
-    result.agx30 = buildOption("Nvidia AGX");
-    result.agx15 = buildOption("Nvidia AGX-15W");
+    result.ncs = options[0];
+    result.agx30 = options[1];
+    result.agx15 = options[2];
     result.agxTdpGain = result.agx15.analysis.roofVelocity.value() /
                         result.agx30.analysis.roofVelocity.value();
     result.ncsWins = result.ncs.analysis.roofVelocity >

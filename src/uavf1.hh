@@ -4,7 +4,8 @@
  *
  * Pulls in the full public API: units, physics, thermal,
  * components, workloads, the action pipeline, the F-1 core,
- * the flight simulator, plotting, Skyline and the mission model.
+ * the flight simulator, the parallel sweep engine, plotting,
+ * Skyline and the mission model.
  */
 
 #ifndef UAVF1_UAVF1_HH
@@ -16,6 +17,8 @@
 #include "core/f1_model.hh"
 #include "core/safety_model.hh"
 #include "core/uav_config.hh"
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
 #include "mission/mission_model.hh"
 #include "physics/physics.hh"
 #include "pipeline/action_pipeline.hh"

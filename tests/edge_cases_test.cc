@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "components/catalog.hh"
 #include "core/uav_config.hh"
@@ -213,6 +215,35 @@ TEST(Distribution, SingleSampleAndTwoSamples)
     EXPECT_DOUBLE_EQ(two.mean, 2.0);
     EXPECT_DOUBLE_EQ(two.p50, 2.0);
     EXPECT_NEAR(two.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Distribution, PercentilesMatchFullSortReference)
+{
+    // Regression: the nth_element-based selection must return the
+    // exact order statistics a full sort would (an earlier draft
+    // repartitioned already-pinned ranks and corrupted p5/p50).
+    Rng rng(77);
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(rng.uniform());
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const auto reference = [&](double p) {
+        const double rank =
+            p / 100.0 * static_cast<double>(sorted.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi =
+            std::min(lo + 1, sorted.size() - 1);
+        return sorted[lo] +
+               (rank - static_cast<double>(lo)) *
+                   (sorted[hi] - sorted[lo]);
+    };
+
+    const auto dist = sim::Distribution::fromSamples(samples);
+    EXPECT_DOUBLE_EQ(dist.p5, reference(5.0));
+    EXPECT_DOUBLE_EQ(dist.p50, reference(50.0));
+    EXPECT_DOUBLE_EQ(dist.p95, reference(95.0));
 }
 
 TEST(OracleCsvFile, RoundTripViaDisk)

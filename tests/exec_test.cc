@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the parallel sweep engine: chunk coverage, edge
+ * cases, exception propagation, and the bit-exact determinism
+ * contract that the Monte-Carlo and DSE sweeps rely on at any
+ * thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+#include "sim/monte_carlo.hh"
+#include "studies/presets.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+
+TEST(ThreadPool, RequiresAtLeastOneThread)
+{
+    EXPECT_THROW(exec::ThreadPool(0), ModelError);
+}
+
+TEST(ThreadPool, ThreadCountIncludesTheCaller)
+{
+    exec::ThreadPool solo(1);
+    EXPECT_EQ(solo.threadCount(), 1u);
+    exec::ThreadPool quad(4);
+    EXPECT_EQ(quad.threadCount(), 4u);
+}
+
+TEST(ParallelFor, ZeroItemsNeverInvokesTheBody)
+{
+    exec::ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    exec::parallelFor(
+        0, [&](std::size_t, std::size_t) { ++calls; },
+        {.pool = &pool});
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, OneItemRunsExactlyOnce)
+{
+    exec::ThreadPool pool(4);
+    std::vector<int> visits(1, 0);
+    exec::parallelFor(
+        1,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                ++visits[i];
+        },
+        {.pool = &pool});
+    EXPECT_EQ(visits[0], 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        exec::ThreadPool pool(threads);
+        const std::size_t count = 1013; // Prime: ragged last chunk.
+        std::vector<int> visits(count, 0);
+        exec::parallelFor(
+            count,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    ++visits[i];
+            },
+            {.pool = &pool, .grain = 16});
+        const int total =
+            std::accumulate(visits.begin(), visits.end(), 0);
+        EXPECT_EQ(total, static_cast<int>(count));
+        for (std::size_t i = 0; i < count; ++i)
+            ASSERT_EQ(visits[i], 1) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, ChunksAlignToTheGrain)
+{
+    exec::ThreadPool pool(4);
+    std::atomic<bool> aligned{true};
+    exec::parallelFor(
+        95,
+        [&](std::size_t begin, std::size_t end) {
+            if (begin % 10 != 0 || (end - begin) > 10)
+                aligned = false;
+        },
+        {.pool = &pool, .grain = 10});
+    EXPECT_TRUE(aligned.load());
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptionsToTheCaller)
+{
+    exec::ThreadPool pool(4);
+    const auto boom = [](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            if (i == 37)
+                throw ModelError("index 37 is cursed");
+        }
+    };
+    EXPECT_THROW(
+        exec::parallelFor(1000, boom, {.pool = &pool, .grain = 4}),
+        ModelError);
+
+    // The pool must stay usable after a failed loop.
+    std::atomic<int> done{0};
+    exec::parallelFor(
+        100, [&](std::size_t begin,
+                 std::size_t end) { done += int(end - begin); },
+        {.pool = &pool});
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ParallelMap, ReturnsResultsInIndexOrder)
+{
+    exec::ThreadPool pool(8);
+    const auto squares = exec::parallelMap<int>(
+        257, [](std::size_t i) { return static_cast<int>(i * i); },
+        {.pool = &pool, .grain = 8});
+    ASSERT_EQ(squares.size(), 257u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        ASSERT_EQ(squares[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelFor, NestedInvocationRunsSeriallyWithoutDeadlock)
+{
+    exec::ThreadPool pool(4);
+    std::atomic<int> inner_total{0};
+    exec::parallelFor(
+        8,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                exec::parallelFor(
+                    10,
+                    [&](std::size_t b, std::size_t e) {
+                        inner_total += int(e - b);
+                    },
+                    {.pool = &pool});
+            }
+        },
+        {.pool = &pool});
+    EXPECT_EQ(inner_total.load(), 80);
+}
+
+/** Exact equality across every field of an UncertaintyResult. */
+void
+expectBitIdentical(const sim::UncertaintyResult &a,
+                   const sim::UncertaintyResult &b)
+{
+    const auto expectSameDist = [](const sim::Distribution &x,
+                                   const sim::Distribution &y) {
+        EXPECT_EQ(x.mean, y.mean);
+        EXPECT_EQ(x.stddev, y.stddev);
+        EXPECT_EQ(x.p5, y.p5);
+        EXPECT_EQ(x.p50, y.p50);
+        EXPECT_EQ(x.p95, y.p95);
+    };
+    expectSameDist(a.safeVelocity, b.safeVelocity);
+    expectSameDist(a.kneeThroughput, b.kneeThroughput);
+    expectSameDist(a.roofVelocity, b.roofVelocity);
+    EXPECT_EQ(a.probComputeBound, b.probComputeBound);
+    EXPECT_EQ(a.probSensorBound, b.probSensorBound);
+    EXPECT_EQ(a.probControlBound, b.probControlBound);
+    EXPECT_EQ(a.probPhysicsBound, b.probPhysicsBound);
+    EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(ExecMonteCarlo, BitIdenticalAcrossThreadCounts)
+{
+    sim::UncertaintySpec spec;
+    spec.nominal = studies::pelicanInputs(units::Hertz(55.0));
+    const sim::MonteCarloAnalyzer analyzer(spec);
+
+    // Spans many sample blocks so the chunk decomposition is
+    // genuinely exercised.
+    const std::size_t count = 200000;
+    exec::ThreadPool pool1(1);
+    exec::ThreadPool pool2(2);
+    exec::ThreadPool pool8(8);
+    const auto serial = analyzer.run(count, 42, {.pool = &pool1});
+    const auto twoway = analyzer.run(count, 42, {.pool = &pool2});
+    const auto eightway = analyzer.run(count, 42, {.pool = &pool8});
+
+    expectBitIdentical(serial, twoway);
+    expectBitIdentical(serial, eightway);
+
+    // And a different seed must actually change the stream.
+    const auto reseeded = analyzer.run(count, 43, {.pool = &pool8});
+    EXPECT_NE(serial.safeVelocity.mean, reseeded.safeVelocity.mean);
+}
+
+TEST(ExecMonteCarlo, ThreadCapFallsBackToSerial)
+{
+    sim::UncertaintySpec spec;
+    spec.nominal = studies::pelicanInputs(units::Hertz(55.0));
+    const sim::MonteCarloAnalyzer analyzer(spec);
+    exec::ThreadPool pool(8);
+    const auto capped =
+        analyzer.run(5000, 7, {.pool = &pool, .maxThreads = 1});
+    const auto full = analyzer.run(5000, 7, {.pool = &pool});
+    expectBitIdentical(capped, full);
+}
+
+} // namespace

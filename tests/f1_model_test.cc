@@ -7,8 +7,37 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
 #include "core/f1_model.hh"
 #include "support/errors.hh"
+
+/** Global allocation counter backing the zero-allocation tests. */
+std::atomic<std::size_t> g_heap_allocations{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace {
 
@@ -45,7 +74,8 @@ TEST(F1Model, ComputeBoundWhenSlow)
     // SPA at 1.1 Hz is far short of the 43 Hz knee.
     const F1Analysis a = F1Model(baseInputs(1.1)).analyze();
     EXPECT_EQ(a.bound, BoundType::ComputeBound);
-    EXPECT_EQ(a.bottleneckStage, "compute");
+    EXPECT_EQ(a.bottleneckStage, BottleneckStage::Compute);
+    EXPECT_STREQ(toString(a.bottleneckStage), "compute");
     EXPECT_EQ(a.verdict, DesignVerdict::SubOptimal);
     EXPECT_NEAR(a.requiredSpeedup, 43.0 / 1.1, 0.2);
     EXPECT_NEAR(a.safeVelocity.value(), 2.3, 0.02);
@@ -57,7 +87,8 @@ TEST(F1Model, SensorBoundWhenSensorIsSlowest)
     inputs.sensorRate = Hertz(10.0); // 10 FPS camera < 43 Hz knee.
     const F1Analysis a = F1Model(inputs).analyze();
     EXPECT_EQ(a.bound, BoundType::SensorBound);
-    EXPECT_EQ(a.bottleneckStage, "sensor");
+    EXPECT_EQ(a.bottleneckStage, BottleneckStage::Sensor);
+    EXPECT_STREQ(toString(a.bottleneckStage), "sensor");
     // The sensor ceiling equals the achieved velocity here.
     EXPECT_NEAR(a.sensorCeiling.value(), a.safeVelocity.value(),
                 1e-12);
@@ -69,7 +100,8 @@ TEST(F1Model, ControlBoundWhenControllerIsSlowest)
     inputs.controlRate = Hertz(5.0);
     const F1Analysis a = F1Model(inputs).analyze();
     EXPECT_EQ(a.bound, BoundType::ControlBound);
-    EXPECT_EQ(a.bottleneckStage, "control");
+    EXPECT_EQ(a.bottleneckStage, BottleneckStage::Control);
+    EXPECT_STREQ(toString(a.bottleneckStage), "control");
 }
 
 TEST(F1Model, OptimalNearKnee)
@@ -150,6 +182,88 @@ TEST(F1Model, WhatIfHelpers)
         model.withPhysics(MetersPerSecondSquared(50.0)).analyze();
     EXPECT_GT(stronger.roofVelocity.value(),
               model.analyze().roofVelocity.value());
+}
+
+TEST(F1Model, AnalyzeIntoMatchesAnalyze)
+{
+    for (const double compute_hz : {1.1, 43.0, 55.0, 178.0}) {
+        const F1Inputs inputs = baseInputs(compute_hz);
+        const F1Model model(inputs);
+        const F1Analysis reference = model.analyze();
+        F1Analysis hot;
+        F1Model::analyzeInto(inputs, hot);
+        // Independent reference: the unrolled Eq. 3 argmin must
+        // agree with the generic pipeline's bottleneck (same
+        // first-minimum tie-break), not just with analyze() (which
+        // shares the analyzeInto implementation).
+        EXPECT_EQ(toString(hot.bottleneckStage),
+                  model.actionPipeline().bottleneck().name);
+        EXPECT_EQ(hot.actionThroughput.value(),
+                  model.actionPipeline().actionThroughput().value());
+        EXPECT_EQ(hot.actionThroughput.value(),
+                  reference.actionThroughput.value());
+        EXPECT_EQ(hot.safeVelocity.value(),
+                  reference.safeVelocity.value());
+        EXPECT_EQ(hot.kneeThroughput.value(),
+                  reference.kneeThroughput.value());
+        EXPECT_EQ(hot.roofVelocity.value(),
+                  reference.roofVelocity.value());
+        EXPECT_EQ(hot.bound, reference.bound);
+        EXPECT_EQ(hot.bottleneckStage, reference.bottleneckStage);
+        EXPECT_EQ(hot.verdict, reference.verdict);
+        EXPECT_EQ(hot.overProvisionFactor,
+                  reference.overProvisionFactor);
+        EXPECT_EQ(hot.requiredSpeedup, reference.requiredSpeedup);
+    }
+}
+
+TEST(F1Model, AnalyzeIntoValidatesInputs)
+{
+    F1Analysis out;
+    F1Inputs bad_rate = baseInputs(0.0);
+    EXPECT_THROW(F1Model::analyzeInto(bad_rate, out), ModelError);
+    F1Inputs bad_knee = baseInputs(55.0);
+    bad_knee.kneeFraction = 1.5;
+    EXPECT_THROW(F1Model::analyzeInto(bad_knee, out), ModelError);
+    F1Inputs bad_amax = baseInputs(55.0);
+    bad_amax.aMax = MetersPerSecondSquared(-1.0);
+    EXPECT_THROW(F1Model::analyzeInto(bad_amax, out), ModelError);
+}
+
+TEST(F1Model, AnalyzeHotPathNeverTouchesTheHeap)
+{
+    // The acceptance contract of the sweep engine: per-sample
+    // analysis must be allocation-free. F1Analysis carries no
+    // strings and analyzeInto builds no pipeline vector.
+    const F1Inputs inputs = baseInputs(55.0);
+    F1Analysis out;
+    F1Model::analyzeInto(inputs, out); // Warm up.
+    const std::size_t before =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i)
+        F1Model::analyzeInto(inputs, out);
+    const std::size_t after =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before);
+}
+
+TEST(F1Model, EvaluateBatchMatchesPerItemAnalysis)
+{
+    std::vector<F1Inputs> inputs;
+    for (const double hz : {1.1, 20.0, 43.0, 55.0, 178.0})
+        inputs.push_back(baseInputs(hz));
+    std::vector<F1Analysis> batch(inputs.size());
+    F1Model::evaluateBatch(inputs, batch);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const F1Analysis reference = F1Model(inputs[i]).analyze();
+        EXPECT_EQ(batch[i].safeVelocity.value(),
+                  reference.safeVelocity.value());
+        EXPECT_EQ(batch[i].bound, reference.bound);
+    }
+
+    std::vector<F1Analysis> wrong_size(inputs.size() + 1);
+    EXPECT_THROW(F1Model::evaluateBatch(inputs, wrong_size),
+                 ModelError);
 }
 
 TEST(F1Model, EnumNames)

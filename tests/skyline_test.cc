@@ -6,11 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "components/catalog.hh"
+#include "exec/thread_pool.hh"
 #include "skyline/dse.hh"
 #include "skyline/report.hh"
 #include "skyline/session.hh"
 #include "support/errors.hh"
+#include "support/rng.hh"
 
 namespace {
 
@@ -242,6 +247,119 @@ TEST(Dse, ParetoFrontIsNonDominated)
     // Sorted fastest-first.
     for (std::size_t i = 1; i < front.size(); ++i)
         EXPECT_GE(front[i - 1].safeVelocity, front[i].safeVelocity);
+}
+
+/** Shorthand for a feasible synthetic design point. */
+DesignPoint
+syntheticPoint(const std::string &name, double v, double power,
+               double mass)
+{
+    DesignPoint point;
+    point.compute = name;
+    point.feasible = true;
+    point.safeVelocity = v;
+    point.computePower = power;
+    point.computeMass = mass;
+    return point;
+}
+
+TEST(Dse, ParetoFrontOrderingIsStable)
+{
+    // Duplicates survive together, dominated points drop out, and
+    // the output is fastest-first with ties in input order.
+    const std::vector<DesignPoint> points = {
+        syntheticPoint("A", 10.0, 5.0, 5.0),
+        syntheticPoint("B", 10.0, 5.0, 5.0), // Duplicate of A.
+        syntheticPoint("C", 9.0, 6.0, 6.0),  // Dominated by A.
+        syntheticPoint("D", 9.0, 4.0, 7.0),
+        syntheticPoint("E", 8.0, 4.0, 7.0),  // Dominated by D.
+        syntheticPoint("F", 8.0, 3.0, 8.0),
+        syntheticPoint("G", 8.0, 3.0, 9.0),  // Dominated by F.
+    };
+    const auto front = DesignSpaceExplorer::paretoFront(points);
+    ASSERT_EQ(front.size(), 4u);
+    EXPECT_EQ(front[0].compute, "A");
+    EXPECT_EQ(front[1].compute, "B");
+    EXPECT_EQ(front[2].compute, "D");
+    EXPECT_EQ(front[3].compute, "F");
+}
+
+TEST(Dse, ParetoFrontMatchesBruteForceOnTieHeavyInputs)
+{
+    // Small discrete coordinates force many exact ties, the regime
+    // where a sort-then-sweep most easily diverges from the
+    // all-pairs dominance definition.
+    Rng rng(2024);
+    std::vector<DesignPoint> points;
+    for (int i = 0; i < 300; ++i) {
+        DesignPoint point = syntheticPoint(
+            "p" + std::to_string(i),
+            std::floor(rng.uniform(0.0, 5.0)),
+            std::floor(rng.uniform(0.0, 5.0)),
+            std::floor(rng.uniform(0.0, 5.0)));
+        point.feasible = (i % 17) != 0;
+        points.push_back(point);
+    }
+
+    const auto dominates = [](const DesignPoint &a,
+                              const DesignPoint &b) {
+        return a.safeVelocity >= b.safeVelocity &&
+               a.computePower <= b.computePower &&
+               a.computeMass <= b.computeMass &&
+               (a.safeVelocity > b.safeVelocity ||
+                a.computePower < b.computePower ||
+                a.computeMass < b.computeMass);
+    };
+    std::vector<std::string> expected;
+    for (const auto &candidate : points) {
+        if (!candidate.feasible)
+            continue;
+        bool dominated = false;
+        for (const auto &other : points) {
+            if (other.feasible && dominates(other, candidate)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            expected.push_back(candidate.compute);
+    }
+
+    const auto front = DesignSpaceExplorer::paretoFront(points);
+    std::vector<std::string> got;
+    for (const auto &point : front)
+        got.push_back(point.compute);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+}
+
+TEST(Dse, SweepIsIdenticalAtAnyThreadCount)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    const DesignSpaceExplorer dse(dsePrototype());
+    const std::vector<components::ComputePlatform> computes = {
+        catalog.computes().byName("Nvidia TX2"),
+        catalog.computes().byName("Intel NCS"),
+        catalog.computes().byName("Ras-Pi4"),
+        catalog.computes().byName("Nvidia AGX")};
+    const std::vector<workload::AutonomyAlgorithm> algos = {
+        algorithms.byName("DroNet"), algorithms.byName("TrailNet")};
+
+    exec::ThreadPool pool1(1);
+    exec::ThreadPool pool8(8);
+    const auto a = dse.sweep(computes, algos, {.pool = &pool1});
+    const auto b = dse.sweep(computes, algos, {.pool = &pool8});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].compute, b[i].compute);
+        EXPECT_EQ(a[i].algorithm, b[i].algorithm);
+        EXPECT_EQ(a[i].feasible, b[i].feasible);
+        EXPECT_EQ(a[i].safeVelocity, b[i].safeVelocity);
+        EXPECT_EQ(a[i].computePower, b[i].computePower);
+        EXPECT_EQ(a[i].computeMass, b[i].computeMass);
+    }
 }
 
 TEST(Dse, BestPicksHighestVelocity)

@@ -63,6 +63,14 @@ TEST(Fig09Helpers, CustomSampleCount)
     EXPECT_DOUBLE_EQ(result.sweep.back().payloadGrams, 800.0);
 }
 
+TEST(Fig09Helpers, RejectsDegenerateSampleCounts)
+{
+    // sweep_samples == 1 used to divide by zero in the payload
+    // interpolation; 0 and 1 must both raise a ModelError instead.
+    EXPECT_THROW(runFig09(0), ModelError);
+    EXPECT_THROW(runFig09(1), ModelError);
+}
+
 TEST(Fig11Helpers, ModelForEachOption)
 {
     for (const char *name :
