@@ -1,48 +1,262 @@
 /**
  * @file
- * Skyline as a command-line tool: the interactive/batch equivalent
- * of the paper's web tool (Section V).
+ * The Skyline command-line driver: every scenario in the repo from
+ * one binary.
  *
- * Commands (one per line, from stdin or a script piped in):
- *   set <knob> <value>        change a Table-II knob
- *   show                      print current knob values
- *   analyze                   run the automatic analysis
- *   plot                      ASCII roofline in the terminal
- *   sweep <knob> <from> <to> [steps]  tabulate v_safe vs a knob
- *   report <file.html>        write the self-contained HTML report
- *   svg <file.svg>            write the roofline SVG
- *   knobs                     list knob names
- *   help                      this text
- *   quit                      exit
+ * Subcommands:
+ *   skyline_cli list
+ *       enumerate every registered fig/table study with its
+ *       parameters and artifact kinds
+ *   skyline_cli run <study>... [--set knob=value]... [--threads N]
+ *               [--out dir] [--label name]
+ *       run one or more studies; --set overrides apply to each
+ *   skyline_cli run-all [--set knob=value]... [--threads N]
+ *               [--out dir]
+ *       run every registered study; each --set override applies to
+ *       the studies that accept that parameter
+ *   skyline_cli interactive
+ *       the original REPL (also the default with no arguments):
+ *       set/show/analyze/plot/sweep/save/load/report/svg/knobs
  *
- * Example:
- *   echo "set compute_runtime 0.9\nanalyze" | skyline_cli
+ * Artifacts (CSV + SVG + JSON, HTML where a study produces a
+ * report) are written under --out (default artifacts/skyline_cli).
+ * Batch execution fans out on the parallel sweep engine and is
+ * bit-identical at any thread count.
+ *
+ * Examples:
+ *   skyline_cli list
+ *   skyline_cli run fig09 --set sweep_samples=64 --out /tmp/out
+ *   skyline_cli run table2 --set compute_runtime=0.9
+ *   skyline_cli run-all --threads 8
+ *   echo "set compute_runtime 0.9
+ *   analyze" | skyline_cli
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "exec/thread_pool.hh"
 #include "plot/ascii_renderer.hh"
 #include "plot/roofline_chart.hh"
 #include "plot/svg_writer.hh"
+#include "scenario/runner.hh"
 #include "skyline/report.hh"
 #include "skyline/session.hh"
+#include "support/errors.hh"
 #include "support/strings.hh"
+#include "support/table.hh"
 
 using namespace uavf1;
 
 namespace {
 
 void
-printHelp()
+printDriverHelp()
+{
+    std::printf(
+        "usage: skyline_cli <command> [options]\n"
+        "  list                     enumerate registered studies\n"
+        "  run <study>...           run the named studies\n"
+        "  run-all                  run every registered study\n"
+        "  interactive              the knob REPL (default)\n"
+        "options for run/run-all:\n"
+        "  --set knob=value         study parameter override\n"
+        "  --threads N              parallelism for the batch\n"
+        "  --out dir                artifact directory\n"
+        "                           (default artifacts/skyline_cli;\n"
+        "                           empty string disables)\n"
+        "  --label name             artifact label (single study)\n");
+}
+
+int
+runList()
+{
+    const scenario::StudyRegistry &registry =
+        scenario::StudyRegistry::global();
+    TextTable table({"Study", "Title", "Parameters", "Artifacts",
+                     "Description"});
+    for (const auto &study : registry.all()) {
+        table.addRow({study.name, study.title,
+                      study.params.empty() ? "-"
+                                           : join(study.params, ", "),
+                      join(study.artifacts, "+"),
+                      study.description});
+    }
+    std::printf("%s%zu studies\n", table.render().c_str(),
+                registry.all().size());
+    return 0;
+}
+
+/** Options shared by run and run-all. */
+struct DriverOptions
+{
+    std::vector<std::string> studies;
+    std::vector<std::string> sets;
+    std::string outDir = "artifacts/skyline_cli";
+    std::string label;
+    std::size_t threads = 0; ///< 0: the global pool.
+};
+
+/**
+ * Parse run/run-all arguments.
+ *
+ * @throws ModelError on unknown or incomplete options
+ */
+DriverOptions
+parseDriverOptions(int argc, char **argv, int first)
+{
+    DriverOptions options;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *name) -> std::string {
+            if (i + 1 >= argc) {
+                throw ModelError(std::string(name) +
+                                 " requires a value");
+            }
+            return argv[++i];
+        };
+        if (arg == "--set") {
+            options.sets.push_back(value("--set"));
+        } else if (arg == "--threads") {
+            const std::string text = value("--threads");
+            char *end = nullptr;
+            const long parsed = std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || (end && *end != '\0') ||
+                parsed < 1 || parsed > 4096) {
+                throw ModelError("--threads expects a positive "
+                                 "integer, got '" + text + "'");
+            }
+            options.threads = static_cast<std::size_t>(parsed);
+        } else if (arg == "--out") {
+            options.outDir = value("--out");
+        } else if (arg == "--label") {
+            options.label = value("--label");
+        } else if (!arg.empty() && arg[0] == '-') {
+            throw ModelError("unknown option '" + arg + "'");
+        } else {
+            options.studies.push_back(toLower(trim(arg)));
+        }
+    }
+    return options;
+}
+
+int
+runScenarios(const DriverOptions &options, bool run_all)
+{
+    const scenario::ScenarioRunner runner;
+    const scenario::StudyRegistry &registry = runner.registry();
+
+    // Split one --set argument into its key/value halves; the
+    // reserved spec keys must not hijack the study/label picked on
+    // the command line.
+    const auto splitSet = [](const std::string &assignment) {
+        const auto eq = assignment.find('=');
+        if (eq == std::string::npos) {
+            throw ModelError("malformed --set '" + assignment +
+                             "' (expected knob=value)");
+        }
+        const std::string key =
+            toLower(trim(assignment.substr(0, eq)));
+        if (key == "study" || key == "label") {
+            throw ModelError(
+                "--set cannot assign '" + key +
+                "'; name studies positionally and use --label");
+        }
+        return std::make_pair(key,
+                              trim(assignment.substr(eq + 1)));
+    };
+
+    std::vector<scenario::ScenarioSpec> specs;
+    if (run_all) {
+        specs = runner.allSpecs();
+        // Apply each override to the studies that accept it; an
+        // override no study accepts is a typo, not a no-op.
+        for (const auto &assignment : options.sets) {
+            const auto [key, value] = splitSet(assignment);
+            std::size_t applied = 0;
+            for (auto &spec : specs) {
+                const auto &params =
+                    registry.find(spec.study).params;
+                if (std::find(params.begin(), params.end(), key) !=
+                    params.end()) {
+                    spec.overrides.set(key, value);
+                    ++applied;
+                }
+            }
+            if (applied == 0) {
+                throw ModelError("--set '" + assignment +
+                                 "' matches no study parameter; "
+                                 "see 'skyline_cli list'");
+            }
+        }
+    } else {
+        if (options.studies.empty()) {
+            throw ModelError(
+                "run requires at least one study name; see "
+                "'skyline_cli list'");
+        }
+        for (const auto &name : options.studies) {
+            scenario::ScenarioSpec spec;
+            spec.study = name;
+            registry.find(name); // Fail fast on unknown names.
+            for (const auto &assignment : options.sets) {
+                const auto [key, value] = splitSet(assignment);
+                spec.overrides.set(key, value);
+            }
+            if (options.studies.size() == 1 &&
+                !options.label.empty()) {
+                spec.label = options.label;
+            }
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    scenario::RunnerOptions runner_options;
+    runner_options.outDir = options.outDir;
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (options.threads > 0) {
+        pool = std::make_unique<exec::ThreadPool>(options.threads);
+        runner_options.parallel.pool = pool.get();
+    }
+
+    const auto outcomes = runner.runAll(specs, runner_options);
+
+    std::size_t failed = 0;
+    for (const auto &outcome : outcomes) {
+        std::printf("=== %s (%s) ===\n", outcome.label.c_str(),
+                    outcome.study.c_str());
+        if (!outcome.ok) {
+            ++failed;
+            std::printf("FAILED: %s\n\n", outcome.error.c_str());
+            continue;
+        }
+        std::printf("%s", outcome.result.summary.c_str());
+        for (const auto &path : outcome.artifacts)
+            std::printf("  artifact: %s\n", path.c_str());
+        std::printf("\n");
+    }
+    std::printf("%s",
+                scenario::ScenarioRunner::renderSummary(outcomes)
+                    .c_str());
+    return failed == 0 ? 0 : 1;
+}
+
+void
+printReplHelp()
 {
     std::printf(
         "commands: set <knob> <value> | show | analyze | plot | "
-        "sweep <knob> <from> <to> [steps] | report <file.html> | "
-        "svg <file.svg> | knobs | help | quit\n");
+        "sweep <knob> <from> <to> [steps] | save [file] | "
+        "load <file> | report <file.html> | svg <file.svg> | "
+        "knobs | help | quit\n"
+        "(batch mode: skyline_cli list / run / run-all)\n");
 }
 
 void
@@ -68,14 +282,10 @@ printKnobs(const skyline::SkylineSession &session)
         k.kneeFraction);
 }
 
-} // namespace
-
 int
-main()
+runInteractive()
 {
     skyline::SkylineSession session;
-    const bool interactive = false; // Batch-friendly prompt-less IO.
-    (void)interactive;
 
     std::printf("Skyline interactive tool for the F-1 model "
                 "(type 'help')\n");
@@ -91,7 +301,7 @@ main()
             if (command == "quit" || command == "exit") {
                 break;
             } else if (command == "help") {
-                printHelp();
+                printReplHelp();
             } else if (command == "knobs") {
                 std::printf("%s\n",
                             join(skyline::SkylineSession::knobNames(),
@@ -137,8 +347,7 @@ main()
                             point.kneeThroughput,
                             point.roofVelocity);
                     } else {
-                        std::printf("  %-14.4g infeasible (cannot "
-                                    "hover)\n",
+                        std::printf("  %-14.4g infeasible\n",
                                     point.knobValue);
                     }
                 }
@@ -192,4 +401,36 @@ main()
         }
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const std::string command = argc > 1 ? argv[1] : "";
+        if (command == "list")
+            return runList();
+        if (command == "run")
+            return runScenarios(
+                parseDriverOptions(argc, argv, 2), false);
+        if (command == "run-all")
+            return runScenarios(
+                parseDriverOptions(argc, argv, 2), true);
+        if (command == "help" || command == "--help" ||
+            command == "-h") {
+            printDriverHelp();
+            return 0;
+        }
+        if (command.empty() || command == "interactive")
+            return runInteractive();
+        std::fprintf(stderr, "unknown command '%s'\n\n",
+                     command.c_str());
+        printDriverHelp();
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -15,7 +15,7 @@ namespace uavf1::plot {
 std::string
 CsvWriter::quote(const std::string &field)
 {
-    if (field.find_first_of(",\"\n") == std::string::npos)
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
         return field;
     std::string out = "\"";
     for (char c : field) {

@@ -1,0 +1,665 @@
+/**
+ * @file
+ * Registration of every built-in paper figure/table study.
+ *
+ * Each adapter wraps one existing study entry point (src/studies/,
+ * src/sim/, src/thermal/, src/skyline/) into the uniform
+ * StudyInfo/StudyResult shape so the ScenarioRunner and the
+ * skyline_cli driver can enumerate and execute all of them through
+ * one path.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "scenario/study.hh"
+#include "sim/table1.hh"
+#include "sim/validation.hh"
+#include "skyline/report.hh"
+#include "skyline/session.hh"
+#include "studies/fig02_swap.hh"
+#include "studies/fig05_safety.hh"
+#include "studies/fig09_payload.hh"
+#include "studies/fig11_compute.hh"
+#include "studies/fig13_algorithms.hh"
+#include "studies/fig14_redundancy.hh"
+#include "studies/fig15_full_system.hh"
+#include "studies/fig16_accelerators.hh"
+#include "studies/presets.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "thermal/heatsink.hh"
+
+namespace uavf1::scenario {
+
+namespace {
+
+StudyResult
+runFig02Study(const StudyContext &)
+{
+    const studies::Fig02Result fig = studies::runFig02();
+    StudyResult result;
+    result.xLabel = "capacity_mah";
+    result.yLabel = "endurance_min";
+
+    TextTable table({"Class", "Frame (mm)", "Capacity (mAh)",
+                     "Endurance (min)", "Implied draw (W)"});
+    plot::Series endurance("endurance",
+                           plot::SeriesStyle::LineAndMarkers);
+    for (const auto &row : fig.rows) {
+        table.addRow({row.sizeClass, trimmedNumber(row.frameSizeMm),
+                      trimmedNumber(row.capacityMah),
+                      trimmedNumber(row.enduranceMin),
+                      trimmedNumber(row.impliedDrawW, 2)});
+        endurance.add(row.capacityMah, row.enduranceMin);
+        result.addMetric(row.sizeClass + "_implied_draw",
+                         row.impliedDrawW, "W");
+        result.addMetric(row.sizeClass + "_usable_energy",
+                         row.usableEnergyWh, "Wh");
+    }
+    result.series.push_back(std::move(endurance));
+    result.summary = table.render();
+    return result;
+}
+
+StudyResult
+runFig04Study(const StudyContext &)
+{
+    StudyResult result;
+    result.xLabel = "f_compute_hz";
+    result.yLabel = "v_safe_mps";
+
+    const struct
+    {
+        const char *label;
+        double sensor;
+        double compute;
+    } scenarios[] = {
+        {"compute-bound", 60.0, 5.0},
+        {"sensor-bound", 10.0, 178.0},
+        {"physics-bound", 60.0, 178.0},
+    };
+    TextTable table({"Scenario", "f_sensor (Hz)", "f_compute (Hz)",
+                     "f_action (Hz)", "v_safe (m/s)", "Bound"});
+    plot::Series points("bound regions",
+                        plot::SeriesStyle::Markers);
+    for (const auto &scenario : scenarios) {
+        core::F1Inputs inputs = studies::pelicanInputs(
+            units::Hertz(scenario.compute));
+        inputs.sensorRate = units::Hertz(scenario.sensor);
+        const core::F1Analysis analysis =
+            core::F1Model(inputs).analyze();
+        table.addRow({scenario.label,
+                      trimmedNumber(scenario.sensor),
+                      trimmedNumber(scenario.compute),
+                      trimmedNumber(analysis.actionThroughput.value()),
+                      trimmedNumber(analysis.safeVelocity.value(), 2),
+                      core::toString(analysis.bound)});
+        points.add(scenario.compute,
+                   analysis.safeVelocity.value());
+        result.addMetric(std::string(scenario.label) + "_v_safe",
+                         analysis.safeVelocity.value(), "m/s");
+    }
+    result.series.push_back(std::move(points));
+    result.summary = table.render();
+    return result;
+}
+
+StudyResult
+runFig05Study(const StudyContext &ctx)
+{
+    const studies::Fig05Result fig = studies::runFig05(
+        ctx.params.getCount("sweep_samples", 128));
+    StudyResult result;
+    result.xLabel = "f_action_hz";
+    result.yLabel = "v_safe_mps";
+
+    plot::Series curve("v_safe");
+    for (const auto &point : fig.sweep) {
+        if (std::isfinite(point.fAction) && point.fAction > 0.0)
+            curve.add(point.fAction, point.vSafe);
+    }
+    result.series.push_back(std::move(curve));
+
+    result.addMetric("roof_velocity", fig.roof, "m/s")
+        .addMetric("velocity_at_1hz", fig.velocityAtA, "m/s")
+        .addMetric("velocity_at_100hz", fig.velocityAt100Hz, "m/s")
+        .addMetric("knee_throughput", fig.kneeThroughput, "Hz")
+        .addMetric("gain_a_to_knee", fig.gainAToKnee)
+        .addMetric("gain_beyond_knee", fig.gainBeyondKnee);
+    result.summary = strFormat(
+        "Roofline construction: roof %.2f m/s, knee %.1f Hz; "
+        "1 Hz -> %.2f m/s, 100 Hz -> %.2f m/s (gain %.2fx, "
+        "beyond-knee gain %.2fx)\n",
+        fig.roof, fig.kneeThroughput, fig.velocityAtA,
+        fig.velocityAt100Hz, fig.gainAToKnee, fig.gainBeyondKnee);
+    return result;
+}
+
+StudyResult
+runFig07Study(const StudyContext &)
+{
+    const auto results = sim::ValidationHarness::validateAll(
+        sim::table1ValidationCases());
+    const auto paper_errors = sim::table1PaperErrorPercent();
+
+    StudyResult result;
+    result.xLabel = "commanded_velocity_mps";
+    result.yLabel = "infraction_fraction";
+
+    TextTable table({"UAV", "Predicted (m/s)", "Observed (m/s)",
+                     "Error (%)", "Paper error (%)"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const sim::ValidationResult &r = results[i];
+        table.addRow({r.name, trimmedNumber(r.predicted, 3),
+                      trimmedNumber(r.observed, 3),
+                      trimmedNumber(r.errorPercent, 2),
+                      i < paper_errors.size()
+                          ? trimmedNumber(paper_errors[i], 2)
+                          : "-"});
+        result.addMetric(r.name + "_predicted", r.predicted, "m/s");
+        result.addMetric(r.name + "_observed", r.observed, "m/s");
+        result.addMetric(r.name + "_error", r.errorPercent, "%");
+
+        plot::Series sweep(r.name,
+                           plot::SeriesStyle::LineAndMarkers);
+        for (const auto &outcome : r.sweep) {
+            sweep.add(outcome.velocity,
+                      outcome.trials > 0
+                          ? static_cast<double>(outcome.infractions) /
+                                outcome.trials
+                          : 0.0);
+        }
+        result.series.push_back(std::move(sweep));
+    }
+    result.summary = table.render();
+    return result;
+}
+
+StudyResult
+runFig09Study(const StudyContext &ctx)
+{
+    const studies::Fig09Result fig = studies::runFig09(
+        ctx.params.getCount("sweep_samples", 141), ctx.parallel);
+    StudyResult result;
+    result.xLabel = "payload_g";
+    result.yLabel = "v_safe_mps";
+
+    plot::Series curve("v_safe (10 Hz loop, d = 3 m)");
+    for (const auto &point : fig.sweep)
+        curve.add(point.payloadGrams, point.vSafe);
+    plot::Series markers("Table I builds",
+                         plot::SeriesStyle::Markers);
+    for (const auto &marker : fig.markers) {
+        markers.add(marker.payloadGrams, marker.vSafe);
+        result.addMetric(marker.name + "_v_safe", marker.vSafe,
+                         "m/s");
+    }
+    result.series.push_back(std::move(curve));
+    result.series.push_back(std::move(markers));
+
+    result.addMetric("drop_a_to_c", fig.dropAtoC, "%")
+        .addMetric("drop_c_to_d", fig.dropCtoD, "%")
+        .addMetric("drop_a_to_b", fig.dropAtoB, "%");
+    result.summary = strFormat(
+        "Non-linear payload effect: +50 g A->C costs %.1f%%, "
+        "+50 g C->D costs %.1f%%, +210 g A->B costs %.1f%%\n",
+        fig.dropAtoC, fig.dropCtoD, fig.dropAtoB);
+    return result;
+}
+
+StudyResult
+runFig11Study(const StudyContext &ctx)
+{
+    const studies::Fig11Result fig = studies::runFig11(ctx.parallel);
+    StudyResult result;
+    result.xLabel = "f_compute_hz";
+    result.yLabel = "v_safe_mps";
+
+    TextTable table({"Option", "Throughput (Hz)", "Heatsink (g)",
+                     "Takeoff (g)", "Roof (m/s)"});
+    plot::Series points("compute options",
+                        plot::SeriesStyle::Markers);
+    for (const studies::Fig11Option *option :
+         {&fig.ncs, &fig.agx30, &fig.agx15}) {
+        table.addRow(
+            {option->name, trimmedNumber(option->throughputHz),
+             trimmedNumber(option->heatsinkGrams, 1),
+             trimmedNumber(option->takeoffGrams),
+             trimmedNumber(option->analysis.roofVelocity.value(),
+                           2)});
+        points.add(option->throughputHz,
+                   option->analysis.safeVelocity.value());
+    }
+    result.series.push_back(std::move(points));
+
+    result
+        .addMetric("ncs_roof", fig.ncs.analysis.roofVelocity.value(),
+                   "m/s")
+        .addMetric("agx30_roof",
+                   fig.agx30.analysis.roofVelocity.value(), "m/s")
+        .addMetric("agx15_roof",
+                   fig.agx15.analysis.roofVelocity.value(), "m/s")
+        .addMetric("agx_tdp_gain", fig.agxTdpGain)
+        .addMetric("ncs_wins", fig.ncsWins ? 1.0 : 0.0);
+    result.summary =
+        table.render() +
+        strFormat("AGX 30 W -> 15 W raises the roof %.2fx; NCS %s "
+                  "the AGX-30W roofline\n",
+                  fig.agxTdpGain, fig.ncsWins ? "tops" : "trails");
+    return result;
+}
+
+StudyResult
+runFig12Study(const StudyContext &)
+{
+    const thermal::HeatsinkModel model;
+    StudyResult result;
+    result.xLabel = "tdp_w";
+    result.yLabel = "heatsink_g";
+
+    plot::Series curve("heatsink mass");
+    for (double tdp = 1.0; tdp <= 34.0; tdp *= 1.3)
+        curve.add(tdp, model.mass(units::Watts(tdp)).value());
+    result.series.push_back(std::move(curve));
+
+    const double at30 = model.mass(units::Watts(30.0)).value();
+    const double at15 = model.mass(units::Watts(15.0)).value();
+    const double at1_5 = model.mass(units::Watts(1.5)).value();
+    result.addMetric("mass_at_30w", at30, "g")
+        .addMetric("mass_at_15w", at15, "g")
+        .addMetric("mass_at_1_5w", at1_5, "g")
+        .addMetric("mass_ratio_20x_tdp", at30 / at1_5);
+    result.summary = strFormat(
+        "Heat-sink scaling: %.0f g @ 30 W, %.0f g @ 15 W, "
+        "%.0f g @ 1.5 W (~20x TDP -> %.1fx mass)\n",
+        at30, at15, at1_5, at30 / at1_5);
+    return result;
+}
+
+StudyResult
+runFig13Study(const StudyContext &)
+{
+    const studies::Fig13Result fig = studies::runFig13();
+    StudyResult result;
+    result.xLabel = "f_compute_hz";
+    result.yLabel = "v_safe_mps";
+
+    TextTable table({"Algorithm", "Throughput (Hz)",
+                     "v_safe (m/s)", "Factor vs knee"});
+    plot::Series points("algorithms", plot::SeriesStyle::Markers);
+    for (const auto &entry : fig.entries) {
+        table.addRow(
+            {entry.algorithm, trimmedNumber(entry.throughputHz),
+             trimmedNumber(entry.analysis.safeVelocity.value(), 2),
+             trimmedNumber(entry.factorVsKnee, 2)});
+        points.add(entry.throughputHz,
+                   entry.analysis.safeVelocity.value());
+        result.addMetric(entry.algorithm + "_factor_vs_knee",
+                         entry.factorVsKnee);
+    }
+    result.series.push_back(std::move(points));
+    result.addMetric("knee_throughput", fig.kneeThroughput, "Hz");
+    result.summary = table.render();
+    return result;
+}
+
+StudyResult
+runFig14Study(const StudyContext &)
+{
+    const studies::Fig14Result fig = studies::runFig14();
+    StudyResult result;
+    result.xLabel = "compute_g";
+    result.yLabel = "v_safe_mps";
+
+    TextTable table({"Arrangement", "Replicas", "Compute (g)",
+                     "Takeoff (g)", "v_safe (m/s)"});
+    plot::Series points("redundancy", plot::SeriesStyle::Markers);
+    for (const studies::Fig14Option *option :
+         {&fig.single, &fig.dual}) {
+        table.addRow(
+            {option->name, trimmedNumber(option->replicas),
+             trimmedNumber(option->computeGrams),
+             trimmedNumber(option->takeoffGrams),
+             trimmedNumber(option->analysis.safeVelocity.value(),
+                           2)});
+        points.add(option->computeGrams,
+                   option->analysis.safeVelocity.value());
+    }
+    result.series.push_back(std::move(points));
+
+    result
+        .addMetric("velocity_loss", fig.velocityLossPercent, "%")
+        .addMetric("single_v_safe",
+                   fig.single.analysis.safeVelocity.value(), "m/s")
+        .addMetric("dual_v_safe",
+                   fig.dual.analysis.safeVelocity.value(), "m/s");
+    result.summary =
+        table.render() +
+        strFormat("DMR compute lowers v_safe by %.0f%%\n",
+                  fig.velocityLossPercent);
+    return result;
+}
+
+StudyResult
+runFig15Study(const StudyContext &)
+{
+    const studies::Fig15Result fig = studies::runFig15();
+    StudyResult result;
+    result.xLabel = "f_compute_hz";
+    result.yLabel = "v_safe_mps";
+
+    TextTable table({"UAV", "Algorithm", "Compute",
+                     "Throughput (Hz)", "v_safe (m/s)",
+                     "Factor vs knee"});
+    plot::Series pelican("AscTec Pelican",
+                         plot::SeriesStyle::Markers);
+    plot::Series spark("DJI Spark", plot::SeriesStyle::Markers);
+    for (const auto &entry : fig.entries) {
+        table.addRow(
+            {entry.uav, entry.algorithm, entry.compute,
+             trimmedNumber(entry.throughputHz, 4),
+             trimmedNumber(entry.analysis.safeVelocity.value(), 2),
+             trimmedNumber(entry.factorVsKnee, 2)});
+        (entry.uav == "DJI Spark" ? spark : pelican)
+            .add(entry.throughputHz,
+                 entry.analysis.safeVelocity.value());
+    }
+    result.series.push_back(std::move(pelican));
+    result.series.push_back(std::move(spark));
+
+    result.addMetric("pelican_knee", fig.pelicanKnee, "Hz")
+        .addMetric("spark_knee", fig.sparkKnee, "Hz")
+        .addMetric("entries",
+                   static_cast<double>(fig.entries.size()));
+    result.summary = table.render();
+    return result;
+}
+
+StudyResult
+runFig16Study(const StudyContext &ctx)
+{
+    const studies::Fig16Result fig = studies::runFig16(ctx.parallel);
+    StudyResult result;
+    result.xLabel = "f_action_hz";
+    result.yLabel = "v_safe_mps";
+
+    TextTable table({"Accelerator", "Decision rate (Hz)",
+                     "Power (W)", "Required speedup"});
+    plot::Series points("accelerators", plot::SeriesStyle::Markers);
+    for (const studies::Fig16Entry *entry :
+         {&fig.pulp, &fig.navion}) {
+        table.addRow({entry->name,
+                      trimmedNumber(entry->throughputHz, 3),
+                      trimmedNumber(entry->powerWatts, 3),
+                      trimmedNumber(entry->requiredSpeedup, 2)});
+        points.add(entry->throughputHz,
+                   entry->analysis.safeVelocity.value());
+    }
+    result.series.push_back(std::move(points));
+
+    result.addMetric("knee_throughput", fig.kneeThroughput, "Hz")
+        .addMetric("pulp_required_speedup",
+                   fig.pulp.requiredSpeedup)
+        .addMetric("navion_required_speedup",
+                   fig.navion.requiredSpeedup);
+    result.summary = table.render();
+    return result;
+}
+
+StudyResult
+runTable1Study(const StudyContext &)
+{
+    const auto cases = sim::table1ValidationCases();
+    StudyResult result;
+    result.xLabel = "takeoff_g";
+    result.yLabel = "predicted_v_safe_mps";
+
+    TextTable table({"UAV", "Takeoff (g)", "Predicted (m/s)"});
+    plot::Series points("Table I builds",
+                        plot::SeriesStyle::Markers);
+    char letter = 'A';
+    for (const auto &vcase : cases) {
+        const double takeoff =
+            sim::table1TakeoffMass(letter).value();
+        const double predicted =
+            sim::ValidationHarness::predictedSafeVelocity(vcase);
+        table.addRow({vcase.name, trimmedNumber(takeoff),
+                      trimmedNumber(predicted, 3)});
+        points.add(takeoff, predicted);
+        result.addMetric(vcase.name + "_predicted", predicted,
+                         "m/s");
+        result.addMetric(vcase.name + "_takeoff", takeoff, "g");
+        ++letter;
+    }
+    result.series.push_back(std::move(points));
+    result.addMetric("usable_thrust",
+                     sim::table1UsableThrust().value(), "g");
+    result.summary = table.render();
+    return result;
+}
+
+/** Apply every override to a session as a knob assignment. */
+skyline::SkylineSession
+sessionFromParams(const StudyParams &params)
+{
+    skyline::SkylineSession session;
+    for (const auto &entry : params.entries())
+        session.set(entry.first, entry.second);
+    return session;
+}
+
+StudyResult
+runTable2Study(const StudyContext &ctx)
+{
+    const skyline::SkylineSession session =
+        sessionFromParams(ctx.params);
+    const skyline::Analysis analysis = session.analyze();
+
+    StudyResult result;
+    result.xLabel = "f_action_hz";
+    result.yLabel = "v_safe_mps";
+    result.chartTitle = "Skyline: " + session.knobs().algorithm;
+
+    plot::Series curve("roofline: " + session.knobs().algorithm);
+    for (const auto &point : session.model().curve().points) {
+        curve.add(point.actionThroughput.value(),
+                  point.safeVelocity.value());
+    }
+    result.series.push_back(std::move(curve));
+
+    const core::F1Analysis &f1 = analysis.f1;
+    result.addMetric("safe_velocity", f1.safeVelocity.value(), "m/s")
+        .addMetric("roof_velocity", f1.roofVelocity.value(), "m/s")
+        .addMetric("knee_throughput", f1.kneeThroughput.value(),
+                   "Hz")
+        .addMetric("action_throughput",
+                   f1.actionThroughput.value(), "Hz")
+        .addMetric("takeoff_mass", analysis.takeoffMass.value(), "g")
+        .addMetric("heatsink_mass", analysis.heatsinkMass.value(),
+                   "g")
+        .addMetric("thrust_to_weight", analysis.thrustToWeight)
+        .addMetric("over_provision_factor", f1.overProvisionFactor)
+        .addMetric("required_speedup", f1.requiredSpeedup);
+    result.summary = session.renderAnalysis();
+    result.reportHtml = skyline::ReportWriter::html(
+        session, "Skyline report: " + session.knobs().algorithm);
+    return result;
+}
+
+StudyResult
+runTable3Study(const StudyContext &)
+{
+    const studies::Fig11Result fig11 = studies::runFig11();
+    const studies::Fig13Result fig13 = studies::runFig13();
+    const studies::Fig14Result fig14 = studies::runFig14();
+    const studies::Fig15Result fig15 = studies::runFig15();
+
+    StudyResult result;
+    TextTable table({"Case study", "UAV", "Headline result"});
+    table.addRow(
+        {"VI-A Onboard compute", "DJI Spark",
+         strFormat("NCS roof %.1f m/s vs AGX-30W %.1f m/s; 15 W "
+                   "what-if +%.0f%%",
+                   fig11.ncs.analysis.roofVelocity.value(),
+                   fig11.agx30.analysis.roofVelocity.value(),
+                   (fig11.agxTdpGain - 1.0) * 100.0)});
+    table.addRow(
+        {"VI-B Autonomy algorithms", "AscTec Pelican",
+         strFormat("knee %.0f Hz; SPA needs %.0fx",
+                   fig13.kneeThroughput,
+                   fig13.entries[0].factorVsKnee)});
+    table.addRow({"VI-C Payload redundancy", "AscTec Pelican",
+                  strFormat("DMR lowers v_safe by %.0f%%",
+                            fig14.velocityLossPercent)});
+    table.addRow(
+        {"VI-D Full UAV system", "Pelican & Spark",
+         strFormat("knees %.0f / %.0f Hz across %zu design points",
+                   fig15.pelicanKnee, fig15.sparkKnee,
+                   fig15.entries.size())});
+    result.summary = table.render();
+
+    result
+        .addMetric("agx_tdp_gain", fig11.agxTdpGain)
+        .addMetric("spa_required_speedup",
+                   fig13.entries[0].factorVsKnee)
+        .addMetric("dmr_velocity_loss", fig14.velocityLossPercent,
+                   "%")
+        .addMetric("pelican_knee", fig15.pelicanKnee, "Hz")
+        .addMetric("spark_knee", fig15.sparkKnee, "Hz");
+    return result;
+}
+
+StudyResult
+runSweepStudy(const StudyContext &ctx)
+{
+    const std::string knob =
+        ctx.params.get("knob", "payload_weight");
+    const double from = ctx.params.getNumber("from", 0.0);
+    const double to = ctx.params.getNumber("to", 1200.0);
+    const auto steps = ctx.params.getCount("steps", 25);
+
+    StudyParams knob_overrides;
+    for (const auto &entry : ctx.params.entries()) {
+        if (entry.first != "knob" && entry.first != "from" &&
+            entry.first != "to" && entry.first != "steps") {
+            knob_overrides.set(entry.first, entry.second);
+        }
+    }
+    const skyline::SkylineSession session =
+        sessionFromParams(knob_overrides);
+
+    const auto points =
+        session.sweep(knob, from, to, static_cast<int>(steps));
+
+    StudyResult result;
+    result.xLabel = knob;
+    result.yLabel = "v_safe_mps";
+    result.chartTitle = "Skyline sweep: " + knob;
+
+    plot::Series curve("v_safe", plot::SeriesStyle::LineAndMarkers);
+    std::size_t infeasible = 0;
+    double best = 0.0;
+    for (const auto &point : points) {
+        if (!point.feasible) {
+            ++infeasible;
+            continue;
+        }
+        curve.add(point.knobValue, point.safeVelocity);
+        best = std::max(best, point.safeVelocity);
+    }
+    result.series.push_back(std::move(curve));
+    result
+        .addMetric("feasible_points",
+                   static_cast<double>(points.size() - infeasible))
+        .addMetric("infeasible_points",
+                   static_cast<double>(infeasible))
+        .addMetric("max_safe_velocity", best, "m/s");
+    result.summary = strFormat(
+        "Swept %s from %g to %g in %zu steps: %zu feasible, "
+        "%zu infeasible, best v_safe %.3f m/s\n",
+        knob.c_str(), from, to, steps, points.size() - infeasible,
+        infeasible, best);
+    return result;
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerBuiltinStudies(StudyRegistry &registry)
+{
+    const std::vector<std::string> none;
+    const std::vector<std::string> sampled = {"sweep_samples"};
+    const std::vector<std::string> knobs =
+        skyline::SkylineSession::knobNames();
+    std::vector<std::string> sweep_params = {"knob", "from", "to",
+                                             "steps"};
+    sweep_params.insert(sweep_params.end(), knobs.begin(),
+                        knobs.end());
+
+    registry.add({"fig02", "Fig. 2b: SWaP taxonomy",
+                  "Size, battery capacity and endurance across "
+                  "nano/micro/mini UAVs",
+                  none, {"csv", "svg", "json"}, runFig02Study});
+    registry.add({"fig04", "Fig. 4: bound regions",
+                  "Sensor-, compute- and physics-bound regions on "
+                  "the Pelican configuration",
+                  none, {"csv", "svg", "json"}, runFig04Study});
+    registry.add({"fig05", "Fig. 5: roofline construction",
+                  "Safe velocity vs action throughput; knee and "
+                  "diminishing returns",
+                  sampled, {"csv", "svg", "json"}, runFig05Study});
+    registry.add({"fig07", "Fig. 7: model validation",
+                  "Predicted vs simulated safe velocity for the "
+                  "four Table-I builds",
+                  none, {"csv", "svg", "json"}, runFig07Study});
+    registry.add({"fig09", "Fig. 9: velocity vs payload",
+                  "Non-linear safe-velocity loss with payload on "
+                  "the S500 build",
+                  sampled, {"csv", "svg", "json"}, runFig09Study});
+    registry.add({"fig11", "Fig. 11: compute choice",
+                  "Intel NCS vs Nvidia AGX on a DJI Spark running "
+                  "DroNet",
+                  none, {"csv", "svg", "json"}, runFig11Study});
+    registry.add({"fig12", "Fig. 12: heat-sink scaling",
+                  "Heat-sink mass vs compute TDP",
+                  none, {"csv", "svg", "json"}, runFig12Study});
+    registry.add({"fig13", "Fig. 13: algorithm choice",
+                  "SPA vs TrailNet vs DroNet on the Pelican + TX2",
+                  none, {"csv", "svg", "json"}, runFig13Study});
+    registry.add({"fig14", "Fig. 14: compute redundancy",
+                  "Single vs dual-modular-redundant TX2 on the "
+                  "Pelican",
+                  none, {"csv", "svg", "json"}, runFig14Study});
+    registry.add({"fig15", "Fig. 15: full-system sweep",
+                  "{NCS, TX2, Ras-Pi4} x {DroNet, TrailNet, VGG16, "
+                  "CAD2RL} on Pelican and Spark",
+                  none, {"csv", "svg", "json"}, runFig15Study});
+    registry.add({"fig16", "Fig. 16: accelerator pitfalls",
+                  "PULP-DroNet and Navion-in-SPA on the nano-UAV",
+                  none, {"csv", "svg", "json"}, runFig16Study});
+    registry.add({"table1", "Table I: validation UAV specs",
+                  "Takeoff masses and predicted safe velocities of "
+                  "UAV-A..D",
+                  none, {"csv", "svg", "json"}, runTable1Study});
+    registry.add({"table2", "Table II: Skyline session",
+                  "The full knob set analyzed end-to-end; overrides "
+                  "are knob assignments",
+                  knobs, {"csv", "svg", "json", "html"},
+                  runTable2Study});
+    registry.add({"table3", "Table III: case-study overview",
+                  "Headline results of the Section VI case studies "
+                  "regenerated live",
+                  none, {"json"}, runTable3Study});
+    registry.add({"sweep", "Skyline knob sweep",
+                  "Sweep one numeric knob; infeasible points are "
+                  "marked, not fatal",
+                  sweep_params, {"csv", "svg", "json"},
+                  runSweepStudy});
+}
+
+} // namespace detail
+
+} // namespace uavf1::scenario

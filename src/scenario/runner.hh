@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ScenarioRunner: executes registered studies or user scenario
+ * specs — singly or as a batch fanned out on the parallel sweep
+ * engine — and emits CSV/SVG/JSON (and optional HTML) artifacts
+ * through the shared plot/report writers.
+ *
+ * The batch path honours the PR-1 determinism contract: scenarios
+ * are distributed over the pool with thread-count-independent chunk
+ * geometry, every scenario writes only its own output slot and its
+ * own (pre-assigned, unique) artifact files, and summaries are
+ * merged in spec order on the caller. Batch results and artifact
+ * bytes are therefore bit-identical at any thread count.
+ */
+
+#ifndef UAVF1_SCENARIO_RUNNER_HH
+#define UAVF1_SCENARIO_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hh"
+#include "scenario/study.hh"
+
+namespace uavf1::scenario {
+
+/** Runner configuration. */
+struct RunnerOptions
+{
+    /** Artifact directory; empty disables artifact emission. */
+    std::string outDir;
+    /** Executor options for the scenario fan-out (and studies). */
+    exec::ParallelOptions parallel;
+};
+
+/** The outcome of one scenario. */
+struct ScenarioOutcome
+{
+    std::string study;  ///< Study name.
+    std::string label;  ///< Display/artifact label.
+    bool ok = false;    ///< False when the run failed.
+    std::string error;  ///< Failure reason when !ok.
+    StudyResult result; ///< Study outputs when ok.
+    std::vector<std::string> artifacts; ///< Paths written.
+};
+
+/**
+ * Executes scenarios against a study registry.
+ */
+class ScenarioRunner
+{
+  public:
+    /** Runner over the global registry. */
+    ScenarioRunner();
+
+    /** Runner over an explicit registry (tests). */
+    explicit ScenarioRunner(const StudyRegistry &registry);
+
+    /** The registry in use. */
+    const StudyRegistry &registry() const { return *_registry; }
+
+    /** One default-parameter spec per registered study. */
+    std::vector<ScenarioSpec> allSpecs() const;
+
+    /**
+     * Run one scenario. Failures inside the study (invalid
+     * parameters, infeasible configurations) are captured in the
+     * outcome rather than thrown, mirroring how sweeps record
+     * per-point infeasibility.
+     */
+    ScenarioOutcome run(const ScenarioSpec &spec,
+                        const RunnerOptions &options = {}) const;
+
+    /**
+     * Run a batch of scenarios fanned out on the parallel engine.
+     * Outcomes are returned in spec order and are bit-identical at
+     * any thread count.
+     */
+    std::vector<ScenarioOutcome>
+    runAll(const std::vector<ScenarioSpec> &specs,
+           const RunnerOptions &options = {}) const;
+
+    /** A text table summarizing a batch (deterministic). */
+    static std::string
+    renderSummary(const std::vector<ScenarioOutcome> &outcomes);
+
+    /** Filesystem-safe artifact basename for a label. */
+    static std::string sanitizeLabel(const std::string &label);
+
+  private:
+    ScenarioOutcome runWithBasename(const ScenarioSpec &spec,
+                                    const RunnerOptions &options,
+                                    const std::string &basename) const;
+
+    const StudyRegistry *_registry;
+};
+
+} // namespace uavf1::scenario
+
+#endif // UAVF1_SCENARIO_RUNNER_HH

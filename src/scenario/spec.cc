@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ScenarioSpec implementation.
+ */
+
+#include "scenario/spec.hh"
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+
+namespace uavf1::scenario {
+
+void
+ScenarioSpec::set(const std::string &assignment)
+{
+    const auto eq = assignment.find('=');
+    if (eq == std::string::npos) {
+        throw ModelError("malformed assignment '" + assignment +
+                         "' (expected 'knob=value')");
+    }
+    const std::string key = toLower(trim(assignment.substr(0, eq)));
+    const std::string value = trim(assignment.substr(eq + 1));
+    if (key == "study") {
+        study = toLower(value);
+    } else if (key == "label") {
+        label = value;
+    } else {
+        overrides.set(key, value);
+    }
+}
+
+ScenarioSpec
+ScenarioSpec::parse(const std::string &text)
+{
+    ScenarioSpec spec;
+    for (const auto &raw_line : splitAndTrim(text, '\n')) {
+        const std::string line = trim(raw_line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        spec.set(line); // Throws on lines without '='.
+    }
+    if (spec.study.empty()) {
+        throw ModelError(
+            "scenario spec does not name a study "
+            "(expected a 'study = <name>' line)");
+    }
+    return spec;
+}
+
+} // namespace uavf1::scenario

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Declarative scenario specification.
+ *
+ * A ScenarioSpec names a registered study plus parameter overrides.
+ * The text form uses the same `key = value` grammar as
+ * SkylineSession::loadConfig — one assignment per line, '#' lines
+ * are comments — with two reserved keys:
+ *
+ *     study = fig09          # which registered study to run
+ *     label = heavy-payload  # optional artifact/display label
+ *     sweep_samples = 64     # everything else: study parameters
+ */
+
+#ifndef UAVF1_SCENARIO_SPEC_HH
+#define UAVF1_SCENARIO_SPEC_HH
+
+#include <string>
+
+#include "scenario/study.hh"
+
+namespace uavf1::scenario {
+
+/** One scenario to run: a study name plus overrides. */
+struct ScenarioSpec
+{
+    std::string study;    ///< Registered study name.
+    std::string label;    ///< Display/artifact label; empty: study.
+    StudyParams overrides; ///< Parameter overrides.
+
+    /** The label, defaulting to the study name. */
+    std::string displayLabel() const
+    {
+        return label.empty() ? study : label;
+    }
+
+    /**
+     * Add one `knob=value` assignment (the CLI's --set argument).
+     *
+     * @throws ModelError when no '=' is present
+     */
+    void set(const std::string &assignment);
+
+    /**
+     * Parse the `key = value` text form.
+     *
+     * @throws ModelError on malformed lines or a missing study key
+     */
+    static ScenarioSpec parse(const std::string &text);
+};
+
+} // namespace uavf1::scenario
+
+#endif // UAVF1_SCENARIO_SPEC_HH

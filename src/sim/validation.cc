@@ -48,7 +48,14 @@ ValidationHarness::validate(const ValidationCase &vcase)
     double observed = 0.0;
     bool seen_unsafe = false;
 
-    for (double v = v_lo; v <= v_hi + 1e-12; v += resolution) {
+    // Index by integer step: accumulating `v += resolution` drifts
+    // by one ulp per iteration, which can silently skip or duplicate
+    // the final set-point depending on the resolution.
+    const int setpoints =
+        1 + static_cast<int>(
+                std::floor((v_hi - v_lo) / resolution + 1e-9));
+    for (int i = 0; i < setpoints; ++i) {
+        const double v = v_lo + i * resolution;
         StopScenario scenario = vcase.scenario;
         scenario.commandedVelocity = units::MetersPerSecond(v);
 

@@ -104,10 +104,17 @@ ReportWriter::writeHtml(const SkylineSession &session,
                         const std::string &title,
                         const std::string &path)
 {
+    writeFile(html(session, title), path);
+}
+
+void
+ReportWriter::writeFile(const std::string &content,
+                        const std::string &path)
+{
     std::ofstream out(path);
     if (!out)
         throw ModelError("cannot open '" + path + "' for writing");
-    out << html(session, title);
+    out << content;
     if (!out.good())
         throw ModelError("failed while writing '" + path + "'");
 }

@@ -36,6 +36,15 @@ class ReportWriter
     static void writeHtml(const SkylineSession &session,
                           const std::string &title,
                           const std::string &path);
+
+    /**
+     * Write any rendered report document to a file (shared by the
+     * scenario runner's HTML artifact path).
+     *
+     * @throws ModelError if the file cannot be written
+     */
+    static void writeFile(const std::string &content,
+                          const std::string &path);
 };
 
 } // namespace uavf1::skyline

@@ -5,6 +5,7 @@
 
 #include "skyline/session.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "support/errors.hh"
@@ -37,7 +38,19 @@ SkylineSession::set(const std::string &name, const std::string &value)
 {
     const std::string key = toLower(trim(name));
     if (key == "algorithm") {
-        _knobs.algorithm = trim(value);
+        const std::string algorithm = trim(value);
+        // The config grammar reserves '#' (comment marker) and
+        // CR/LF (line structure): an embedded newline splits the
+        // value across saveConfig lines and cannot be re-read, and
+        // '#'/bare-CR values are rejected up front rather than
+        // depending on parser details to survive a round-trip.
+        if (algorithm.find_first_of("#\n\r") != std::string::npos) {
+            throw ModelError(
+                "algorithm value '" + algorithm +
+                "' contains a character reserved by the config "
+                "grammar ('#' or a line break)");
+        }
+        _knobs.algorithm = algorithm;
         return;
     }
 
@@ -239,9 +252,16 @@ SkylineSession::sweep(const std::string &knob, double from,
 {
     if (steps < 2)
         throw ModelError("sweep requires at least 2 steps");
-    if (toLower(trim(knob)) == "algorithm")
+    const std::string key = toLower(trim(knob));
+    if (key == "algorithm")
         throw ModelError("cannot sweep the non-numeric knob "
                          "'algorithm'");
+    // Validate the knob name once up front so an unknown knob still
+    // fails loudly instead of yielding an all-infeasible sweep.
+    const auto names = knobNames();
+    if (std::find(names.begin(), names.end(), key) == names.end())
+        throw ModelError("unknown knob '" + knob + "'; knobs: " +
+                         join(names, ", "));
 
     std::vector<SweepPoint> points;
     points.reserve(static_cast<std::size_t>(steps));
@@ -250,15 +270,19 @@ SkylineSession::sweep(const std::string &knob, double from,
             from + (to - from) * static_cast<double>(i) /
                        static_cast<double>(steps - 1);
         SkylineSession variant = *this;
-        variant.set(knob, strFormat("%.12g", value));
         SweepPoint point;
         point.knobValue = value;
         try {
+            // Both a value the knob's validator rejects (e.g.
+            // drone_weight 0, knee_fraction 1.0) and a build that
+            // cannot hover are per-point conditions: mark the point
+            // infeasible instead of aborting the whole sweep.
+            variant.set(key, strFormat("%.12g", value));
             const core::F1Analysis a = variant.model().analyze();
             point.safeVelocity = a.safeVelocity.value();
             point.kneeThroughput = a.kneeThroughput.value();
             point.roofVelocity = a.roofVelocity.value();
-        } catch (const InfeasibleError &) {
+        } catch (const ModelError &) {
             point.feasible = false;
         }
         points.push_back(point);

@@ -109,11 +109,16 @@ class SkylineSession
      * resulting model outputs — the programmatic version of
      * dragging a slider in the web tool.
      *
+     * Points whose value fails the knob's own validation (e.g. a
+     * zero drone_weight) or produces a build that cannot hover are
+     * reported with `feasible = false` instead of aborting the
+     * sweep.
+     *
      * @param knob knob name (any numeric knob from knobNames())
      * @param from first value (inclusive)
      * @param to last value (inclusive); may be below `from`
      * @param steps number of samples (>= 2)
-     * @throws ModelError for non-numeric knobs or steps < 2
+     * @throws ModelError for unknown/non-numeric knobs or steps < 2
      */
     std::vector<SweepPoint> sweep(const std::string &knob,
                                   double from, double to,

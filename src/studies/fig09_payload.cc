@@ -47,7 +47,8 @@ evaluatePayload(double payload_grams)
 } // namespace
 
 Fig09Result
-runFig09(std::size_t sweep_samples)
+runFig09(std::size_t sweep_samples,
+         const exec::ParallelOptions &parallel)
 {
     if (sweep_samples < 2) {
         throw ModelError(
@@ -62,6 +63,8 @@ runFig09(std::size_t sweep_samples)
     const double lo = 100.0;
     const double hi = 800.0;
     result.sweep.resize(sweep_samples);
+    exec::ParallelOptions options = parallel;
+    options.grain = 16; // Chunk geometry pins determinism.
     exec::parallelFor(
         sweep_samples,
         [&](std::size_t begin, std::size_t end) {
@@ -72,7 +75,7 @@ runFig09(std::size_t sweep_samples)
                 result.sweep[i] = evaluatePayload(payload);
             }
         },
-        {.grain = 16});
+        options);
 
     const struct { const char *name; double payload; } uavs[] = {
         {"UAV-A", 590.0},

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel.hh"
+
 namespace uavf1::studies {
 
 /** One payload sweep sample. */
@@ -45,8 +47,9 @@ struct Fig09Result
     double dropAtoB = 0.0; ///< % velocity loss for A -> B (+210 g).
 };
 
-/** Run the Fig. 9 sweep. */
-Fig09Result runFig09(std::size_t sweep_samples = 141);
+/** Run the Fig. 9 sweep (optionally on an explicit pool). */
+Fig09Result runFig09(std::size_t sweep_samples = 141,
+                     const exec::ParallelOptions &parallel = {});
 
 } // namespace uavf1::studies
 

@@ -81,7 +81,7 @@ fig11Model(const std::string &option_name)
 }
 
 Fig11Result
-runFig11()
+runFig11(const exec::ParallelOptions &parallel)
 {
     // The three options build independent configurations (each one
     // resolves its own catalog and oracle), so they evaluate
@@ -90,7 +90,8 @@ runFig11()
         "Intel NCS", "Nvidia AGX", "Nvidia AGX-15W"};
     const auto options = exec::parallelMap<Fig11Option>(
         names.size(),
-        [&](std::size_t i) { return buildOption(names[i]); });
+        [&](std::size_t i) { return buildOption(names[i]); },
+        parallel);
 
     Fig11Result result;
     result.ncs = options[0];

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/f1_model.hh"
+#include "exec/parallel.hh"
 
 namespace uavf1::studies {
 
@@ -43,8 +44,8 @@ struct Fig11Result
     bool ncsWins = false;
 };
 
-/** Run the Fig. 11 study. */
-Fig11Result runFig11();
+/** Run the Fig. 11 study (optionally on an explicit pool). */
+Fig11Result runFig11(const exec::ParallelOptions &parallel = {});
 
 /** The F-1 model for one of the three options (for plotting). */
 core::F1Model fig11Model(const std::string &option_name);

@@ -22,7 +22,7 @@ Fig16Result::Fig16Result()
 }
 
 Fig16Result
-runFig16()
+runFig16(const exec::ParallelOptions &parallel)
 {
     Fig16Result result;
 
@@ -53,7 +53,8 @@ runFig16()
                 entry.requiredSpeedup =
                     entry.analysis.requiredSpeedup;
             }
-        });
+        },
+        parallel);
 
     result.kneeThroughput =
         result.pulp.analysis.kneeThroughput.value();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/f1_model.hh"
+#include "exec/parallel.hh"
 #include "workload/spa_pipeline.hh"
 
 namespace uavf1::studies {
@@ -46,8 +47,8 @@ struct Fig16Result
     Fig16Result();
 };
 
-/** Run the Fig. 16 study. */
-Fig16Result runFig16();
+/** Run the Fig. 16 study (optionally on an explicit pool). */
+Fig16Result runFig16(const exec::ParallelOptions &parallel = {});
 
 } // namespace uavf1::studies
 

@@ -215,6 +215,10 @@ TEST(Csv, QuoteRules)
     EXPECT_EQ(CsvWriter::quote("plain"), "plain");
     EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
     EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    // Bare '\r' (from CRLF-bearing names) must trigger quoting just
+    // like '\n', or the row structure breaks.
+    EXPECT_EQ(CsvWriter::quote("a\rb"), "\"a\rb\"");
+    EXPECT_EQ(CsvWriter::quote("a\r\nb"), "\"a\r\nb\"");
 }
 
 TEST(RooflineChart, BuildsFromF1Curves)

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the scenario-runner subsystem: the study registry, the
+ * spec grammar, artifact emission and the batch determinism
+ * contract (bit-identical outcomes and artifact bytes at any
+ * thread count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "exec/thread_pool.hh"
+#include "plot/json_writer.hh"
+#include "scenario/runner.hh"
+#include "scenario/spec.hh"
+#include "scenario/study.hh"
+#include "support/errors.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::scenario;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(Registry, EnumeratesEveryFigAndTableStudy)
+{
+    const StudyRegistry &registry = StudyRegistry::global();
+    for (const char *name :
+         {"fig02", "fig04", "fig05", "fig07", "fig09", "fig11",
+          "fig12", "fig13", "fig14", "fig15", "fig16", "table1",
+          "table2", "table3", "sweep"}) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+        const StudyInfo &info = registry.find(name);
+        EXPECT_FALSE(info.title.empty()) << name;
+        EXPECT_FALSE(info.description.empty()) << name;
+        EXPECT_FALSE(info.artifacts.empty()) << name;
+        EXPECT_TRUE(static_cast<bool>(info.run)) << name;
+    }
+    EXPECT_GE(registry.all().size(), 15u);
+}
+
+TEST(Registry, LookupIsCaseInsensitiveAndRejectsUnknown)
+{
+    const StudyRegistry &registry = StudyRegistry::global();
+    EXPECT_EQ(registry.find(" FIG09 ").name, "fig09");
+    EXPECT_THROW(registry.find("fig99"), ModelError);
+}
+
+TEST(Registry, RejectsDuplicateAndMalformedRegistrations)
+{
+    StudyRegistry registry;
+    StudyInfo info;
+    info.name = "demo";
+    info.run = [](const StudyContext &) { return StudyResult(); };
+    registry.add(info);
+    EXPECT_THROW(registry.add(info), ModelError);
+
+    StudyInfo no_run;
+    no_run.name = "norun";
+    EXPECT_THROW(registry.add(no_run), ModelError);
+    StudyInfo no_name;
+    no_name.run = info.run;
+    EXPECT_THROW(registry.add(no_name), ModelError);
+}
+
+TEST(Params, NumbersCountsAndErrors)
+{
+    StudyParams params;
+    params.set(" Sweep_Samples ", " 64 ");
+    EXPECT_TRUE(params.has("sweep_samples"));
+    EXPECT_EQ(params.getCount("sweep_samples", 10), 64u);
+    EXPECT_EQ(params.getCount("absent", 10), 10u);
+    EXPECT_DOUBLE_EQ(params.getNumber("sweep_samples", 0.0), 64.0);
+
+    params.set("bad", "many");
+    EXPECT_THROW(params.getNumber("bad", 0.0), ModelError);
+    params.set("frac", "2.5");
+    EXPECT_THROW(params.getCount("frac", 1), ModelError);
+    params.set("neg", "-3");
+    EXPECT_THROW(params.getCount("neg", 1), ModelError);
+
+    // set() overwrites in place rather than duplicating.
+    params.set("sweep_samples", "32");
+    EXPECT_EQ(params.getCount("sweep_samples", 10), 32u);
+    EXPECT_EQ(params.entries().front().second, "32");
+}
+
+TEST(Spec, ParsesTheLoadConfigGrammar)
+{
+    const ScenarioSpec spec = ScenarioSpec::parse(
+        "# a comment\n"
+        "study = FIG09\n"
+        "\n"
+        "label = heavy payload\n"
+        "  Sweep_Samples =  21  \n");
+    EXPECT_EQ(spec.study, "fig09");
+    EXPECT_EQ(spec.displayLabel(), "heavy payload");
+    EXPECT_EQ(spec.overrides.getCount("sweep_samples", 0), 21u);
+}
+
+TEST(Spec, RejectsMalformedAndStudylessText)
+{
+    EXPECT_THROW(ScenarioSpec::parse("study = fig09\nnot a pair"),
+                 ModelError);
+    EXPECT_THROW(ScenarioSpec::parse("sweep_samples = 8"),
+                 ModelError);
+    ScenarioSpec spec;
+    EXPECT_THROW(spec.set("no-equals-sign"), ModelError);
+}
+
+TEST(Runner, RunsAStudyWithOverrides)
+{
+    ScenarioSpec spec;
+    spec.study = "fig09";
+    spec.overrides.set("sweep_samples", "21");
+    const ScenarioOutcome outcome = ScenarioRunner().run(spec);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    ASSERT_FALSE(outcome.result.series.empty());
+    EXPECT_EQ(outcome.result.series.front().size(), 21u);
+    EXPECT_FALSE(outcome.result.metrics.empty());
+    EXPECT_TRUE(outcome.artifacts.empty()); // No outDir configured.
+}
+
+TEST(Runner, CapturesStudyFailuresPerScenario)
+{
+    ScenarioSpec bad_param;
+    bad_param.study = "fig02";
+    bad_param.overrides.set("bogus", "1");
+    ScenarioOutcome outcome = ScenarioRunner().run(bad_param);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.error.find("bogus"), std::string::npos);
+
+    ScenarioSpec unknown;
+    unknown.study = "fig99";
+    outcome = ScenarioRunner().run(unknown);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.error.find("fig99"), std::string::npos);
+
+    // A batch with one failing scenario still runs the others.
+    ScenarioSpec good;
+    good.study = "fig12";
+    const auto outcomes =
+        ScenarioRunner().runAll({bad_param, good});
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_TRUE(outcomes[1].ok) << outcomes[1].error;
+}
+
+TEST(Runner, SweepStudyMarksInfeasiblePointsInsteadOfAborting)
+{
+    // drone_weight = 0 fails the knob's own validation; the sweep
+    // point (and the scenario) must survive it.
+    ScenarioSpec spec;
+    spec.study = "sweep";
+    spec.overrides.set("knob", "drone_weight");
+    spec.overrides.set("from", "0");
+    spec.overrides.set("to", "1200");
+    spec.overrides.set("steps", "4");
+    const ScenarioOutcome outcome = ScenarioRunner().run(spec);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    double infeasible = 0.0;
+    for (const auto &metric : outcome.result.metrics) {
+        if (metric.name == "infeasible_points")
+            infeasible = metric.value;
+    }
+    EXPECT_GE(infeasible, 1.0);
+}
+
+TEST(Runner, UniqueArtifactBasenamesForRepeatedStudies)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = "artifacts/scenario_test/repeat";
+    fs::remove_all(dir);
+
+    ScenarioSpec a;
+    a.study = "fig12";
+    ScenarioSpec b;
+    b.study = "fig12";
+    RunnerOptions options;
+    options.outDir = dir;
+    const auto outcomes = ScenarioRunner().runAll({a, b}, options);
+    ASSERT_EQ(outcomes.size(), 2u);
+    ASSERT_TRUE(outcomes[0].ok && outcomes[1].ok);
+    EXPECT_TRUE(fs::exists(dir + "/fig12.json"));
+    EXPECT_TRUE(fs::exists(dir + "/fig12_2.json"));
+}
+
+TEST(Runner, RunAllEmitsArtifactsForEveryStudy)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = "artifacts/scenario_test/all";
+    fs::remove_all(dir);
+
+    const ScenarioRunner runner;
+    RunnerOptions options;
+    options.outDir = dir;
+    const auto outcomes =
+        runner.runAll(runner.allSpecs(), options);
+    ASSERT_EQ(outcomes.size(), runner.registry().all().size());
+    for (const auto &outcome : outcomes) {
+        EXPECT_TRUE(outcome.ok)
+            << outcome.study << ": " << outcome.error;
+        ASSERT_FALSE(outcome.artifacts.empty()) << outcome.study;
+        // Every study at least produces the JSON metrics artifact.
+        EXPECT_NE(outcome.artifacts.front().find(".json"),
+                  std::string::npos);
+        for (const auto &path : outcome.artifacts)
+            EXPECT_TRUE(fs::exists(path)) << path;
+    }
+    const std::string summary =
+        ScenarioRunner::renderSummary(outcomes);
+    EXPECT_NE(summary.find("0 failed"), std::string::npos);
+}
+
+TEST(Runner, BatchIsBitIdenticalAtAnyThreadCount)
+{
+    namespace fs = std::filesystem;
+    const std::string dir1 = "artifacts/scenario_test/t1";
+    const std::string dir8 = "artifacts/scenario_test/t8";
+    fs::remove_all(dir1);
+    fs::remove_all(dir8);
+
+    const ScenarioRunner runner;
+    exec::ThreadPool pool1(1);
+    exec::ThreadPool pool8(8);
+
+    RunnerOptions serial;
+    serial.outDir = dir1;
+    serial.parallel.pool = &pool1;
+    RunnerOptions parallel;
+    parallel.outDir = dir8;
+    parallel.parallel.pool = &pool8;
+
+    const auto specs = runner.allSpecs();
+    const auto a = runner.runAll(specs, serial);
+    const auto b = runner.runAll(specs, parallel);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].ok, b[i].ok) << a[i].study;
+        EXPECT_EQ(a[i].result.summary, b[i].result.summary)
+            << a[i].study;
+        ASSERT_EQ(a[i].result.metrics.size(),
+                  b[i].result.metrics.size());
+        for (std::size_t m = 0; m < a[i].result.metrics.size();
+             ++m) {
+            EXPECT_EQ(a[i].result.metrics[m].value,
+                      b[i].result.metrics[m].value)
+                << a[i].study << " "
+                << a[i].result.metrics[m].name;
+        }
+        // Artifact bytes, not just parsed values, must match.
+        ASSERT_EQ(a[i].artifacts.size(), b[i].artifacts.size());
+        for (std::size_t f = 0; f < a[i].artifacts.size(); ++f) {
+            EXPECT_EQ(slurp(a[i].artifacts[f]),
+                      slurp(b[i].artifacts[f]))
+                << a[i].artifacts[f];
+        }
+    }
+    EXPECT_EQ(ScenarioRunner::renderSummary(a),
+              ScenarioRunner::renderSummary(b));
+}
+
+TEST(JsonWriter, EscapesAndFormats)
+{
+    EXPECT_EQ(plot::Json::str("a\"b\\c\nd"),
+              "\"a\\\"b\\\\c\\nd\"");
+    EXPECT_EQ(plot::Json::num(2.5), "2.5");
+    EXPECT_EQ(plot::Json::num(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+    const std::string json = plot::JsonObject()
+                                 .add("name", "knee")
+                                 .add("value", 43.0)
+                                 .add("flag", true)
+                                 .render();
+    EXPECT_EQ(json,
+              "{\"name\": \"knee\", \"value\": 43, "
+              "\"flag\": true}");
+}
+
+} // namespace

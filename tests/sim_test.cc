@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/flight_sim.hh"
 #include "sim/table1.hh"
 #include "sim/validation.hh"
@@ -236,6 +238,34 @@ TEST(Validation, ObservedIsBelowPredictionWithRealism)
     EXPECT_GT(result.errorPercent, 0.0);
     EXPECT_LT(result.errorPercent, 25.0);
     EXPECT_FALSE(result.sweep.empty());
+}
+
+TEST(Validation, SweepStepsAreUniformAndCoverTheRange)
+{
+    // The set-point loop indexes by integer step; accumulating
+    // `v += resolution` drifted and could skip or duplicate the
+    // final set-point for drift-prone resolutions like 0.07.
+    ValidationCase vcase;
+    vcase.name = "stepping";
+    vcase.vehicle = idealVehicle();
+    vcase.trialsPerSetpoint = 1;
+    vcase.sweepResolution = 0.07;
+    const ValidationResult result =
+        ValidationHarness::validate(vcase);
+
+    const double v_lo =
+        std::max(vcase.sweepResolution, 0.4 * result.predicted);
+    const double v_hi = 1.3 * result.predicted;
+    ASSERT_FALSE(result.sweep.empty());
+    for (std::size_t i = 0; i < result.sweep.size(); ++i) {
+        EXPECT_NEAR(result.sweep[i].velocity,
+                    v_lo + i * vcase.sweepResolution, 1e-12);
+    }
+    // The last set-point sits within one resolution below v_hi —
+    // neither past the ceiling nor short of it by a full step.
+    const double last = result.sweep.back().velocity;
+    EXPECT_LE(last, v_hi + 1e-9);
+    EXPECT_GT(last + vcase.sweepResolution, v_hi);
 }
 
 TEST(Validation, Table1CasesAreWellFormed)

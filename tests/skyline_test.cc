@@ -140,6 +140,81 @@ TEST(Session, InfeasibleKnobsThrowInfeasible)
     EXPECT_THROW(session.analyze(), InfeasibleError);
 }
 
+TEST(Session, SaveLoadRoundTrip)
+{
+    SkylineSession session;
+    session.set("sensor_framerate", "30");
+    session.set("compute_tdp", "15");
+    session.set("algorithm", "TrailNet v2");
+    session.set("compute_runtime", "0.018");
+    session.set("sensor_range", "7.25");
+    session.set("drone_weight", "1200");
+    session.set("rotor_pull", "2000");
+    session.set("payload_weight", "300");
+    session.set("control_rate", "500");
+    session.set("knee_fraction", "0.95");
+
+    SkylineSession restored;
+    restored.loadConfig(session.saveConfig());
+    EXPECT_EQ(restored.saveConfig(), session.saveConfig());
+    EXPECT_EQ(restored.knobs().algorithm, "TrailNet v2");
+    EXPECT_DOUBLE_EQ(restored.knobs().computeRuntime.value(),
+                     0.018);
+    EXPECT_DOUBLE_EQ(restored.knobs().kneeFraction, 0.95);
+}
+
+TEST(Session, AlgorithmWhitespaceIsTrimmedAndRoundTrips)
+{
+    SkylineSession session;
+    session.set("algorithm", "   DroNet variant  ");
+    EXPECT_EQ(session.knobs().algorithm, "DroNet variant");
+
+    SkylineSession restored;
+    restored.loadConfig(session.saveConfig());
+    EXPECT_EQ(restored.knobs().algorithm, "DroNet variant");
+    EXPECT_EQ(restored.saveConfig(), session.saveConfig());
+}
+
+TEST(Session, AlgorithmRejectsValuesThatWouldNotRoundTrip)
+{
+    SkylineSession session;
+    const std::string before = session.knobs().algorithm;
+    // '#' would be re-read as a comment, a newline would split the
+    // value across config lines: both must be rejected up front.
+    EXPECT_THROW(session.set("algorithm", "DroNet # fast"),
+                 ModelError);
+    EXPECT_THROW(session.set("algorithm", "Dro\nNet"), ModelError);
+    EXPECT_THROW(session.set("algorithm", "Dro\rNet"), ModelError);
+    EXPECT_EQ(session.knobs().algorithm, before);
+}
+
+TEST(Session, SweepMarksValidationFailuresInfeasible)
+{
+    // drone_weight = 0 fails the knob's own requirePositive
+    // validation; it must surface as an infeasible point, not
+    // abort the whole sweep.
+    SkylineSession session;
+    const auto by_weight = session.sweep("drone_weight", 0.0,
+                                         1000.0, 3);
+    ASSERT_EQ(by_weight.size(), 3u);
+    EXPECT_FALSE(by_weight[0].feasible);
+    EXPECT_TRUE(by_weight[2].feasible);
+
+    // knee_fraction sweeps ending exactly at 1.0 used to throw out
+    // of the final point; now only that point is infeasible.
+    const auto by_knee = session.sweep("knee_fraction", 0.5, 1.0,
+                                       3);
+    ASSERT_EQ(by_knee.size(), 3u);
+    EXPECT_TRUE(by_knee[0].feasible);
+    EXPECT_TRUE(by_knee[1].feasible);
+    EXPECT_FALSE(by_knee[2].feasible);
+
+    // Unknown knobs still fail loudly instead of yielding an
+    // all-infeasible sweep.
+    EXPECT_THROW(session.sweep("warp_drive", 0.0, 1.0, 3),
+                 ModelError);
+}
+
 TEST(Report, TextContainsAllThreePanes)
 {
     SkylineSession session;
