@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Platform-layer perf bench: ceiling-set evaluation throughput.
+ *
+ * Prints the adapter-consistency check (the single-ceiling family
+ * must reproduce the flat min(peak, AI x BW) bound bit-for-bit),
+ * measures attainable() evaluations per second on the single- and
+ * multi-ceiling families, and writes a BENCH_roofline_platform.json
+ * baseline into the artifacts directory so later PRs can track the
+ * perf trajectory alongside BENCH_sweep_engine.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "components/catalog.hh"
+#include "platform/roofline_platform.hh"
+#include "workload/algorithm.hh"
+#include "workload/throughput.hh"
+
+namespace {
+
+using namespace uavf1;
+
+/** Log-spaced arithmetic intensities across eight decades. */
+std::vector<double>
+intensities(std::size_t count)
+{
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(count - 1);
+        out.push_back(std::pow(10.0, -4.0 + 8.0 * frac));
+    }
+    return out;
+}
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Time `evals` attainable() calls on a family; returns ms. */
+double
+timeAttainable(const platform::RooflinePlatform &machine,
+               const std::vector<double> &ai, std::size_t evals)
+{
+    double sink = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < evals; ++i) {
+        sink += machine
+                    .attainable(units::OpsPerByte(
+                        ai[i % ai.size()]))
+                    .attainable.value();
+    }
+    benchmark::DoNotOptimize(sink);
+    return millisSince(start);
+}
+
+void
+printFigure()
+{
+    bench::banner("Roofline platform",
+                  "Ceiling-set evaluation throughput");
+
+    const auto catalog = components::Catalog::standard();
+    const platform::RooflinePlatform &tx2_family =
+        catalog.rooflines().byName("Nvidia TX2");
+    const components::ComputePlatform &tx2_flat =
+        catalog.computes().byName("Nvidia TX2");
+    const auto ai = intensities(512);
+
+    // Adapter consistency: the single-ceiling family of the flat
+    // TX2 entry must reproduce min(peak, AI x BW) bit-for-bit.
+    bool identical = true;
+    const double peak = tx2_flat.peakThroughput().value();
+    const double bw = tx2_flat.memoryBandwidth().value();
+    for (const double intensity : ai) {
+        const double flat =
+            std::min(peak, intensity * bw);
+        const double family =
+            tx2_flat.roofline()
+                .attainable(units::OpsPerByte(intensity))
+                .attainable.value();
+        identical = identical && flat == family;
+    }
+    std::printf("  adapter vs flat bound bit-identical over %zu "
+                "intensities: %s\n",
+                ai.size(), identical ? "yes" : "NO (BUG)");
+
+    constexpr std::size_t evals = 2000000;
+    // Untimed warm-up (first-touch, branch predictors).
+    (void)timeAttainable(tx2_family, ai, evals / 10);
+
+    const double single_ms =
+        timeAttainable(tx2_flat.roofline(), ai, evals);
+    const double multi_ms = timeAttainable(tx2_family, ai, evals);
+
+    std::printf("  attainable() on the single-ceiling adapter: "
+                "%8.1f ms for %zu evals (%.1f ns/eval)\n",
+                single_ms, evals, single_ms * 1e6 / evals);
+    std::printf("  attainable() on the %zu+%zu-ceiling TX2 family: "
+                "%8.1f ms for %zu evals (%.1f ns/eval)\n",
+                tx2_family.computeCeilings().size(),
+                tx2_family.memoryCeilings().size(), multi_ms, evals,
+                multi_ms * 1e6 / evals);
+    bench::note("absolute timings depend on the machine; the "
+                "consistency column must hold everywhere");
+
+    // Perf-trajectory baseline for later PRs.
+    const std::string path =
+        bench::artifactsDir() + "/BENCH_roofline_platform.json";
+    std::ofstream json(path);
+    json << "{\n"
+         << "  \"benchmark\": \"roofline_platform\",\n"
+         << "  \"evals\": " << evals << ",\n"
+         << "  \"single_ceiling_ms\": " << single_ms << ",\n"
+         << "  \"multi_ceiling_ms\": " << multi_ms << ",\n"
+         << "  \"single_ns_per_eval\": " << single_ms * 1e6 / evals
+         << ",\n"
+         << "  \"multi_ns_per_eval\": " << multi_ms * 1e6 / evals
+         << ",\n"
+         << "  \"adapter_bit_identical\": "
+         << (identical ? "true" : "false") << "\n"
+         << "}\n";
+    std::printf("  artifacts: BENCH_roofline_platform.json\n");
+}
+
+void
+BM_AttainableSingleCeiling(benchmark::State &state)
+{
+    const auto machine = platform::RooflinePlatform::singleCeiling(
+        "bench", units::Gops(1330.0),
+        units::GigabytesPerSecond(59.7));
+    const auto ai = intensities(512);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(machine.attainable(
+            units::OpsPerByte(ai[i++ % ai.size()])));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttainableSingleCeiling);
+
+void
+BM_AttainableMultiCeiling(benchmark::State &state)
+{
+    const auto catalog = components::Catalog::standard();
+    const platform::RooflinePlatform machine =
+        catalog.rooflines().byName("Nvidia TX2");
+    const auto ai = intensities(512);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(machine.attainable(
+            units::OpsPerByte(ai[i++ % ai.size()])));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttainableMultiCeiling);
+
+void
+BM_RooflineBoundOracle(benchmark::State &state)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::standardAlgorithms();
+    const workload::AutonomyAlgorithm dronet =
+        algorithms.byName("DroNet");
+    const platform::RooflinePlatform machine =
+        catalog.rooflines().byName("Nvidia TX2");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            workload::rooflineBound(dronet, machine));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RooflineBoundOracle);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

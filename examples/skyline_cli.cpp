@@ -27,6 +27,8 @@
  *   skyline_cli list
  *   skyline_cli run fig09 --set sweep_samples=64 --out /tmp/out
  *   skyline_cli run table2 --set compute_runtime=0.9
+ *   skyline_cli run roofline --set "platform=Nvidia AGX" \
+ *               --set op=half-clock
  *   skyline_cli run-all --threads 8
  *   echo "set compute_runtime 0.9
  *   analyze" | skyline_cli

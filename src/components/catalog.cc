@@ -234,6 +234,60 @@ addBatteries(Registry<physics::Battery> &reg)
                              292.0_g));
 }
 
+void
+addRooflines(Registry<platform::RooflinePlatform> &reg)
+{
+    // Multi-ceiling families for the SoC-class parts. The *top*
+    // compute ceiling and the *slowest* memory ceiling (the two
+    // that bind the attainable bound) match the flat catalog
+    // entries of the same name exactly, so the single-ceiling
+    // adapter and the family agree on the bound; the remaining
+    // ceilings are effective datasheet numbers for the scalar/SIMD
+    // execution targets and on-chip memory levels. Operating points
+    // use the CMOS power law (platform::dvfsOperatingPoints,
+    // full-DVFS defaults) for the TDP at each clock fraction.
+    const std::vector<std::pair<std::string, double>> fractions = {
+        {"nominal", 1.0}, {"half-clock", 0.5}, {"dvfs-floor", 0.25}};
+
+    reg.add(platform::RooflinePlatform({
+        .name = "Nvidia TX2",
+        .computeCeilings = {{"Denver2/A57 scalar", Gops(42.0)},
+                            {"NEON SIMD", Gops(170.0)},
+                            {"Pascal GPU FP16", Gops(1330.0)}},
+        .memoryCeilings = {{"LPDDR4 DRAM",
+                            GigabytesPerSecond(59.7)},
+                           {"GPU L2/shared",
+                            GigabytesPerSecond(300.0)}},
+        .operatingPoints = platform::dvfsOperatingPoints(7.5_w, fractions),
+        .description = "Jetson TX2-class hierarchical roofline",
+    }));
+
+    reg.add(platform::RooflinePlatform({
+        .name = "Nvidia AGX",
+        .computeCeilings = {{"Carmel scalar", Gops(90.0)},
+                            {"Carmel NEON SIMD", Gops(350.0)},
+                            {"Volta GPU + DLA FP16",
+                             Gops(11000.0)}},
+        .memoryCeilings = {{"LPDDR4x DRAM",
+                            GigabytesPerSecond(137.0)},
+                           {"GPU L2/shared",
+                            GigabytesPerSecond(700.0)}},
+        .operatingPoints = platform::dvfsOperatingPoints(30.0_w, fractions),
+        .description = "Xavier-class hierarchical roofline",
+    }));
+
+    reg.add(platform::RooflinePlatform({
+        .name = "ARM Cortex-M4",
+        .computeCeilings = {{"Thumb-2 scalar", Gops(0.08)},
+                            {"DSP MAC", Gops(0.2)}},
+        .memoryCeilings = {{"SRAM", GigabytesPerSecond(0.1)},
+                           {"TCM", GigabytesPerSecond(0.4)}},
+        .operatingPoints = platform::dvfsOperatingPoints(0.1_w, fractions),
+        .description =
+            "Microcontroller-class hierarchical roofline",
+    }));
+}
+
 } // namespace
 
 Catalog
@@ -244,6 +298,7 @@ Catalog::standard()
     addSensors(catalog.sensors());
     addAirframes(catalog.airframes());
     addBatteries(catalog.batteries());
+    addRooflines(catalog.rooflines());
     return catalog;
 }
 

@@ -16,6 +16,7 @@
 #include "components/registry.hh"
 #include "components/sensor.hh"
 #include "physics/battery.hh"
+#include "platform/roofline_platform.hh"
 
 namespace uavf1::components {
 
@@ -39,6 +40,10 @@ class Catalog
      * Spark, CrazyFlie-class nano.
      * Batteries: 3S 5000 mAh (Table I), compute-payload packs,
      * Fig. 2b packs (240 / 1300 / 3830 mAh).
+     * Rooflines: multi-ceiling platform families (TX2-, Xavier- and
+     * microcontroller-class) whose top ceilings match the flat
+     * compute entries of the same name, each with DVFS operating
+     * points.
      */
     static Catalog standard();
 
@@ -70,11 +75,24 @@ class Catalog
         return _batteries;
     }
 
+    /** Multi-ceiling roofline platform registry. */
+    Registry<platform::RooflinePlatform> &rooflines()
+    {
+        return _rooflines;
+    }
+    /** Multi-ceiling roofline platform registry (const). */
+    const Registry<platform::RooflinePlatform> &
+    rooflines() const
+    {
+        return _rooflines;
+    }
+
   private:
     Registry<Sensor> _sensors;
     Registry<ComputePlatform> _computes;
     Registry<Airframe> _airframes;
     Registry<physics::Battery> _batteries;
+    Registry<platform::RooflinePlatform> _rooflines;
 };
 
 } // namespace uavf1::components

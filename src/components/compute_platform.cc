@@ -10,15 +10,30 @@
 
 namespace uavf1::components {
 
-ComputePlatform::ComputePlatform(Spec spec) : _spec(std::move(spec))
+namespace {
+
+/** Validate the flat spec before the adapter family is built, so
+ * error messages keep naming the ComputePlatform parameters. */
+ComputePlatform::Spec
+validated(ComputePlatform::Spec spec)
 {
-    if (_spec.name.empty())
+    if (spec.name.empty())
         throw ModelError("compute platform requires a name");
-    requirePositive(_spec.tdp.value(), "tdp");
-    requireNonNegative(_spec.moduleMass.value(), "moduleMass");
-    requirePositive(_spec.peakThroughput.value(), "peakThroughput");
-    requirePositive(_spec.memoryBandwidth.value(), "memoryBandwidth");
+    requirePositive(spec.tdp.value(), "tdp");
+    requireNonNegative(spec.moduleMass.value(), "moduleMass");
+    requirePositive(spec.peakThroughput.value(), "peakThroughput");
+    requirePositive(spec.memoryBandwidth.value(), "memoryBandwidth");
+    return spec;
 }
+
+} // namespace
+
+ComputePlatform::ComputePlatform(Spec spec)
+    : _spec(validated(std::move(spec))),
+      _roofline(platform::RooflinePlatform::singleCeiling(
+          _spec.name, _spec.peakThroughput, _spec.memoryBandwidth,
+          _spec.tdp))
+{}
 
 units::Grams
 ComputePlatform::heatsinkMass(const thermal::HeatsinkModel &model) const

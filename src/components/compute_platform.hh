@@ -4,9 +4,15 @@
  *
  * Captures the attributes the F-1 model consumes: TDP (drives the
  * heat-sink weight via thermal::HeatsinkModel), module mass, and the
- * classic-roofline machine parameters (effective peak throughput and
- * memory bandwidth) used to upper-bound algorithm throughput on
- * platforms the paper did not measure.
+ * classic-roofline machine parameters used to upper-bound algorithm
+ * throughput on platforms the paper did not measure.
+ *
+ * ComputePlatform is a thin single-ceiling adapter over
+ * platform::RooflinePlatform: the two scalar machine parameters of
+ * the spec become a degenerate one-compute/one-memory ceiling
+ * family, so the flat accessors (peakThroughput / memoryBandwidth)
+ * and everything downstream of them keep their numbers bit-for-bit
+ * while the ceiling-set machinery evaluates the same bound.
  */
 
 #ifndef UAVF1_COMPONENTS_COMPUTE_PLATFORM_HH
@@ -14,6 +20,7 @@
 
 #include <string>
 
+#include "platform/roofline_platform.hh"
 #include "thermal/heatsink.hh"
 #include "units/units.hh"
 
@@ -59,14 +66,25 @@ class ComputePlatform
     /** Module mass without heat sink. */
     units::Grams moduleMass() const { return _spec.moduleMass; }
 
-    /** Effective peak compute throughput. */
+    /** Effective peak compute throughput (also the single compute
+     * ceiling of the adapter family). */
     units::Gops peakThroughput() const { return _spec.peakThroughput; }
 
-    /** Memory bandwidth. */
+    /** Memory bandwidth (also the single memory ceiling of the
+     * adapter family). */
     units::GigabytesPerSecond
     memoryBandwidth() const
     {
         return _spec.memoryBandwidth;
+    }
+
+    /** The single-ceiling roofline family derived from the spec
+     * scalars (the spec is the source of truth; the family is
+     * rebuilt whenever a spec-changing copy is made, and the
+     * adapter-equality test pins the two views equal). */
+    const platform::RooflinePlatform &roofline() const
+    {
+        return _roofline;
     }
 
     /** Pipeline role. */
@@ -100,6 +118,7 @@ class ComputePlatform
 
   private:
     Spec _spec;
+    platform::RooflinePlatform _roofline;
 };
 
 } // namespace uavf1::components

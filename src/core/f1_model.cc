@@ -101,6 +101,7 @@ F1Model::analyzeInto(const F1Inputs &inputs, F1Analysis &out)
         out.bottleneckStage = BottleneckStage::Control;
     }
 
+    out.computeBinding = inputs.computeBinding;
     out.actionThroughput = f_min;
     out.safeVelocity = safety.safeVelocityAtRate(out.actionThroughput);
     out.kneeThroughput = safety.kneeThroughput(inputs.kneeFraction);

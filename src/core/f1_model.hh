@@ -16,6 +16,7 @@
 
 #include "core/safety_model.hh"
 #include "pipeline/action_pipeline.hh"
+#include "platform/ceiling.hh"
 #include "units/units.hh"
 
 namespace uavf1::core {
@@ -35,6 +36,17 @@ struct F1Inputs
     units::Hertz controlRate{1000.0};
     /** Knee criterion (fraction of the roof). */
     double kneeFraction = SafetyModel::defaultKneeFraction;
+    /**
+     * Provenance of computeRate when it came from a ceiling-set
+     * roofline bound: which machine ceiling bound it. Pass-through
+     * — the model copies it verbatim into F1Analysis so sweeps can
+     * attribute compute-bound designs to a specific ceiling. The
+     * default is unattributed (attributed == false: measured
+     * throughput, direct override). Trivially copyable by design
+     * (see platform::CeilingRef); resolve against the platform's
+     * ceiling family for a name.
+     */
+    platform::CeilingRef computeBinding{};
 };
 
 /** Which subsystem limits safe velocity (paper Fig. 4a). */
@@ -96,6 +108,10 @@ struct F1Analysis
     units::MetersPerSecond sensorCeiling;
     /** Velocity ceiling set by the compute alone. */
     units::MetersPerSecond computeCeiling;
+    /** Machine-ceiling attribution of computeRate, copied verbatim
+     * from F1Inputs::computeBinding (enum + index, no heap);
+     * unattributed unless a ceiling-set bound produced the rate. */
+    platform::CeilingRef computeBinding{};
 };
 
 /** One sample of the roofline curve. */

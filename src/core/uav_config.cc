@@ -51,6 +51,7 @@ UavConfig::f1Inputs() const
     inputs.computeRate = _computeRate;
     inputs.controlRate = _flightController.loopRate();
     inputs.kneeFraction = _kneeFraction;
+    inputs.computeBinding = _computeBinding;
     return inputs;
 }
 
@@ -86,9 +87,27 @@ UavConfig::describe() const
                          _algorithm->name().c_str(),
                          workload::toString(_algorithm->paradigm()));
     }
+    std::string provenance = workload::toString(_computeRateSource);
+    // A CeilingRef is only resolvable against the family that
+    // produced it; the builder guarantees that pairing, but a
+    // report must not throw on a hand-assembled config, so guard
+    // the index anyway.
+    const auto resolvable = [&](platform::CeilingRef ref) {
+        const auto &family = _compute->roofline();
+        return ref.index < (ref.kind == platform::CeilingKind::Compute
+                                ? family.computeCeilings().size()
+                                : family.memoryCeilings().size());
+    };
+    if (_computeBinding.attributed && _compute &&
+        resolvable(_computeBinding)) {
+        provenance +=
+            ", " +
+            std::string(platform::toString(_computeBinding.kind)) +
+            " ceiling '" +
+            _compute->roofline().ceilingName(_computeBinding) + "'";
+    }
     out += strFormat("  f_compute: %.2f Hz (%s)\n",
-                     _computeRate.value(),
-                     workload::toString(_computeRateSource));
+                     _computeRate.value(), provenance.c_str());
     out += strFormat("  takeoff mass: %.0f g, thrust %.2f N",
                      takeoffMass().value(), totalThrust().value());
     if (!_aMaxOverride) {
@@ -254,6 +273,7 @@ UavConfig::Builder::build() const
         config._computeRate =
             _redundancy.effectiveThroughput(estimate.value);
         config._computeRateSource = estimate.source;
+        config._computeBinding = estimate.binding;
     } else {
         throw ModelError(
             "UAV configuration '" + _name +

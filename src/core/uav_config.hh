@@ -113,6 +113,14 @@ class UavConfig
         return _computeRateSource;
     }
 
+    /** Machine-ceiling attribution of the compute rate;
+     * unattributed unless the rate came from a roofline bound
+     * (resolve against compute()->roofline() for a name). */
+    platform::CeilingRef computeBinding() const
+    {
+        return _computeBinding;
+    }
+
     /** Total compute electrical power (replicas x TDP). */
     units::Watts computePower() const;
 
@@ -151,6 +159,7 @@ class UavConfig
     units::Hertz _computeRate{1.0};
     workload::ThroughputSource _computeRateSource =
         workload::ThroughputSource::Measured;
+    platform::CeilingRef _computeBinding{};
     double _kneeFraction = SafetyModel::defaultKneeFraction;
 };
 

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trivially-copyable ceiling attribution types.
+ *
+ * Split out of roofline_platform.hh so the F-1 hot path
+ * (core::F1Inputs / core::F1Analysis) can carry a ceiling
+ * attribution without pulling strings or vectors into the
+ * allocation-free analyzeInto() contract: a CeilingRef is a plain
+ * enum + index pair, resolvable to a human-readable ceiling name
+ * only when a RooflinePlatform is at hand.
+ */
+
+#ifndef UAVF1_PLATFORM_CEILING_HH
+#define UAVF1_PLATFORM_CEILING_HH
+
+#include <cstdint>
+
+namespace uavf1::platform {
+
+/** Which family a ceiling belongs to. */
+enum class CeilingKind : std::uint8_t
+{
+    Compute, ///< A compute roof (scalar, SIMD, accelerator, ...).
+    Memory,  ///< A bandwidth roof (DRAM, on-chip, ...).
+};
+
+/** Printable kind name ("compute", "memory"). */
+const char *toString(CeilingKind kind);
+
+/**
+ * A reference to one ceiling of a RooflinePlatform: the kind plus
+ * the index into that platform's ordered ceiling list. Trivially
+ * copyable by design — this is the form ceiling attribution takes
+ * through the allocation-free F-1 hot path.
+ *
+ * A default-constructed ref is *unattributed* (attributed ==
+ * false): it records that no ceiling analysis produced it — a
+ * measured throughput, a direct override. Consumers must check
+ * attributed before treating kind/index as a real ceiling.
+ */
+struct CeilingRef
+{
+    CeilingKind kind = CeilingKind::Compute;
+    std::uint16_t index = 0;
+    /** True only when a ceiling-set evaluation set kind/index. */
+    bool attributed = false;
+};
+
+/** Equality: unattributed refs are all equal; attributed refs
+ * compare by kind and index. */
+inline bool
+operator==(CeilingRef a, CeilingRef b)
+{
+    if (!a.attributed || !b.attributed)
+        return a.attributed == b.attributed;
+    return a.kind == b.kind && a.index == b.index;
+}
+
+/** Inequality. */
+inline bool
+operator!=(CeilingRef a, CeilingRef b)
+{
+    return !(a == b);
+}
+
+} // namespace uavf1::platform
+
+#endif // UAVF1_PLATFORM_CEILING_HH

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * RooflinePlatform implementation.
+ */
+
+#include "platform/roofline_platform.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "support/errors.hh"
+#include "support/strings.hh"
+#include "support/validate.hh"
+
+namespace uavf1::platform {
+
+units::Watts
+dvfsScaledTdp(units::Watts nominal_tdp, double fraction,
+              double exponent, double leakage_fraction)
+{
+    requirePositive(nominal_tdp.value(), "nominal_tdp");
+    requireInRange(exponent, 1.0, 3.0, "exponent");
+    requireInRange(leakage_fraction, 0.0, 0.9, "leakageFraction");
+    if (!(fraction > 0.0) || fraction > 1.0) {
+        throw ModelError("DVFS clock fraction must be in (0, 1], "
+                         "got " + trimmedNumber(fraction, 6));
+    }
+    const double leakage = nominal_tdp.value() * leakage_fraction;
+    const double dynamic =
+        nominal_tdp.value() * (1.0 - leakage_fraction);
+    return units::Watts(leakage +
+                        dynamic * std::pow(fraction, exponent));
+}
+
+std::vector<OperatingPoint>
+dvfsOperatingPoints(
+    units::Watts nominal_tdp,
+    const std::vector<std::pair<std::string, double>> &points,
+    double exponent, double leakage_fraction)
+{
+    std::vector<OperatingPoint> out;
+    out.reserve(points.size());
+    for (const auto &[name, fraction] : points) {
+        out.push_back({name, fraction,
+                       dvfsScaledTdp(nominal_tdp, fraction, exponent,
+                                     leakage_fraction)});
+    }
+    return out;
+}
+
+const char *
+toString(CeilingKind kind)
+{
+    switch (kind) {
+      case CeilingKind::Compute:
+        return "compute";
+      case CeilingKind::Memory:
+        return "memory";
+    }
+    return "unknown";
+}
+
+RooflinePlatform::RooflinePlatform(Spec spec) : _spec(std::move(spec))
+{
+    if (_spec.name.empty())
+        throw ModelError("roofline platform requires a name");
+    if (_spec.computeCeilings.empty()) {
+        throw ModelError("roofline platform '" + _spec.name +
+                         "' requires at least one compute ceiling");
+    }
+    if (_spec.memoryCeilings.empty()) {
+        throw ModelError("roofline platform '" + _spec.name +
+                         "' requires at least one memory ceiling");
+    }
+    constexpr std::size_t max_ceilings =
+        std::numeric_limits<std::uint16_t>::max();
+    if (_spec.computeCeilings.size() > max_ceilings ||
+        _spec.memoryCeilings.size() > max_ceilings) {
+        throw ModelError("roofline platform '" + _spec.name +
+                         "' has too many ceilings for a CeilingRef");
+    }
+    for (const auto &ceiling : _spec.computeCeilings) {
+        if (ceiling.name.empty()) {
+            throw ModelError("compute ceiling of '" + _spec.name +
+                             "' requires a name");
+        }
+        requirePositive(ceiling.peak.value(),
+                        "peakThroughput of ceiling '" + ceiling.name +
+                            "' on " + _spec.name);
+    }
+    for (const auto &ceiling : _spec.memoryCeilings) {
+        if (ceiling.name.empty()) {
+            throw ModelError("memory ceiling of '" + _spec.name +
+                             "' requires a name");
+        }
+        requirePositive(ceiling.bandwidth.value(),
+                        "memoryBandwidth of ceiling '" +
+                            ceiling.name + "' on " + _spec.name);
+    }
+    if (_spec.operatingPoints.empty())
+        _spec.operatingPoints.push_back({"nominal", 1.0,
+                                         units::Watts(0.0)});
+    for (const auto &point : _spec.operatingPoints) {
+        if (point.name.empty()) {
+            throw ModelError("operating point of '" + _spec.name +
+                             "' requires a name");
+        }
+        requireFinite(point.frequencyFraction,
+                      "frequencyFraction of operating point '" +
+                          point.name + "'");
+        if (point.frequencyFraction <= 0.0 ||
+            point.frequencyFraction > 1.0) {
+            throw ModelError(
+                "frequencyFraction of operating point '" +
+                point.name + "' on " + _spec.name +
+                " must be in (0, 1], got " +
+                trimmedNumber(point.frequencyFraction, 6));
+        }
+        requireNonNegative(point.tdp.value(),
+                           "tdp of operating point '" + point.name +
+                               "'");
+    }
+}
+
+RooflinePlatform
+RooflinePlatform::singleCeiling(const std::string &name,
+                                units::Gops peak,
+                                units::GigabytesPerSecond bandwidth,
+                                units::Watts tdp)
+{
+    Spec spec;
+    spec.name = name;
+    spec.computeCeilings.push_back({"effective peak", peak});
+    spec.memoryCeilings.push_back({"DRAM", bandwidth});
+    spec.operatingPoints.push_back({"nominal", 1.0, tdp});
+    return RooflinePlatform(std::move(spec));
+}
+
+std::size_t
+RooflinePlatform::operatingPointIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < _spec.operatingPoints.size(); ++i) {
+        if (_spec.operatingPoints[i].name == name)
+            return i;
+    }
+    std::vector<std::string> names;
+    names.reserve(_spec.operatingPoints.size());
+    for (const auto &point : _spec.operatingPoints)
+        names.push_back(point.name);
+    throw ModelError("unknown operating point '" + name + "' on " +
+                     _spec.name + "; operating points: " +
+                     join(names, ", "));
+}
+
+AttainableBound
+RooflinePlatform::attainable(units::OpsPerByte ai,
+                             std::size_t op_index) const
+{
+    requirePositive(ai.value(),
+                    "arithmetic intensity on " + _spec.name);
+    if (op_index >= _spec.operatingPoints.size()) {
+        throw ModelError("operating-point index out of range on " +
+                         _spec.name);
+    }
+    const double f =
+        _spec.operatingPoints[op_index].frequencyFraction;
+
+    // Highest compute roof: the workload runs on the most capable
+    // execution target. First ceiling wins ties so attribution is
+    // deterministic.
+    std::uint16_t compute_index = 0;
+    double compute_roof = _spec.computeCeilings[0].peak.value() * f;
+    for (std::size_t i = 1; i < _spec.computeCeilings.size(); ++i) {
+        const double roof = _spec.computeCeilings[i].peak.value() * f;
+        if (roof > compute_roof) {
+            compute_roof = roof;
+            compute_index = static_cast<std::uint16_t>(i);
+        }
+    }
+
+    // Lowest memory roof at this AI: streamed data traverses every
+    // level of the hierarchy, so the slowest bandwidth binds. The
+    // expression order (ai * (bw * f)) matches the flat
+    // min(peak, AI x BW) bound bit-for-bit when f == 1.
+    std::uint16_t memory_index = 0;
+    double memory_roof =
+        ai.value() * (_spec.memoryCeilings[0].bandwidth.value() * f);
+    for (std::size_t i = 1; i < _spec.memoryCeilings.size(); ++i) {
+        const double roof =
+            ai.value() *
+            (_spec.memoryCeilings[i].bandwidth.value() * f);
+        if (roof < memory_roof) {
+            memory_roof = roof;
+            memory_index = static_cast<std::uint16_t>(i);
+        }
+    }
+
+    AttainableBound bound;
+    if (compute_roof <= memory_roof) {
+        bound.attainable = units::Gops(compute_roof);
+        bound.binding = {CeilingKind::Compute, compute_index, true};
+    } else {
+        bound.attainable = units::Gops(memory_roof);
+        bound.binding = {CeilingKind::Memory, memory_index, true};
+    }
+    requireFinite(bound.attainable.value(),
+                  "attainable bound on " + _spec.name);
+    return bound;
+}
+
+units::Gops
+RooflinePlatform::ceilingRoof(CeilingRef ref, units::OpsPerByte ai,
+                              std::size_t op_index) const
+{
+    if (op_index >= _spec.operatingPoints.size()) {
+        throw ModelError("operating-point index out of range on " +
+                         _spec.name);
+    }
+    const double f =
+        _spec.operatingPoints[op_index].frequencyFraction;
+    if (ref.kind == CeilingKind::Compute) {
+        if (ref.index >= _spec.computeCeilings.size()) {
+            throw ModelError("compute ceiling index out of range on " +
+                             _spec.name);
+        }
+        return units::Gops(
+            _spec.computeCeilings[ref.index].peak.value() * f);
+    }
+    if (ref.index >= _spec.memoryCeilings.size()) {
+        throw ModelError("memory ceiling index out of range on " +
+                         _spec.name);
+    }
+    return units::Gops(
+        ai.value() *
+        (_spec.memoryCeilings[ref.index].bandwidth.value() * f));
+}
+
+const std::string &
+RooflinePlatform::ceilingName(CeilingRef ref) const
+{
+    if (ref.kind == CeilingKind::Compute) {
+        if (ref.index >= _spec.computeCeilings.size()) {
+            throw ModelError("compute ceiling index out of range on " +
+                             _spec.name);
+        }
+        return _spec.computeCeilings[ref.index].name;
+    }
+    if (ref.index >= _spec.memoryCeilings.size()) {
+        throw ModelError("memory ceiling index out of range on " +
+                         _spec.name);
+    }
+    return _spec.memoryCeilings[ref.index].name;
+}
+
+RooflinePlatform
+RooflinePlatform::withOperatingPoints(
+    std::vector<OperatingPoint> points) const
+{
+    Spec spec = _spec;
+    spec.operatingPoints = std::move(points);
+    return RooflinePlatform(std::move(spec));
+}
+
+} // namespace uavf1::platform

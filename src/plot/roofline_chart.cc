@@ -5,6 +5,9 @@
 
 #include "plot/roofline_chart.hh"
 
+#include <cmath>
+
+#include "support/errors.hh"
 #include "support/strings.hh"
 
 namespace uavf1::plot {
@@ -39,6 +42,99 @@ makeRooflineChart(const std::string &title,
             chart.add(std::move(marker));
         }
     }
+    return chart;
+}
+
+std::vector<Series>
+ceilingFamilySeries(const platform::RooflinePlatform &platform,
+                    std::size_t op_index, double ai_min,
+                    double ai_max, std::size_t samples)
+{
+    if (!(ai_min > 0.0) || !(ai_min < ai_max))
+        throw ModelError("ceiling family needs 0 < ai_min < ai_max");
+    if (samples < 2)
+        throw ModelError("ceiling family requires >= 2 samples");
+
+    std::vector<Series> series;
+    const auto &computes = platform.computeCeilings();
+    const auto &memories = platform.memoryCeilings();
+    series.reserve(computes.size() + memories.size() + 1);
+
+    // One horizontal line per compute roof; two samples suffice.
+    for (std::size_t i = 0; i < computes.size(); ++i) {
+        const platform::CeilingRef ref{
+            platform::CeilingKind::Compute,
+            static_cast<std::uint16_t>(i)};
+        Series line("compute: " + computes[i].name);
+        line.add(ai_min,
+                 platform
+                     .ceilingRoof(ref, units::OpsPerByte(ai_min),
+                                  op_index)
+                     .value());
+        line.add(ai_max,
+                 platform
+                     .ceilingRoof(ref, units::OpsPerByte(ai_max),
+                                  op_index)
+                     .value());
+        series.push_back(std::move(line));
+    }
+
+    // One diagonal AI x BW line per memory roof (linear in AI, so
+    // two samples draw it exactly on any scale).
+    for (std::size_t i = 0; i < memories.size(); ++i) {
+        const platform::CeilingRef ref{
+            platform::CeilingKind::Memory,
+            static_cast<std::uint16_t>(i)};
+        Series line("memory: " + memories[i].name);
+        line.add(ai_min,
+                 platform
+                     .ceilingRoof(ref, units::OpsPerByte(ai_min),
+                                  op_index)
+                     .value());
+        line.add(ai_max,
+                 platform
+                     .ceilingRoof(ref, units::OpsPerByte(ai_max),
+                                  op_index)
+                     .value());
+        series.push_back(std::move(line));
+    }
+
+    // The attainable envelope, log-spaced.
+    Series envelope("attainable", SeriesStyle::LineAndMarkers);
+    const double log_lo = std::log10(ai_min);
+    const double log_hi = std::log10(ai_max);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(samples - 1);
+        const double ai =
+            std::pow(10.0, log_lo + frac * (log_hi - log_lo));
+        envelope.add(ai, platform
+                             .attainable(units::OpsPerByte(ai),
+                                         op_index)
+                             .attainable.value());
+    }
+    series.push_back(std::move(envelope));
+    return series;
+}
+
+Chart
+makeCeilingFamilyChart(const std::string &title,
+                       const platform::RooflinePlatform &platform,
+                       std::size_t op_index, double ai_min,
+                       double ai_max, std::size_t samples)
+{
+    Chart chart(title,
+                Axis("Arithmetic Intensity (op/B)", Scale::Log10),
+                Axis("Attainable (GOPS)", Scale::Log10));
+    for (auto &series : ceilingFamilySeries(platform, op_index,
+                                            ai_min, ai_max, samples))
+        chart.add(std::move(series));
+    chart.annotate(
+        ai_max,
+        platform.attainable(units::OpsPerByte(ai_max), op_index)
+            .attainable.value(),
+        strFormat("%s @ %s", platform.name().c_str(),
+                  platform.operatingPoints()[op_index].name.c_str()));
     return chart;
 }
 

@@ -1,8 +1,11 @@
 /**
  * @file
- * Convenience builder turning core::RooflineCurve objects into the
+ * Convenience builders turning roofline data into charts: the
  * paper's standard F-1 chart (log throughput axis, knee annotation,
- * operating-point markers).
+ * operating-point markers) from core::RooflineCurve objects, and
+ * the hierarchical *machine* roofline — one line per compute /
+ * memory ceiling plus the attainable envelope — from a
+ * platform::RooflinePlatform ceiling family.
  */
 
 #ifndef UAVF1_PLOT_ROOFLINE_CHART_HH
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "core/f1_model.hh"
+#include "platform/roofline_platform.hh"
 #include "plot/chart.hh"
 
 namespace uavf1::plot {
@@ -33,6 +37,32 @@ struct NamedRoofline
  */
 Chart makeRooflineChart(const std::string &title,
                         const std::vector<NamedRoofline> &rooflines);
+
+/**
+ * Series for one ceiling family at one operating point: a
+ * horizontal line per compute ceiling, a diagonal AI x BW line per
+ * memory ceiling, and the attainable envelope sampled log-spaced
+ * over [ai_min, ai_max]. Deterministic: a pure function of its
+ * arguments, so batch runners can emit it at any thread count.
+ *
+ * @param samples envelope samples (>= 2)
+ * @throws ModelError on a bad AI range or sample count
+ */
+std::vector<Series>
+ceilingFamilySeries(const platform::RooflinePlatform &platform,
+                    std::size_t op_index, double ai_min,
+                    double ai_max, std::size_t samples);
+
+/**
+ * The hierarchical machine roofline chart (log-log): every ceiling
+ * of the family plus the attainable envelope.
+ */
+Chart makeCeilingFamilyChart(const std::string &title,
+                             const platform::RooflinePlatform &platform,
+                             std::size_t op_index = 0,
+                             double ai_min = 0.01,
+                             double ai_max = 1000.0,
+                             std::size_t samples = 97);
 
 } // namespace uavf1::plot
 

@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "platform/roofline_platform.hh"
+#include "plot/roofline_chart.hh"
 #include "scenario/study.hh"
 #include "sim/table1.hh"
 #include "sim/validation.hh"
@@ -29,6 +31,8 @@
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "thermal/heatsink.hh"
+#include "workload/algorithm.hh"
+#include "workload/throughput.hh"
 
 namespace uavf1::scenario {
 
@@ -531,6 +535,83 @@ runTable3Study(const StudyContext &)
 }
 
 StudyResult
+runRooflineStudy(const StudyContext &ctx)
+{
+    const auto presets = studies::rooflinePlatformPresets();
+    const platform::RooflinePlatform &machine =
+        presets.byName(ctx.params.get("platform", "Nvidia TX2"));
+    const std::string op_name = ctx.params.get("op", "");
+    const std::size_t op =
+        op_name.empty() ? 0 : machine.operatingPointIndex(op_name);
+    const double ai_min = ctx.params.getNumber("ai_min", 0.01);
+    const double ai_max = ctx.params.getNumber("ai_max", 1000.0);
+    const auto samples = ctx.params.getCount("samples", 97);
+
+    StudyResult result;
+    result.xLabel = "arithmetic_intensity_op_b";
+    result.yLabel = "attainable_gops";
+    result.chartTitle = "Hierarchical roofline: " + machine.name();
+    result.series = plot::ceilingFamilySeries(machine, op, ai_min,
+                                              ai_max, samples);
+
+    const auto &point = machine.operatingPoints()[op];
+    result
+        .addMetric("compute_ceilings",
+                   static_cast<double>(
+                       machine.computeCeilings().size()))
+        .addMetric("memory_ceilings",
+                   static_cast<double>(machine.memoryCeilings().size()))
+        .addMetric("frequency_fraction", point.frequencyFraction)
+        .addMetric("operating_tdp", point.tdp.value(), "W");
+
+    // Mark every standard algorithm on the envelope and attribute
+    // its bound to the binding ceiling.
+    TextTable table({"Algorithm", "AI (op/B)", "Attainable (GOPS)",
+                     "Bound (Hz)", "Binding ceiling"});
+    plot::Series markers("algorithms", plot::SeriesStyle::Markers);
+    const auto algorithms = workload::standardAlgorithms();
+    for (const auto &algo : algorithms.items()) {
+        const auto estimate = workload::rooflineBound(algo, machine,
+                                                      op);
+        // One ceiling-set evaluation per algorithm: the attainable
+        // GOPS is the bound times the per-frame work.
+        const double attainable_gops =
+            estimate.value.value() * algo.workPerFrameGop();
+        markers.add(algo.arithmeticIntensity().value(),
+                    attainable_gops);
+        table.addRow(
+            {algo.name(),
+             trimmedNumber(algo.arithmeticIntensity().value(), 3),
+             trimmedNumber(attainable_gops, 4),
+             trimmedNumber(estimate.value.value(), 4),
+             std::string(platform::toString(estimate.binding.kind)) +
+                 ": " + machine.ceilingName(estimate.binding)});
+        result.addMetric(algo.name() + "_bound",
+                         estimate.value.value(), "Hz");
+        // Kind and index together identify the ceiling: the index
+        // alone is ambiguous across the compute/memory families.
+        result.addMetric(algo.name() + "_binding_kind",
+                         estimate.binding.kind ==
+                                 platform::CeilingKind::Compute
+                             ? 0.0
+                             : 1.0);
+        result.addMetric(algo.name() + "_binding_index",
+                         static_cast<double>(estimate.binding.index));
+    }
+    result.series.push_back(std::move(markers));
+
+    result.summary =
+        strFormat("%s @ %s (x%.2f clock, %.2f W): %zu compute + "
+                  "%zu memory ceilings\n",
+                  machine.name().c_str(), point.name.c_str(),
+                  point.frequencyFraction, point.tdp.value(),
+                  machine.computeCeilings().size(),
+                  machine.memoryCeilings().size()) +
+        table.render();
+    return result;
+}
+
+StudyResult
 runSweepStudy(const StudyContext &ctx)
 {
     const std::string knob =
@@ -653,6 +734,12 @@ registerBuiltinStudies(StudyRegistry &registry)
                   "Headline results of the Section VI case studies "
                   "regenerated live",
                   none, {"json"}, runTable3Study});
+    registry.add({"roofline", "Hierarchical machine roofline",
+                  "Multi-ceiling compute/memory roofs, DVFS "
+                  "operating points and per-algorithm binding "
+                  "ceilings for a platform preset",
+                  {"platform", "op", "ai_min", "ai_max", "samples"},
+                  {"csv", "svg", "json"}, runRooflineStudy});
     registry.add({"sweep", "Skyline knob sweep",
                   "Sweep one numeric knob; infeasible points are "
                   "marked, not fatal",

@@ -135,8 +135,12 @@ StudyRegistry::find(const std::string &name) const
         if (study.name == key)
             return study;
     }
-    throw ModelError("unknown study '" + name + "'; studies: " +
-                     join(names(), ", "));
+    std::string message = "unknown study '" + name + "'";
+    const auto suggestions = closestMatches(key, names());
+    if (!suggestions.empty())
+        message += "; did you mean: " + join(suggestions, ", ") + "?";
+    throw ModelError(message + " (studies: " + join(names(), ", ") +
+                     ")");
 }
 
 std::vector<std::string>

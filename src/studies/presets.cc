@@ -5,6 +5,8 @@
 
 #include "studies/presets.hh"
 
+#include "components/catalog.hh"
+
 namespace uavf1::studies {
 
 using namespace units::literals;
@@ -43,6 +45,12 @@ nanoInputs(units::Hertz compute_rate)
     inputs.computeRate = compute_rate;
     inputs.controlRate = 1000.0_hz;
     return inputs;
+}
+
+components::Registry<platform::RooflinePlatform>
+rooflinePlatformPresets()
+{
+    return components::Catalog::standard().rooflines();
 }
 
 } // namespace uavf1::studies

@@ -29,7 +29,9 @@
 #ifndef UAVF1_STUDIES_PRESETS_HH
 #define UAVF1_STUDIES_PRESETS_HH
 
+#include "components/registry.hh"
 #include "core/f1_model.hh"
+#include "platform/roofline_platform.hh"
 
 namespace uavf1::studies {
 
@@ -41,6 +43,14 @@ core::F1Inputs sparkInputs(units::Hertz compute_rate);
 
 /** Nano-UAV accelerator case-study inputs (knee 26 Hz). */
 core::F1Inputs nanoInputs(units::Hertz compute_rate);
+
+/**
+ * The multi-ceiling roofline platform presets (TX2-, Xavier- and
+ * microcontroller-class) the `roofline` study draws from — the
+ * components::Catalog::standard() roofline registry by value.
+ */
+components::Registry<platform::RooflinePlatform>
+rooflinePlatformPresets();
 
 } // namespace uavf1::studies
 

@@ -5,9 +5,12 @@
 
 #include "support/strings.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
+#include <numeric>
+#include <utility>
 
 namespace uavf1 {
 
@@ -109,6 +112,67 @@ splitAndTrim(const std::string &s, char delim)
         }
     }
     out.push_back(trim(current));
+    return out;
+}
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Classic two-row Levenshtein DP.
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> curr(b.size() + 1);
+    std::iota(prev.begin(), prev.end(), std::size_t{0});
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        curr[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t substitute =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1,
+                                substitute});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[b.size()];
+}
+
+std::vector<std::string>
+closestMatches(const std::string &query,
+               const std::vector<std::string> &candidates,
+               std::size_t max_results)
+{
+    std::vector<std::string> out;
+    // Prefix matches are the strongest signal ("fig" -> fig02...).
+    for (const auto &candidate : candidates) {
+        if (out.size() >= max_results)
+            return out;
+        if (!query.empty() &&
+            candidate.compare(0, query.size(), query) == 0) {
+            out.push_back(candidate);
+        }
+    }
+    // Then near misses by ascending edit distance, stably so equal
+    // distances keep candidate order.
+    const std::size_t cutoff =
+        std::max<std::size_t>(2, query.size() / 3);
+    std::vector<std::pair<std::size_t, std::string>> near;
+    for (const auto &candidate : candidates) {
+        if (std::find(out.begin(), out.end(), candidate) !=
+            out.end()) {
+            continue;
+        }
+        const std::size_t distance = editDistance(query, candidate);
+        if (distance <= cutoff)
+            near.emplace_back(distance, candidate);
+    }
+    std::stable_sort(near.begin(), near.end(),
+                     [](const auto &x, const auto &y) {
+                         return x.first < y.first;
+                     });
+    for (auto &entry : near) {
+        if (out.size() >= max_results)
+            break;
+        out.push_back(std::move(entry.second));
+    }
     return out;
 }
 

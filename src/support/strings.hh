@@ -38,6 +38,20 @@ std::vector<std::string> splitAndTrim(const std::string &s, char delim);
 /** Strip leading/trailing whitespace. */
 std::string trim(const std::string &s);
 
+/** Levenshtein edit distance between two strings. */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The candidates closest to a query, for "did you mean" hints on
+ * unknown names: prefix matches first (in candidate order), then
+ * near misses by ascending edit distance, cut off at a distance of
+ * max(2, query length / 3). Empty when nothing is plausibly close.
+ */
+std::vector<std::string>
+closestMatches(const std::string &query,
+               const std::vector<std::string> &candidates,
+               std::size_t max_results = 3);
+
 } // namespace uavf1
 
 #endif // UAVF1_SUPPORT_STRINGS_HH

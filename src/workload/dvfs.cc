@@ -5,8 +5,6 @@
 
 #include "workload/dvfs.hh"
 
-#include <cmath>
-
 #include "support/errors.hh"
 #include "support/strings.hh"
 #include "support/validate.hh"
@@ -34,13 +32,10 @@ DvfsModel::scaledTdp(units::Watts nominal_tdp,
             "[%.2f, 1]",
             frequency_fraction, _params.minFrequencyFraction));
     }
-    const double leakage =
-        nominal_tdp.value() * _params.leakageFraction;
-    const double dynamic =
-        nominal_tdp.value() * (1.0 - _params.leakageFraction);
-    return units::Watts(
-        leakage +
-        dynamic * std::pow(frequency_fraction, _params.exponent));
+    // The CMOS law itself lives in the platform layer.
+    return platform::dvfsScaledTdp(nominal_tdp, frequency_fraction,
+                                   _params.exponent,
+                                   _params.leakageFraction);
 }
 
 components::ComputePlatform
@@ -61,6 +56,20 @@ DvfsModel::derateToThroughput(
     }
     return platform.withTdp(scaledTdp(platform.tdp(), fraction),
                             suffix);
+}
+
+std::vector<platform::OperatingPoint>
+DvfsModel::operatingPoints(
+    units::Watts nominal_tdp,
+    const std::vector<std::pair<std::string, double>> &points) const
+{
+    std::vector<platform::OperatingPoint> out;
+    out.reserve(points.size());
+    for (const auto &[name, fraction] : points) {
+        out.push_back(
+            {name, fraction, scaledTdp(nominal_tdp, fraction)});
+    }
+    return out;
 }
 
 } // namespace uavf1::workload

@@ -20,7 +20,11 @@
 #ifndef UAVF1_WORKLOAD_DVFS_HH
 #define UAVF1_WORKLOAD_DVFS_HH
 
+#include <utility>
+#include <vector>
+
 #include "components/compute_platform.hh"
+#include "platform/roofline_platform.hh"
 #include "units/units.hh"
 
 namespace uavf1::workload {
@@ -80,6 +84,23 @@ class DvfsModel
     derateToThroughput(const components::ComputePlatform &platform,
                        units::Hertz measured, units::Hertz target,
                        const std::string &suffix) const;
+
+    /**
+     * Build DVFS operating points for a ceiling family: one
+     * platform::OperatingPoint per (name, frequency fraction) pair,
+     * each carrying the TDP scaledTdp() predicts at that clock.
+     * Every ceiling of the family scales linearly with the fraction;
+     * the power follows the CMOS law.
+     *
+     * @param nominal_tdp TDP at full frequency
+     * @param points (name, fraction) pairs; fractions must be in
+     *        [minFrequencyFraction, 1]
+     * @throws ModelError if a fraction is out of the DVFS range
+     */
+    std::vector<platform::OperatingPoint>
+    operatingPoints(units::Watts nominal_tdp,
+                    const std::vector<std::pair<std::string, double>>
+                        &points) const;
 
   private:
     Params _params;

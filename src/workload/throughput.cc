@@ -5,7 +5,6 @@
 
 #include "workload/throughput.hh"
 
-#include <algorithm>
 #include <cstdlib>
 
 #include "support/errors.hh"
@@ -26,17 +25,39 @@ toString(ThroughputSource source)
     return "unknown";
 }
 
+ThroughputEstimate
+rooflineBound(double work_per_frame_gop, units::OpsPerByte ai,
+              const platform::RooflinePlatform &platform,
+              std::size_t op_index)
+{
+    requirePositive(work_per_frame_gop,
+                    "work_per_frame for the roofline bound on " +
+                        platform.name());
+    const platform::AttainableBound bound =
+        platform.attainable(ai, op_index);
+    const double hz = bound.attainable.value() / work_per_frame_gop;
+    requireFinite(hz, "roofline bound on " + platform.name());
+    return {units::Hertz(hz), ThroughputSource::RooflineBound,
+            bound.binding};
+}
+
+ThroughputEstimate
+rooflineBound(const AutonomyAlgorithm &algorithm,
+              const platform::RooflinePlatform &platform,
+              std::size_t op_index)
+{
+    return rooflineBound(algorithm.workPerFrameGop(),
+                         algorithm.arithmeticIntensity(), platform,
+                         op_index);
+}
+
 units::Hertz
 rooflineBound(const AutonomyAlgorithm &algorithm,
               const components::ComputePlatform &platform)
 {
-    const double peak_gops = platform.peakThroughput().value();
-    const double bw_gbs = platform.memoryBandwidth().value();
-    const double ai = algorithm.arithmeticIntensity().value();
-    // Attainable GOPS is the lesser of the compute roof and the
-    // memory roof (classic roofline).
-    const double attainable = std::min(peak_gops, ai * bw_gbs);
-    return units::Hertz(attainable / algorithm.workPerFrameGop());
+    // The adapter's one-compute/one-memory family evaluates to the
+    // classic min(peak, AI x BW) bit-for-bit.
+    return rooflineBound(algorithm, platform.roofline()).value;
 }
 
 ThroughputOracle
@@ -81,9 +102,8 @@ ThroughputOracle::throughput(
 {
     auto it = _table.find({algorithm.name(), platform.name()});
     if (it != _table.end())
-        return {it->second, ThroughputSource::Measured};
-    return {rooflineBound(algorithm, platform),
-            ThroughputSource::RooflineBound};
+        return {it->second, ThroughputSource::Measured, {}};
+    return rooflineBound(algorithm, platform.roofline());
 }
 
 units::Hertz

@@ -7,10 +7,13 @@
  *
  * 1. A measured table seeded with every (algorithm, platform) number
  *    the paper reports (Sections VI and VII).
- * 2. A classic Williams-roofline *upper bound*
- *    min(peak, AI x BW) / work_per_frame for unmeasured pairs —
- *    a bound, not a prediction, exactly as the roofline model [24]
- *    defines attainable performance.
+ * 2. A roofline *upper bound* for unmeasured pairs — a bound, not a
+ *    prediction, exactly as the roofline model [24] defines
+ *    attainable performance. The bound is evaluated over the
+ *    platform's full ceiling set (platform::RooflinePlatform), and
+ *    the *binding ceiling* travels with the estimate as provenance;
+ *    the legacy two-scalar ComputePlatform path is the degenerate
+ *    single-ceiling family and keeps its numbers bit-for-bit.
  */
 
 #ifndef UAVF1_WORKLOAD_THROUGHPUT_HH
@@ -21,6 +24,7 @@
 #include <utility>
 
 #include "components/compute_platform.hh"
+#include "platform/roofline_platform.hh"
 #include "units/units.hh"
 #include "workload/algorithm.hh"
 
@@ -41,11 +45,44 @@ struct ThroughputEstimate
 {
     units::Hertz value;       ///< Decisions per second.
     ThroughputSource source;  ///< Provenance.
+    /** The ceiling binding the bound. Unattributed
+     * (binding.attributed == false) for measured entries; for
+     * roofline bounds, resolve the name against the platform's
+     * ceiling family. */
+    platform::CeilingRef binding{};
 };
 
 /**
- * Classic-roofline attainable throughput for an algorithm on a
- * platform: min(peak GOPS, AI * BW) / (GOP per frame).
+ * Ceiling-set roofline bound from raw workload scalars:
+ * attainable(AI) over the platform's ceiling family, divided by the
+ * work per frame, with the binding ceiling as provenance.
+ *
+ * @param work_per_frame_gop compute work per decision; must be
+ *        positive
+ * @param ai arithmetic intensity; must be positive
+ * @param op_index DVFS operating-point index (default nominal)
+ * @throws ModelError on non-positive work or AI, or when the bound
+ *         would be non-finite (e.g. a vanishing work-per-frame
+ *         against a large attainable roof)
+ */
+ThroughputEstimate
+rooflineBound(double work_per_frame_gop, units::OpsPerByte ai,
+              const platform::RooflinePlatform &platform,
+              std::size_t op_index = 0);
+
+/**
+ * Ceiling-set roofline bound for an algorithm on a multi-ceiling
+ * platform.
+ */
+ThroughputEstimate
+rooflineBound(const AutonomyAlgorithm &algorithm,
+              const platform::RooflinePlatform &platform,
+              std::size_t op_index = 0);
+
+/**
+ * Classic-roofline attainable throughput for an algorithm on a flat
+ * platform: min(peak GOPS, AI * BW) / (GOP per frame), evaluated
+ * through the platform's single-ceiling adapter family.
  */
 units::Hertz rooflineBound(const AutonomyAlgorithm &algorithm,
                            const components::ComputePlatform &platform);

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Unit tests for the platform layer: the multi-ceiling
+ * RooflinePlatform, DVFS operating points, the single-ceiling
+ * ComputePlatform adapter, the catalog presets, and the ceiling
+ * attribution pass-through in the F-1 hot path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "components/catalog.hh"
+#include "core/f1_model.hh"
+#include "platform/roofline_platform.hh"
+#include "plot/roofline_chart.hh"
+#include "studies/presets.hh"
+#include "support/errors.hh"
+#include "workload/dvfs.hh"
+#include "workload/throughput.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::units;
+using namespace uavf1::platform;
+
+/** A TX2-flavoured two-by-two family used across the tests. */
+RooflinePlatform::Spec
+familySpec()
+{
+    RooflinePlatform::Spec spec;
+    spec.name = "family";
+    spec.computeCeilings = {{"scalar", Gops(40.0)},
+                            {"GPU", Gops(1000.0)}};
+    spec.memoryCeilings = {{"DRAM", GigabytesPerSecond(60.0)},
+                           {"on-chip", GigabytesPerSecond(300.0)}};
+    spec.operatingPoints = {{"nominal", 1.0, Watts(10.0)},
+                            {"half", 0.5, Watts(3.0)}};
+    return spec;
+}
+
+TEST(RooflinePlatform, ValidatesSpec)
+{
+    RooflinePlatform::Spec spec = familySpec();
+    spec.name.clear();
+    EXPECT_THROW(RooflinePlatform{spec}, ModelError);
+
+    spec = familySpec();
+    spec.computeCeilings.clear();
+    EXPECT_THROW(RooflinePlatform{spec}, ModelError);
+
+    spec = familySpec();
+    spec.memoryCeilings.clear();
+    EXPECT_THROW(RooflinePlatform{spec}, ModelError);
+
+    spec = familySpec();
+    spec.computeCeilings[0].peak = Gops(0.0);
+    EXPECT_THROW(RooflinePlatform{spec}, ModelError);
+
+    spec = familySpec();
+    spec.memoryCeilings[1].bandwidth = GigabytesPerSecond(-1.0);
+    EXPECT_THROW(RooflinePlatform{spec}, ModelError);
+
+    spec = familySpec();
+    spec.operatingPoints[1].frequencyFraction = 1.5;
+    EXPECT_THROW(RooflinePlatform{spec}, ModelError);
+
+    spec = familySpec();
+    spec.operatingPoints[1].frequencyFraction = 0.0;
+    EXPECT_THROW(RooflinePlatform{spec}, ModelError);
+}
+
+TEST(RooflinePlatform, DefaultsToANominalOperatingPoint)
+{
+    RooflinePlatform::Spec spec = familySpec();
+    spec.operatingPoints.clear();
+    const RooflinePlatform machine{spec};
+    ASSERT_EQ(machine.operatingPoints().size(), 1u);
+    EXPECT_EQ(machine.operatingPoints()[0].name, "nominal");
+    EXPECT_DOUBLE_EQ(machine.operatingPoints()[0].frequencyFraction,
+                     1.0);
+}
+
+TEST(RooflinePlatform, AttributesTheBindingCeiling)
+{
+    const RooflinePlatform machine{familySpec()};
+
+    // High AI: the best compute roof binds (GPU, index 1).
+    const AttainableBound compute_bound =
+        machine.attainable(OpsPerByte(100.0));
+    EXPECT_DOUBLE_EQ(compute_bound.attainable.value(), 1000.0);
+    EXPECT_TRUE(compute_bound.binding.attributed);
+    EXPECT_EQ(compute_bound.binding.kind, CeilingKind::Compute);
+    EXPECT_EQ(compute_bound.binding.index, 1);
+    EXPECT_EQ(machine.ceilingName(compute_bound.binding), "GPU");
+    // An attribution is never equal to the unattributed default.
+    EXPECT_NE(compute_bound.binding, CeilingRef{});
+
+    // Low AI: the slowest memory level binds (DRAM, index 0).
+    const AttainableBound memory_bound =
+        machine.attainable(OpsPerByte(0.1));
+    EXPECT_DOUBLE_EQ(memory_bound.attainable.value(), 6.0);
+    EXPECT_EQ(memory_bound.binding.kind, CeilingKind::Memory);
+    EXPECT_EQ(memory_bound.binding.index, 0);
+    EXPECT_EQ(machine.ceilingName(memory_bound.binding), "DRAM");
+}
+
+TEST(RooflinePlatform, OperatingPointScalesTheWholeFamily)
+{
+    const RooflinePlatform machine{familySpec()};
+    const std::size_t half = machine.operatingPointIndex("half");
+    EXPECT_EQ(half, 1u);
+    for (const double ai : {0.01, 0.3, 3.0, 40.0, 500.0}) {
+        const double nominal =
+            machine.attainable(OpsPerByte(ai), 0).attainable.value();
+        const double scaled =
+            machine.attainable(OpsPerByte(ai), half)
+                .attainable.value();
+        EXPECT_NEAR(scaled, 0.5 * nominal, 1e-9 * nominal) << ai;
+        // Scaling never changes which ceiling binds.
+        EXPECT_EQ(machine.attainable(OpsPerByte(ai), 0).binding,
+                  machine.attainable(OpsPerByte(ai), half).binding)
+            << ai;
+    }
+    EXPECT_THROW(machine.operatingPointIndex("turbo"), ModelError);
+    EXPECT_THROW(machine.attainable(OpsPerByte(1.0), 2), ModelError);
+}
+
+TEST(RooflinePlatform, RejectsDegenerateArithmeticIntensity)
+{
+    const RooflinePlatform machine{familySpec()};
+    EXPECT_THROW(machine.attainable(OpsPerByte(0.0)), ModelError);
+    EXPECT_THROW(machine.attainable(OpsPerByte(-1.0)), ModelError);
+}
+
+TEST(RooflinePlatform, PropertySingleCeilingEqualsFlatBound)
+{
+    // The acceptance property: a one-compute/one-memory family must
+    // reproduce the flat min(peak, AI x BW) bound bit-for-bit at
+    // every DVFS operating point.
+    const double peak = 1330.0;
+    const double bw = 59.7;
+    const workload::DvfsModel dvfs;
+    const auto points = dvfs.operatingPoints(
+        Watts(7.5), {{"nominal", 1.0},
+                     {"p80", 0.8},
+                     {"p55", 0.55},
+                     {"p33", 0.33},
+                     {"floor", 0.2}});
+    const RooflinePlatform machine =
+        RooflinePlatform::singleCeiling(
+            "flat", Gops(peak), GigabytesPerSecond(bw), Watts(7.5))
+            .withOperatingPoints(points);
+
+    for (std::size_t op = 0; op < points.size(); ++op) {
+        const double f = points[op].frequencyFraction;
+        // 37 log-spaced intensities across eight decades.
+        for (int i = 0; i <= 36; ++i) {
+            const double ai = std::pow(10.0, -4.0 + i * 8.0 / 36.0);
+            const double flat =
+                std::min(peak * f, ai * (bw * f));
+            const AttainableBound bound =
+                machine.attainable(OpsPerByte(ai), op);
+            EXPECT_EQ(bound.attainable.value(), flat)
+                << "op " << op << " ai " << ai;
+            // With one ceiling per family the attribution index is
+            // always 0 and the kind matches the flat argmin.
+            EXPECT_EQ(bound.binding.index, 0);
+            EXPECT_EQ(bound.binding.kind,
+                      peak * f <= ai * (bw * f)
+                          ? CeilingKind::Compute
+                          : CeilingKind::Memory);
+        }
+    }
+}
+
+TEST(ComputePlatform, IsASingleCeilingAdapter)
+{
+    const auto catalog = components::Catalog::standard();
+    for (const auto &flat : catalog.computes().items()) {
+        const RooflinePlatform &family = flat.roofline();
+        ASSERT_EQ(family.computeCeilings().size(), 1u) << flat.name();
+        ASSERT_EQ(family.memoryCeilings().size(), 1u) << flat.name();
+        // Bit-for-bit: the adapter exposes the family's ceilings.
+        EXPECT_EQ(flat.peakThroughput().value(),
+                  family.computeCeilings()[0].peak.value());
+        EXPECT_EQ(flat.memoryBandwidth().value(),
+                  family.memoryCeilings()[0].bandwidth.value());
+        EXPECT_EQ(family.operatingPoints()[0].tdp.value(),
+                  flat.tdp().value());
+    }
+}
+
+TEST(Catalog, RooflinePresetsAreMultiCeiling)
+{
+    const auto catalog = components::Catalog::standard();
+    for (const char *name :
+         {"Nvidia TX2", "Nvidia AGX", "ARM Cortex-M4"}) {
+        const RooflinePlatform &machine =
+            catalog.rooflines().byName(name);
+        EXPECT_GE(machine.computeCeilings().size(), 2u) << name;
+        EXPECT_GE(machine.memoryCeilings().size(), 2u) << name;
+        EXPECT_GE(machine.operatingPoints().size(), 3u) << name;
+
+        // The binding ceilings (best compute target, slowest memory
+        // level) match the flat catalog entry of the same name, so
+        // adapter and family agree on the attainable bound.
+        const auto &flat = catalog.computes().byName(name);
+        double best_peak = 0.0;
+        for (const auto &ceiling : machine.computeCeilings())
+            best_peak = std::max(best_peak, ceiling.peak.value());
+        double slowest_bw = machine.memoryCeilings()[0].bandwidth
+                                .value();
+        for (const auto &ceiling : machine.memoryCeilings())
+            slowest_bw =
+                std::min(slowest_bw, ceiling.bandwidth.value());
+        EXPECT_EQ(best_peak, flat.peakThroughput().value()) << name;
+        EXPECT_EQ(slowest_bw, flat.memoryBandwidth().value())
+            << name;
+
+        // DVFS operating points: monotone frequency, monotone TDP,
+        // nominal first at the flat part's TDP.
+        const auto &points = machine.operatingPoints();
+        EXPECT_EQ(points[0].name, "nominal");
+        EXPECT_EQ(points[0].tdp.value(), flat.tdp().value()) << name;
+        for (std::size_t i = 1; i < points.size(); ++i) {
+            EXPECT_LT(points[i].frequencyFraction,
+                      points[i - 1].frequencyFraction);
+            EXPECT_LT(points[i].tdp.value(),
+                      points[i - 1].tdp.value());
+        }
+    }
+    EXPECT_TRUE(
+        studies::rooflinePlatformPresets().contains("Nvidia TX2"));
+}
+
+TEST(Throughput, CeilingSetBoundCarriesAttribution)
+{
+    const RooflinePlatform machine{familySpec()};
+    // AI = 100 op/B, work = 2 GOP: compute roof 1000 GOPS -> 500 Hz.
+    const auto compute_bound =
+        workload::rooflineBound(2.0, OpsPerByte(100.0), machine);
+    EXPECT_DOUBLE_EQ(compute_bound.value.value(), 500.0);
+    EXPECT_EQ(compute_bound.source,
+              workload::ThroughputSource::RooflineBound);
+    EXPECT_EQ(compute_bound.binding.kind, CeilingKind::Compute);
+    EXPECT_EQ(compute_bound.binding.index, 1);
+
+    // AI = 0.1 op/B: DRAM roof 6 GOPS -> 3 Hz.
+    const auto memory_bound =
+        workload::rooflineBound(2.0, OpsPerByte(0.1), machine);
+    EXPECT_DOUBLE_EQ(memory_bound.value.value(), 3.0);
+    EXPECT_EQ(memory_bound.binding.kind, CeilingKind::Memory);
+    EXPECT_EQ(memory_bound.binding.index, 0);
+}
+
+TEST(F1Model, CeilingAttributionPassesThroughTheHotPath)
+{
+    static_assert(
+        std::is_trivially_copyable_v<platform::CeilingRef>,
+        "CeilingRef must stay trivially copyable for the "
+        "allocation-free hot path");
+
+    core::F1Inputs inputs;
+    inputs.aMax = MetersPerSecondSquared(4.12);
+    inputs.sensingRange = Meters(2.73);
+    inputs.sensorRate = Hertz(60.0);
+    inputs.computeRate = Hertz(20.0);
+
+    // The default is unattributed (measured throughput, override).
+    core::F1Analysis out;
+    core::F1Model::analyzeInto(inputs, out);
+    EXPECT_FALSE(out.computeBinding.attributed);
+
+    inputs.computeBinding = {CeilingKind::Memory, 1, true};
+    core::F1Model::analyzeInto(inputs, out);
+    EXPECT_TRUE(out.computeBinding.attributed);
+    EXPECT_EQ(out.computeBinding, inputs.computeBinding);
+    EXPECT_EQ(core::F1Model(inputs).analyze().computeBinding,
+              inputs.computeBinding);
+}
+
+TEST(Plot, CeilingFamilySeriesCoverEveryCeiling)
+{
+    const RooflinePlatform machine{familySpec()};
+    const auto series =
+        plot::ceilingFamilySeries(machine, 0, 0.01, 1000.0, 33);
+    // 2 compute + 2 memory + the attainable envelope.
+    ASSERT_EQ(series.size(), 5u);
+    EXPECT_EQ(series[0].name(), "compute: scalar");
+    EXPECT_EQ(series[3].name(), "memory: on-chip");
+    EXPECT_EQ(series[4].name(), "attainable");
+    EXPECT_EQ(series[4].size(), 33u);
+    // At high AI the envelope sits on the best compute roof.
+    EXPECT_DOUBLE_EQ(series[4].points().back().y, 1000.0);
+
+    const plot::Chart chart = plot::makeCeilingFamilyChart(
+        "family roofline", machine, 1, 0.01, 1000.0, 17);
+    EXPECT_EQ(chart.series().size(), 5u);
+    EXPECT_THROW(
+        plot::ceilingFamilySeries(machine, 0, 0.0, 1.0, 8),
+        ModelError);
+    EXPECT_THROW(
+        plot::ceilingFamilySeries(machine, 0, 1.0, 1.0, 8),
+        ModelError);
+    EXPECT_THROW(
+        plot::ceilingFamilySeries(machine, 0, 0.1, 1.0, 1),
+        ModelError);
+}
+
+TEST(Dvfs, OperatingPointsFollowTheCmosLaw)
+{
+    const workload::DvfsModel dvfs;
+    const auto points = dvfs.operatingPoints(
+        Watts(10.0), {{"nominal", 1.0}, {"half", 0.5}});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].tdp.value(), 10.0);
+    // leakage 1 W + dynamic 9 W * 0.5^3.
+    EXPECT_NEAR(points[1].tdp.value(), 1.0 + 9.0 * 0.125, 1e-12);
+    EXPECT_THROW(
+        dvfs.operatingPoints(Watts(10.0), {{"too-slow", 0.05}}),
+        ModelError);
+}
+
+TEST(RooflinePlatform, CeilingNamesAndKinds)
+{
+    const RooflinePlatform machine{familySpec()};
+    EXPECT_STREQ(toString(CeilingKind::Compute), "compute");
+    EXPECT_STREQ(toString(CeilingKind::Memory), "memory");
+    EXPECT_EQ(machine.ceilingName({CeilingKind::Compute, 0}),
+              "scalar");
+    EXPECT_EQ(machine.ceilingName({CeilingKind::Memory, 0}), "DRAM");
+    EXPECT_THROW(machine.ceilingName({CeilingKind::Compute, 9}),
+                 ModelError);
+    EXPECT_THROW(machine.ceilingName({CeilingKind::Memory, 9}),
+                 ModelError);
+}
+
+} // namespace

@@ -41,7 +41,7 @@ TEST(Registry, EnumeratesEveryFigAndTableStudy)
     for (const char *name :
          {"fig02", "fig04", "fig05", "fig07", "fig09", "fig11",
           "fig12", "fig13", "fig14", "fig15", "fig16", "table1",
-          "table2", "table3", "sweep"}) {
+          "table2", "table3", "sweep", "roofline"}) {
         EXPECT_TRUE(registry.contains(name)) << name;
         const StudyInfo &info = registry.find(name);
         EXPECT_FALSE(info.title.empty()) << name;
@@ -57,6 +57,41 @@ TEST(Registry, LookupIsCaseInsensitiveAndRejectsUnknown)
     const StudyRegistry &registry = StudyRegistry::global();
     EXPECT_EQ(registry.find(" FIG09 ").name, "fig09");
     EXPECT_THROW(registry.find("fig99"), ModelError);
+}
+
+TEST(Registry, UnknownStudySuggestsTheClosestNames)
+{
+    const StudyRegistry &registry = StudyRegistry::global();
+    // A one-character typo earns a "did you mean" with the fix.
+    try {
+        registry.find("fig9");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("did you mean"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("fig09"), std::string::npos)
+            << message;
+    }
+    try {
+        registry.find("rofline");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("roofline"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Hopeless queries still list the registered studies.
+    try {
+        registry.find("quaternion-study");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        const std::string message = e.what();
+        EXPECT_EQ(message.find("did you mean"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("studies:"), std::string::npos)
+            << message;
+    }
 }
 
 TEST(Registry, RejectsDuplicateAndMalformedRegistrations)
@@ -177,6 +212,77 @@ TEST(Runner, SweepStudyMarksInfeasiblePointsInsteadOfAborting)
             infeasible = metric.value;
     }
     EXPECT_GE(infeasible, 1.0);
+}
+
+TEST(Runner, RooflineStudyRendersTheCeilingFamily)
+{
+    namespace fs = std::filesystem;
+    const std::string dir1 = "artifacts/scenario_test/roofline1";
+    const std::string dir8 = "artifacts/scenario_test/roofline8";
+    fs::remove_all(dir1);
+    fs::remove_all(dir8);
+
+    ScenarioSpec spec;
+    spec.study = "roofline";
+    spec.overrides.set("platform", "Nvidia TX2");
+    spec.overrides.set("op", "half-clock");
+    spec.overrides.set("samples", "33");
+
+    const ScenarioRunner runner;
+    RunnerOptions options;
+    options.outDir = dir1;
+    const ScenarioOutcome outcome = runner.run(spec, options);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    // >= 2 compute + >= 2 memory ceiling lines, the attainable
+    // envelope, and the algorithm markers.
+    std::size_t compute_lines = 0;
+    std::size_t memory_lines = 0;
+    bool envelope = false;
+    for (const auto &series : outcome.result.series) {
+        if (series.name().rfind("compute: ", 0) == 0)
+            ++compute_lines;
+        if (series.name().rfind("memory: ", 0) == 0)
+            ++memory_lines;
+        if (series.name() == "attainable")
+            envelope = true;
+    }
+    EXPECT_GE(compute_lines, 2u);
+    EXPECT_GE(memory_lines, 2u);
+    EXPECT_TRUE(envelope);
+    ASSERT_EQ(outcome.artifacts.size(), 3u); // json + csv + svg.
+
+    // Acceptance: artifact bytes are bit-identical at 1 vs 8
+    // threads through the batch path.
+    exec::ThreadPool pool1(1);
+    exec::ThreadPool pool8(8);
+    RunnerOptions serial;
+    serial.outDir = dir8 + "/serial";
+    serial.parallel.pool = &pool1;
+    RunnerOptions parallel;
+    parallel.outDir = dir8 + "/parallel";
+    parallel.parallel.pool = &pool8;
+    const std::vector<ScenarioSpec> batch = {spec, spec, spec, spec};
+    const auto a = runner.runAll(batch, serial);
+    const auto b = runner.runAll(batch, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i].ok && b[i].ok);
+        ASSERT_EQ(a[i].artifacts.size(), b[i].artifacts.size());
+        for (std::size_t f = 0; f < a[i].artifacts.size(); ++f) {
+            EXPECT_EQ(slurp(a[i].artifacts[f]),
+                      slurp(b[i].artifacts[f]))
+                << a[i].artifacts[f];
+        }
+    }
+
+    // Unknown presets and operating points fail per-scenario with
+    // an actionable message, never out of the batch.
+    ScenarioSpec bad = spec;
+    bad.overrides.set("platform", "Nvidia TX3");
+    const ScenarioOutcome failed = runner.run(bad);
+    EXPECT_FALSE(failed.ok);
+    EXPECT_NE(failed.error.find("Nvidia TX3"), std::string::npos);
 }
 
 TEST(Runner, UniqueArtifactBasenamesForRepeatedStudies)

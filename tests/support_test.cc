@@ -164,6 +164,42 @@ TEST(Strings, SplitAndTrim)
     EXPECT_EQ(parts[2], "c");
 }
 
+TEST(Strings, EditDistance)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("", "abc"), 3u);
+    EXPECT_EQ(editDistance("fig09", "fig09"), 0u);
+    EXPECT_EQ(editDistance("fig9", "fig09"), 1u);   // insertion
+    EXPECT_EQ(editDistance("fig09", "fig05"), 1u);  // substitution
+    EXPECT_EQ(editDistance("roofline", "rofline"), 1u); // deletion
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+}
+
+TEST(Strings, ClosestMatches)
+{
+    const std::vector<std::string> studies = {
+        "fig02", "fig04", "fig05", "roofline", "sweep", "table2"};
+
+    // Prefix matches come first, in candidate order.
+    const auto prefixed = closestMatches("fig", studies);
+    ASSERT_EQ(prefixed.size(), 3u);
+    EXPECT_EQ(prefixed[0], "fig02");
+    EXPECT_EQ(prefixed[2], "fig05");
+
+    // Near misses rank by edit distance.
+    const auto typo = closestMatches("rofline", studies);
+    ASSERT_FALSE(typo.empty());
+    EXPECT_EQ(typo[0], "roofline");
+
+    const auto sweeps = closestMatches("sweeep", studies);
+    ASSERT_FALSE(sweeps.empty());
+    EXPECT_EQ(sweeps[0], "sweep");
+
+    // Nothing plausibly close: empty, not noise.
+    EXPECT_TRUE(closestMatches("quaternion", studies).empty());
+}
+
 TEST(TextTable, RendersAlignedRows)
 {
     TextTable table({"UAV", "v (m/s)"});

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "components/catalog.hh"
+#include "platform/roofline_platform.hh"
 #include "support/errors.hh"
 #include "workload/algorithm.hh"
 #include "workload/spa_pipeline.hh"
@@ -198,6 +199,77 @@ TEST(Oracle, RooflineBoundSelectsMemoryOrComputeRoof)
                                   1.0); // AI = 10000 op/B
     EXPECT_NEAR(rooflineBound(dense, fat_compute).value(),
                 1000.0 / 10.0, 1e-9);
+}
+
+TEST(Oracle, RooflineBoundRejectsDegenerateInputs)
+{
+    // Satellite hardening contract: degenerate workload or machine
+    // parameters raise a clear ModelError instead of producing
+    // inf/NaN Hertz.
+    const auto machine = platform::RooflinePlatform::singleCeiling(
+        "m", Gops(100.0), GigabytesPerSecond(10.0));
+
+    // Zero / negative work per frame.
+    EXPECT_THROW(rooflineBound(0.0, OpsPerByte(1.0), machine),
+                 ModelError);
+    EXPECT_THROW(rooflineBound(-1.0, OpsPerByte(1.0), machine),
+                 ModelError);
+    // Zero arithmetic intensity.
+    EXPECT_THROW(rooflineBound(1.0, OpsPerByte(0.0), machine),
+                 ModelError);
+    // Zero bandwidth: rejected at platform construction, before a
+    // bound can ever divide by it.
+    EXPECT_THROW(platform::RooflinePlatform::singleCeiling(
+                     "z", Gops(100.0), GigabytesPerSecond(0.0)),
+                 ModelError);
+    EXPECT_THROW(platform::RooflinePlatform::singleCeiling(
+                     "z", Gops(0.0), GigabytesPerSecond(10.0)),
+                 ModelError);
+    // Algorithms reject degenerate per-frame profiles at
+    // construction, so the algorithm overloads can't reach them.
+    EXPECT_THROW(
+        AutonomyAlgorithm("bad", Paradigm::EndToEnd, 0.0, 1.0),
+        ModelError);
+    EXPECT_THROW(
+        AutonomyAlgorithm("bad", Paradigm::EndToEnd, -0.5, 1.0),
+        ModelError);
+    EXPECT_THROW(
+        AutonomyAlgorithm("bad", Paradigm::EndToEnd, 1.0, 0.0),
+        ModelError);
+    // A vanishing work-per-frame against a large roof would round
+    // to inf Hz: clear error instead.
+    EXPECT_THROW(
+        rooflineBound(1e-305, OpsPerByte(1000.0), machine),
+        ModelError);
+}
+
+TEST(Oracle, FallbackCarriesBindingCeiling)
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = standardAlgorithms();
+    const auto oracle = ThroughputOracle::standard();
+
+    // DroNet (AI ~26.7 op/B) on the NUC: AI x BW = 682 GB/s-op
+    // exceeds the 400 GOPS peak, so the compute ceiling binds.
+    const auto bound = oracle.throughput(
+        algorithms.byName("DroNet"),
+        catalog.computes().byName("Intel NUC"));
+    EXPECT_EQ(bound.source, ThroughputSource::RooflineBound);
+    EXPECT_TRUE(bound.binding.attributed);
+    EXPECT_EQ(bound.binding.kind, platform::CeilingKind::Compute);
+    EXPECT_EQ(bound.binding.index, 0);
+    EXPECT_EQ(catalog.computes()
+                  .byName("Intel NUC")
+                  .roofline()
+                  .ceilingName(bound.binding),
+              "effective peak");
+
+    // Measured entries carry no ceiling attribution.
+    const auto measured = oracle.throughput(
+        algorithms.byName("DroNet"),
+        catalog.computes().byName("Nvidia TX2"));
+    EXPECT_EQ(measured.source, ThroughputSource::Measured);
+    EXPECT_FALSE(measured.binding.attributed);
 }
 
 TEST(Oracle, AddMeasurementOverrides)
