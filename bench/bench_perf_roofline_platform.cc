@@ -99,6 +99,25 @@ printFigure()
                 "intensities: %s\n",
                 ai.size(), identical ? "yes" : "NO (BUG)");
 
+    // Workload-profile consistency: the default (unannotated)
+    // profile must reproduce the flat-AI evaluation bit-for-bit on
+    // the multi-ceiling family — annotations are strictly opt-in.
+    bool profile_identical = true;
+    for (const double intensity : ai) {
+        platform::WorkloadProfile profile;
+        profile.ai = units::OpsPerByte(intensity);
+        const double via_ai =
+            tx2_family.attainable(units::OpsPerByte(intensity))
+                .attainable.value();
+        const double via_profile =
+            tx2_family.attainable(profile).attainable.value();
+        profile_identical =
+            profile_identical && via_ai == via_profile;
+    }
+    std::printf("  default profile vs flat AI bit-identical over "
+                "%zu intensities: %s\n",
+                ai.size(), profile_identical ? "yes" : "NO (BUG)");
+
     constexpr std::size_t evals = 2000000;
     // Untimed warm-up (first-touch, branch predictors).
     (void)timeAttainable(tx2_family, ai, evals / 10);
@@ -132,7 +151,9 @@ printFigure()
          << "  \"multi_ns_per_eval\": " << multi_ms * 1e6 / evals
          << ",\n"
          << "  \"adapter_bit_identical\": "
-         << (identical ? "true" : "false") << "\n"
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"profile_bit_identical\": "
+         << (profile_identical ? "true" : "false") << "\n"
          << "}\n";
     std::printf("  artifacts: BENCH_roofline_platform.json\n");
 }

@@ -265,23 +265,45 @@ void
 printKnobs(const skyline::SkylineSession &session)
 {
     const auto &k = session.knobs();
+    // f_compute follows the platform roofline bound when the
+    // platform knob is set, else 1/compute_runtime; the model is
+    // the single source of the effective rate. It can only fail
+    // here for an algorithm the platform path does not know.
+    std::string f_compute;
+    try {
+        f_compute = strFormat(
+            "%.2f Hz (%s)",
+            session.model().inputs().computeRate.value(),
+            k.platform.empty() ? "1/compute_runtime"
+                               : "platform roofline bound");
+    } catch (const std::exception &e) {
+        f_compute = std::string("unavailable: ") + e.what();
+    }
     std::printf(
         "  sensor_framerate = %.2f Hz\n"
         "  compute_tdp      = %.2f W\n"
         "  algorithm        = %s\n"
-        "  compute_runtime  = %.5f s (f_compute %.2f Hz)\n"
+        "  compute_runtime  = %.5f s\n"
+        "  f_compute        = %s\n"
         "  sensor_range     = %.2f m\n"
         "  drone_weight     = %.0f g\n"
         "  rotor_pull       = %.0f g\n"
         "  payload_weight   = %.0f g\n"
         "  control_rate     = %.0f Hz\n"
-        "  knee_fraction    = %.3f\n",
+        "  knee_fraction    = %.3f\n"
+        "  platform         = %s\n"
+        "  operating_point  = %s\n",
         k.sensorFramerate.value(), k.computeTdp.value(),
         k.algorithm.c_str(), k.computeRuntime.value(),
-        1.0 / k.computeRuntime.value(), k.sensorRange.value(),
+        f_compute.c_str(), k.sensorRange.value(),
         k.droneWeight.value(), k.rotorPull.value(),
         k.payloadWeight.value(), k.controlRate.value(),
-        k.kneeFraction);
+        k.kneeFraction,
+        k.platform.empty() ? "(none: compute_runtime drives "
+                             "f_compute)"
+                           : k.platform.c_str(),
+        k.operatingPoint.empty() ? "nominal"
+                                 : k.operatingPoint.c_str());
 }
 
 int
@@ -314,7 +336,12 @@ runInteractive()
             } else if (command == "set") {
                 std::string knob;
                 std::string value;
-                in >> knob >> value;
+                in >> knob;
+                // The value is the rest of the line, so knobs with
+                // spaces in their values ("set platform Nvidia
+                // TX2", "set algorithm SPA package delivery") work.
+                std::getline(in, value);
+                value = trim(value);
                 session.set(knob, value);
                 std::printf("ok: %s = %s\n", knob.c_str(),
                             value.c_str());

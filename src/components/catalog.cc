@@ -243,17 +243,24 @@ addRooflines(Registry<platform::RooflinePlatform> &reg)
     // entries of the same name exactly, so the single-ceiling
     // adapter and the family agree on the bound; the remaining
     // ceilings are effective datasheet numbers for the scalar/SIMD
-    // execution targets and on-chip memory levels. Operating points
-    // use the CMOS power law (platform::dvfsOperatingPoints,
-    // full-DVFS defaults) for the TDP at each clock fraction.
+    // execution targets and on-chip memory levels. Every compute
+    // ceiling carries its execution-target class so annotated
+    // workloads (workload::WorkloadTraits) can opt out of roofs
+    // they cannot use. Operating points use the CMOS power law
+    // (platform::dvfsOperatingPoints, full-DVFS defaults) for the
+    // TDP at each clock fraction.
+    using platform::ComputeTarget;
     const std::vector<std::pair<std::string, double>> fractions = {
         {"nominal", 1.0}, {"half-clock", 0.5}, {"dvfs-floor", 0.25}};
 
     reg.add(platform::RooflinePlatform({
         .name = "Nvidia TX2",
-        .computeCeilings = {{"Denver2/A57 scalar", Gops(42.0)},
-                            {"NEON SIMD", Gops(170.0)},
-                            {"Pascal GPU FP16", Gops(1330.0)}},
+        .computeCeilings = {{"Denver2/A57 scalar", Gops(42.0),
+                             ComputeTarget::Scalar, {}},
+                            {"NEON SIMD", Gops(170.0),
+                             ComputeTarget::Simd, {}},
+                            {"Pascal GPU FP16", Gops(1330.0),
+                             ComputeTarget::Accelerator, {}}},
         .memoryCeilings = {{"LPDDR4 DRAM",
                             GigabytesPerSecond(59.7)},
                            {"GPU L2/shared",
@@ -264,10 +271,12 @@ addRooflines(Registry<platform::RooflinePlatform> &reg)
 
     reg.add(platform::RooflinePlatform({
         .name = "Nvidia AGX",
-        .computeCeilings = {{"Carmel scalar", Gops(90.0)},
-                            {"Carmel NEON SIMD", Gops(350.0)},
-                            {"Volta GPU + DLA FP16",
-                             Gops(11000.0)}},
+        .computeCeilings = {{"Carmel scalar", Gops(90.0),
+                             ComputeTarget::Scalar, {}},
+                            {"Carmel NEON SIMD", Gops(350.0),
+                             ComputeTarget::Simd, {}},
+                            {"Volta GPU + DLA FP16", Gops(11000.0),
+                             ComputeTarget::Accelerator, {}}},
         .memoryCeilings = {{"LPDDR4x DRAM",
                             GigabytesPerSecond(137.0)},
                            {"GPU L2/shared",
@@ -278,13 +287,38 @@ addRooflines(Registry<platform::RooflinePlatform> &reg)
 
     reg.add(platform::RooflinePlatform({
         .name = "ARM Cortex-M4",
-        .computeCeilings = {{"Thumb-2 scalar", Gops(0.08)},
-                            {"DSP MAC", Gops(0.2)}},
+        .computeCeilings = {{"Thumb-2 scalar", Gops(0.08),
+                             ComputeTarget::Scalar, {}},
+                            {"DSP MAC", Gops(0.2),
+                             ComputeTarget::Simd, {}}},
         .memoryCeilings = {{"SRAM", GigabytesPerSecond(0.1)},
                            {"TCM", GigabytesPerSecond(0.4)}},
         .operatingPoints = platform::dvfsOperatingPoints(0.1_w, fractions),
         .description =
             "Microcontroller-class hierarchical roofline",
+    }));
+
+    // §VII: Navion pairs a VIO ASIC with a host CPU — the ASIC
+    // accelerates only the SLAM stage, so its ceiling is *gated* to
+    // that stage: a SLAM-stage workload can ride it, every other
+    // kernel falls back to the host's scalar/SIMD roofs. This is
+    // the MAVBench observation that kernels map to different
+    // execution targets, expressed as a ceiling family.
+    reg.add(platform::RooflinePlatform({
+        .name = "TX2-CPU + Navion",
+        .computeCeilings = {{"Denver2/A57 scalar", Gops(42.0),
+                             ComputeTarget::Scalar, {}},
+                            {"NEON SIMD", Gops(170.0),
+                             ComputeTarget::Simd, {}},
+                            {"Navion VIO ASIC", Gops(200.0),
+                             ComputeTarget::Accelerator, "SLAM"}},
+        .memoryCeilings = {{"LPDDR4 DRAM",
+                            GigabytesPerSecond(59.7)},
+                           {"on-chip SRAM",
+                            GigabytesPerSecond(300.0)}},
+        .operatingPoints = platform::dvfsOperatingPoints(7.5_w, fractions),
+        .description = "TX2 CPU host with a stage-gated VIO "
+                       "accelerator ceiling",
     }));
 }
 

@@ -43,7 +43,9 @@ class Catalog
      * Rooflines: multi-ceiling platform families (TX2-, Xavier- and
      * microcontroller-class) whose top ceilings match the flat
      * compute entries of the same name, each with DVFS operating
-     * points.
+     * points and target-classed compute ceilings, plus a
+     * "TX2-CPU + Navion" family with a stage-gated VIO-accelerator
+     * ceiling.
      */
     static Catalog standard();
 

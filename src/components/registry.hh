@@ -44,15 +44,23 @@ class Registry
         return _index.count(name) != 0;
     }
 
-    /** Look up by exact name; throws ModelError listing candidates. */
+    /** Look up by exact name; throws ModelError with "did you
+     * mean" suggestions (prefix/edit-distance) and the full
+     * candidate list. */
     const T &
     byName(const std::string &name) const
     {
         auto it = _index.find(name);
         if (it == _index.end()) {
-            throw ModelError("unknown catalog entry '" + name +
-                             "'; known entries: " +
-                             join(names(), ", "));
+            std::string message =
+                "unknown catalog entry '" + name + "'";
+            const auto suggestions = closestMatches(name, names());
+            if (!suggestions.empty()) {
+                message += "; did you mean: " +
+                           join(suggestions, ", ") + "?";
+            }
+            throw ModelError(message + " (known entries: " +
+                             join(names(), ", ") + ")");
         }
         return _items[it->second];
     }

@@ -89,17 +89,11 @@ UavConfig::describe() const
     }
     std::string provenance = workload::toString(_computeRateSource);
     // A CeilingRef is only resolvable against the family that
-    // produced it; the builder guarantees that pairing, but a
-    // report must not throw on a hand-assembled config, so guard
-    // the index anyway.
-    const auto resolvable = [&](platform::CeilingRef ref) {
-        const auto &family = _compute->roofline();
-        return ref.index < (ref.kind == platform::CeilingKind::Compute
-                                ? family.computeCeilings().size()
-                                : family.memoryCeilings().size());
-    };
+    // produced it; the ref's family tag makes a mismatch (e.g. on a
+    // hand-assembled config) detectable, and a report must not
+    // throw, so ask the family instead of resolving blindly.
     if (_computeBinding.attributed && _compute &&
-        resolvable(_computeBinding)) {
+        _compute->roofline().resolves(_computeBinding)) {
         provenance +=
             ", " +
             std::string(platform::toString(_computeBinding.kind)) +

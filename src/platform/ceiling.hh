@@ -28,6 +28,24 @@ enum class CeilingKind : std::uint8_t
 const char *toString(CeilingKind kind);
 
 /**
+ * The execution-target class a compute ceiling models. A workload's
+ * applicability mask (platform::WorkloadProfile) selects target
+ * classes; General ceilings apply to every workload, so flat
+ * single-ceiling adapters and unannotated presets keep binding for
+ * all algorithms.
+ */
+enum class ComputeTarget : std::uint8_t
+{
+    General,     ///< Reachable by any workload (default).
+    Scalar,      ///< Scalar integer/FP pipelines.
+    Simd,        ///< Vector/DSP extensions (NEON, DSP MAC, ...).
+    Accelerator, ///< GPU / NPU / fixed-function engines.
+};
+
+/** Printable target name ("general", "scalar", ...). */
+const char *toString(ComputeTarget target);
+
+/**
  * A reference to one ceiling of a RooflinePlatform: the kind plus
  * the index into that platform's ordered ceiling list. Trivially
  * copyable by design — this is the form ceiling attribution takes
@@ -37,6 +55,13 @@ const char *toString(CeilingKind kind);
  * false): it records that no ceiling analysis produced it — a
  * measured throughput, a direct override. Consumers must check
  * attributed before treating kind/index as a real ceiling.
+ *
+ * An attributed ref also carries the *family tag* of the platform
+ * that produced it (RooflinePlatform::familyTag, a non-zero hash of
+ * the platform name). Resolving a tagged ref against a platform
+ * with a different tag is a ModelError, never a silent
+ * misattribution; a tag of 0 marks a hand-made ref that any
+ * platform accepts (bounds permitting).
  */
 struct CeilingRef
 {
@@ -44,16 +69,19 @@ struct CeilingRef
     std::uint16_t index = 0;
     /** True only when a ceiling-set evaluation set kind/index. */
     bool attributed = false;
+    /** Producing platform's family tag; 0 = untagged. */
+    std::uint32_t family = 0;
 };
 
 /** Equality: unattributed refs are all equal; attributed refs
- * compare by kind and index. */
+ * compare by kind, index and family tag. */
 inline bool
 operator==(CeilingRef a, CeilingRef b)
 {
     if (!a.attributed || !b.attributed)
         return a.attributed == b.attributed;
-    return a.kind == b.kind && a.index == b.index;
+    return a.kind == b.kind && a.index == b.index &&
+           a.family == b.family;
 }
 
 /** Inequality. */

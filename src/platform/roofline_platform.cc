@@ -60,6 +60,53 @@ toString(CeilingKind kind)
     return "unknown";
 }
 
+const char *
+toString(ComputeTarget target)
+{
+    switch (target) {
+      case ComputeTarget::General:
+        return "general";
+      case ComputeTarget::Scalar:
+        return "scalar";
+      case ComputeTarget::Simd:
+        return "simd";
+      case ComputeTarget::Accelerator:
+        return "accelerator";
+    }
+    return "unknown";
+}
+
+std::uint32_t
+stageTag(const std::string &name)
+{
+    if (name.empty())
+        return 0;
+    // FNV-1a over the bytes; forced odd so a real stage can never
+    // alias the "ungated" tag 0.
+    std::uint32_t hash = 2166136261u;
+    for (const char c : name) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 16777619u;
+    }
+    return hash | 1u;
+}
+
+namespace {
+
+/** Non-zero FNV-1a family tag of a platform name. */
+std::uint32_t
+familyTagOf(const std::string &name)
+{
+    std::uint32_t hash = 2166136261u;
+    for (const char c : name) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 16777619u;
+    }
+    return hash == 0 ? 1u : hash;
+}
+
+} // namespace
+
 RooflinePlatform::RooflinePlatform(Spec spec) : _spec(std::move(spec))
 {
     if (_spec.name.empty())
@@ -120,6 +167,31 @@ RooflinePlatform::RooflinePlatform(Spec spec) : _spec(std::move(spec))
                            "tdp of operating point '" + point.name +
                                "'");
     }
+    _familyTag = familyTagOf(_spec.name);
+    _computeStageTags.reserve(_spec.computeCeilings.size());
+    for (const auto &ceiling : _spec.computeCeilings)
+        _computeStageTags.push_back(stageTag(ceiling.stage));
+}
+
+bool
+RooflinePlatform::resolves(CeilingRef ref) const
+{
+    if (ref.family != 0 && ref.family != _familyTag)
+        return false;
+    return ref.index < (ref.kind == CeilingKind::Compute
+                            ? _spec.computeCeilings.size()
+                            : _spec.memoryCeilings.size());
+}
+
+void
+RooflinePlatform::requireSameFamily(CeilingRef ref) const
+{
+    if (ref.family != 0 && ref.family != _familyTag) {
+        throw ModelError(
+            "ceiling ref was attributed by a different platform "
+            "family than '" + _spec.name +
+            "'; resolve it against the platform that produced it");
+    }
 }
 
 RooflinePlatform
@@ -130,7 +202,8 @@ RooflinePlatform::singleCeiling(const std::string &name,
 {
     Spec spec;
     spec.name = name;
-    spec.computeCeilings.push_back({"effective peak", peak});
+    spec.computeCeilings.push_back(
+        {"effective peak", peak, ComputeTarget::General, {}});
     spec.memoryCeilings.push_back({"DRAM", bandwidth});
     spec.operatingPoints.push_back({"nominal", 1.0, tdp});
     return RooflinePlatform(std::move(spec));
@@ -156,8 +229,38 @@ AttainableBound
 RooflinePlatform::attainable(units::OpsPerByte ai,
                              std::size_t op_index) const
 {
-    requirePositive(ai.value(),
-                    "arithmetic intensity on " + _spec.name);
+    // The unannotated evaluation is a default profile at this AI:
+    // every target class admitted, no stage, unit traffic at every
+    // memory level. The profile path reduces to the exact flat
+    // expressions in that case (division by 1.0 is exact), so the
+    // two overloads agree bit-for-bit (pinned by property tests).
+    WorkloadProfile profile;
+    profile.ai = ai;
+    return attainable(profile, op_index);
+}
+
+AttainableBound
+RooflinePlatform::attainable(const WorkloadProfile &profile,
+                             std::size_t op_index) const
+{
+    // Checks are branch-only on the happy path: attainable() runs
+    // inside million-sample sweep loops, so no message strings (or
+    // any other heap traffic) are built unless a check fails.
+    const double ai = profile.ai.value();
+    if (!(ai > 0.0)) {
+        requirePositive(ai,
+                        "arithmetic intensity on " + _spec.name);
+    }
+    for (std::size_t i = 0; i < WorkloadProfile::maxMemoryLevels;
+         ++i) {
+        const double traffic = profile.trafficFraction[i];
+        // !(x >= 0) catches NaN and negatives; the upper bound
+        // catches +inf (requireFinite's convention).
+        if (!(traffic >= 0.0) || traffic > 1e300) {
+            throw ModelError("trafficFraction on " + _spec.name +
+                             " must be finite and non-negative");
+        }
+    }
     if (op_index >= _spec.operatingPoints.size()) {
         throw ModelError("operating-point index out of range on " +
                          _spec.name);
@@ -165,43 +268,75 @@ RooflinePlatform::attainable(units::OpsPerByte ai,
     const double f =
         _spec.operatingPoints[op_index].frequencyFraction;
 
-    // Highest compute roof: the workload runs on the most capable
-    // execution target. First ceiling wins ties so attribution is
+    // Highest *applicable* compute roof: the workload runs on the
+    // most capable execution target it can actually use. A ceiling
+    // applies when its target class is General or in the profile's
+    // mask, and its stage gate (if any) matches the profile's
+    // stage. First ceiling wins ties so attribution is
     // deterministic.
+    bool compute_found = false;
     std::uint16_t compute_index = 0;
-    double compute_roof = _spec.computeCeilings[0].peak.value() * f;
-    for (std::size_t i = 1; i < _spec.computeCeilings.size(); ++i) {
-        const double roof = _spec.computeCeilings[i].peak.value() * f;
-        if (roof > compute_roof) {
+    double compute_roof = 0.0;
+    for (std::size_t i = 0; i < _spec.computeCeilings.size(); ++i) {
+        const ComputeCeiling &ceiling = _spec.computeCeilings[i];
+        if (ceiling.target != ComputeTarget::General &&
+            (targetBit(ceiling.target) & profile.targets) == 0) {
+            continue;
+        }
+        if (_computeStageTags[i] != 0 &&
+            _computeStageTags[i] != profile.stage) {
+            continue;
+        }
+        const double roof = ceiling.peak.value() * f;
+        if (!compute_found || roof > compute_roof) {
+            compute_found = true;
             compute_roof = roof;
             compute_index = static_cast<std::uint16_t>(i);
         }
     }
+    if (!compute_found) {
+        throw ModelError(
+            "no compute ceiling of " + _spec.name +
+            " is applicable to the workload profile (target mask " +
+            trimmedNumber(static_cast<double>(profile.targets)) +
+            (profile.stage != 0 ? ", stage-gated" : "") + ")");
+    }
 
-    // Lowest memory roof at this AI: streamed data traverses every
-    // level of the hierarchy, so the slowest bandwidth binds. The
-    // expression order (ai * (bw * f)) matches the flat
-    // min(peak, AI x BW) bound bit-for-bit when f == 1.
+    // Lowest memory roof, each level at its own CARM-style AI:
+    // level i sees trafficFraction[i] of the per-frame bytes, so
+    // its effective intensity is ai / fraction. The unit-fraction
+    // default reproduces the weakest-link chain — expression order
+    // (ai * (bw * f)) matches the flat min(peak, AI x BW) bound
+    // bit-for-bit when f == 1. Zero-traffic levels cannot bind.
+    bool memory_found = false;
     std::uint16_t memory_index = 0;
-    double memory_roof =
-        ai.value() * (_spec.memoryCeilings[0].bandwidth.value() * f);
-    for (std::size_t i = 1; i < _spec.memoryCeilings.size(); ++i) {
+    double memory_roof = 0.0;
+    for (std::size_t i = 0; i < _spec.memoryCeilings.size(); ++i) {
+        const double traffic =
+            i < WorkloadProfile::maxMemoryLevels
+                ? profile.trafficFraction[i]
+                : 1.0;
+        if (traffic <= 0.0)
+            continue;
+        const double level_ai = traffic == 1.0 ? ai : ai / traffic;
         const double roof =
-            ai.value() *
-            (_spec.memoryCeilings[i].bandwidth.value() * f);
-        if (roof < memory_roof) {
+            level_ai * (_spec.memoryCeilings[i].bandwidth.value() * f);
+        if (!memory_found || roof < memory_roof) {
+            memory_found = true;
             memory_roof = roof;
             memory_index = static_cast<std::uint16_t>(i);
         }
     }
 
     AttainableBound bound;
-    if (compute_roof <= memory_roof) {
+    if (!memory_found || compute_roof <= memory_roof) {
         bound.attainable = units::Gops(compute_roof);
-        bound.binding = {CeilingKind::Compute, compute_index, true};
+        bound.binding = {CeilingKind::Compute, compute_index, true,
+                         _familyTag};
     } else {
         bound.attainable = units::Gops(memory_roof);
-        bound.binding = {CeilingKind::Memory, memory_index, true};
+        bound.binding = {CeilingKind::Memory, memory_index, true,
+                         _familyTag};
     }
     requireFinite(bound.attainable.value(),
                   "attainable bound on " + _spec.name);
@@ -212,6 +347,7 @@ units::Gops
 RooflinePlatform::ceilingRoof(CeilingRef ref, units::OpsPerByte ai,
                               std::size_t op_index) const
 {
+    requireSameFamily(ref);
     if (op_index >= _spec.operatingPoints.size()) {
         throw ModelError("operating-point index out of range on " +
                          _spec.name);
@@ -238,6 +374,7 @@ RooflinePlatform::ceilingRoof(CeilingRef ref, units::OpsPerByte ai,
 const std::string &
 RooflinePlatform::ceilingName(CeilingRef ref) const
 {
+    requireSameFamily(ref);
     if (ref.kind == CeilingKind::Compute) {
         if (ref.index >= _spec.computeCeilings.size()) {
             throw ModelError("compute ceiling index out of range on " +

@@ -29,11 +29,13 @@
 #ifndef UAVF1_PLATFORM_ROOFLINE_PLATFORM_HH
 #define UAVF1_PLATFORM_ROOFLINE_PLATFORM_HH
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "platform/ceiling.hh"
+#include "platform/workload_profile.hh"
 #include "units/units.hh"
 
 namespace uavf1::platform {
@@ -43,6 +45,12 @@ struct ComputeCeiling
 {
     std::string name;  ///< Execution target, e.g. "NEON SIMD".
     units::Gops peak;  ///< Effective peak throughput at nominal clock.
+    /** Execution-target class, matched against a workload's
+     * applicability mask; General applies to every workload. */
+    ComputeTarget target = ComputeTarget::General;
+    /** Pipeline stage this ceiling is gated to (e.g. a VIO ASIC
+     * accelerating only "SLAM"); empty = any workload. */
+    std::string stage;
 };
 
 /** One bandwidth roof of the family (e.g. "DRAM", "on-chip"). */
@@ -143,6 +151,23 @@ class RooflinePlatform
     /** Catalog designation. */
     const std::string &name() const { return _spec.name; }
 
+    /**
+     * Non-zero identity tag of this ceiling family (a hash of the
+     * platform name, computed at construction). Every CeilingRef
+     * this platform attributes carries the tag, so resolving a ref
+     * against a *different* family is a detectable error instead of
+     * a silent misattribution. Two platforms with the same name
+     * (e.g. a spec and its withOperatingPoints() copy) share a tag.
+     */
+    std::uint32_t familyTag() const { return _familyTag; }
+
+    /**
+     * True when `ref` can be resolved against this platform: its
+     * family tag is 0 (untagged/hand-made) or equal to familyTag(),
+     * and its index is within the referenced ceiling list.
+     */
+    bool resolves(CeilingRef ref) const;
+
     /** Free-form notes. */
     const std::string &description() const
     {
@@ -178,7 +203,12 @@ class RooflinePlatform
     /**
      * Attainable bound at an arithmetic intensity, evaluated over
      * the whole ceiling family at one operating point, with the
-     * binding ceiling as provenance.
+     * binding ceiling as provenance. This is the *unannotated*
+     * evaluation: every non-stage-gated compute ceiling applies
+     * (a stage-gated ceiling serves only kernels carrying its
+     * stage tag, which an unannotated workload does not) and every
+     * memory level carries the full traffic stream (equivalent to
+     * a default WorkloadProfile at this AI, bit-for-bit).
      *
      * @param ai arithmetic intensity; must be positive
      * @param op_index operating-point index (default nominal)
@@ -186,6 +216,25 @@ class RooflinePlatform
      *         operating point, or a non-finite bound
      */
     AttainableBound attainable(units::OpsPerByte ai,
+                               std::size_t op_index = 0) const;
+
+    /**
+     * Workload-aware attainable bound: only the ceilings the
+     * profile's applicability mask (target classes + stage tag)
+     * admits compete for the compute roof, and each memory level is
+     * evaluated at its own CARM-style arithmetic intensity
+     * (profile.ai / trafficFraction[level]); levels with zero
+     * traffic cannot bind. The binding ceiling travels with the
+     * bound, tagged with this platform's familyTag().
+     *
+     * @param profile the workload's ceiling contract; profile.ai
+     *        must be positive, traffic fractions finite and >= 0
+     * @param op_index operating-point index (default nominal)
+     * @throws ModelError on a degenerate profile, an out-of-range
+     *         operating point, a non-finite bound, or when no
+     *         compute ceiling is applicable to the profile
+     */
+    AttainableBound attainable(const WorkloadProfile &profile,
                                std::size_t op_index = 0) const;
 
     /**
@@ -203,7 +252,8 @@ class RooflinePlatform
     /**
      * Human-readable name of a referenced ceiling.
      *
-     * @throws ModelError on an out-of-range reference
+     * @throws ModelError on an out-of-range reference or a ref
+     *         attributed by a different platform family
      */
     const std::string &ceilingName(CeilingRef ref) const;
 
@@ -215,7 +265,15 @@ class RooflinePlatform
     withOperatingPoints(std::vector<OperatingPoint> points) const;
 
   private:
+    /** @throws ModelError if `ref` was attributed by a different
+     * platform family than this one. */
+    void requireSameFamily(CeilingRef ref) const;
+
     Spec _spec;
+    std::uint32_t _familyTag = 0;
+    /** stageTag() of each compute ceiling's stage, precomputed so
+     * attainable() never hashes in a hot loop. */
+    std::vector<std::uint32_t> _computeStageTags;
 };
 
 } // namespace uavf1::platform

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Workload-side ceiling contract: which ceilings of a
+ * RooflinePlatform a kernel can actually use, and how much traffic
+ * it pushes through each memory level.
+ *
+ * The classic evaluation lets the platform decide everything: the
+ * most capable compute roof always binds and memory levels form a
+ * weakest-link chain at one arithmetic intensity. Real kernels
+ * break both assumptions — a scalar-only kernel cannot ride the
+ * GPU roof, and a cache-resident working set barely touches DRAM.
+ * A WorkloadProfile makes ceiling resolution a workload-level
+ * decision:
+ *
+ * - an *applicability mask* over execution-target classes
+ *   (ComputeTarget) plus an optional pipeline-stage tag, so
+ *   stage-gated accelerator ceilings apply only to their stage;
+ * - a *per-memory-level traffic fraction* (Cache-Aware Roofline
+ *   style): level i sees `trafficFraction[i]` of the per-frame
+ *   bytes, so its effective arithmetic intensity is
+ *   ai / trafficFraction[i] and an on-chip ceiling can genuinely
+ *   bind when the working set fits on chip.
+ *
+ * The default-constructed profile (all targets, no stage, unit
+ * traffic everywhere) reproduces the unannotated evaluation
+ * bit-for-bit — pinned by property tests — so annotations are
+ * strictly opt-in.
+ *
+ * Trivially copyable by design: profiles are built once per
+ * (workload, platform) pair and passed by value through hot sweep
+ * loops without heap traffic.
+ */
+
+#ifndef UAVF1_PLATFORM_WORKLOAD_PROFILE_HH
+#define UAVF1_PLATFORM_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "platform/ceiling.hh"
+#include "units/units.hh"
+
+namespace uavf1::platform {
+
+/** Bitmask over ComputeTarget classes. */
+using TargetMask = std::uint8_t;
+
+/** The mask bit of one execution-target class. */
+constexpr TargetMask
+targetBit(ComputeTarget target)
+{
+    return static_cast<TargetMask>(
+        1u << static_cast<unsigned>(target));
+}
+
+/** Every execution-target class (the unannotated default). */
+constexpr TargetMask kAllTargets = 0xFF;
+
+/**
+ * Non-zero tag for a pipeline-stage name (FNV-1a, forced odd so it
+ * can never collide with the "ungated" tag 0); the empty name maps
+ * to 0. Ceiling and workload agree on a stage iff their tags match.
+ */
+std::uint32_t stageTag(const std::string &name);
+
+/**
+ * How one workload maps onto a platform's ceiling family.
+ */
+struct WorkloadProfile
+{
+    /** Arithmetic intensity of the kernel, ops per byte of
+     * per-frame traffic; must be positive when evaluated. */
+    units::OpsPerByte ai{0.0};
+
+    /** Execution-target classes the kernel can use. Ceilings whose
+     * target is ComputeTarget::General always apply. */
+    TargetMask targets = kAllTargets;
+
+    /** Pipeline-stage tag (stageTag of the stage name); 0 = the
+     * whole algorithm. Stage-gated ceilings apply only when their
+     * tag equals this one. */
+    std::uint32_t stage = 0;
+
+    /** Memory levels a profile can annotate individually. */
+    static constexpr std::size_t maxMemoryLevels = 8;
+
+    /**
+     * Fraction of the per-frame bytes that traverse memory level i
+     * (ordered as the platform's memoryCeilings). 1.0 = the full
+     * stream (the weakest-link default), 0.0 = the level sees no
+     * traffic and can never bind, values above 1 model write
+     * amplification. Levels beyond maxMemoryLevels behave as 1.0.
+     */
+    double trafficFraction[maxMemoryLevels] = {1.0, 1.0, 1.0, 1.0,
+                                               1.0, 1.0, 1.0, 1.0};
+};
+
+} // namespace uavf1::platform
+
+#endif // UAVF1_PLATFORM_WORKLOAD_PROFILE_HH

@@ -485,6 +485,22 @@ runTable2Study(const StudyContext &ctx)
         .addMetric("thrust_to_weight", analysis.thrustToWeight)
         .addMetric("over_provision_factor", f1.overProvisionFactor)
         .addMetric("required_speedup", f1.requiredSpeedup);
+    // Binding-ceiling attribution, present only when the platform
+    // knob routed f_compute through a roofline bound (so legacy
+    // sessions keep their exact artifact bytes).
+    if (f1.computeBinding.attributed) {
+        result
+            .addMetric("binding_kind",
+                       f1.computeBinding.kind ==
+                               platform::CeilingKind::Compute
+                           ? 0.0
+                           : 1.0)
+            .addMetric("binding_index",
+                       static_cast<double>(f1.computeBinding.index))
+            .addMetric("compute_rate",
+                       session.model().inputs().computeRate.value(),
+                       "Hz");
+    }
     result.summary = session.renderAnalysis();
     result.reportHtml = skyline::ReportWriter::html(
         session, "Skyline report: " + session.knobs().algorithm);
@@ -546,6 +562,13 @@ runRooflineStudy(const StudyContext &ctx)
     const double ai_min = ctx.params.getNumber("ai_min", 0.01);
     const double ai_max = ctx.params.getNumber("ai_max", 1000.0);
     const auto samples = ctx.params.getCount("samples", 97);
+    const std::string workloads =
+        toLower(trim(ctx.params.get("workloads", "standard")));
+    if (workloads != "standard" && workloads != "annotated") {
+        throw ModelError("parameter 'workloads' must be 'standard' "
+                         "or 'annotated', got '" + workloads + "'");
+    }
+    const bool annotated = workloads == "annotated";
 
     StudyResult result;
     result.xLabel = "arithmetic_intensity_op_b";
@@ -564,12 +587,18 @@ runRooflineStudy(const StudyContext &ctx)
         .addMetric("frequency_fraction", point.frequencyFraction)
         .addMetric("operating_tdp", point.tdp.value(), "W");
 
-    // Mark every standard algorithm on the envelope and attribute
-    // its bound to the binding ceiling.
+    // Mark every algorithm on the envelope and attribute its bound
+    // to the binding ceiling. With workloads=annotated, the
+    // ceiling-annotated variants join in and each annotated
+    // workload also gets its *own* attainable envelope — the
+    // ceilings its applicability mask and per-level traffic admit —
+    // so binding diversity is visible on the chart.
     TextTable table({"Algorithm", "AI (op/B)", "Attainable (GOPS)",
                      "Bound (Hz)", "Binding ceiling"});
     plot::Series markers("algorithms", plot::SeriesStyle::Markers);
-    const auto algorithms = workload::standardAlgorithms();
+    const auto algorithms = annotated
+                                ? workload::annotatedAlgorithms()
+                                : workload::standardAlgorithms();
     for (const auto &algo : algorithms.items()) {
         const auto estimate = workload::rooflineBound(algo, machine,
                                                       op);
@@ -597,6 +626,23 @@ runRooflineStudy(const StudyContext &ctx)
                              : 1.0);
         result.addMetric(algo.name() + "_binding_index",
                          static_cast<double>(estimate.binding.index));
+
+        if (annotated && algo.traits().annotated()) {
+            platform::WorkloadProfile profile =
+                workload::workloadProfile(algo, machine);
+            plot::Series envelope("envelope: " + algo.name());
+            for (std::size_t i = 0; i < samples; ++i) {
+                const double frac =
+                    static_cast<double>(i) /
+                    static_cast<double>(samples - 1);
+                profile.ai = units::OpsPerByte(
+                    ai_min * std::pow(ai_max / ai_min, frac));
+                envelope.add(profile.ai.value(),
+                             machine.attainable(profile, op)
+                                 .attainable.value());
+            }
+            result.series.push_back(std::move(envelope));
+        }
     }
     result.series.push_back(std::move(markers));
 
@@ -656,11 +702,128 @@ runSweepStudy(const StudyContext &ctx)
         .addMetric("infeasible_points",
                    static_cast<double>(infeasible))
         .addMetric("max_safe_velocity", best, "m/s");
+
+    // Binding-ceiling attribution across the sweep, when the
+    // platform knob routed f_compute through a ceiling family: how
+    // many feasible points each ceiling binds, in the family's own
+    // deterministic ceiling order. Absent on legacy sweeps, so
+    // their artifact bytes are untouched.
+    if (const auto machine = session.rooflinePlatform()) {
+        const auto count = [&](platform::CeilingKind kind,
+                               std::size_t index) {
+            std::size_t n = 0;
+            for (const auto &point : points) {
+                if (point.feasible && point.binding.attributed &&
+                    point.binding.kind == kind &&
+                    point.binding.index == index) {
+                    ++n;
+                }
+            }
+            return static_cast<double>(n);
+        };
+        for (std::size_t i = 0;
+             i < machine->computeCeilings().size(); ++i) {
+            result.addMetric(
+                "binds_compute_" +
+                    machine->computeCeilings()[i].name,
+                count(platform::CeilingKind::Compute, i));
+        }
+        for (std::size_t i = 0;
+             i < machine->memoryCeilings().size(); ++i) {
+            result.addMetric(
+                "binds_memory_" + machine->memoryCeilings()[i].name,
+                count(platform::CeilingKind::Memory, i));
+        }
+    }
     result.summary = strFormat(
         "Swept %s from %g to %g in %zu steps: %zu feasible, "
         "%zu infeasible, best v_safe %.3f m/s\n",
         knob.c_str(), from, to, steps, points.size() - infeasible,
         infeasible, best);
+    return result;
+}
+
+StudyResult
+runDvfsStudy(const StudyContext &ctx)
+{
+    // The paper's recurring remedy for over-provisioned designs —
+    // "trade off this excess performance for a lower TDP" —
+    // quantified per ceiling: sweep one preset's DVFS operating
+    // points and report v_safe against the TDP each point costs,
+    // with the binding ceiling at every point.
+    StudyParams params = ctx.params;
+    // An absent *or empty* platform override means the default
+    // preset (an empty knob value would put the session on the
+    // legacy compute_runtime path, which has no operating points).
+    if (trim(params.get("platform", "")).empty())
+        params.set("platform", "Nvidia TX2");
+    const skyline::SkylineSession session =
+        sessionFromParams(params);
+    const auto machine = session.rooflinePlatform();
+    if (!machine) {
+        throw ModelError("the dvfs study requires a roofline "
+                         "platform preset");
+    }
+    const auto &points = machine->operatingPoints();
+
+    StudyResult result;
+    result.xLabel = "tdp_w";
+    result.yLabel = "v_safe_mps";
+    result.chartTitle =
+        "DVFS sweep: " + session.knobs().platform + " running " +
+        session.knobs().algorithm;
+
+    TextTable table({"Operating point", "Clock (x)", "TDP (W)",
+                     "Heatsink (g)", "f_compute (Hz)",
+                     "v_safe (m/s)", "Roof (m/s)",
+                     "Binding ceiling"});
+    plot::Series v_safe("v_safe", plot::SeriesStyle::LineAndMarkers);
+    plot::Series roof("roof velocity",
+                      plot::SeriesStyle::LineAndMarkers);
+    for (const auto &point : points) {
+        skyline::SkylineSession variant = session;
+        variant.set("operating_point", point.name);
+        const skyline::Analysis analysis = variant.analyze();
+        const core::F1Analysis &f1 = analysis.f1;
+        const double rate =
+            variant.model().inputs().computeRate.value();
+        const double tdp = variant.effectiveTdp().value();
+
+        v_safe.add(tdp, f1.safeVelocity.value());
+        roof.add(tdp, f1.roofVelocity.value());
+        table.addRow(
+            {point.name, trimmedNumber(point.frequencyFraction, 3),
+             trimmedNumber(tdp, 3),
+             trimmedNumber(analysis.heatsinkMass.value(), 1),
+             trimmedNumber(rate, 4),
+             trimmedNumber(f1.safeVelocity.value(), 3),
+             trimmedNumber(f1.roofVelocity.value(), 3),
+             analysis.bindingCeiling.empty()
+                 ? "-"
+                 : analysis.bindingCeiling});
+        result.addMetric(point.name + "_tdp", tdp, "W")
+            .addMetric(point.name + "_v_safe",
+                       f1.safeVelocity.value(), "m/s")
+            .addMetric(point.name + "_roof",
+                       f1.roofVelocity.value(), "m/s")
+            .addMetric(point.name + "_compute_rate", rate, "Hz")
+            .addMetric(point.name + "_binding_kind",
+                       f1.computeBinding.kind ==
+                               platform::CeilingKind::Compute
+                           ? 0.0
+                           : 1.0)
+            .addMetric(point.name + "_binding_index",
+                       static_cast<double>(f1.computeBinding.index));
+    }
+    result.series.push_back(std::move(v_safe));
+    result.series.push_back(std::move(roof));
+    result.addMetric("operating_points",
+                     static_cast<double>(points.size()));
+    result.summary =
+        strFormat("%s running %s across %zu operating points\n",
+                  session.knobs().platform.c_str(),
+                  session.knobs().algorithm.c_str(), points.size()) +
+        table.render();
     return result;
 }
 
@@ -737,9 +900,15 @@ registerBuiltinStudies(StudyRegistry &registry)
     registry.add({"roofline", "Hierarchical machine roofline",
                   "Multi-ceiling compute/memory roofs, DVFS "
                   "operating points and per-algorithm binding "
-                  "ceilings for a platform preset",
-                  {"platform", "op", "ai_min", "ai_max", "samples"},
+                  "ceilings for a platform preset; "
+                  "workloads=annotated adds per-workload envelopes",
+                  {"platform", "op", "ai_min", "ai_max", "samples",
+                   "workloads"},
                   {"csv", "svg", "json"}, runRooflineStudy});
+    registry.add({"dvfs", "DVFS operating-point sweep",
+                  "v_safe vs TDP across one roofline preset's "
+                  "operating points, binding ceiling at each point",
+                  knobs, {"csv", "svg", "json"}, runDvfsStudy});
     registry.add({"sweep", "Skyline knob sweep",
                   "Sweep one numeric knob; infeasible points are "
                   "marked, not fatal",

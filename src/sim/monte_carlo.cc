@@ -86,6 +86,13 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(const UncertaintySpec &spec)
     requireNonNegative(spec.rangeRelStd, "rangeRelStd");
     requireNonNegative(spec.computeRelStd, "computeRelStd");
     requireNonNegative(spec.sensorRelStd, "sensorRelStd");
+    if (spec.platform) {
+        requireNonNegative(spec.aiRelStd, "aiRelStd");
+        requirePositive(spec.workPerFrameGop, "workPerFrameGop");
+        // Validate profile, operating point and applicability once
+        // up front so per-sample evaluations cannot throw.
+        (void)spec.platform->attainable(spec.profile, spec.opIndex);
+    }
 }
 
 namespace {
@@ -133,6 +140,20 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
     std::vector<std::array<std::uint64_t, 4>> bound_counts(
         blocks, std::array<std::uint64_t, 4>{});
 
+    // Per-ceiling binding tallies (platform path only): one slot
+    // per (block, ceiling), compute ceilings first, written only by
+    // the block's owner and merged in block order below.
+    const platform::RooflinePlatform *machine =
+        _spec.platform ? &*_spec.platform : nullptr;
+    const std::size_t compute_ceilings =
+        machine ? machine->computeCeilings().size() : 0;
+    const std::size_t total_ceilings =
+        machine ? compute_ceilings + machine->memoryCeilings().size()
+                : 0;
+    std::vector<std::vector<std::uint64_t>> ceiling_counts(
+        machine ? blocks : 0,
+        std::vector<std::uint64_t>(total_ceilings, 0));
+
     exec::ParallelOptions options = parallel;
     options.grain = 1; // One block per chunk.
     exec::parallelFor(
@@ -156,9 +177,39 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
                     inputs.sensingRange = units::Meters(
                         perturb(inputs.sensingRange.value(),
                                 _spec.rangeRelStd, rng));
-                    inputs.computeRate = units::Hertz(
-                        perturb(inputs.computeRate.value(),
-                                _spec.computeRelStd, rng));
+                    if (machine) {
+                        // Ceiling-family path: the bound at a
+                        // perturbed arithmetic intensity drives
+                        // f_compute, so which ceiling binds varies
+                        // sample to sample. perturb() draws nothing
+                        // for zero spreads, so the legacy draw
+                        // sequence (and its results) is untouched
+                        // when no platform is configured.
+                        platform::WorkloadProfile profile =
+                            _spec.profile;
+                        profile.ai = units::OpsPerByte(
+                            perturb(profile.ai.value(),
+                                    _spec.aiRelStd, rng));
+                        const platform::AttainableBound bound =
+                            machine->attainable(profile,
+                                                _spec.opIndex);
+                        inputs.computeRate = units::Hertz(perturb(
+                            bound.attainable.value() /
+                                _spec.workPerFrameGop,
+                            _spec.computeRelStd, rng));
+                        inputs.computeBinding = bound.binding;
+                        const std::size_t slot =
+                            bound.binding.kind ==
+                                    platform::CeilingKind::Compute
+                                ? bound.binding.index
+                                : compute_ceilings +
+                                      bound.binding.index;
+                        ++ceiling_counts[b][slot];
+                    } else {
+                        inputs.computeRate = units::Hertz(
+                            perturb(inputs.computeRate.value(),
+                                    _spec.computeRelStd, rng));
+                    }
                     inputs.sensorRate = units::Hertz(
                         perturb(inputs.sensorRate.value(),
                                 _spec.sensorRelStd, rng));
@@ -181,6 +232,28 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
     for (const auto &counts : bound_counts)
         for (std::size_t k = 0; k < totals.size(); ++k)
             totals[k] += counts[k];
+
+    if (machine) {
+        // Merge per-block ceiling tallies in block order (the
+        // determinism contract) and normalize.
+        std::vector<std::uint64_t> ceiling_totals(total_ceilings, 0);
+        for (const auto &block : ceiling_counts)
+            for (std::size_t k = 0; k < total_ceilings; ++k)
+                ceiling_totals[k] += block[k];
+        result.probComputeCeilingBinds.resize(compute_ceilings);
+        result.probMemoryCeilingBinds.resize(total_ceilings -
+                                             compute_ceilings);
+        for (std::size_t k = 0; k < total_ceilings; ++k) {
+            const double prob =
+                static_cast<double>(ceiling_totals[k]) /
+                static_cast<double>(count);
+            if (k < compute_ceilings)
+                result.probComputeCeilingBinds[k] = prob;
+            else
+                result.probMemoryCeilingBinds[k - compute_ceilings] =
+                    prob;
+        }
+    }
 
     const double n = static_cast<double>(count);
     using core::BoundType;

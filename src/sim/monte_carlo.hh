@@ -15,10 +15,12 @@
 #define UAVF1_SIM_MONTE_CARLO_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/f1_model.hh"
 #include "exec/parallel.hh"
+#include "platform/roofline_platform.hh"
 
 namespace uavf1::sim {
 
@@ -30,6 +32,23 @@ struct UncertaintySpec
     double rangeRelStd = 0.05; ///< On sensing range.
     double computeRelStd = 0.10; ///< On f_compute.
     double sensorRelStd = 0.0; ///< On f_sensor (usually exact).
+
+    /**
+     * Optional ceiling-family evaluation of f_compute: when set,
+     * every sample derives its compute rate from the workload-aware
+     * roofline bound of `profile` (at an arithmetic intensity
+     * perturbed by aiRelStd) on this platform, multiplied by the
+     * computeRelStd spread — so the *binding ceiling* varies across
+     * samples and UncertaintyResult tallies the probability that
+     * each ceiling binds. nominal.computeRate is ignored on this
+     * path. When unset (default), the legacy scalar perturbation
+     * of nominal.computeRate runs unchanged, bit-for-bit.
+     */
+    std::optional<platform::RooflinePlatform> platform;
+    platform::WorkloadProfile profile{}; ///< Workload on `platform`.
+    double workPerFrameGop = 0.0; ///< GOP per decision on `platform`.
+    std::size_t opIndex = 0;      ///< DVFS operating point.
+    double aiRelStd = 0.0;        ///< On arithmetic intensity.
 };
 
 /** Summary statistics of one sampled output. */
@@ -55,6 +74,17 @@ struct UncertaintyResult
     double probSensorBound = 0.0;
     double probControlBound = 0.0;
     double probPhysicsBound = 0.0;
+    /**
+     * Probability that each machine ceiling binds the roofline
+     * bound, indexed like the spec platform's computeCeilings() /
+     * memoryCeilings(). Empty unless UncertaintySpec::platform is
+     * set; per-chunk tallies are merged in chunk order, so the
+     * probabilities are bit-identical at any thread count. The two
+     * vectors sum to 1 (every sample has exactly one binding
+     * ceiling).
+     */
+    std::vector<double> probComputeCeilingBinds;
+    std::vector<double> probMemoryCeilingBinds;
     std::size_t samples = 0;
 };
 

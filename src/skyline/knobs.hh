@@ -12,6 +12,8 @@
  * | drone weight | g | UAV weight without extra payload |
  * | rotor pull | g | total thrust from the propulsion |
  * | payload weight | g | compute + sensors + battery payload |
+ * | platform | - | roofline platform preset (ceiling attribution) |
+ * | operating point | - | DVFS operating point of that preset |
  */
 
 #ifndef UAVF1_SKYLINE_KNOBS_HH
@@ -49,6 +51,18 @@ struct Knobs
     physics::AccelerationOptions acceleration{};
     /** Knee criterion fraction. */
     double kneeFraction = 0.98;
+    /**
+     * Roofline platform preset (catalog roofline name, e.g.
+     * "Nvidia TX2"). When set, f_compute comes from the workload-
+     * aware roofline bound of the `algorithm` knob on this ceiling
+     * family (binding-ceiling attribution included) instead of the
+     * compute_runtime knob, and the TDP follows the operating
+     * point. Empty (default): the legacy compute_runtime path.
+     */
+    std::string platform;
+    /** DVFS operating point of the platform preset (name); empty =
+     * nominal. Only meaningful when `platform` is set. */
+    std::string operatingPoint;
 };
 
 } // namespace uavf1::skyline

@@ -8,9 +8,12 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "components/catalog.hh"
 #include "support/errors.hh"
 #include "support/strings.hh"
 #include "support/validate.hh"
+#include "workload/algorithm.hh"
+#include "workload/throughput.hh"
 
 namespace uavf1::skyline {
 
@@ -31,6 +34,48 @@ parseNumber(const std::string &name, const std::string &value)
     return requireFinite(parsed, "knob '" + name + "'");
 }
 
+/**
+ * The catalog's roofline presets and the annotated algorithm
+ * registry, built once per process: both are immutable and
+ * deterministic, and session paths (analyze, sweep, the dvfs
+ * study) would otherwise rebuild the full standard catalog per
+ * call. Concurrent readers are safe — construction is the C++11
+ * thread-safe static init, lookups are const.
+ */
+const components::Registry<platform::RooflinePlatform> &
+rooflinePresets()
+{
+    static const components::Registry<platform::RooflinePlatform>
+        presets = components::Catalog::standard().rooflines();
+    return presets;
+}
+
+const components::Registry<workload::AutonomyAlgorithm> &
+algorithmCatalog()
+{
+    static const components::Registry<workload::AutonomyAlgorithm>
+        algorithms = workload::annotatedAlgorithms();
+    return algorithms;
+}
+
+/**
+ * Validate a string knob against the config grammar: '#' (comment
+ * marker) and CR/LF (line structure) cannot survive a
+ * saveConfig/loadConfig round-trip, so they are rejected up front.
+ */
+std::string
+grammarSafe(const std::string &knob, const std::string &value)
+{
+    const std::string trimmed = trim(value);
+    if (trimmed.find_first_of("#\n\r") != std::string::npos) {
+        throw ModelError(
+            knob + " value '" + trimmed +
+            "' contains a character reserved by the config "
+            "grammar ('#' or a line break)");
+    }
+    return trimmed;
+}
+
 } // namespace
 
 void
@@ -38,19 +83,22 @@ SkylineSession::set(const std::string &name, const std::string &value)
 {
     const std::string key = toLower(trim(name));
     if (key == "algorithm") {
-        const std::string algorithm = trim(value);
-        // The config grammar reserves '#' (comment marker) and
-        // CR/LF (line structure): an embedded newline splits the
-        // value across saveConfig lines and cannot be re-read, and
-        // '#'/bare-CR values are rejected up front rather than
-        // depending on parser details to survive a round-trip.
-        if (algorithm.find_first_of("#\n\r") != std::string::npos) {
-            throw ModelError(
-                "algorithm value '" + algorithm +
-                "' contains a character reserved by the config "
-                "grammar ('#' or a line break)");
-        }
-        _knobs.algorithm = algorithm;
+        _knobs.algorithm = grammarSafe("algorithm", value);
+        return;
+    }
+    if (key == "platform") {
+        const std::string platform = grammarSafe("platform", value);
+        // Validate eagerly so a typo fails at the knob, with the
+        // catalog's "did you mean" treatment, not at model time.
+        if (!platform.empty())
+            (void)rooflinePresets().byName(platform);
+        _knobs.platform = platform;
+        return;
+    }
+    if (key == "operating_point") {
+        // Validated lazily against the platform knob (the two may
+        // be set in either order).
+        _knobs.operatingPoint = grammarSafe("operating_point", value);
         return;
     }
 
@@ -95,14 +143,47 @@ SkylineSession::knobNames()
         "sensor_framerate", "compute_tdp", "algorithm",
         "compute_runtime", "sensor_range", "drone_weight",
         "rotor_pull", "payload_weight", "control_rate",
-        "knee_fraction",
+        "knee_fraction", "platform", "operating_point",
     };
+}
+
+std::optional<platform::RooflinePlatform>
+SkylineSession::rooflinePlatform() const
+{
+    if (_knobs.platform.empty())
+        return std::nullopt;
+    return rooflinePresets().byName(_knobs.platform);
+}
+
+std::size_t
+SkylineSession::operatingPointIndex(
+    const platform::RooflinePlatform &machine) const
+{
+    if (_knobs.operatingPoint.empty())
+        return 0;
+    return machine.operatingPointIndex(_knobs.operatingPoint);
+}
+
+units::Watts
+SkylineSession::effectiveTdp() const
+{
+    // With a platform preset selected, the DVFS operating point
+    // carries the TDP (the paper's "trade excess performance for
+    // TDP" knob); points without a TDP figure and the legacy path
+    // fall back to the compute_tdp knob.
+    if (const auto machine = rooflinePlatform()) {
+        const auto &point =
+            machine->operatingPoints()[operatingPointIndex(*machine)];
+        if (point.tdp.value() > 0.0)
+            return point.tdp;
+    }
+    return _knobs.computeTdp;
 }
 
 units::Grams
 SkylineSession::heatsinkMass() const
 {
-    return _heatsink.mass(_knobs.computeTdp);
+    return _heatsink.mass(effectiveTdp());
 }
 
 units::Grams
@@ -131,6 +212,27 @@ SkylineSession::model() const
     inputs.computeRate = units::rate(_knobs.computeRuntime);
     inputs.controlRate = _knobs.controlRate;
     inputs.kneeFraction = _knobs.kneeFraction;
+    if (const auto machine = rooflinePlatform()) {
+        // Platform path: f_compute is the workload-aware roofline
+        // bound of the algorithm knob on the preset's ceiling
+        // family, and the binding ceiling travels into the model as
+        // provenance. Annotated algorithms (scalar-only kernels,
+        // cache-resident working sets, stage-gated accelerators)
+        // can bind different ceilings than the most capable roof.
+        const auto &algorithms = algorithmCatalog();
+        if (!algorithms.contains(_knobs.algorithm)) {
+            throw ModelError(
+                "the platform knob needs a catalog algorithm for "
+                "the roofline bound; unknown algorithm '" +
+                _knobs.algorithm + "' (known: " +
+                join(algorithms.names(), ", ") + ")");
+        }
+        const auto estimate = workload::rooflineBound(
+            algorithms.byName(_knobs.algorithm), *machine,
+            operatingPointIndex(*machine));
+        inputs.computeRate = estimate.value;
+        inputs.computeBinding = estimate.binding;
+    }
     return core::F1Model(inputs);
 }
 
@@ -146,6 +248,18 @@ SkylineSession::analyze() const
     analysis.thrustToWeight = physics::thrustToWeight(
         units::gramsForceToNewtons(_knobs.rotorPull),
         units::toKilograms(takeoffMass()));
+    if (analysis.f1.computeBinding.attributed) {
+        if (const auto machine = rooflinePlatform();
+            machine && machine->resolves(analysis.f1.computeBinding)) {
+            analysis.bindingCeiling =
+                std::string(
+                    platform::toString(
+                        analysis.f1.computeBinding.kind)) +
+                " '" +
+                machine->ceilingName(analysis.f1.computeBinding) +
+                "'";
+        }
+    }
 
     const auto &a = analysis.f1;
     switch (a.bound) {
@@ -161,8 +275,16 @@ SkylineSession::analyze() const
             "Compute-bound: improve algorithm/compute throughput by "
             "%.2fx (from %.2f Hz to the %.1f Hz knee) to reach the "
             "physics roof of %.2f m/s.",
-            a.requiredSpeedup, 1.0 / _knobs.computeRuntime.value(),
+            a.requiredSpeedup, f1.inputs().computeRate.value(),
             a.kneeThroughput.value(), a.roofVelocity.value()));
+        if (!analysis.bindingCeiling.empty()) {
+            analysis.tips.push_back(
+                "The " + analysis.bindingCeiling +
+                " ceiling of " + _knobs.platform +
+                " binds the roofline bound: target that ceiling "
+                "(vectorize, offload, cache-block) rather than the "
+                "platform's headline peak.");
+        }
         break;
       case core::BoundType::ControlBound:
         analysis.tips.push_back(strFormat(
@@ -175,7 +297,7 @@ SkylineSession::analyze() const
             "Physics-bound: body dynamics cap the velocity at "
             "%.2f m/s; faster compute/sensing buys nothing.",
             a.roofVelocity.value()));
-        if (a.overProvisionFactor > 1.2) {
+        if (a.overProvisionFactor > 1.2 && _knobs.platform.empty()) {
             // Quantify the TDP-reduction opportunity the paper's
             // AGX-30W -> AGX-15W what-if demonstrates. Use the raw
             // F-1 model of the what-if session (analyze() here
@@ -193,6 +315,31 @@ SkylineSession::analyze() const
                 heatsinkMass().value() -
                     what_if.heatsinkMass().value(),
                 (gained - 1.0) * 100.0));
+        } else if (a.overProvisionFactor > 1.2) {
+            // On the platform path the TDP follows the DVFS
+            // operating point, so the what-if is "drop a point":
+            // the dvfs study sweeps the whole curve.
+            const auto machine = rooflinePlatform();
+            const std::size_t op = operatingPointIndex(*machine);
+            if (op + 1 < machine->operatingPoints().size()) {
+                SkylineSession what_if = *this;
+                what_if._knobs.operatingPoint =
+                    machine->operatingPoints()[op + 1].name;
+                const double gained =
+                    what_if.model().analyze().roofVelocity.value() /
+                    a.roofVelocity.value();
+                analysis.tips.push_back(strFormat(
+                    "Compute is over-provisioned by %.2fx: dropping "
+                    "to operating point '%s' would shed %.0f g of "
+                    "heat sink and raise the roof by %.0f%% (see "
+                    "the dvfs study for the full v_safe-vs-TDP "
+                    "curve).",
+                    a.overProvisionFactor,
+                    what_if._knobs.operatingPoint.c_str(),
+                    heatsinkMass().value() -
+                        what_if.heatsinkMass().value(),
+                    (gained - 1.0) * 100.0));
+            }
         }
         break;
       }
@@ -227,6 +374,12 @@ SkylineSession::saveConfig() const
                      _knobs.controlRate.value());
     out += strFormat("knee_fraction = %.12g\n",
                      _knobs.kneeFraction);
+    // Emitted only when set, so legacy sessions keep their exact
+    // config bytes.
+    if (!_knobs.platform.empty())
+        out += "platform = " + _knobs.platform + "\n";
+    if (!_knobs.operatingPoint.empty())
+        out += "operating_point = " + _knobs.operatingPoint + "\n";
     return out;
 }
 
@@ -253,9 +406,11 @@ SkylineSession::sweep(const std::string &knob, double from,
     if (steps < 2)
         throw ModelError("sweep requires at least 2 steps");
     const std::string key = toLower(trim(knob));
-    if (key == "algorithm")
-        throw ModelError("cannot sweep the non-numeric knob "
-                         "'algorithm'");
+    if (key == "algorithm" || key == "platform" ||
+        key == "operating_point") {
+        throw ModelError("cannot sweep the non-numeric knob '" +
+                         key + "'");
+    }
     // Validate the knob name once up front so an unknown knob still
     // fails loudly instead of yielding an all-infeasible sweep.
     const auto names = knobNames();
@@ -282,6 +437,7 @@ SkylineSession::sweep(const std::string &knob, double from,
             point.safeVelocity = a.safeVelocity.value();
             point.kneeThroughput = a.kneeThroughput.value();
             point.roofVelocity = a.roofVelocity.value();
+            point.binding = a.computeBinding;
         } catch (const ModelError &) {
             point.feasible = false;
         }
@@ -303,6 +459,16 @@ SkylineSession::renderAnalysis() const
         "a_max %.2f m/s^2\n",
         analysis.takeoffMass.value(), analysis.heatsinkMass.value(),
         analysis.thrustToWeight, analysis.aMax.value());
+    if (!_knobs.platform.empty()) {
+        out += strFormat(
+            "  platform %s @ %s%s%s\n", _knobs.platform.c_str(),
+            _knobs.operatingPoint.empty()
+                ? "nominal"
+                : _knobs.operatingPoint.c_str(),
+            analysis.bindingCeiling.empty() ? ""
+                                            : ", binding ceiling ",
+            analysis.bindingCeiling.c_str());
+    }
     out += strFormat(
         "  f_action %.2f Hz (bottleneck: %s), knee %.2f Hz\n",
         a.actionThroughput.value(),

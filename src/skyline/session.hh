@@ -12,10 +12,12 @@
 #ifndef UAVF1_SKYLINE_SESSION_HH
 #define UAVF1_SKYLINE_SESSION_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/f1_model.hh"
+#include "platform/roofline_platform.hh"
 #include "skyline/knobs.hh"
 #include "thermal/heatsink.hh"
 
@@ -29,6 +31,10 @@ struct SweepPoint
     double kneeThroughput = 0.0; ///< Hz.
     double roofVelocity = 0.0;  ///< m/s.
     bool feasible = true;       ///< False if the build cannot hover.
+    /** Binding machine ceiling of f_compute at this point;
+     * unattributed unless the platform knob routed the rate through
+     * a roofline bound. */
+    platform::CeilingRef binding{};
 };
 
 /** The automatic-analysis output (paper Section V-D). */
@@ -40,6 +46,9 @@ struct Analysis
     double thrustToWeight = 0.0;   ///< At takeoff mass.
     units::MetersPerSecondSquared aMax; ///< Derived acceleration.
     std::vector<std::string> tips; ///< Optimization guidance.
+    /** "<kind> '<name>'" of the binding machine ceiling; empty when
+     * f_compute did not come from a roofline bound. */
+    std::string bindingCeiling;
 };
 
 /**
@@ -64,7 +73,16 @@ class SkylineSession
      * Set a knob from CLI-style name/value strings. Knob names
      * (case-insensitive): sensor_framerate, compute_tdp, algorithm,
      * compute_runtime, sensor_range, drone_weight, rotor_pull,
-     * payload_weight, control_rate, knee_fraction.
+     * payload_weight, control_rate, knee_fraction, platform,
+     * operating_point.
+     *
+     * The `platform` knob routes the session through a roofline
+     * platform preset: it is validated eagerly against the catalog
+     * (unknown names get "did you mean" suggestions) and makes
+     * f_compute the workload-aware roofline bound of the
+     * `algorithm` knob on that ceiling family, with binding-ceiling
+     * attribution; the TDP knob then follows the `operating_point`.
+     * An empty value returns to the legacy compute_runtime path.
      *
      * @throws ModelError for unknown names or unparsable values
      */
@@ -130,7 +148,29 @@ class SkylineSession
         return _heatsink;
     }
 
+    /**
+     * The roofline platform preset selected by the platform knob
+     * (with its operating-point set), or nothing when the knob is
+     * empty.
+     *
+     * @throws ModelError for an unknown preset or operating point
+     */
+    std::optional<platform::RooflinePlatform>
+    rooflinePlatform() const;
+
+    /**
+     * TDP the heat-sink sizing uses: the selected operating point's
+     * TDP when the platform knob is set (and the point carries
+     * one), else the compute_tdp knob.
+     */
+    units::Watts effectiveTdp() const;
+
   private:
+    /** Selected operating-point index on `machine`. */
+    std::size_t
+    operatingPointIndex(const platform::RooflinePlatform &machine)
+        const;
+
     Knobs _knobs;
     thermal::HeatsinkModel _heatsink;
 };

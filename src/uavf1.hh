@@ -24,6 +24,8 @@
 #include "pipeline/action_pipeline.hh"
 #include "pipeline/redundancy.hh"
 #include "pipeline/reliability.hh"
+#include "platform/roofline_platform.hh"
+#include "platform/workload_profile.hh"
 #include "plot/ascii_renderer.hh"
 #include "plot/csv_writer.hh"
 #include "plot/roofline_chart.hh"

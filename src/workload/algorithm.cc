@@ -40,6 +40,26 @@ AutonomyAlgorithm::arithmeticIntensity() const
                              (_megabytesPerFrame * 1e6));
 }
 
+AutonomyAlgorithm
+AutonomyAlgorithm::withTraits(WorkloadTraits traits) const
+{
+    for (const auto &[level, fraction] : traits.levelTraffic) {
+        if (level.empty()) {
+            throw ModelError("levelTraffic of '" + _name +
+                             "' requires a memory-level name");
+        }
+        requireFinite(fraction,
+                      "levelTraffic fraction for '" + level +
+                          "' on " + _name);
+        requireNonNegative(fraction,
+                           "levelTraffic fraction for '" + level +
+                               "' on " + _name);
+    }
+    AutonomyAlgorithm out = *this;
+    out._traits = std::move(traits);
+    return out;
+}
+
 components::Registry<AutonomyAlgorithm>
 standardAlgorithms()
 {
@@ -53,6 +73,36 @@ standardAlgorithms()
                               150.0));
     reg.add(AutonomyAlgorithm("SPA package delivery",
                               Paradigm::SensePlanAct, 12.0, 400.0));
+    return reg;
+}
+
+components::Registry<AutonomyAlgorithm>
+annotatedAlgorithms()
+{
+    components::Registry<AutonomyAlgorithm> reg = standardAlgorithms();
+
+    // DroNet compiled without its SIMD/GPU ports: same per-frame
+    // work and traffic as DroNet, but only scalar ceilings (plus
+    // General ones) can bind, the way PULP-DroNet's scalar fallback
+    // runs.
+    WorkloadTraits scalar_only;
+    scalar_only.targets = {platform::ComputeTarget::Scalar};
+    reg.add(AutonomyAlgorithm("DroNet (scalar-only)",
+                              Paradigm::EndToEnd, 0.04, 1.5)
+                .withTraits(std::move(scalar_only)));
+
+    // A visual-inertial-odometry frontend: low arithmetic intensity
+    // (0.5 op/B), SLAM pipeline stage, and a working set that fits
+    // on chip — only 5% of its per-frame bytes reach DRAM, so the
+    // DRAM level's effective AI is 20x the raw one and an on-chip
+    // ceiling binds instead (CARM semantics); on stage-gated
+    // families its SLAM tag also unlocks VIO-accelerator ceilings.
+    WorkloadTraits vio;
+    vio.stage = "SLAM";
+    vio.levelTraffic = {{"LPDDR4 DRAM", 0.05}};
+    reg.add(AutonomyAlgorithm("VIO frontend (cache-resident)",
+                              Paradigm::SensePlanAct, 0.005, 10.0)
+                .withTraits(std::move(vio)));
     return reg;
 }
 

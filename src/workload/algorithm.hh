@@ -13,8 +13,11 @@
 #define UAVF1_WORKLOAD_ALGORITHM_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "components/registry.hh"
+#include "platform/ceiling.hh"
 #include "units/units.hh"
 
 namespace uavf1::workload {
@@ -28,6 +31,42 @@ enum class Paradigm
 
 /** Printable paradigm name. */
 const char *toString(Paradigm paradigm);
+
+/**
+ * Optional workload-level ceiling annotations. The default
+ * (unannotated) traits place no constraints: every compute ceiling
+ * applies and every memory level carries the full traffic stream,
+ * so unannotated algorithms reproduce the classic evaluation
+ * bit-for-bit. Annotations are mapped onto a concrete platform's
+ * ceiling family by workload::workloadProfile().
+ */
+struct WorkloadTraits
+{
+    /** Execution-target classes the kernel can use (e.g. only
+     * platform::ComputeTarget::Scalar for a scalar-only kernel);
+     * empty = any target. ComputeTarget::General ceilings always
+     * apply regardless. */
+    std::vector<platform::ComputeTarget> targets;
+
+    /** Pipeline stage this kernel implements (e.g. "SLAM"), for
+     * stage-gated accelerator ceilings; empty = whole algorithm. */
+    std::string stage;
+
+    /** Per-memory-level traffic: (memory ceiling name, fraction of
+     * the per-frame bytes traversing that level). Levels absent
+     * from the list — and names a given platform does not have —
+     * default to 1.0 (the full stream). A fraction of 0 marks a
+     * level the working set never touches (e.g. DRAM for a
+     * cache-resident kernel). */
+    std::vector<std::pair<std::string, double>> levelTraffic;
+
+    /** True when any annotation deviates from the defaults. */
+    bool annotated() const
+    {
+        return !targets.empty() || !stage.empty() ||
+               !levelTraffic.empty();
+    }
+};
 
 /**
  * A named autonomy algorithm with its per-frame resource profile.
@@ -60,11 +99,23 @@ class AutonomyAlgorithm
     /** Arithmetic intensity, ops per byte. */
     units::OpsPerByte arithmeticIntensity() const;
 
+    /** Ceiling annotations (default: unannotated). */
+    const WorkloadTraits &traits() const { return _traits; }
+
+    /**
+     * Copy of this algorithm with ceiling annotations.
+     *
+     * @throws ModelError on a non-finite/negative traffic fraction
+     *         or an empty level name
+     */
+    AutonomyAlgorithm withTraits(WorkloadTraits traits) const;
+
   private:
     std::string _name;
     Paradigm _paradigm;
     double _workPerFrameGop;
     double _megabytesPerFrame;
+    WorkloadTraits _traits;
 };
 
 /**
@@ -78,6 +129,22 @@ class AutonomyAlgorithm
  *   SpaPipeline for the stage breakdown.
  */
 components::Registry<AutonomyAlgorithm> standardAlgorithms();
+
+/**
+ * The standard algorithms plus ceiling-annotated workload variants
+ * that exercise workload-aware ceiling resolution:
+ *
+ * - "DroNet (scalar-only)": DroNet's resource profile restricted to
+ *   scalar execution (no SIMD/accelerator port), so a scalar
+ *   compute ceiling — not the platform's most capable roof — binds.
+ * - "VIO frontend (cache-resident)": a low-AI SLAM-stage kernel
+ *   whose working set fits on chip (5% of its traffic reaches
+ *   DRAM), so an on-chip memory ceiling can genuinely bind.
+ *
+ * Kept separate from standardAlgorithms() so every unannotated
+ * consumer reproduces its numbers bit-for-bit.
+ */
+components::Registry<AutonomyAlgorithm> annotatedAlgorithms();
 
 } // namespace uavf1::workload
 

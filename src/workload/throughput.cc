@@ -25,8 +25,54 @@ toString(ThroughputSource source)
     return "unknown";
 }
 
+platform::WorkloadProfile
+workloadProfile(const AutonomyAlgorithm &algorithm,
+                const platform::RooflinePlatform &platform)
+{
+    platform::WorkloadProfile profile;
+    profile.ai = algorithm.arithmeticIntensity();
+
+    const WorkloadTraits &traits = algorithm.traits();
+    if (!traits.targets.empty()) {
+        platform::TargetMask mask = 0;
+        for (const platform::ComputeTarget target : traits.targets)
+            mask |= platform::targetBit(target);
+        profile.targets = mask;
+    }
+    profile.stage = platform::stageTag(traits.stage);
+
+    const auto &levels = platform.memoryCeilings();
+    for (const auto &[level, fraction] : traits.levelTraffic) {
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            if (levels[i].name != level)
+                continue;
+            if (i >= platform::WorkloadProfile::maxMemoryLevels) {
+                throw ModelError(
+                    "memory level '" + level + "' of " +
+                    platform.name() +
+                    " is beyond the per-level AI annotation "
+                    "capacity of a workload profile");
+            }
+            profile.trafficFraction[i] = fraction;
+        }
+    }
+    return profile;
+}
+
 ThroughputEstimate
 rooflineBound(double work_per_frame_gop, units::OpsPerByte ai,
+              const platform::RooflinePlatform &platform,
+              std::size_t op_index)
+{
+    platform::WorkloadProfile profile;
+    profile.ai = ai;
+    return rooflineBound(work_per_frame_gop, profile, platform,
+                         op_index);
+}
+
+ThroughputEstimate
+rooflineBound(double work_per_frame_gop,
+              const platform::WorkloadProfile &profile,
               const platform::RooflinePlatform &platform,
               std::size_t op_index)
 {
@@ -34,7 +80,7 @@ rooflineBound(double work_per_frame_gop, units::OpsPerByte ai,
                     "work_per_frame for the roofline bound on " +
                         platform.name());
     const platform::AttainableBound bound =
-        platform.attainable(ai, op_index);
+        platform.attainable(profile, op_index);
     const double hz = bound.attainable.value() / work_per_frame_gop;
     requireFinite(hz, "roofline bound on " + platform.name());
     return {units::Hertz(hz), ThroughputSource::RooflineBound,
@@ -47,8 +93,8 @@ rooflineBound(const AutonomyAlgorithm &algorithm,
               std::size_t op_index)
 {
     return rooflineBound(algorithm.workPerFrameGop(),
-                         algorithm.arithmeticIntensity(), platform,
-                         op_index);
+                         workloadProfile(algorithm, platform),
+                         platform, op_index);
 }
 
 units::Hertz

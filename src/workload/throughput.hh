@@ -53,6 +53,23 @@ struct ThroughputEstimate
 };
 
 /**
+ * Map an algorithm's ceiling annotations (WorkloadTraits) onto a
+ * concrete platform's ceiling family: targets become the
+ * applicability mask (empty = every target), the stage name becomes
+ * a stage tag, and levelTraffic entries are matched against the
+ * platform's memory ceiling *names* — names the platform does not
+ * have are ignored, so one annotation set travels across platforms.
+ * An unannotated algorithm yields the default profile, which
+ * reproduces the classic evaluation bit-for-bit.
+ *
+ * @throws ModelError when an annotated memory level is beyond
+ *         WorkloadProfile::maxMemoryLevels on this platform
+ */
+platform::WorkloadProfile
+workloadProfile(const AutonomyAlgorithm &algorithm,
+                const platform::RooflinePlatform &platform);
+
+/**
  * Ceiling-set roofline bound from raw workload scalars:
  * attainable(AI) over the platform's ceiling family, divided by the
  * work per frame, with the binding ceiling as provenance.
@@ -71,8 +88,24 @@ rooflineBound(double work_per_frame_gop, units::OpsPerByte ai,
               std::size_t op_index = 0);
 
 /**
+ * Workload-aware roofline bound: attainable(profile) over the
+ * ceilings the profile admits, divided by the work per frame.
+ *
+ * @throws ModelError on a non-positive work-per-frame, a degenerate
+ *         profile, or when no compute ceiling is applicable
+ */
+ThroughputEstimate
+rooflineBound(double work_per_frame_gop,
+              const platform::WorkloadProfile &profile,
+              const platform::RooflinePlatform &platform,
+              std::size_t op_index = 0);
+
+/**
  * Ceiling-set roofline bound for an algorithm on a multi-ceiling
- * platform.
+ * platform, evaluated through the algorithm's workloadProfile() —
+ * annotated algorithms can bind non-top compute ceilings and
+ * on-chip memory ceilings; unannotated ones keep the classic
+ * numbers bit-for-bit.
  */
 ThroughputEstimate
 rooflineBound(const AutonomyAlgorithm &algorithm,

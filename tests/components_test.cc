@@ -142,6 +142,36 @@ TEST(Registry, RejectsDuplicates)
     EXPECT_EQ(reg.size(), 1u);
 }
 
+TEST(Registry, UnknownNameSuggestsTheClosestEntries)
+{
+    const auto catalog = Catalog::standard();
+    // A near-miss earns a "did you mean" with the fix, plus the
+    // full candidate list — the treatment study names get.
+    try {
+        catalog.rooflines().byName("Nvidia TX3");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("did you mean"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("Nvidia TX2"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("known entries:"), std::string::npos)
+            << message;
+    }
+    // Hopeless queries still list what exists.
+    try {
+        catalog.rooflines().byName("quantum-annealer");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        const std::string message = e.what();
+        EXPECT_EQ(message.find("did you mean"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("known entries:"), std::string::npos)
+            << message;
+    }
+}
+
 TEST(Catalog, StandardHasEveryPaperPart)
 {
     const auto catalog = Catalog::standard();

@@ -31,8 +31,10 @@ familySpec()
 {
     RooflinePlatform::Spec spec;
     spec.name = "family";
-    spec.computeCeilings = {{"scalar", Gops(40.0)},
-                            {"GPU", Gops(1000.0)}};
+    spec.computeCeilings = {{"scalar", Gops(40.0),
+                             ComputeTarget::Scalar, {}},
+                            {"GPU", Gops(1000.0),
+                             ComputeTarget::Accelerator, {}}};
     spec.memoryCeilings = {{"DRAM", GigabytesPerSecond(60.0)},
                            {"on-chip", GigabytesPerSecond(300.0)}};
     spec.operatingPoints = {{"nominal", 1.0, Watts(10.0)},
@@ -164,6 +166,14 @@ TEST(RooflinePlatform, PropertySingleCeilingEqualsFlatBound)
                 machine.attainable(OpsPerByte(ai), op);
             EXPECT_EQ(bound.attainable.value(), flat)
                 << "op " << op << " ai " << ai;
+            // The default (unannotated) WorkloadProfile is the
+            // same evaluation, bit-for-bit.
+            WorkloadProfile profile;
+            profile.ai = OpsPerByte(ai);
+            EXPECT_EQ(machine.attainable(profile, op)
+                          .attainable.value(),
+                      flat)
+                << "profile op " << op << " ai " << ai;
             // With one ceiling per family the attribution index is
             // always 0 and the kind matches the flat argmin.
             EXPECT_EQ(bound.binding.index, 0);
@@ -335,6 +345,225 @@ TEST(RooflinePlatform, CeilingNamesAndKinds)
                  ModelError);
     EXPECT_THROW(machine.ceilingName({CeilingKind::Memory, 9}),
                  ModelError);
+}
+
+TEST(CeilingRef, FamilyTagMakesMisattributionDetectable)
+{
+    const RooflinePlatform machine{familySpec()};
+    RooflinePlatform::Spec other_spec = familySpec();
+    other_spec.name = "other-family";
+    const RooflinePlatform other{other_spec};
+
+    ASSERT_NE(machine.familyTag(), 0u);
+    ASSERT_NE(machine.familyTag(), other.familyTag());
+
+    const CeilingRef ref =
+        machine.attainable(OpsPerByte(100.0)).binding;
+    EXPECT_EQ(ref.family, machine.familyTag());
+    EXPECT_TRUE(machine.resolves(ref));
+    EXPECT_FALSE(other.resolves(ref));
+    // Resolving against the producing family works; against any
+    // other family it is an error, not a silent misattribution.
+    EXPECT_EQ(machine.ceilingName(ref), "GPU");
+    EXPECT_THROW(other.ceilingName(ref), ModelError);
+    EXPECT_THROW(other.ceilingRoof(ref, OpsPerByte(1.0)),
+                 ModelError);
+
+    // Untagged (hand-made) refs resolve anywhere, bounds allowing.
+    const CeilingRef untagged{CeilingKind::Compute, 0, true};
+    EXPECT_TRUE(machine.resolves(untagged));
+    EXPECT_TRUE(other.resolves(untagged));
+    // A name-preserving copy keeps the tag, so DVFS variants of one
+    // platform stay interchangeable.
+    const RooflinePlatform variant = machine.withOperatingPoints(
+        {{"nominal", 1.0, Watts(10.0)}});
+    EXPECT_EQ(variant.familyTag(), machine.familyTag());
+    EXPECT_TRUE(variant.resolves(ref));
+
+    // Equality distinguishes same-looking refs from different
+    // families.
+    const CeilingRef foreign =
+        other.attainable(OpsPerByte(100.0)).binding;
+    EXPECT_EQ(foreign.kind, ref.kind);
+    EXPECT_EQ(foreign.index, ref.index);
+    EXPECT_NE(foreign, ref);
+}
+
+TEST(WorkloadProfile, ApplicabilityMaskSkipsForeignTargets)
+{
+    const RooflinePlatform machine{familySpec()};
+
+    // A scalar-only kernel cannot ride the GPU roof: the scalar
+    // ceiling — not the platform's most capable target — binds.
+    WorkloadProfile scalar_only;
+    scalar_only.ai = OpsPerByte(100.0);
+    scalar_only.targets = targetBit(ComputeTarget::Scalar);
+    const AttainableBound bound = machine.attainable(scalar_only);
+    EXPECT_DOUBLE_EQ(bound.attainable.value(), 40.0);
+    EXPECT_EQ(bound.binding.kind, CeilingKind::Compute);
+    EXPECT_EQ(bound.binding.index, 0);
+
+    // A mask admitting every target reproduces the unannotated
+    // evaluation.
+    WorkloadProfile all = scalar_only;
+    all.targets = kAllTargets;
+    EXPECT_EQ(machine.attainable(all).attainable.value(),
+              machine.attainable(OpsPerByte(100.0))
+                  .attainable.value());
+
+    // A mask no ceiling satisfies is an error, not a silent
+    // fallback (familySpec has no Simd ceiling).
+    WorkloadProfile simd_only = scalar_only;
+    simd_only.targets = targetBit(ComputeTarget::Simd);
+    EXPECT_THROW(machine.attainable(simd_only), ModelError);
+
+    // General ceilings apply to every workload: the single-ceiling
+    // adapter family accepts even a scalar-only profile.
+    const RooflinePlatform flat = RooflinePlatform::singleCeiling(
+        "flat", Gops(100.0), GigabytesPerSecond(10.0));
+    EXPECT_NO_THROW(flat.attainable(scalar_only));
+}
+
+TEST(WorkloadProfile, StageGatedCeilingAppliesOnlyToItsStage)
+{
+    RooflinePlatform::Spec spec = familySpec();
+    spec.computeCeilings.push_back(
+        {"VIO ASIC", Gops(5000.0), ComputeTarget::Accelerator,
+         "SLAM"});
+    const RooflinePlatform machine{spec};
+
+    WorkloadProfile profile;
+    profile.ai = OpsPerByte(1000.0);
+
+    // A whole-algorithm profile (no stage) cannot use the gated
+    // ceiling: the ungated GPU roof binds.
+    EXPECT_DOUBLE_EQ(machine.attainable(profile).attainable.value(),
+                     1000.0);
+
+    // The SLAM-stage kernel unlocks it.
+    profile.stage = stageTag("SLAM");
+    const AttainableBound slam = machine.attainable(profile);
+    EXPECT_DOUBLE_EQ(slam.attainable.value(), 5000.0);
+    EXPECT_EQ(machine.ceilingName(slam.binding), "VIO ASIC");
+
+    // A different stage does not.
+    profile.stage = stageTag("planning");
+    EXPECT_DOUBLE_EQ(machine.attainable(profile).attainable.value(),
+                     1000.0);
+    EXPECT_NE(stageTag("SLAM"), stageTag("planning"));
+    EXPECT_EQ(stageTag(""), 0u);
+}
+
+TEST(WorkloadProfile, CarmCrossoverBindsOnChipThenCompute)
+{
+    // The CARM acceptance property: a working set that fits on
+    // chip (only 5% of its bytes reach DRAM) must bind the on-chip
+    // ceiling at low AI and hand off to the compute roof at high
+    // AI — the weakest-link chain would pin DRAM forever.
+    const RooflinePlatform machine{familySpec()};
+    WorkloadProfile cached;
+    cached.trafficFraction[0] = 0.05; // DRAM sees 5% of the bytes.
+
+    // Low AI: on-chip (300 GB/s at the raw AI) is below both the
+    // DRAM level (60 GB/s at 20x the AI => 1200 x ai) and the GPU.
+    cached.ai = OpsPerByte(1.0);
+    const AttainableBound low = machine.attainable(cached);
+    EXPECT_EQ(low.binding.kind, CeilingKind::Memory);
+    EXPECT_EQ(machine.ceilingName(low.binding), "on-chip");
+    EXPECT_DOUBLE_EQ(low.attainable.value(), 300.0);
+    // The unannotated profile at the same AI stays DRAM-bound.
+    const AttainableBound flat =
+        machine.attainable(OpsPerByte(1.0));
+    EXPECT_EQ(machine.ceilingName(flat.binding), "DRAM");
+    EXPECT_DOUBLE_EQ(flat.attainable.value(), 60.0);
+
+    // High AI: the compute roof takes over (crossover at
+    // ai = 1000/300).
+    cached.ai = OpsPerByte(50.0);
+    const AttainableBound high = machine.attainable(cached);
+    EXPECT_EQ(high.binding.kind, CeilingKind::Compute);
+    EXPECT_EQ(machine.ceilingName(high.binding), "GPU");
+    EXPECT_DOUBLE_EQ(high.attainable.value(), 1000.0);
+
+    // Zero traffic at a level: that level can never bind.
+    WorkloadProfile sram_only;
+    sram_only.ai = OpsPerByte(0.001);
+    sram_only.trafficFraction[0] = 0.0;
+    const AttainableBound no_dram = machine.attainable(sram_only);
+    EXPECT_EQ(machine.ceilingName(no_dram.binding), "on-chip");
+
+    // Degenerate fractions are rejected.
+    WorkloadProfile bad;
+    bad.ai = OpsPerByte(1.0);
+    bad.trafficFraction[1] = -0.5;
+    EXPECT_THROW(machine.attainable(bad), ModelError);
+}
+
+TEST(Workload, TraitsMapOntoAPlatformProfile)
+{
+    const auto algorithms = workload::annotatedAlgorithms();
+    const auto catalog = components::Catalog::standard();
+    const RooflinePlatform &tx2 =
+        catalog.rooflines().byName("Nvidia TX2");
+
+    // Unannotated algorithms yield the default profile and keep the
+    // classic bound bit-for-bit.
+    const auto &dronet = algorithms.byName("DroNet");
+    const WorkloadProfile plain =
+        workload::workloadProfile(dronet, tx2);
+    EXPECT_EQ(plain.targets, kAllTargets);
+    EXPECT_EQ(plain.stage, 0u);
+    EXPECT_EQ(
+        workload::rooflineBound(dronet, tx2).value.value(),
+        workload::rooflineBound(dronet.workPerFrameGop(),
+                                dronet.arithmeticIntensity(), tx2)
+            .value.value());
+
+    // The scalar-only variant binds the scalar ceiling (index 0),
+    // not the platform's top GPU roof.
+    const auto scalar_bound = workload::rooflineBound(
+        algorithms.byName("DroNet (scalar-only)"), tx2);
+    EXPECT_EQ(scalar_bound.binding.kind, CeilingKind::Compute);
+    EXPECT_EQ(tx2.ceilingName(scalar_bound.binding),
+              "Denver2/A57 scalar");
+    EXPECT_DOUBLE_EQ(scalar_bound.value.value(), 42.0 / 0.04);
+
+    // The cache-resident VIO kernel binds the on-chip memory level
+    // on the TX2 family (CARM), and the stage-gated Navion ceiling
+    // on the accelerator family.
+    const auto &vio =
+        algorithms.byName("VIO frontend (cache-resident)");
+    const auto vio_tx2 = workload::rooflineBound(vio, tx2);
+    EXPECT_EQ(vio_tx2.binding.kind, CeilingKind::Memory);
+    EXPECT_EQ(tx2.ceilingName(vio_tx2.binding), "GPU L2/shared");
+
+    const RooflinePlatform &navion =
+        catalog.rooflines().byName("TX2-CPU + Navion");
+    const auto vio_navion = workload::rooflineBound(vio, navion);
+    // AI 0.5: on-chip roof 150 GOPS < the 200 GOPS Navion ceiling,
+    // so memory still binds; a denser SLAM kernel rides the ASIC.
+    EXPECT_EQ(navion.ceilingName(vio_navion.binding),
+              "on-chip SRAM");
+    workload::AutonomyAlgorithm dense_vio =
+        workload::AutonomyAlgorithm("dense VIO",
+                                    workload::Paradigm::SensePlanAct,
+                                    0.2, 10.0)
+            .withTraits(vio.traits());
+    const auto dense_bound =
+        workload::rooflineBound(dense_vio, navion);
+    EXPECT_EQ(navion.ceilingName(dense_bound.binding),
+              "Navion VIO ASIC");
+
+    // Level names a platform lacks are ignored — annotations travel
+    // across platforms.
+    const RooflinePlatform &m4 =
+        catalog.rooflines().byName("ARM Cortex-M4");
+    EXPECT_NO_THROW(workload::rooflineBound(vio, m4));
+
+    // Traits validation.
+    workload::WorkloadTraits bad;
+    bad.levelTraffic = {{"DRAM", -1.0}};
+    EXPECT_THROW(dronet.withTraits(bad), ModelError);
 }
 
 } // namespace

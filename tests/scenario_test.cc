@@ -41,7 +41,7 @@ TEST(Registry, EnumeratesEveryFigAndTableStudy)
     for (const char *name :
          {"fig02", "fig04", "fig05", "fig07", "fig09", "fig11",
           "fig12", "fig13", "fig14", "fig15", "fig16", "table1",
-          "table2", "table3", "sweep", "roofline"}) {
+          "table2", "table3", "sweep", "roofline", "dvfs"}) {
         EXPECT_TRUE(registry.contains(name)) << name;
         const StudyInfo &info = registry.find(name);
         EXPECT_FALSE(info.title.empty()) << name;
@@ -277,12 +277,111 @@ TEST(Runner, RooflineStudyRendersTheCeilingFamily)
     }
 
     // Unknown presets and operating points fail per-scenario with
-    // an actionable message, never out of the batch.
+    // an actionable message — with the same prefix/edit-distance
+    // "did you mean" treatment study names get, and the preset
+    // list — never out of the batch. skyline_cli reports the
+    // failed outcome and exits non-zero.
     ScenarioSpec bad = spec;
     bad.overrides.set("platform", "Nvidia TX3");
     const ScenarioOutcome failed = runner.run(bad);
     EXPECT_FALSE(failed.ok);
     EXPECT_NE(failed.error.find("Nvidia TX3"), std::string::npos);
+    EXPECT_NE(failed.error.find("did you mean"), std::string::npos)
+        << failed.error;
+    EXPECT_NE(failed.error.find("Nvidia TX2"), std::string::npos)
+        << failed.error;
+}
+
+TEST(Runner, RooflineStudyRendersPerWorkloadEnvelopes)
+{
+    ScenarioSpec spec;
+    spec.study = "roofline";
+    spec.overrides.set("samples", "17");
+    spec.overrides.set("workloads", "annotated");
+
+    const ScenarioRunner runner;
+    const ScenarioOutcome outcome = runner.run(spec);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    // Annotated workloads get their own attainable envelopes, and
+    // the binding diversity shows up in the metrics: the
+    // scalar-only kernel binds compute ceiling 0 (not the GPU) and
+    // the cache-resident kernel binds a memory ceiling.
+    std::size_t envelopes = 0;
+    for (const auto &series : outcome.result.series) {
+        if (series.name().rfind("envelope: ", 0) == 0)
+            ++envelopes;
+    }
+    EXPECT_GE(envelopes, 2u);
+
+    const auto metric = [&](const std::string &name) {
+        for (const auto &m : outcome.result.metrics) {
+            if (m.name == name)
+                return m.value;
+        }
+        ADD_FAILURE() << "missing metric " << name;
+        return -1.0;
+    };
+    EXPECT_EQ(metric("DroNet_binding_kind"), 0.0);
+    EXPECT_EQ(metric("DroNet_binding_index"), 2.0);
+    EXPECT_EQ(metric("DroNet (scalar-only)_binding_kind"), 0.0);
+    EXPECT_EQ(metric("DroNet (scalar-only)_binding_index"), 0.0);
+    EXPECT_EQ(
+        metric("VIO frontend (cache-resident)_binding_kind"), 1.0);
+    EXPECT_EQ(
+        metric("VIO frontend (cache-resident)_binding_index"), 1.0);
+
+    // The default workloads value stays the standard registry (no
+    // envelopes), and junk values fail loudly.
+    ScenarioSpec standard = spec;
+    standard.overrides.set("workloads", "standard");
+    const ScenarioOutcome plain = runner.run(standard);
+    ASSERT_TRUE(plain.ok) << plain.error;
+    for (const auto &series : plain.result.series)
+        EXPECT_EQ(series.name().rfind("envelope: ", 0),
+                  std::string::npos);
+    ScenarioSpec junk = spec;
+    junk.overrides.set("workloads", "bogus");
+    EXPECT_FALSE(runner.run(junk).ok);
+}
+
+TEST(Runner, DvfsStudySweepsOperatingPointsWithAttribution)
+{
+    ScenarioSpec spec;
+    spec.study = "dvfs";
+    spec.overrides.set("platform", "Nvidia TX2");
+
+    const ScenarioRunner runner;
+    const ScenarioOutcome outcome = runner.run(spec);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    const auto metric = [&](const std::string &name) {
+        for (const auto &m : outcome.result.metrics) {
+            if (m.name == name)
+                return m.value;
+        }
+        ADD_FAILURE() << "missing metric " << name;
+        return -1.0;
+    };
+    EXPECT_EQ(metric("operating_points"), 3.0);
+    // The CMOS law: each slower point costs less TDP...
+    EXPECT_GT(metric("nominal_tdp"), metric("half-clock_tdp"));
+    EXPECT_GT(metric("half-clock_tdp"), metric("dvfs-floor_tdp"));
+    // ...and (the paper's remedy) the lighter heat sink *raises*
+    // v_safe while the design stays over-provisioned.
+    EXPECT_GT(metric("dvfs-floor_v_safe"), metric("nominal_v_safe"));
+    // Clock scaling never changes which ceiling binds DroNet.
+    EXPECT_EQ(metric("nominal_binding_kind"), 0.0);
+    EXPECT_EQ(metric("nominal_binding_index"), 2.0);
+    EXPECT_EQ(metric("dvfs-floor_binding_index"), 2.0);
+
+    // v_safe-vs-TDP and roof series, one point per operating point.
+    ASSERT_EQ(outcome.result.series.size(), 2u);
+    EXPECT_EQ(outcome.result.series[0].size(), 3u);
+
+    // The binding ceiling is named in the summary table.
+    EXPECT_NE(outcome.result.summary.find("Pascal GPU FP16"),
+              std::string::npos);
 }
 
 TEST(Runner, UniqueArtifactBasenamesForRepeatedStudies)

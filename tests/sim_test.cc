@@ -1,17 +1,23 @@
 /**
  * @file
  * Unit tests for the flight simulator: vehicle integration, the
- * dash-and-stop protocol and the validation harness.
+ * dash-and-stop protocol, the validation harness, and the
+ * Monte-Carlo per-ceiling binding tallies.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 
+#include "components/catalog.hh"
+#include "exec/thread_pool.hh"
 #include "sim/flight_sim.hh"
+#include "sim/monte_carlo.hh"
 #include "sim/table1.hh"
 #include "sim/validation.hh"
 #include "sim/vehicle.hh"
+#include "studies/presets.hh"
 #include "support/errors.hh"
 
 namespace {
@@ -315,6 +321,87 @@ TEST(Validation, RecordTrajectoryUsesCommandedVelocity)
         ValidationHarness::recordTrajectory(cases[0], 1.5);
     EXPECT_FALSE(trial.trajectory.empty());
     EXPECT_NEAR(trial.peakVelocity, 1.5, 0.1);
+}
+
+/** A TX2-family spec whose AI uncertainty straddles the machine
+ * knee (1330 / 59.7 ~ 22.3 op/B), so both compute and memory
+ * ceilings bind with nonzero probability. */
+UncertaintySpec
+ceilingSpec()
+{
+    UncertaintySpec spec;
+    spec.nominal = studies::pelicanInputs(Hertz(55.0));
+    spec.platform = components::Catalog::standard().rooflines().byName(
+        "Nvidia TX2");
+    spec.profile.ai = OpsPerByte(22.3);
+    spec.workPerFrameGop = 0.04;
+    spec.aiRelStd = 0.4;
+    return spec;
+}
+
+TEST(MonteCarloCeilings, TalliesProbabilityPerCeiling)
+{
+    // Legacy specs (no platform) report no per-ceiling tallies and
+    // keep the scalar f_compute perturbation.
+    UncertaintySpec legacy;
+    legacy.nominal = studies::pelicanInputs(Hertz(55.0));
+    const auto plain = MonteCarloAnalyzer(legacy).run(1000, 1);
+    EXPECT_TRUE(plain.probComputeCeilingBinds.empty());
+    EXPECT_TRUE(plain.probMemoryCeilingBinds.empty());
+
+    const UncertaintySpec spec = ceilingSpec();
+    const auto result = MonteCarloAnalyzer(spec).run(20000, 1);
+    ASSERT_EQ(result.probComputeCeilingBinds.size(), 3u);
+    ASSERT_EQ(result.probMemoryCeilingBinds.size(), 2u);
+
+    // Every sample has exactly one binding ceiling.
+    const double total =
+        std::accumulate(result.probComputeCeilingBinds.begin(),
+                        result.probComputeCeilingBinds.end(), 0.0) +
+        std::accumulate(result.probMemoryCeilingBinds.begin(),
+                        result.probMemoryCeilingBinds.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+
+    // Around the knee, the GPU roof (compute index 2) and the DRAM
+    // level (memory index 0) both bind with real probability; the
+    // never-binding scalar/SIMD/on-chip ceilings stay at zero.
+    EXPECT_GT(result.probComputeCeilingBinds[2], 0.05);
+    EXPECT_GT(result.probMemoryCeilingBinds[0], 0.05);
+    EXPECT_EQ(result.probComputeCeilingBinds[0], 0.0);
+    EXPECT_EQ(result.probComputeCeilingBinds[1], 0.0);
+    EXPECT_EQ(result.probMemoryCeilingBinds[1], 0.0);
+}
+
+TEST(MonteCarloCeilings, TalliesAreBitIdenticalAcrossThreads)
+{
+    const UncertaintySpec spec = ceilingSpec();
+    const MonteCarloAnalyzer analyzer(spec);
+    exec::ThreadPool pool1(1);
+    exec::ThreadPool pool8(8);
+    // Spans many sample blocks so the chunk-order merge is
+    // genuinely exercised.
+    const auto serial = analyzer.run(50000, 9, {.pool = &pool1});
+    const auto parallel = analyzer.run(50000, 9, {.pool = &pool8});
+    EXPECT_EQ(serial.safeVelocity.mean, parallel.safeVelocity.mean);
+    EXPECT_EQ(serial.probComputeCeilingBinds,
+              parallel.probComputeCeilingBinds);
+    EXPECT_EQ(serial.probMemoryCeilingBinds,
+              parallel.probMemoryCeilingBinds);
+}
+
+TEST(MonteCarloCeilings, ValidatesThePlatformPathUpFront)
+{
+    UncertaintySpec spec = ceilingSpec();
+    spec.workPerFrameGop = 0.0;
+    EXPECT_THROW(MonteCarloAnalyzer{spec}, ModelError);
+
+    spec = ceilingSpec();
+    spec.opIndex = 99;
+    EXPECT_THROW(MonteCarloAnalyzer{spec}, ModelError);
+
+    spec = ceilingSpec();
+    spec.aiRelStd = -0.1;
+    EXPECT_THROW(MonteCarloAnalyzer{spec}, ModelError);
 }
 
 } // namespace

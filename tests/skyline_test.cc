@@ -70,7 +70,127 @@ TEST(Session, RejectsUnknownKnobAndBadValues)
     EXPECT_THROW(session.set("compute_tdp", "alot"), ModelError);
     EXPECT_THROW(session.set("compute_tdp", "30W"), ModelError);
     EXPECT_THROW(session.set("compute_tdp", "-3"), ModelError);
-    EXPECT_EQ(SkylineSession::knobNames().size(), 10u);
+    EXPECT_EQ(SkylineSession::knobNames().size(), 12u);
+}
+
+TEST(Session, PlatformKnobRoutesComputeThroughTheCeilingFamily)
+{
+    SkylineSession session;
+    EXPECT_FALSE(session.rooflinePlatform().has_value());
+
+    session.set("platform", "Nvidia TX2");
+    ASSERT_TRUE(session.rooflinePlatform().has_value());
+    const auto model = session.model();
+    // DroNet (default algorithm) roofline bound on the TX2 family:
+    // GPU roof 1330 GOPS / 0.04 GOP per frame.
+    EXPECT_DOUBLE_EQ(model.inputs().computeRate.value(),
+                     1330.0 / 0.04);
+    ASSERT_TRUE(model.inputs().computeBinding.attributed);
+    EXPECT_EQ(session.rooflinePlatform()->ceilingName(
+                  model.inputs().computeBinding),
+              "Pascal GPU FP16");
+
+    // The analysis resolves the binding ceiling by name and the
+    // rendered text reports the platform line.
+    const Analysis analysis = session.analyze();
+    EXPECT_EQ(analysis.bindingCeiling, "compute 'Pascal GPU FP16'");
+    EXPECT_NE(session.renderAnalysis().find("Nvidia TX2"),
+              std::string::npos);
+
+    // An annotated scalar-only kernel binds a non-top compute
+    // ceiling through the very same knob path.
+    session.set("algorithm", "DroNet (scalar-only)");
+    EXPECT_EQ(session.analyze().bindingCeiling,
+              "compute 'Denver2/A57 scalar'");
+
+    // Clearing the knob returns to the compute_runtime path.
+    session.set("platform", "");
+    EXPECT_FALSE(session.model().inputs().computeBinding.attributed);
+}
+
+TEST(Session, OperatingPointScalesRateAndTdp)
+{
+    SkylineSession session;
+    session.set("platform", "Nvidia TX2");
+    const double nominal_rate =
+        session.model().inputs().computeRate.value();
+    const double nominal_heatsink = session.heatsinkMass().value();
+    EXPECT_DOUBLE_EQ(session.effectiveTdp().value(), 7.5);
+
+    session.set("operating_point", "half-clock");
+    EXPECT_DOUBLE_EQ(session.model().inputs().computeRate.value(),
+                     0.5 * nominal_rate);
+    // The CMOS law TDP at half clock is far below half: the heat
+    // sink shrinks with it (the dvfs study quantifies the curve).
+    EXPECT_LT(session.effectiveTdp().value(), 7.5 / 2.0);
+    EXPECT_LT(session.heatsinkMass().value(), nominal_heatsink);
+
+    // Unknown operating points are validated lazily (platform and
+    // point may be set in either order), at model time.
+    session.set("operating_point", "warp");
+    EXPECT_THROW(session.model(), ModelError);
+}
+
+TEST(Session, PlatformKnobValidatesEagerlyWithSuggestions)
+{
+    SkylineSession session;
+    try {
+        session.set("platform", "Nvidia TX3");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("did you mean"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("Nvidia TX2"),
+                  std::string::npos);
+    }
+    // Unknown algorithm on the platform path fails at model time,
+    // listing the catalog.
+    session.set("platform", "Nvidia TX2");
+    session.set("algorithm", "MysteryNet");
+    EXPECT_THROW(session.model(), ModelError);
+
+    // Non-numeric knobs cannot be swept.
+    EXPECT_THROW(session.sweep("platform", 0.0, 1.0, 3), ModelError);
+    EXPECT_THROW(session.sweep("operating_point", 0.0, 1.0, 3),
+                 ModelError);
+}
+
+TEST(Session, PlatformKnobsRoundTripThroughConfig)
+{
+    SkylineSession session;
+    // Legacy sessions keep their exact config bytes: no platform
+    // lines unless the knobs are set.
+    EXPECT_EQ(session.saveConfig().find("platform"),
+              std::string::npos);
+
+    session.set("platform", "Nvidia TX2");
+    session.set("operating_point", "dvfs-floor");
+    SkylineSession restored;
+    restored.loadConfig(session.saveConfig());
+    EXPECT_EQ(restored.saveConfig(), session.saveConfig());
+    EXPECT_EQ(restored.knobs().platform, "Nvidia TX2");
+    EXPECT_EQ(restored.knobs().operatingPoint, "dvfs-floor");
+}
+
+TEST(Session, SweepCarriesBindingAttribution)
+{
+    SkylineSession session;
+    session.set("platform", "Nvidia TX2");
+    const auto points =
+        session.sweep("sensor_range", 1.0, 6.0, 5);
+    for (const auto &point : points) {
+        ASSERT_TRUE(point.feasible);
+        EXPECT_TRUE(point.binding.attributed);
+        EXPECT_EQ(session.rooflinePlatform()->ceilingName(
+                      point.binding),
+                  "Pascal GPU FP16");
+    }
+    // Legacy sweeps stay unattributed.
+    SkylineSession legacy;
+    for (const auto &point :
+         legacy.sweep("sensor_range", 1.0, 6.0, 5)) {
+        EXPECT_FALSE(point.binding.attributed);
+    }
 }
 
 TEST(Session, HeatsinkFollowsTdpKnob)
