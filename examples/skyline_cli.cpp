@@ -74,7 +74,11 @@ printDriverHelp()
         "  --out dir                artifact directory\n"
         "                           (default artifacts/skyline_cli;\n"
         "                           empty string disables)\n"
-        "  --label name             artifact label (single study)\n");
+        "  --label name             artifact label (single study)\n"
+        "  --deadline-ms N          per-scenario time budget\n"
+        "                           (cooperative; 0 disables)\n"
+        "  --fail-fast              cancel remaining scenarios\n"
+        "                           after the first failure\n");
 }
 
 int
@@ -103,7 +107,9 @@ struct DriverOptions
     std::vector<std::string> sets;
     std::string outDir = "artifacts/skyline_cli";
     std::string label;
-    std::size_t threads = 0; ///< 0: the global pool.
+    std::size_t threads = 0;    ///< 0: the global pool.
+    std::size_t deadlineMs = 0; ///< 0: no per-scenario deadline.
+    bool failFast = false;      ///< Cancel batch on first failure.
 };
 
 /**
@@ -136,6 +142,19 @@ parseDriverOptions(int argc, char **argv, int first)
                                  "integer, got '" + text + "'");
             }
             options.threads = static_cast<std::size_t>(parsed);
+        } else if (arg == "--deadline-ms") {
+            const std::string text = value("--deadline-ms");
+            char *end = nullptr;
+            const long parsed = std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || (end && *end != '\0') ||
+                parsed < 0) {
+                throw ModelError("--deadline-ms expects a "
+                                 "non-negative integer, got '" +
+                                 text + "'");
+            }
+            options.deadlineMs = static_cast<std::size_t>(parsed);
+        } else if (arg == "--fail-fast") {
+            options.failFast = true;
         } else if (arg == "--out") {
             options.outDir = value("--out");
         } else if (arg == "--label") {
@@ -222,6 +241,8 @@ runScenarios(const DriverOptions &options, bool run_all)
 
     scenario::RunnerOptions runner_options;
     runner_options.outDir = options.outDir;
+    runner_options.deadlineMs = options.deadlineMs;
+    runner_options.failFast = options.failFast;
     std::unique_ptr<exec::ThreadPool> pool;
     if (options.threads > 0) {
         pool = std::make_unique<exec::ThreadPool>(options.threads);
@@ -236,7 +257,9 @@ runScenarios(const DriverOptions &options, bool run_all)
                     outcome.study.c_str());
         if (!outcome.ok) {
             ++failed;
-            std::printf("FAILED: %s\n\n", outcome.error.c_str());
+            std::printf("FAILED (%s): %s\n\n",
+                        scenario::toString(outcome.status),
+                        outcome.error.c_str());
             continue;
         }
         std::printf("%s", outcome.result.summary.c_str());

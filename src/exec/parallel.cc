@@ -24,6 +24,7 @@ struct LoopState
     std::size_t chunks = 0;
     const std::function<void(std::size_t, std::size_t)> *body =
         nullptr;
+    CancellationToken cancel;
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
@@ -43,6 +44,9 @@ struct LoopState
             const std::size_t end =
                 std::min(count, begin + grain);
             try {
+                // Captured like a body exception so the first
+                // token firing is rethrown on the caller.
+                cancel.checkpoint();
                 (*body)(begin, end);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mutex);
@@ -82,6 +86,7 @@ parallelFor(std::size_t count,
     // chunk see identical geometry at every thread count.
     if (participants <= 1 || pool.onWorkerThread()) {
         for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+            options.cancel.checkpoint();
             const std::size_t begin = chunk * grain;
             body(begin, std::min(count, begin + grain));
         }
@@ -93,6 +98,7 @@ parallelFor(std::size_t count,
     state->grain = grain;
     state->chunks = chunks;
     state->body = &body;
+    state->cancel = options.cancel;
     state->pendingHelpers = participants - 1;
 
     for (std::size_t i = 0; i + 1 < participants; ++i) {

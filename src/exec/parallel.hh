@@ -28,6 +28,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "exec/cancellation.hh"
 #include "exec/thread_pool.hh"
 
 namespace uavf1::exec {
@@ -42,6 +43,12 @@ struct ParallelOptions
     /** Minimum indices per chunk (chunk geometry, so it also pins
      * the determinism granularity of chunk-keyed state). */
     std::size_t grain = 1;
+    /** Cooperative cancellation: checked at every chunk boundary.
+     * When the token fires, the loop stops dispatching chunks and
+     * rethrows TimeoutError/CancelledError on the caller. The
+     * default token is inert. Appended last so existing designated
+     * initializers keep compiling. */
+    CancellationToken cancel;
 };
 
 /**

@@ -6,7 +6,10 @@
 #include "exec/thread_pool.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "support/errors.hh"
 
@@ -78,10 +81,31 @@ ThreadPool::onWorkerThread() const
 std::size_t
 ThreadPool::defaultThreadCount()
 {
+    // More threads than this is never a sweep-engine win on any
+    // machine we model for; treat larger requests as typos and clamp.
+    constexpr long max_threads = 1024;
+
     if (const char *env = std::getenv("UAVF1_THREADS")) {
-        const long parsed = std::strtol(env, nullptr, 10);
-        if (parsed >= 1)
-            return static_cast<std::size_t>(parsed);
+        char *end = nullptr;
+        errno = 0;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0') {
+            throw ModelError(
+                "UAVF1_THREADS must be a positive integer, got '" +
+                std::string(env) + "'");
+        }
+        if (errno == ERANGE || parsed > max_threads) {
+            std::fprintf(stderr,
+                         "uavf1: UAVF1_THREADS=%s clamped to %ld\n",
+                         env, max_threads);
+            return static_cast<std::size_t>(max_threads);
+        }
+        if (parsed < 1) {
+            throw ModelError(
+                "UAVF1_THREADS must be a positive integer, got '" +
+                std::string(env) + "'");
+        }
+        return static_cast<std::size_t>(parsed);
     }
     return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }

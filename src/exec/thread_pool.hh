@@ -56,7 +56,12 @@ class ThreadPool
      */
     static ThreadPool &global();
 
-    /** The size global() would pick (env override or hardware). */
+    /**
+     * The size global() would pick (env override or hardware).
+     * A non-numeric, zero, or negative UAVF1_THREADS raises
+     * ModelError; absurdly large values are clamped to 1024 with a
+     * warning on stderr.
+     */
     static std::size_t defaultThreadCount();
 
     /**

@@ -1,0 +1,533 @@
+/**
+ * @file
+ * FaultCampaign implementation.
+ */
+
+#include "fault/campaign.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/errors.hh"
+#include "support/rng.hh"
+#include "support/validate.hh"
+
+namespace uavf1::fault {
+
+namespace {
+
+/** True for fault kinds evaluated on the platform layer. */
+bool
+isPlatformFault(FaultKind kind)
+{
+    return kind == FaultKind::CeilingDerate ||
+           kind == FaultKind::OperatingPointLoss ||
+           kind == FaultKind::ThermalThrottle;
+}
+
+/** True for fault kinds evaluated on the SPA pipeline layer. */
+bool
+isPipelineFault(FaultKind kind)
+{
+    return kind == FaultKind::StageLatencyInflation ||
+           kind == FaultKind::StageFailure;
+}
+
+} // namespace
+
+FaultCampaign::FaultCampaign(CampaignSpec spec) : _spec(std::move(spec))
+{
+    // Validate the nominal by constructing the model once.
+    (void)core::F1Model(_spec.nominal);
+    requireNonNegative(_spec.probabilityScale, "probabilityScale");
+    requireFinite(_spec.probabilityScale, "probabilityScale");
+
+    for (std::size_t j = 0; j < _spec.faults.size(); ++j) {
+        const FaultSpec &fault = _spec.faults[j];
+        validateFaultSpec(fault);
+        if (isPlatformFault(fault.kind))
+            _platformFaults.push_back(j);
+        else if (isPipelineFault(fault.kind))
+            _pipelineFaults.push_back(j);
+        else
+            _sensorFaults.push_back(j);
+    }
+
+    // Each layer's fault subsets are enumerated into a variant
+    // table indexed by activation mask, so the per-layer count is
+    // capped to keep the tables small.
+    constexpr std::size_t max_per_layer = 8;
+    if (_platformFaults.size() > max_per_layer ||
+        _pipelineFaults.size() > max_per_layer) {
+        throw ModelError(
+            "fault campaign supports at most 8 faults per layer");
+    }
+
+    if (!_platformFaults.empty() && !_spec.platform) {
+        throw ModelError(
+            "fault '" +
+            _spec.faults[_platformFaults.front()].name +
+            "' perturbs the platform layer, but the campaign has "
+            "no RooflinePlatform configured");
+    }
+    if (!_pipelineFaults.empty() && !_spec.pipeline) {
+        throw ModelError(
+            "fault '" +
+            _spec.faults[_pipelineFaults.front()].name +
+            "' perturbs the SPA pipeline, but the campaign has no "
+            "pipeline configured");
+    }
+
+    if (_spec.platform) {
+        requirePositive(_spec.workPerFrameGop, "workPerFrameGop");
+        // Surface profile/operating-point problems once up front.
+        (void)_spec.platform->attainable(_spec.profile,
+                                         _spec.opIndex);
+        for (const std::size_t j : _platformFaults) {
+            const FaultSpec &fault = _spec.faults[j];
+            if (fault.kind != FaultKind::CeilingDerate)
+                continue;
+            const std::size_t limit =
+                fault.ceilingKind == platform::CeilingKind::Compute
+                    ? _spec.platform->computeCeilings().size()
+                    : _spec.platform->memoryCeilings().size();
+            if (fault.ceilingIndex >= limit) {
+                throw ModelError(
+                    "ceilingIndex of fault '" + fault.name +
+                    "' is out of range for the " +
+                    std::string(toString(fault.ceilingKind)) +
+                    " ceilings of " + _spec.platform->name());
+            }
+        }
+        precomputePlatformVariants();
+    }
+    if (_spec.pipeline) {
+        for (const std::size_t j : _pipelineFaults) {
+            const FaultSpec &fault = _spec.faults[j];
+            bool found = false;
+            for (const auto &stage : _spec.pipeline->stages())
+                found = found || stage.name == fault.stage;
+            if (!found) {
+                // Reuse the pipeline's own unknown-stage diagnostic.
+                (void)_spec.pipeline->withStageLatency(
+                    fault.stage, units::Seconds(1.0), "");
+            }
+        }
+        precomputePipelineVariants();
+    }
+}
+
+void
+FaultCampaign::precomputePlatformVariants()
+{
+    const platform::RooflinePlatform &machine = *_spec.platform;
+    const std::size_t masks = std::size_t{1}
+                              << _platformFaults.size();
+    _platformVariants.reserve(masks);
+    for (std::size_t mask = 0; mask < masks; ++mask) {
+        platform::RooflinePlatform::Spec degraded;
+        degraded.name = machine.name();
+        degraded.description = machine.description();
+        degraded.computeCeilings = machine.computeCeilings();
+        degraded.memoryCeilings = machine.memoryCeilings();
+        degraded.operatingPoints = machine.operatingPoints();
+
+        double throttle_floor = 1.0;
+        workload::DvfsModel::Params throttle_law;
+        bool throttled = false;
+        bool op_lost = false;
+        for (std::size_t bit = 0; bit < _platformFaults.size();
+             ++bit) {
+            if ((mask & (std::size_t{1} << bit)) == 0)
+                continue;
+            const FaultSpec &fault =
+                _spec.faults[_platformFaults[bit]];
+            switch (fault.kind) {
+              case FaultKind::CeilingDerate:
+                if (fault.ceilingKind ==
+                    platform::CeilingKind::Compute) {
+                    auto &ceiling =
+                        degraded.computeCeilings[fault.ceilingIndex];
+                    ceiling.peak = units::Gops(
+                        ceiling.peak.value() * fault.derate);
+                } else {
+                    auto &ceiling =
+                        degraded.memoryCeilings[fault.ceilingIndex];
+                    ceiling.bandwidth = units::GigabytesPerSecond(
+                        ceiling.bandwidth.value() * fault.derate);
+                }
+                break;
+              case FaultKind::ThermalThrottle:
+                // The worst active throttle wins.
+                if (!throttled ||
+                    fault.dvfs.minFrequencyFraction <
+                        throttle_floor) {
+                    throttle_floor =
+                        fault.dvfs.minFrequencyFraction;
+                    throttle_law = fault.dvfs;
+                }
+                throttled = true;
+                break;
+              case FaultKind::OperatingPointLoss:
+                op_lost = true;
+                break;
+              default:
+                break;
+            }
+        }
+
+        PlatformVariant variant;
+        std::size_t op_index = _spec.opIndex;
+        if (throttled) {
+            // Thermal protection pins the clock at the DVFS floor
+            // (never *raising* it), with the TDP the CMOS power law
+            // predicts there. A throttle preempts operating-point
+            // choice, so a simultaneous op loss changes nothing.
+            auto &point = degraded.operatingPoints[op_index];
+            const double fraction =
+                std::min(point.frequencyFraction, throttle_floor);
+            point.name += " (throttled)";
+            point.frequencyFraction = fraction;
+            const units::Watts nominal_tdp =
+                degraded.operatingPoints.front().tdp;
+            point.tdp = nominal_tdp.value() > 0.0
+                            ? platform::dvfsScaledTdp(
+                                  nominal_tdp, fraction,
+                                  throttle_law.exponent,
+                                  throttle_law.leakageFraction)
+                            : units::Watts(0.0);
+        } else if (op_lost) {
+            // The selected point is unavailable; fall back to the
+            // fastest point slower than it, aborting when the
+            // selected point was already the slowest.
+            const double lost_fraction =
+                degraded.operatingPoints[op_index]
+                    .frequencyFraction;
+            bool found = false;
+            double best = 0.0;
+            for (std::size_t i = 0;
+                 i < degraded.operatingPoints.size(); ++i) {
+                const double fraction =
+                    degraded.operatingPoints[i].frequencyFraction;
+                if (fraction < lost_fraction &&
+                    (!found || fraction > best)) {
+                    found = true;
+                    best = fraction;
+                    op_index = i;
+                }
+            }
+            if (!found) {
+                variant.aborts = true;
+                _platformVariants.push_back(variant);
+                continue;
+            }
+        }
+
+        const platform::RooflinePlatform degraded_machine(
+            std::move(degraded));
+        const platform::AttainableBound bound =
+            degraded_machine.attainable(_spec.profile, op_index);
+        variant.computeRate =
+            bound.attainable.value() / _spec.workPerFrameGop;
+        variant.binding = bound.binding;
+        _platformVariants.push_back(variant);
+    }
+}
+
+void
+FaultCampaign::precomputePipelineVariants()
+{
+    const pipeline::ModularRedundancy redundancy(_spec.redundancy);
+    // With R replicas racing on the same frame, takeover absorbs up
+    // to R-1 stage failures; one more leaves no healthy replica.
+    const int failure_budget = redundancy.replicas() - 1;
+
+    const std::size_t masks = std::size_t{1}
+                              << _pipelineFaults.size();
+    _pipelineVariants.reserve(masks);
+    for (std::size_t mask = 0; mask < masks; ++mask) {
+        int failures = 0;
+        workload::SpaPipeline pipe = *_spec.pipeline;
+        for (std::size_t bit = 0; bit < _pipelineFaults.size();
+             ++bit) {
+            if ((mask & (std::size_t{1} << bit)) == 0)
+                continue;
+            const FaultSpec &fault =
+                _spec.faults[_pipelineFaults[bit]];
+            if (fault.kind == FaultKind::StageFailure) {
+                ++failures;
+                continue;
+            }
+            // Inflations compound: read the stage's current latency
+            // so two active inflations of one stage multiply.
+            for (const auto &stage : pipe.stages()) {
+                if (stage.name != fault.stage)
+                    continue;
+                pipe = pipe.withStageLatency(
+                    fault.stage,
+                    units::Seconds(stage.latency.value() *
+                                   fault.latencyFactor),
+                    "");
+                break;
+            }
+        }
+
+        PipelineVariant variant;
+        if (failures > failure_budget) {
+            variant.aborts = true;
+        } else {
+            variant.throughputHz =
+                redundancy.effectiveThroughput(pipe.throughput())
+                    .value();
+        }
+        _pipelineVariants.push_back(variant);
+    }
+}
+
+core::F1Analysis
+FaultCampaign::baseline() const
+{
+    core::F1Inputs inputs = _spec.nominal;
+    if (_spec.platform) {
+        const PlatformVariant &variant = _platformVariants.front();
+        inputs.computeRate = units::Hertz(variant.computeRate);
+        inputs.computeBinding = variant.binding;
+    }
+    if (_spec.pipeline) {
+        const double pipeline_rate =
+            _pipelineVariants.front().throughputHz;
+        if (!_spec.platform ||
+            pipeline_rate < inputs.computeRate.value()) {
+            inputs.computeRate = units::Hertz(pipeline_rate);
+            inputs.computeBinding = {};
+        }
+    }
+    core::F1Analysis analysis;
+    core::F1Model::analyzeInto(inputs, analysis);
+    return analysis;
+}
+
+CampaignResult
+FaultCampaign::run(std::size_t count, std::uint64_t seed,
+                   const exec::ParallelOptions &parallel) const
+{
+    if (count < 10)
+        throw ModelError("fault campaign needs >= 10 samples");
+
+    const std::size_t fault_count = _spec.faults.size();
+    std::vector<double> effective_prob(fault_count);
+    for (std::size_t j = 0; j < fault_count; ++j) {
+        effective_prob[j] =
+            std::min(1.0, _spec.faults[j].probability *
+                              _spec.probabilityScale);
+    }
+
+    // Same deterministic decomposition as MonteCarloAnalyzer:
+    // fixed-size blocks on forked substreams keyed by block index,
+    // per-block tallies merged in block order.
+    const std::size_t blocks =
+        (count + sampleBlock - 1) / sampleBlock;
+    std::vector<Rng> block_rngs;
+    block_rngs.reserve(blocks);
+    Rng root(seed);
+    for (std::size_t b = 0; b < blocks; ++b)
+        block_rngs.push_back(root.fork());
+
+    std::vector<double> v_safe(count);
+    std::vector<unsigned char> aborted(count, 0);
+    std::vector<std::uint64_t> abort_counts(blocks, 0);
+    std::vector<std::vector<std::uint64_t>> activation_counts(
+        blocks, std::vector<std::uint64_t>(fault_count, 0));
+
+    const platform::RooflinePlatform *machine =
+        _spec.platform ? &*_spec.platform : nullptr;
+    const std::size_t compute_ceilings =
+        machine ? machine->computeCeilings().size() : 0;
+    const std::size_t total_ceilings =
+        machine ? compute_ceilings + machine->memoryCeilings().size()
+                : 0;
+    std::vector<std::vector<std::uint64_t>> ceiling_counts(
+        machine ? blocks : 0,
+        std::vector<std::uint64_t>(total_ceilings, 0));
+
+    exec::ParallelOptions options = parallel;
+    options.grain = 1; // One block per chunk.
+    exec::parallelFor(
+        blocks,
+        [&](std::size_t block_begin, std::size_t block_end) {
+            core::F1Analysis analysis;
+            for (std::size_t b = block_begin; b < block_end; ++b) {
+                Rng rng = block_rngs[b];
+                const std::size_t lo = b * sampleBlock;
+                const std::size_t hi =
+                    std::min(count, lo + sampleBlock);
+                for (std::size_t i = lo; i < hi; ++i) {
+                    // Exactly one draw per fault, active or not, so
+                    // the stream a later fault sees never depends on
+                    // an earlier activation (or on probabilityScale
+                    // turning one off).
+                    std::size_t platform_mask = 0;
+                    std::size_t pipeline_mask = 0;
+                    std::size_t platform_bit = 0;
+                    std::size_t pipeline_bit = 0;
+                    double sensor_fraction = 1.0;
+                    for (std::size_t j = 0; j < fault_count; ++j) {
+                        const bool active =
+                            rng.uniform() < effective_prob[j];
+                        const FaultSpec &fault = _spec.faults[j];
+                        if (isPlatformFault(fault.kind)) {
+                            if (active) {
+                                platform_mask |= std::size_t{1}
+                                                 << platform_bit;
+                            }
+                            ++platform_bit;
+                        } else if (isPipelineFault(fault.kind)) {
+                            if (active) {
+                                pipeline_mask |= std::size_t{1}
+                                                 << pipeline_bit;
+                            }
+                            ++pipeline_bit;
+                        } else if (active) {
+                            sensor_fraction *=
+                                1.0 - fault.sensorDerate;
+                        }
+                        if (active)
+                            ++activation_counts[b][j];
+                    }
+
+                    core::F1Inputs inputs = _spec.nominal;
+                    bool abort = sensor_fraction <= 0.0;
+                    platform::CeilingRef binding{};
+                    if (machine) {
+                        const PlatformVariant &variant =
+                            _platformVariants[platform_mask];
+                        abort = abort || variant.aborts;
+                        inputs.computeRate =
+                            units::Hertz(variant.computeRate);
+                        binding = variant.binding;
+                    }
+                    if (_spec.pipeline) {
+                        const PipelineVariant &variant =
+                            _pipelineVariants[pipeline_mask];
+                        abort = abort || variant.aborts;
+                        if (!abort &&
+                            (!machine ||
+                             variant.throughputHz <
+                                 inputs.computeRate.value())) {
+                            inputs.computeRate =
+                                units::Hertz(variant.throughputHz);
+                            binding = {};
+                        }
+                    }
+                    if (abort) {
+                        aborted[i] = 1;
+                        ++abort_counts[b];
+                        continue;
+                    }
+                    inputs.sensorRate = units::Hertz(
+                        inputs.sensorRate.value() * sensor_fraction);
+                    inputs.computeBinding = binding;
+                    core::F1Model::analyzeInto(inputs, analysis);
+                    v_safe[i] = analysis.safeVelocity.value();
+                    if (machine && binding.attributed) {
+                        const std::size_t slot =
+                            binding.kind ==
+                                    platform::CeilingKind::Compute
+                                ? binding.index
+                                : compute_ceilings + binding.index;
+                        ++ceiling_counts[b][slot];
+                    }
+                }
+            }
+        },
+        options);
+
+    CampaignResult result;
+    result.samples = count;
+
+    std::uint64_t aborts = 0;
+    for (const std::uint64_t block_aborts : abort_counts)
+        aborts += block_aborts;
+    result.abortProbability =
+        static_cast<double>(aborts) / static_cast<double>(count);
+
+    result.faultActivationRate.assign(fault_count, 0.0);
+    for (const auto &block : activation_counts)
+        for (std::size_t j = 0; j < fault_count; ++j)
+            result.faultActivationRate[j] +=
+                static_cast<double>(block[j]);
+    for (std::size_t j = 0; j < fault_count; ++j)
+        result.faultActivationRate[j] /=
+            static_cast<double>(count);
+
+    const std::size_t survivors = count - aborts;
+    if (machine) {
+        std::vector<std::uint64_t> ceiling_totals(total_ceilings, 0);
+        for (const auto &block : ceiling_counts)
+            for (std::size_t k = 0; k < total_ceilings; ++k)
+                ceiling_totals[k] += block[k];
+        result.probComputeCeilingBinds.resize(compute_ceilings);
+        result.probMemoryCeilingBinds.resize(total_ceilings -
+                                             compute_ceilings);
+        for (std::size_t k = 0; k < total_ceilings; ++k) {
+            const double prob =
+                survivors > 0
+                    ? static_cast<double>(ceiling_totals[k]) /
+                          static_cast<double>(survivors)
+                    : 0.0;
+            if (k < compute_ceilings)
+                result.probComputeCeilingBinds[k] = prob;
+            else
+                result.probMemoryCeilingBinds[k - compute_ceilings] =
+                    prob;
+        }
+    }
+
+    if (survivors > 0) {
+        // Compacted in sample-index order, so the distribution is
+        // independent of which thread ran which block.
+        std::vector<double> surviving;
+        surviving.reserve(survivors);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!aborted[i])
+                surviving.push_back(v_safe[i]);
+        }
+        result.safeVelocity =
+            sim::Distribution::fromSamples(std::move(surviving));
+    }
+    return result;
+}
+
+std::vector<DegradationPoint>
+FaultCampaign::degradationCurve(
+    std::size_t levels, std::size_t samples_per_level,
+    std::uint64_t seed, const exec::ParallelOptions &parallel) const
+{
+    if (levels < 2)
+        throw ModelError("degradation curve needs >= 2 levels");
+
+    std::vector<DegradationPoint> curve;
+    curve.reserve(levels);
+    for (std::size_t level = 0; level < levels; ++level) {
+        const double scale =
+            static_cast<double>(level) /
+            static_cast<double>(levels - 1);
+        CampaignSpec scaled = _spec;
+        scaled.probabilityScale = _spec.probabilityScale * scale;
+        const FaultCampaign campaign(std::move(scaled));
+        // The same seed at every level, so the curve varies only
+        // with severity, not with resampling noise.
+        const CampaignResult result =
+            campaign.run(samples_per_level, seed, parallel);
+        DegradationPoint point;
+        point.scale = scale;
+        point.meanSafeVelocity = result.safeVelocity.mean;
+        point.p5SafeVelocity = result.safeVelocity.p5;
+        point.p95SafeVelocity = result.safeVelocity.p95;
+        point.abortProbability = result.abortProbability;
+        curve.push_back(point);
+    }
+    return curve;
+}
+
+} // namespace uavf1::fault

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Deterministic fault-injection campaigns over the F-1 model.
+ *
+ * A FaultCampaign Monte-Carlo samples fault activations against one
+ * UAV configuration and reports how the design *degrades*: the
+ * distribution of safe velocity under faults, the probability the
+ * mission aborts outright (no viable configuration left), how
+ * binding shifts across the platform's ceiling family, and the
+ * degradation curve as fault rates sweep from zero to their full
+ * severity.
+ *
+ * Determinism follows the PR-1 contract exactly as
+ * sim::MonteCarloAnalyzer does: samples come in fixed-size blocks,
+ * each drawing from its own Rng::fork() substream keyed by block
+ * index, every sample draws exactly one uniform per fault spec
+ * (whether or not the fault activates), and per-block tallies merge
+ * in block order — so a campaign is bit-identical for a given seed
+ * at any thread count.
+ *
+ * All degraded platform variants (one per subset of platform-layer
+ * faults) and pipeline variants (per subset of workload-layer
+ * faults) are precomputed at construction, where configuration
+ * errors surface with full messages; the sampling loop itself is
+ * table lookups and never throws.
+ */
+
+#ifndef UAVF1_FAULT_CAMPAIGN_HH
+#define UAVF1_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/f1_model.hh"
+#include "exec/parallel.hh"
+#include "fault/fault_spec.hh"
+#include "pipeline/redundancy.hh"
+#include "platform/roofline_platform.hh"
+#include "sim/monte_carlo.hh"
+#include "workload/spa_pipeline.hh"
+
+namespace uavf1::fault {
+
+/** One UAV configuration plus the fault modes to inject into it. */
+struct CampaignSpec
+{
+    /** Fault-free model inputs (the baseline). */
+    core::F1Inputs nominal;
+
+    /**
+     * Ceiling-family evaluation of f_compute under platform faults:
+     * required whenever a platform-layer fault (CeilingDerate,
+     * OperatingPointLoss, ThermalThrottle) is present. When set,
+     * f_compute derives from the degraded platform's attainable
+     * bound on `profile` divided by workPerFrameGop, and the
+     * campaign tallies per-ceiling binding shifts.
+     */
+    std::optional<platform::RooflinePlatform> platform;
+    platform::WorkloadProfile profile{}; ///< Workload on `platform`.
+    double workPerFrameGop = 0.0; ///< GOP per decision on `platform`.
+    std::size_t opIndex = 0;      ///< Selected DVFS operating point.
+
+    /**
+     * SPA pipeline evaluation of f_compute under workload faults:
+     * required whenever a workload-layer fault (StageFailure,
+     * StageLatencyInflation) is present. Stage failures survive
+     * only while active failures stay within `redundancy`'s replica
+     * budget (replicas - 1); redundant schemes pay the voter latency
+     * on every sample, faulted or not.
+     */
+    std::optional<workload::SpaPipeline> pipeline;
+    pipeline::RedundancyScheme redundancy =
+        pipeline::RedundancyScheme::None;
+
+    /** Fault modes to sample; at most 8 per layer. */
+    std::vector<FaultSpec> faults;
+
+    /**
+     * Severity knob: every fault's activation probability is
+     * multiplied by this (capped at 1), so sweeping it in [0, 1]
+     * traces the degradation curve. Must be non-negative.
+     */
+    double probabilityScale = 1.0;
+};
+
+/** One point of the degradation curve. */
+struct DegradationPoint
+{
+    double scale = 0.0;        ///< probabilityScale at this level.
+    double meanSafeVelocity = 0.0; ///< Over surviving samples, m/s.
+    double p5SafeVelocity = 0.0;   ///< 5th percentile, m/s.
+    double p95SafeVelocity = 0.0;  ///< 95th percentile, m/s.
+    double abortProbability = 0.0; ///< Fraction of aborted missions.
+};
+
+/** Campaign outputs. */
+struct CampaignResult
+{
+    /** Safe velocity over *surviving* samples; default-initialized
+     * (all zeros) when every sample aborted. */
+    sim::Distribution safeVelocity;
+    /** Fraction of samples with no viable configuration left. */
+    double abortProbability = 0.0;
+    /** Observed activation rate of each fault, indexed like
+     * CampaignSpec::faults. */
+    std::vector<double> faultActivationRate;
+    /**
+     * Probability that each machine ceiling binds the degraded
+     * roofline bound over surviving samples, indexed like the
+     * platform's computeCeilings() / memoryCeilings(). Empty unless
+     * CampaignSpec::platform is set. Compare against the no-fault
+     * baseline to see binding *shift* under faults.
+     */
+    std::vector<double> probComputeCeilingBinds;
+    std::vector<double> probMemoryCeilingBinds;
+    std::size_t samples = 0;
+};
+
+/**
+ * The campaign engine.
+ */
+class FaultCampaign
+{
+  public:
+    /**
+     * Construct for a spec; validates every fault against the
+     * configuration and precomputes all degraded variants so run()
+     * never throws.
+     *
+     * @throws ModelError on an invalid fault spec, a platform/
+     *         pipeline fault without its layer configured, an
+     *         unknown stage name, an out-of-range ceiling index, or
+     *         more than 8 faults in one layer
+     */
+    explicit FaultCampaign(CampaignSpec spec);
+
+    /** The validated spec. */
+    const CampaignSpec &spec() const { return _spec; }
+
+    /**
+     * The deterministic no-fault analysis this campaign degrades
+     * from: nominal inputs with f_compute routed through the same
+     * platform/pipeline path as an un-faulted sample (so a campaign
+     * whose faults never activate reproduces it exactly).
+     */
+    core::F1Analysis baseline() const;
+
+    /**
+     * Sample `count` missions (deterministic for a seed; see file
+     * comment) and summarize the degraded outcomes.
+     *
+     * @param count number of missions (>= 10)
+     * @param seed RNG seed
+     * @param parallel executor options (pool, thread cap, cancel)
+     */
+    CampaignResult
+    run(std::size_t count, std::uint64_t seed = 1,
+        const exec::ParallelOptions &parallel = {}) const;
+
+    /**
+     * The graceful-degradation curve: run() at `levels` linearly
+     * spaced severity scales in [0, 1] (each scaling the spec's own
+     * probabilityScale), the same seed at every level so the curve
+     * varies only with severity.
+     *
+     * @param levels number of curve points (>= 2)
+     * @param samples_per_level missions per point (>= 10)
+     */
+    std::vector<DegradationPoint>
+    degradationCurve(std::size_t levels,
+                     std::size_t samples_per_level,
+                     std::uint64_t seed = 1,
+                     const exec::ParallelOptions &parallel = {}) const;
+
+    /** Samples per RNG substream block (the determinism grain). */
+    static constexpr std::size_t sampleBlock = 2048;
+
+  private:
+    /** Outcome of one subset of platform-layer faults. */
+    struct PlatformVariant
+    {
+        bool aborts = false;   ///< No viable operating point left.
+        double computeRate = 0.0; ///< Hz, when not aborting.
+        platform::CeilingRef binding{}; ///< Degraded binding ceiling.
+    };
+
+    /** Outcome of one subset of workload-layer faults. */
+    struct PipelineVariant
+    {
+        bool aborts = false;    ///< Failures exceed replica budget.
+        double throughputHz = 0.0; ///< Hz, when not aborting.
+    };
+
+    void precomputePlatformVariants();
+    void precomputePipelineVariants();
+
+    CampaignSpec _spec;
+    /** Fault indices by layer (order preserved within each). */
+    std::vector<std::size_t> _platformFaults;
+    std::vector<std::size_t> _pipelineFaults;
+    std::vector<std::size_t> _sensorFaults;
+    /** Variant tables indexed by the layer's activation mask. */
+    std::vector<PlatformVariant> _platformVariants;
+    std::vector<PipelineVariant> _pipelineVariants;
+};
+
+} // namespace uavf1::fault
+
+#endif // UAVF1_FAULT_CAMPAIGN_HH

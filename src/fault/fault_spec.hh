@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fault taxonomy for degraded-mode analysis.
+ *
+ * The paper's remedies — redundancy (Fig. 14) and trading excess
+ * performance for TDP via DVFS — are claims about how a UAV
+ * *degrades* when compute faults. A FaultSpec describes one such
+ * perturbation at one of three layers:
+ *
+ *  - platform faults: a ceiling loses part of its peak/bandwidth
+ *    (CeilingDerate), the selected DVFS operating point becomes
+ *    unavailable (OperatingPointLoss), or thermal protection pins
+ *    the part at the workload::DvfsModel floor (ThermalThrottle);
+ *  - workload faults: an SPA stage slows down
+ *    (StageLatencyInflation) or fails outright (StageFailure),
+ *    the latter surviving only through pipeline/redundancy
+ *    replica takeover;
+ *  - sensing faults: the sensor stream degrades (SensorDropout).
+ *
+ * A FaultSuite bundles named specs into a campaign scenario; the
+ * standard suites cover each layer plus a mixed stress case.
+ */
+
+#ifndef UAVF1_FAULT_FAULT_SPEC_HH
+#define UAVF1_FAULT_FAULT_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "platform/ceiling.hh"
+#include "workload/dvfs.hh"
+
+namespace uavf1::fault {
+
+/** The perturbation a FaultSpec applies when active. */
+enum class FaultKind
+{
+    /** Multiply one ceiling's peak/bandwidth by `derate`. */
+    CeilingDerate,
+    /** The selected DVFS operating point is unavailable; the
+     * platform falls back to the next slower point, aborting when
+     * none remains. */
+    OperatingPointLoss,
+    /** Thermal protection pins the clock at the DvfsModel floor
+     * (dvfs.minFrequencyFraction), with the TDP the CMOS power law
+     * predicts there. */
+    ThermalThrottle,
+    /** Multiply one SPA stage's latency by `latencyFactor`. */
+    StageLatencyInflation,
+    /** One SPA stage fails; survivable only while active failures
+     * stay within the redundancy scheme's replica budget. */
+    StageFailure,
+    /** The sensor stream degrades: sensorRate is multiplied by
+     * (1 - sensorDerate); a full dropout aborts the mission. */
+    SensorDropout,
+};
+
+/** Printable fault-kind name. */
+const char *toString(FaultKind kind);
+
+/**
+ * One fault mode: what breaks, how badly, and how often.
+ *
+ * Only the fields the `kind` reads are meaningful; the rest keep
+ * their defaults. validateFaultSpec names any offending field.
+ */
+struct FaultSpec
+{
+    /** Diagnostic designation, e.g. "GPU half peak". */
+    std::string name;
+
+    FaultKind kind = FaultKind::CeilingDerate;
+
+    /** Per-mission activation probability in [0, 1]. Campaigns
+     * scale it (FaultCampaign probabilityScale) to sweep severity. */
+    double probability = 0.0;
+
+    /** [CeilingDerate] Which ceiling list the target lives in. */
+    platform::CeilingKind ceilingKind = platform::CeilingKind::Compute;
+    /** [CeilingDerate] Index into that ceiling list. */
+    std::size_t ceilingIndex = 0;
+    /** [CeilingDerate] Remaining capability fraction in (0, 1]. */
+    double derate = 1.0;
+
+    /** [ThermalThrottle] DVFS law giving the throttle floor and the
+     * power curve to it. */
+    workload::DvfsModel::Params dvfs{};
+
+    /** [StageLatencyInflation, StageFailure] SPA stage name. */
+    std::string stage;
+    /** [StageLatencyInflation] Latency multiplier, >= 1. */
+    double latencyFactor = 1.0;
+
+    /** [SensorDropout] Fraction of the sensor stream lost, in
+     * [0, 1]; 1 is a full dropout (mission abort). */
+    double sensorDerate = 0.0;
+};
+
+/**
+ * Validate one spec's fields against its kind.
+ *
+ * @throws ModelError naming the offending field
+ */
+void validateFaultSpec(const FaultSpec &spec);
+
+/** A named bundle of fault modes forming one campaign scenario. */
+struct FaultSuite
+{
+    std::string name;        ///< e.g. "thermal-throttle".
+    std::string description; ///< One-line summary.
+    std::vector<FaultSpec> faults;
+};
+
+/**
+ * The built-in suites: "none" (control; reproduces the baseline
+ * byte-for-byte), one suite per fault layer, and "mixed" combining
+ * all three layers.
+ */
+const std::vector<FaultSuite> &standardFaultSuites();
+
+/**
+ * Look up a standard suite by name.
+ *
+ * @throws ModelError for unknown names, with "did you mean" hints
+ */
+const FaultSuite &findFaultSuite(const std::string &name);
+
+} // namespace uavf1::fault
+
+#endif // UAVF1_FAULT_FAULT_SPEC_HH

@@ -91,6 +91,31 @@ stageTag(const std::string &name)
     return hash | 1u;
 }
 
+void
+validateWorkloadProfile(const WorkloadProfile &profile,
+                        const std::string &context)
+{
+    const double ai = profile.ai.value();
+    if (!(ai > 0.0) || ai > 1e300) {
+        throw ModelError("ai on " + context +
+                         " must be positive and finite, got " +
+                         std::to_string(ai));
+    }
+    for (std::size_t i = 0; i < WorkloadProfile::maxMemoryLevels;
+         ++i) {
+        const double traffic = profile.trafficFraction[i];
+        // !(x >= 0) catches NaN and negatives; the upper bound
+        // catches +inf (requireFinite's convention). Values above 1
+        // stay legal: they model write amplification.
+        if (!(traffic >= 0.0) || traffic > 1e300) {
+            throw ModelError(
+                "trafficFraction[" + std::to_string(i) + "] on " +
+                context + " must be finite and non-negative, got " +
+                std::to_string(traffic));
+        }
+    }
+}
+
 namespace {
 
 /** Non-zero FNV-1a family tag of a platform name. */
@@ -247,20 +272,17 @@ RooflinePlatform::attainable(const WorkloadProfile &profile,
     // inside million-sample sweep loops, so no message strings (or
     // any other heap traffic) are built unless a check fails.
     const double ai = profile.ai.value();
-    if (!(ai > 0.0)) {
-        requirePositive(ai,
-                        "arithmetic intensity on " + _spec.name);
-    }
+    bool profile_ok = ai > 0.0 && ai <= 1e300;
     for (std::size_t i = 0; i < WorkloadProfile::maxMemoryLevels;
          ++i) {
-        const double traffic = profile.trafficFraction[i];
         // !(x >= 0) catches NaN and negatives; the upper bound
         // catches +inf (requireFinite's convention).
-        if (!(traffic >= 0.0) || traffic > 1e300) {
-            throw ModelError("trafficFraction on " + _spec.name +
-                             " must be finite and non-negative");
-        }
+        const double traffic = profile.trafficFraction[i];
+        profile_ok =
+            profile_ok && traffic >= 0.0 && traffic <= 1e300;
     }
+    if (!profile_ok)
+        validateWorkloadProfile(profile, _spec.name);
     if (op_index >= _spec.operatingPoints.size()) {
         throw ModelError("operating-point index out of range on " +
                          _spec.name);

@@ -95,6 +95,22 @@ struct WorkloadProfile
                                                1.0, 1.0, 1.0, 1.0};
 };
 
+/**
+ * Validate a profile's numeric fields, naming the offending field in
+ * the error: ai must be positive and finite; every trafficFraction[i]
+ * must be finite and non-negative (values above 1 are legal — they
+ * model write amplification). `context` names the construction site
+ * (an algorithm or platform name) for the message.
+ *
+ * Called at profile construction (workload::workloadProfile) so bad
+ * annotations fail loudly with a field name instead of deep inside a
+ * sweep; RooflinePlatform::attainable reuses it on its failure path.
+ *
+ * @throws ModelError naming the offending field
+ */
+void validateWorkloadProfile(const WorkloadProfile &profile,
+                             const std::string &context);
+
 } // namespace uavf1::platform
 
 #endif // UAVF1_PLATFORM_WORKLOAD_PROFILE_HH

@@ -5,9 +5,7 @@
 
 #include "plot/csv_writer.hh"
 
-#include <fstream>
-
-#include "support/errors.hh"
+#include "support/atomic_file.hh"
 #include "support/strings.hh"
 
 namespace uavf1::plot {
@@ -47,12 +45,7 @@ CsvWriter::writeFile(const std::vector<Series> &series,
                      const std::string &path, const std::string &x_name,
                      const std::string &y_name)
 {
-    std::ofstream out(path);
-    if (!out)
-        throw ModelError("cannot open '" + path + "' for writing");
-    out << render(series, x_name, y_name);
-    if (!out.good())
-        throw ModelError("failed while writing '" + path + "'");
+    writeFileAtomic(path, render(series, x_name, y_name));
 }
 
 } // namespace uavf1::plot

@@ -6,9 +6,7 @@
 #include "plot/json_writer.hh"
 
 #include <cmath>
-#include <fstream>
-
-#include "support/errors.hh"
+#include "support/atomic_file.hh"
 #include "support/strings.hh"
 
 namespace uavf1::plot {
@@ -109,12 +107,7 @@ JsonArray::render() const
 void
 writeJsonFile(const std::string &json, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        throw ModelError("cannot open '" + path + "' for writing");
-    out << json << "\n";
-    if (!out.good())
-        throw ModelError("failed while writing '" + path + "'");
+    writeFileAtomic(path, json + "\n");
 }
 
 } // namespace uavf1::plot

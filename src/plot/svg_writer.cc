@@ -5,9 +5,7 @@
 
 #include "plot/svg_writer.hh"
 
-#include <fstream>
-
-#include "support/errors.hh"
+#include "support/atomic_file.hh"
 #include "support/strings.hh"
 
 namespace uavf1::plot {
@@ -264,13 +262,7 @@ SvgWriter::render(Chart &chart) const
 void
 SvgWriter::writeFile(Chart &chart, const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out) {
-        throw ModelError("cannot open '" + path + "' for writing");
-    }
-    out << render(chart);
-    if (!out.good())
-        throw ModelError("failed while writing '" + path + "'");
+    writeFileAtomic(path, render(chart));
 }
 
 } // namespace uavf1::plot

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 
 #include "plot/chart.hh"
@@ -50,6 +51,26 @@ renderJson(const StudyInfo &info, const ScenarioSpec &spec,
 }
 
 } // namespace
+
+const char *
+toString(ScenarioStatus status)
+{
+    switch (status) {
+      case ScenarioStatus::Ok:
+        return "ok";
+      case ScenarioStatus::Infeasible:
+        return "infeasible";
+      case ScenarioStatus::Timeout:
+        return "timeout";
+      case ScenarioStatus::Cancelled:
+        return "cancelled";
+      case ScenarioStatus::FaultAborted:
+        return "fault-aborted";
+      case ScenarioStatus::Error:
+        return "error";
+    }
+    return "unknown";
+}
 
 ScenarioRunner::ScenarioRunner()
     : _registry(&StudyRegistry::global())
@@ -95,6 +116,22 @@ ScenarioRunner::runWithBasename(const ScenarioSpec &spec,
     ScenarioOutcome outcome;
     outcome.study = spec.study;
     outcome.label = spec.displayLabel();
+
+    // One token per scenario: the batch's shared cancel flag plus
+    // this scenario's own deadline, threaded into the study through
+    // ParallelOptions so every parallel loop inside it observes
+    // both at its chunk boundaries.
+    exec::CancellationToken token = options.parallel.cancel;
+    if (options.deadlineMs > 0) {
+        token = token.withDeadlineAfter(
+            std::chrono::milliseconds(options.deadlineMs));
+    }
+    if (token.cancelRequested()) {
+        outcome.status = ScenarioStatus::Cancelled;
+        outcome.error = "cancelled before start";
+        return outcome;
+    }
+
     try {
         const StudyInfo &info = _registry->find(spec.study);
         for (const auto &entry : spec.overrides.entries()) {
@@ -114,8 +151,10 @@ ScenarioRunner::runWithBasename(const ScenarioSpec &spec,
         StudyContext context;
         context.params = spec.overrides;
         context.parallel = options.parallel;
+        context.parallel.cancel = token;
         outcome.result = info.run(context);
         outcome.ok = true;
+        outcome.status = ScenarioStatus::Ok;
 
         if (!options.outDir.empty()) {
             const std::string base = options.outDir + "/" + basename;
@@ -145,9 +184,24 @@ ScenarioRunner::runWithBasename(const ScenarioSpec &spec,
                 outcome.artifacts.push_back(base + ".html");
             }
         }
-    } catch (const std::exception &e) {
-        outcome.ok = false;
+    } catch (const TimeoutError &e) {
+        outcome.status = ScenarioStatus::Timeout;
         outcome.error = e.what();
+    } catch (const CancelledError &e) {
+        outcome.status = ScenarioStatus::Cancelled;
+        outcome.error = e.what();
+    } catch (const FaultInducedAbort &e) {
+        outcome.status = ScenarioStatus::FaultAborted;
+        outcome.error = e.what();
+    } catch (const InfeasibleError &e) {
+        outcome.status = ScenarioStatus::Infeasible;
+        outcome.error = e.what();
+    } catch (const std::exception &e) {
+        outcome.status = ScenarioStatus::Error;
+        outcome.error = e.what();
+    }
+    if (outcome.status != ScenarioStatus::Ok) {
+        outcome.ok = false;
         outcome.result = StudyResult();
         // Drop any artifact written before the failure so the
         // output directory never holds partial results of a
@@ -194,14 +248,29 @@ ScenarioRunner::runAll(const std::vector<ScenarioSpec> &specs,
         basenames.push_back(std::move(base));
     }
 
+    // Fail-fast shares one cancel flag across the batch's
+    // scenarios (not the fan-out loop itself, which must survive
+    // to report every outcome): the first failure trips it, and
+    // scenarios still queued or running exit Cancelled at their
+    // next checkpoint.
+    RunnerOptions scenario_options = options;
+    if (options.failFast && !scenario_options.parallel.cancel.armed())
+        scenario_options.parallel.cancel =
+            exec::CancellationToken::create();
+
     // Fan the batch out on the sweep engine: chunk geometry depends
     // only on the spec count, each index writes only its own
     // outcome slot (and its own files), so results are
-    // bit-identical at any thread count.
+    // bit-identical at any thread count (fail-fast excepted; see
+    // RunnerOptions::failFast).
     return exec::parallelMap<ScenarioOutcome>(
         specs.size(),
         [&](std::size_t i) {
-            return runWithBasename(specs[i], options, basenames[i]);
+            ScenarioOutcome outcome = runWithBasename(
+                specs[i], scenario_options, basenames[i]);
+            if (options.failFast && !outcome.ok)
+                scenario_options.parallel.cancel.requestCancel();
+            return outcome;
         },
         options.parallel);
 }
@@ -222,8 +291,15 @@ ScenarioRunner::renderSummary(
             headline = m.name + " = " + trimmedNumber(m.value, 4) +
                        (m.unit.empty() ? "" : " " + m.unit);
         }
+        std::string status = "ok";
+        if (!outcome.ok) {
+            status = "FAILED";
+            if (outcome.status != ScenarioStatus::Error)
+                status += std::string(" (") +
+                          toString(outcome.status) + ")";
+        }
         table.addRow({outcome.label, outcome.study,
-                      outcome.ok ? "ok" : "FAILED", headline});
+                      std::move(status), headline});
     }
     std::string out = table.render();
     out += strFormat("%zu scenario(s), %zu failed\n",

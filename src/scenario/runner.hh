@@ -31,7 +31,41 @@ struct RunnerOptions
     std::string outDir;
     /** Executor options for the scenario fan-out (and studies). */
     exec::ParallelOptions parallel;
+    /**
+     * Per-scenario time budget in milliseconds; 0 disables it. The
+     * deadline is cooperative: each study observes it at the chunk
+     * boundaries of its parallel loops, so an overrunning scenario
+     * stops at the next checkpoint with ScenarioStatus::Timeout,
+     * not mid-write.
+     */
+    std::size_t deadlineMs = 0;
+    /**
+     * Batch mode only: after the first failed scenario, cancel the
+     * scenarios still queued or running; they report
+     * ScenarioStatus::Cancelled. *Which* scenarios get cut off
+     * depends on scheduling, so a fail-fast batch is intentionally
+     * exempt from the bit-identical-at-any-thread-count contract.
+     */
+    bool failFast = false;
 };
+
+/**
+ * Structured outcome classification: why a scenario ended, beyond
+ * ok/failed. The runner derives it from the error taxonomy in
+ * support/errors.hh rather than by string matching.
+ */
+enum class ScenarioStatus
+{
+    Ok,          ///< Completed, artifacts written.
+    Infeasible,  ///< InfeasibleError: physically impossible config.
+    Timeout,     ///< TimeoutError: per-scenario deadline exceeded.
+    Cancelled,   ///< CancelledError: cut off (e.g. fail-fast).
+    FaultAborted, ///< FaultInducedAbort: no viable config under fault.
+    Error,       ///< Any other failure.
+};
+
+/** Printable status ("ok", "infeasible", "timeout", ...). */
+const char *toString(ScenarioStatus status);
 
 /** The outcome of one scenario. */
 struct ScenarioOutcome
@@ -39,6 +73,8 @@ struct ScenarioOutcome
     std::string study;  ///< Study name.
     std::string label;  ///< Display/artifact label.
     bool ok = false;    ///< False when the run failed.
+    /** Why the scenario ended; Ok exactly when `ok`. */
+    ScenarioStatus status = ScenarioStatus::Error;
     std::string error;  ///< Failure reason when !ok.
     StudyResult result; ///< Study outputs when ok.
     std::vector<std::string> artifacts; ///< Paths written.

@@ -106,9 +106,13 @@ class MonteCarloAnalyzer
      * keyed by block index, so the result is bit-identical for a
      * given seed at any thread count.
      *
+     * Honours `parallel.cancel`: the loop observes the token at
+     * every block boundary, so a run under a ScenarioRunner
+     * deadline stops with TimeoutError instead of completing late.
+     *
      * @param count number of samples (>= 10)
      * @param seed RNG seed
-     * @param parallel executor options (pool, thread cap)
+     * @param parallel executor options (pool, thread cap, cancel)
      */
     UncertaintyResult
     run(std::size_t count, std::uint64_t seed = 1,

@@ -5,12 +5,10 @@
 
 #include "skyline/report.hh"
 
-#include <fstream>
-
 #include "plot/ascii_renderer.hh"
 #include "plot/roofline_chart.hh"
 #include "plot/svg_writer.hh"
-#include "support/errors.hh"
+#include "support/atomic_file.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 
@@ -111,12 +109,7 @@ void
 ReportWriter::writeFile(const std::string &content,
                         const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        throw ModelError("cannot open '" + path + "' for writing");
-    out << content;
-    if (!out.good())
-        throw ModelError("failed while writing '" + path + "'");
+    writeFileAtomic(path, content);
 }
 
 } // namespace uavf1::skyline

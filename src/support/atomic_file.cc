@@ -1,0 +1,46 @@
+/**
+ * @file
+ * writeFileAtomic implementation.
+ */
+
+#include "support/atomic_file.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "support/errors.hh"
+
+namespace uavf1 {
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw ModelError("cannot open '" + path +
+                             "' for writing");
+        }
+        out << content;
+        out.flush();
+        if (!out.good()) {
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            throw ModelError("failed while writing '" + path + "'");
+        }
+    }
+
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ignored;
+        std::filesystem::remove(tmp, ignored);
+        throw ModelError("failed to publish '" + path +
+                         "': " + ec.message());
+    }
+}
+
+} // namespace uavf1

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Crash-safe file emission: write-temp-then-rename.
+ *
+ * Every artifact writer (CSV/SVG/JSON/HTML) routes through
+ * writeFileAtomic so a reader can never observe a truncated file at
+ * the final path: the content lands in a sibling temp file first and
+ * is renamed over the target only once fully written (rename within
+ * a directory is atomic on POSIX). A process killed mid-write leaves
+ * at most a *.tmp sibling, never a partial artifact.
+ */
+
+#ifndef UAVF1_SUPPORT_ATOMIC_FILE_HH
+#define UAVF1_SUPPORT_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace uavf1 {
+
+/**
+ * Write `content` to `path` atomically: the bytes go to
+ * `path + ".tmp"` and the temp file is renamed over `path` once the
+ * stream closed cleanly. Callers that pre-assign unique paths (the
+ * scenario runner's per-scenario basenames) therefore stay safe to
+ * run concurrently.
+ *
+ * @throws ModelError when the temp file cannot be opened, the write
+ *         fails, or the rename fails; the temp file is removed
+ *         best-effort on every failure path
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::string &content);
+
+} // namespace uavf1
+
+#endif // UAVF1_SUPPORT_ATOMIC_FILE_HH

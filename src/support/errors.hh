@@ -41,6 +41,51 @@ class InfeasibleError : public ModelError
     {}
 };
 
+/**
+ * A computation exceeded its cooperative deadline (e.g. a scenario
+ * ran past ScenarioRunner's per-scenario budget). Derived from
+ * ModelError so existing catch sites keep working; runners that
+ * care about the distinction catch it first.
+ */
+class TimeoutError : public ModelError
+{
+  public:
+    /** Construct with a human-readable description. */
+    explicit TimeoutError(const std::string &what_arg)
+        : ModelError(what_arg)
+    {}
+};
+
+/**
+ * A computation was cancelled cooperatively (exec::CancellationToken
+ * observed at a parallel-loop checkpoint), e.g. a batch abandoned
+ * under --fail-fast. Not an error in the work itself.
+ */
+class CancelledError : public ModelError
+{
+  public:
+    /** Construct with a human-readable description. */
+    explicit CancelledError(const std::string &what_arg)
+        : ModelError(what_arg)
+    {}
+};
+
+/**
+ * An injected fault left no viable configuration to analyze: every
+ * operating point lost, an unreplicated pipeline stage failed, a
+ * sensor dropped out entirely. Inside a fault campaign these are
+ * tallied as mission aborts; escaping to a runner they mark the
+ * scenario as fault-aborted rather than generically failed.
+ */
+class FaultInducedAbort : public ModelError
+{
+  public:
+    /** Construct with a human-readable description. */
+    explicit FaultInducedAbort(const std::string &what_arg)
+        : ModelError(what_arg)
+    {}
+};
+
 } // namespace uavf1
 
 #endif // UAVF1_SUPPORT_ERRORS_HH

@@ -56,6 +56,10 @@ workloadProfile(const AutonomyAlgorithm &algorithm,
             profile.trafficFraction[i] = fraction;
         }
     }
+    // Fail at construction with the offending field named, not deep
+    // inside a sweep loop.
+    platform::validateWorkloadProfile(
+        profile, "'" + algorithm.name() + "' for " + platform.name());
     return profile;
 }
 

@@ -9,8 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
+
+#include "exec/cancellation.hh"
 
 #include "exec/parallel.hh"
 #include "exec/thread_pool.hh"
@@ -33,6 +38,133 @@ TEST(ThreadPool, ThreadCountIncludesTheCaller)
     EXPECT_EQ(solo.threadCount(), 1u);
     exec::ThreadPool quad(4);
     EXPECT_EQ(quad.threadCount(), 4u);
+}
+
+/** Sets UAVF1_THREADS for one test and restores it afterwards. */
+class ThreadsEnvGuard
+{
+  public:
+    explicit ThreadsEnvGuard(const char *value)
+    {
+        if (const char *old = std::getenv("UAVF1_THREADS"))
+            _saved = old;
+        if (value)
+            setenv("UAVF1_THREADS", value, 1);
+        else
+            unsetenv("UAVF1_THREADS");
+    }
+    ~ThreadsEnvGuard()
+    {
+        if (_saved.empty())
+            unsetenv("UAVF1_THREADS");
+        else
+            setenv("UAVF1_THREADS", _saved.c_str(), 1);
+    }
+
+  private:
+    std::string _saved;
+};
+
+TEST(ThreadPool, DefaultThreadCountHonoursValidEnv)
+{
+    ThreadsEnvGuard guard("4");
+    EXPECT_EQ(exec::ThreadPool::defaultThreadCount(), 4u);
+}
+
+TEST(ThreadPool, DefaultThreadCountRejectsNonNumericEnv)
+{
+    ThreadsEnvGuard guard("abc");
+    EXPECT_THROW(exec::ThreadPool::defaultThreadCount(),
+                 ModelError);
+}
+
+TEST(ThreadPool, DefaultThreadCountRejectsTrailingGarbage)
+{
+    ThreadsEnvGuard guard("4x");
+    EXPECT_THROW(exec::ThreadPool::defaultThreadCount(),
+                 ModelError);
+}
+
+TEST(ThreadPool, DefaultThreadCountRejectsZeroAndNegative)
+{
+    {
+        ThreadsEnvGuard guard("0");
+        EXPECT_THROW(exec::ThreadPool::defaultThreadCount(),
+                     ModelError);
+    }
+    {
+        ThreadsEnvGuard guard("-3");
+        EXPECT_THROW(exec::ThreadPool::defaultThreadCount(),
+                     ModelError);
+    }
+}
+
+TEST(ThreadPool, DefaultThreadCountClampsAbsurdValues)
+{
+    ThreadsEnvGuard guard("999999999");
+    EXPECT_EQ(exec::ThreadPool::defaultThreadCount(), 1024u);
+}
+
+TEST(ThreadPool, DefaultThreadCountWithoutEnvIsPositive)
+{
+    ThreadsEnvGuard guard(nullptr);
+    EXPECT_GE(exec::ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(Cancellation, DefaultTokenIsInert)
+{
+    exec::CancellationToken token;
+    EXPECT_FALSE(token.armed());
+    EXPECT_FALSE(token.cancelRequested());
+    EXPECT_FALSE(token.deadlineExpired());
+    EXPECT_NO_THROW(token.checkpoint());
+}
+
+TEST(Cancellation, RequestedTokenStopsAParallelLoop)
+{
+    exec::ThreadPool pool(4);
+    exec::CancellationToken token =
+        exec::CancellationToken::create();
+    token.requestCancel();
+    std::atomic<int> calls{0};
+    EXPECT_THROW(
+        exec::parallelFor(
+            1000, [&](std::size_t, std::size_t) { ++calls; },
+            {.pool = &pool, .grain = 8, .cancel = token}),
+        CancelledError);
+    // Cancellation is observed before the first chunk.
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Cancellation, DeadlineExpiresASlowParallelLoop)
+{
+    exec::ThreadPool pool(2);
+    const exec::CancellationToken token =
+        exec::CancellationToken::create().withDeadlineAfter(
+            std::chrono::milliseconds(5));
+    EXPECT_THROW(
+        exec::parallelFor(
+            1000,
+            [&](std::size_t, std::size_t) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            },
+            {.pool = &pool, .grain = 1, .cancel = token}),
+        TimeoutError);
+}
+
+TEST(Cancellation, UntrippedTokenDoesNotPerturbResults)
+{
+    exec::ThreadPool pool(4);
+    const exec::CancellationToken token =
+        exec::CancellationToken::create();
+    const auto with = exec::parallelMap<int>(
+        100, [](std::size_t i) { return static_cast<int>(i); },
+        {.pool = &pool, .cancel = token});
+    const auto without = exec::parallelMap<int>(
+        100, [](std::size_t i) { return static_cast<int>(i); },
+        {.pool = &pool});
+    EXPECT_EQ(with, without);
 }
 
 TEST(ParallelFor, ZeroItemsNeverInvokesTheBody)

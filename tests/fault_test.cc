@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: the fault taxonomy and
+ * suite catalog, the FaultCampaign determinism contract (no-fault
+ * campaigns reproduce the baseline; faulted campaigns are
+ * bit-identical at any thread count), graceful degradation through
+ * redundancy, and the crash-safety of the atomic artifact writers
+ * (a SIGKILL mid-write never leaves a truncated file at a final
+ * path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "components/catalog.hh"
+#include "exec/thread_pool.hh"
+#include "fault/campaign.hh"
+#include "fault/fault_spec.hh"
+#include "pipeline/redundancy.hh"
+#include "plot/chart.hh"
+#include "plot/csv_writer.hh"
+#include "plot/json_writer.hh"
+#include "plot/svg_writer.hh"
+#include "skyline/report.hh"
+#include "studies/presets.hh"
+#include "support/atomic_file.hh"
+#include "support/errors.hh"
+#include "workload/spa_pipeline.hh"
+#include "workload/throughput.hh"
+
+namespace {
+
+using namespace uavf1;
+using namespace uavf1::fault;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// Defined first so it runs before any test spins up worker threads:
+// the child process forks from a single-threaded parent.
+TEST(AtomicWrite, SigkillMidBatchLeavesNoTruncatedArtifact)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = "artifacts/fault_test/kill";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    // A payload big enough that a write takes real time, so the
+    // SIGKILL lands mid-write with high probability.
+    std::vector<plot::Series> series;
+    series.emplace_back("degraded");
+    for (int i = 0; i < 20000; ++i)
+        series.back().add(i, i * 0.5);
+    plot::Chart chart("kill test", plot::Axis("x"),
+                      plot::Axis("y"));
+    chart.add(series.front());
+    const std::string json =
+        plot::JsonObject().add("study", "kill").render();
+    std::string html = "<html><body>";
+    for (int i = 0; i < 5000; ++i)
+        html += "<p>row</p>";
+    html += "</body></html>\n";
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Overwrite the same final paths forever (the parent kills
+        // us); every publish is a write-temp-then-rename.
+        for (;;) {
+            plot::CsvWriter::writeFile(series, dir + "/a.csv", "x",
+                                       "y");
+            plot::writeJsonFile(json, dir + "/a.json");
+            plot::SvgWriter().writeFile(chart, dir + "/a.svg");
+            skyline::ReportWriter::writeFile(html, dir + "/a.html");
+        }
+        _exit(0); // Unreachable.
+    }
+
+    // Wait until every artifact has been published at least once,
+    // then kill the writer mid-batch.
+    const auto all_exist = [&] {
+        return fs::exists(dir + "/a.csv") &&
+               fs::exists(dir + "/a.json") &&
+               fs::exists(dir + "/a.svg") &&
+               fs::exists(dir + "/a.html");
+    };
+    for (int spins = 0; spins < 20000 && !all_exist(); ++spins)
+        usleep(500);
+    ASSERT_TRUE(all_exist()) << "writer child never published";
+    usleep(20000); // Land inside a later write, not the first.
+    kill(child, SIGKILL);
+    int status = 0;
+    waitpid(child, &status, 0);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    // The child only ever writes one content per path, so any
+    // complete published file must match it byte-for-byte; a
+    // truncated or interleaved file at a final path is a
+    // crash-safety failure. Leftover *.tmp files are permitted.
+    EXPECT_EQ(slurp(dir + "/a.csv"),
+              plot::CsvWriter::render(series, "x", "y"));
+    EXPECT_EQ(slurp(dir + "/a.json"), json + "\n");
+    EXPECT_EQ(slurp(dir + "/a.svg"),
+              plot::SvgWriter().render(chart));
+    EXPECT_EQ(slurp(dir + "/a.html"), html);
+}
+
+TEST(AtomicWrite, FailurePathsNameTheFile)
+{
+    EXPECT_THROW(
+        writeFileAtomic("artifacts/no/such/dir/file.txt", "x"),
+        ModelError);
+    try {
+        writeFileAtomic("artifacts/no/such/dir/file.txt", "x");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "artifacts/no/such/dir/file.txt"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultSpec, ValidationNamesTheOffendingField)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::CeilingDerate;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError); // No name.
+
+    spec.name = "demo";
+    spec.probability = 1.5;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.probability = -0.1;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.probability = 0.5;
+
+    spec.derate = 0.0;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.derate = 1.5;
+    try {
+        validateFaultSpec(spec);
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("derate"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("demo"),
+                  std::string::npos);
+    }
+    spec.derate = 0.5;
+    EXPECT_NO_THROW(validateFaultSpec(spec));
+
+    spec.kind = FaultKind::ThermalThrottle;
+    spec.dvfs.minFrequencyFraction = 0.0;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.dvfs.minFrequencyFraction = 0.2;
+    EXPECT_NO_THROW(validateFaultSpec(spec));
+
+    spec.kind = FaultKind::StageLatencyInflation;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError); // No stage.
+    spec.stage = "SLAM";
+    spec.latencyFactor = 0.5;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.latencyFactor = 3.0;
+    EXPECT_NO_THROW(validateFaultSpec(spec));
+
+    spec.kind = FaultKind::StageFailure;
+    spec.stage.clear();
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+
+    spec.kind = FaultKind::SensorDropout;
+    spec.sensorDerate = 1.5;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.sensorDerate = 1.0;
+    EXPECT_NO_THROW(validateFaultSpec(spec));
+}
+
+TEST(FaultSuite, CatalogCoversEveryLayerAndRejectsUnknownNames)
+{
+    for (const char *name :
+         {"none", "ceiling-derate", "thermal-throttle",
+          "stage-failure", "sensor-dropout", "mixed"}) {
+        const FaultSuite &suite = findFaultSuite(name);
+        EXPECT_EQ(suite.name, name);
+        EXPECT_FALSE(suite.description.empty());
+    }
+    EXPECT_TRUE(findFaultSuite("none").faults.empty());
+
+    try {
+        findFaultSuite("mixd");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("did you mean"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("mixed"), std::string::npos)
+            << message;
+    }
+
+    EXPECT_STREQ(toString(FaultKind::CeilingDerate),
+                 "ceiling-derate");
+    EXPECT_STREQ(toString(FaultKind::SensorDropout),
+                 "sensor-dropout");
+}
+
+/** A TX2 + DroNet campaign spec loaded with one standard suite. */
+CampaignSpec
+tx2Campaign(const std::string &suite)
+{
+    const auto &catalog = components::Catalog::standard();
+    const platform::RooflinePlatform &tx2 =
+        catalog.rooflines().byName("Nvidia TX2");
+    const auto algorithms = workload::annotatedAlgorithms();
+    const auto &dronet = algorithms.byName("DroNet");
+
+    CampaignSpec spec;
+    spec.nominal = studies::pelicanInputs(units::Hertz(20.0));
+    spec.platform = tx2;
+    spec.profile = workload::workloadProfile(dronet, tx2);
+    spec.workPerFrameGop = dronet.workPerFrameGop();
+    spec.faults = findFaultSuite(suite).faults;
+    return spec;
+}
+
+TEST(FaultCampaign, NoFaultCampaignReproducesTheBaseline)
+{
+    const FaultCampaign campaign(tx2Campaign("none"));
+    const core::F1Analysis baseline = campaign.baseline();
+    ASSERT_GT(baseline.safeVelocity.value(), 0.0);
+
+    const CampaignResult result = campaign.run(1000, 7);
+    EXPECT_EQ(result.samples, 1000u);
+    EXPECT_EQ(result.abortProbability, 0.0);
+    // Every sample is the baseline analysis, exactly.
+    EXPECT_EQ(result.safeVelocity.p5, baseline.safeVelocity.value());
+    EXPECT_EQ(result.safeVelocity.p50,
+              baseline.safeVelocity.value());
+    EXPECT_EQ(result.safeVelocity.p95,
+              baseline.safeVelocity.value());
+    // Each sample is byte-identical to the baseline (exact order
+    // statistics above); the mean's running sum accumulates a few
+    // ulps of rounding over the batch, so it only gets a tolerance.
+    EXPECT_NEAR(result.safeVelocity.mean,
+                baseline.safeVelocity.value(), 1e-11);
+    EXPECT_NEAR(result.safeVelocity.stddev, 0.0, 1e-9);
+    // The fault-free binding tally pins the baseline's ceiling.
+    ASSERT_FALSE(result.probComputeCeilingBinds.empty());
+    double bound_mass = 0.0;
+    for (const double p : result.probComputeCeilingBinds)
+        bound_mass += p;
+    for (const double p : result.probMemoryCeilingBinds)
+        bound_mass += p;
+    EXPECT_DOUBLE_EQ(bound_mass, 1.0);
+}
+
+/** Exact equality across every field of a CampaignResult. */
+void
+expectBitIdentical(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.safeVelocity.mean, b.safeVelocity.mean);
+    EXPECT_EQ(a.safeVelocity.stddev, b.safeVelocity.stddev);
+    EXPECT_EQ(a.safeVelocity.p5, b.safeVelocity.p5);
+    EXPECT_EQ(a.safeVelocity.p50, b.safeVelocity.p50);
+    EXPECT_EQ(a.safeVelocity.p95, b.safeVelocity.p95);
+    EXPECT_EQ(a.abortProbability, b.abortProbability);
+    ASSERT_EQ(a.faultActivationRate.size(),
+              b.faultActivationRate.size());
+    for (std::size_t j = 0; j < a.faultActivationRate.size(); ++j)
+        EXPECT_EQ(a.faultActivationRate[j],
+                  b.faultActivationRate[j]);
+    ASSERT_EQ(a.probComputeCeilingBinds.size(),
+              b.probComputeCeilingBinds.size());
+    for (std::size_t k = 0; k < a.probComputeCeilingBinds.size();
+         ++k)
+        EXPECT_EQ(a.probComputeCeilingBinds[k],
+                  b.probComputeCeilingBinds[k]);
+    ASSERT_EQ(a.probMemoryCeilingBinds.size(),
+              b.probMemoryCeilingBinds.size());
+    for (std::size_t k = 0; k < a.probMemoryCeilingBinds.size();
+         ++k)
+        EXPECT_EQ(a.probMemoryCeilingBinds[k],
+                  b.probMemoryCeilingBinds[k]);
+    EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(FaultCampaign, FaultedCampaignIsBitIdenticalAcrossThreads)
+{
+    const FaultCampaign campaign(tx2Campaign("mixed"));
+
+    // Spans many sample blocks so the chunk decomposition is
+    // genuinely exercised.
+    const std::size_t count = 100000;
+    exec::ThreadPool pool1(1);
+    exec::ThreadPool pool2(2);
+    exec::ThreadPool pool8(8);
+    exec::ParallelOptions on1;
+    on1.pool = &pool1;
+    exec::ParallelOptions on2;
+    on2.pool = &pool2;
+    exec::ParallelOptions on8;
+    on8.pool = &pool8;
+    const auto serial = campaign.run(count, 42, on1);
+    const auto twoway = campaign.run(count, 42, on2);
+    const auto eightway = campaign.run(count, 42, on8);
+    expectBitIdentical(serial, twoway);
+    expectBitIdentical(serial, eightway);
+
+    // The faults actually fire at their scaled rates...
+    ASSERT_EQ(serial.faultActivationRate.size(), 3u);
+    EXPECT_NEAR(serial.faultActivationRate[0], 0.2, 0.02);
+    EXPECT_NEAR(serial.faultActivationRate[1], 0.15, 0.02);
+    // ...and degrade the envelope below the baseline.
+    const double baseline =
+        campaign.baseline().safeVelocity.value();
+    EXPECT_LT(serial.safeVelocity.mean, baseline);
+    EXPECT_EQ(serial.safeVelocity.p95, baseline);
+
+    // A different seed must actually change the stream.
+    const auto reseeded = campaign.run(count, 43, on8);
+    EXPECT_NE(serial.safeVelocity.mean,
+              reseeded.safeVelocity.mean);
+}
+
+TEST(FaultCampaign, DegradationCurveStartsAtTheBaseline)
+{
+    const FaultCampaign campaign(tx2Campaign("mixed"));
+    const double baseline =
+        campaign.baseline().safeVelocity.value();
+
+    exec::ThreadPool pool(4);
+    exec::ParallelOptions on_pool;
+    on_pool.pool = &pool;
+    const auto curve =
+        campaign.degradationCurve(5, 2000, 1, on_pool);
+    ASSERT_EQ(curve.size(), 5u);
+    // Scale 0 disables every fault: the first point is the
+    // baseline, exactly.
+    EXPECT_EQ(curve.front().scale, 0.0);
+    EXPECT_EQ(curve.front().abortProbability, 0.0);
+    EXPECT_EQ(curve.front().p5SafeVelocity, baseline);
+    EXPECT_EQ(curve.front().p95SafeVelocity, baseline);
+    EXPECT_NEAR(curve.front().meanSafeVelocity, baseline, 1e-11);
+    // The same seed at every level makes severity the only mover:
+    // each sample's active-fault set only grows with scale, so the
+    // degraded mean falls monotonically.
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_EQ(curve[i].scale,
+                  static_cast<double>(i) /
+                      static_cast<double>(curve.size() - 1));
+        EXPECT_LE(curve[i].meanSafeVelocity,
+                  curve[i - 1].meanSafeVelocity + 1e-12);
+    }
+    EXPECT_LT(curve.back().meanSafeVelocity, baseline);
+}
+
+TEST(FaultCampaign, RedundancyAbsorbsAStageFailure)
+{
+    CampaignSpec spec;
+    spec.nominal = studies::pelicanInputs(units::Hertz(20.0));
+    spec.pipeline = workload::SpaPipeline::mavbenchPackageDeliveryTx2();
+    spec.redundancy = pipeline::RedundancyScheme::Dual;
+    FaultSpec slam;
+    slam.name = "SLAM dies";
+    slam.kind = FaultKind::StageFailure;
+    slam.stage = "SLAM";
+    slam.probability = 1.0;
+    spec.faults = {slam};
+
+    // Dual redundancy: the replica takes over on every sample.
+    const FaultCampaign dual(spec);
+    const CampaignResult survived = dual.run(100, 3);
+    EXPECT_EQ(survived.abortProbability, 0.0);
+    EXPECT_GT(survived.safeVelocity.mean, 0.0);
+
+    // No redundancy: the same failure aborts every mission, and
+    // the all-aborted distribution stays zeroed.
+    spec.redundancy = pipeline::RedundancyScheme::None;
+    const FaultCampaign simplex(spec);
+    const CampaignResult aborted = simplex.run(100, 3);
+    EXPECT_EQ(aborted.abortProbability, 1.0);
+    EXPECT_EQ(aborted.safeVelocity.mean, 0.0);
+    EXPECT_EQ(aborted.safeVelocity.p95, 0.0);
+
+    // A certain 3x planning slowdown costs throughput but never
+    // the mission.
+    FaultSpec slow;
+    slow.name = "planning slowdown";
+    slow.kind = FaultKind::StageLatencyInflation;
+    slow.stage = "Path planner";
+    slow.latencyFactor = 3.0;
+    slow.probability = 1.0;
+    spec.faults = {slow};
+    const FaultCampaign slowed(spec);
+    EXPECT_EQ(slowed.run(100, 3).abortProbability, 0.0);
+    EXPECT_LT(slowed.run(100, 3).safeVelocity.mean,
+              slowed.baseline().safeVelocity.value());
+}
+
+TEST(FaultCampaign, ConstructorRejectsMisconfiguredCampaigns)
+{
+    // A platform fault without a platform names the fault.
+    CampaignSpec no_platform;
+    no_platform.nominal = studies::pelicanInputs(units::Hertz(20.0));
+    no_platform.faults = findFaultSuite("ceiling-derate").faults;
+    try {
+        FaultCampaign campaign(no_platform);
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("accelerator half peak"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // A pipeline fault without a pipeline likewise.
+    CampaignSpec no_pipeline;
+    no_pipeline.nominal = studies::pelicanInputs(units::Hertz(20.0));
+    no_pipeline.faults = findFaultSuite("stage-failure").faults;
+    EXPECT_THROW(FaultCampaign{no_pipeline}, ModelError);
+
+    // Out-of-range ceiling index.
+    CampaignSpec bad_index = tx2Campaign("none");
+    FaultSpec derate;
+    derate.name = "phantom ceiling";
+    derate.kind = FaultKind::CeilingDerate;
+    derate.ceilingIndex = 99;
+    derate.derate = 0.5;
+    derate.probability = 0.1;
+    bad_index.faults = {derate};
+    EXPECT_THROW(FaultCampaign{bad_index}, ModelError);
+
+    // Unknown stage names surface the pipeline's diagnostic.
+    CampaignSpec bad_stage;
+    bad_stage.nominal = studies::pelicanInputs(units::Hertz(20.0));
+    bad_stage.pipeline = workload::SpaPipeline::mavbenchPackageDeliveryTx2();
+    FaultSpec ghost;
+    ghost.name = "ghost stage";
+    ghost.kind = FaultKind::StageFailure;
+    ghost.stage = "Warp";
+    ghost.probability = 0.1;
+    bad_stage.faults = {ghost};
+    EXPECT_THROW(FaultCampaign{bad_stage}, ModelError);
+
+    // Layer cap: nine platform faults overflow the variant table.
+    CampaignSpec overflow = tx2Campaign("none");
+    for (int i = 0; i < 9; ++i) {
+        FaultSpec f;
+        f.name = "derate " + std::to_string(i);
+        f.kind = FaultKind::CeilingDerate;
+        f.ceilingIndex = 0;
+        f.derate = 0.9;
+        f.probability = 0.1;
+        overflow.faults.push_back(f);
+    }
+    EXPECT_THROW(FaultCampaign{overflow}, ModelError);
+
+    // Negative severity scale.
+    CampaignSpec negative = tx2Campaign("none");
+    negative.probabilityScale = -1.0;
+    EXPECT_THROW(FaultCampaign{negative}, ModelError);
+
+    // run() and degradationCurve() validate their shapes.
+    const FaultCampaign campaign(tx2Campaign("mixed"));
+    EXPECT_THROW(campaign.run(5), ModelError);
+    EXPECT_THROW(campaign.degradationCurve(1, 100), ModelError);
+}
+
+} // namespace

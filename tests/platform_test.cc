@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
 #include <type_traits>
 
 #include "components/catalog.hh"
@@ -497,6 +499,60 @@ TEST(WorkloadProfile, CarmCrossoverBindsOnChipThenCompute)
     bad.ai = OpsPerByte(1.0);
     bad.trafficFraction[1] = -0.5;
     EXPECT_THROW(machine.attainable(bad), ModelError);
+}
+
+TEST(WorkloadProfile, ValidationNamesTheOffendingField)
+{
+    const RooflinePlatform machine{familySpec()};
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    // NaN / non-positive AI is rejected, and the diagnostic names
+    // the field so a bad annotation is findable from the message.
+    WorkloadProfile bad_ai;
+    bad_ai.ai = OpsPerByte(nan);
+    try {
+        machine.attainable(bad_ai);
+        FAIL() << "NaN ai must throw";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("ai"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("family"),
+                  std::string::npos);
+    }
+    bad_ai.ai = OpsPerByte(-2.0);
+    EXPECT_THROW(machine.attainable(bad_ai), ModelError);
+    bad_ai.ai = OpsPerByte(0.0);
+    EXPECT_THROW(machine.attainable(bad_ai), ModelError);
+    bad_ai.ai =
+        OpsPerByte(std::numeric_limits<double>::infinity());
+    EXPECT_THROW(machine.attainable(bad_ai), ModelError);
+
+    // NaN and negative traffic fractions likewise, with the level
+    // index in the message.
+    WorkloadProfile bad_traffic;
+    bad_traffic.ai = OpsPerByte(1.0);
+    bad_traffic.trafficFraction[1] = nan;
+    try {
+        machine.attainable(bad_traffic);
+        FAIL() << "NaN trafficFraction must throw";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("trafficFraction[1]"),
+                  std::string::npos);
+    }
+    bad_traffic.trafficFraction[1] = -0.25;
+    EXPECT_THROW(machine.attainable(bad_traffic), ModelError);
+
+    // A fraction above 1 is legal: write amplification means a
+    // level can see more bytes than the algorithm's nominal count.
+    WorkloadProfile amplified;
+    amplified.ai = OpsPerByte(1.0);
+    amplified.trafficFraction[0] = 2.0;
+    EXPECT_NO_THROW(machine.attainable(amplified));
+
+    // The standalone validator is callable directly.
+    EXPECT_NO_THROW(validateWorkloadProfile(amplified, "test"));
+    EXPECT_THROW(validateWorkloadProfile(bad_traffic, "test"),
+                 ModelError);
 }
 
 TEST(Workload, TraitsMapOntoAPlatformProfile)

@@ -41,7 +41,8 @@ TEST(Registry, EnumeratesEveryFigAndTableStudy)
     for (const char *name :
          {"fig02", "fig04", "fig05", "fig07", "fig09", "fig11",
           "fig12", "fig13", "fig14", "fig15", "fig16", "table1",
-          "table2", "table3", "sweep", "roofline", "dvfs"}) {
+          "table2", "table3", "sweep", "roofline", "dvfs",
+          "faults"}) {
         EXPECT_TRUE(registry.contains(name)) << name;
         const StudyInfo &info = registry.find(name);
         EXPECT_FALSE(info.title.empty()) << name;
@@ -382,6 +383,102 @@ TEST(Runner, DvfsStudySweepsOperatingPointsWithAttribution)
     // The binding ceiling is named in the summary table.
     EXPECT_NE(outcome.result.summary.find("Pascal GPU FP16"),
               std::string::npos);
+}
+
+TEST(Runner, FaultsStudyReportsTheDegradedEnvelope)
+{
+    ScenarioSpec spec;
+    spec.study = "faults";
+    spec.overrides.set("fault", "mixed");
+    spec.overrides.set("samples", "256");
+    spec.overrides.set("levels", "3");
+
+    const ScenarioRunner runner;
+    const ScenarioOutcome outcome = runner.run(spec);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_EQ(outcome.status, ScenarioStatus::Ok);
+
+    const auto metric = [&](const std::string &name) {
+        for (const auto &m : outcome.result.metrics) {
+            if (m.name == name)
+                return m.value;
+        }
+        ADD_FAILURE() << "missing metric " << name;
+        return -1.0;
+    };
+    EXPECT_GT(metric("baseline_v_safe"), 0.0);
+    EXPECT_LE(metric("degraded_v_safe_mean"),
+              metric("baseline_v_safe") + 1e-12);
+    const double abort_probability = metric("abort_probability");
+    EXPECT_GE(abort_probability, 0.0);
+    EXPECT_LE(abort_probability, 1.0);
+    // One degradation-curve point per level in every series.
+    ASSERT_FALSE(outcome.result.series.empty());
+    EXPECT_EQ(outcome.result.series.front().size(), 3u);
+
+    // Unknown suites fail the scenario with the suite list.
+    ScenarioSpec bad = spec;
+    bad.overrides.set("fault", "meteor-strike");
+    const ScenarioOutcome failed = runner.run(bad);
+    EXPECT_FALSE(failed.ok);
+    EXPECT_NE(failed.error.find("meteor-strike"),
+              std::string::npos);
+}
+
+TEST(Runner, DeadlineTimesOutAnOverrunningScenario)
+{
+    ScenarioSpec spec;
+    spec.study = "faults";
+    // Big enough that the campaign cannot finish inside the
+    // deadline; the cooperative checkpoint fires at the first
+    // sample-block boundary past it.
+    spec.overrides.set("samples", "2000000");
+    spec.overrides.set("levels", "9");
+
+    RunnerOptions options;
+    options.deadlineMs = 1;
+    const ScenarioOutcome outcome =
+        ScenarioRunner().run(spec, options);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.status, ScenarioStatus::Timeout);
+    EXPECT_TRUE(outcome.artifacts.empty());
+
+    const std::string summary =
+        ScenarioRunner::renderSummary({outcome});
+    EXPECT_NE(summary.find("FAILED (timeout)"), std::string::npos)
+        << summary;
+}
+
+TEST(Runner, FailFastCancelsTheRestOfTheBatch)
+{
+    ScenarioSpec bad;
+    bad.study = "fig02";
+    bad.overrides.set("bogus", "1");
+    ScenarioSpec good;
+    good.study = "fig12";
+
+    // A serial pool makes the schedule deterministic: the failure
+    // trips the shared flag before the second scenario starts.
+    exec::ThreadPool pool1(1);
+    RunnerOptions options;
+    options.failFast = true;
+    options.parallel.pool = &pool1;
+    const auto outcomes =
+        ScenarioRunner().runAll({bad, good}, options);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].status, ScenarioStatus::Error);
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_EQ(outcomes[1].status, ScenarioStatus::Cancelled);
+
+    // Without fail-fast the same batch still runs everything
+    // (CapturesStudyFailuresPerScenario), and the summary names
+    // the cancellation.
+    const std::string summary =
+        ScenarioRunner::renderSummary(outcomes);
+    EXPECT_NE(summary.find("FAILED (cancelled)"),
+              std::string::npos)
+        << summary;
 }
 
 TEST(Runner, UniqueArtifactBasenamesForRepeatedStudies)
