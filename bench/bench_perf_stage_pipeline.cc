@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Per-stage pipeline evaluation perf bench.
+ *
+ * Prints the consistency checks the per-stage spine must uphold
+ * (on the measured platform at nominal the evaluator reproduces
+ * the SpaPipeline's own latency arithmetic bit-for-bit; on the
+ * stage-gated accelerator family only the gated stage shortens),
+ * measures evaluateInto() throughput on both the measured-first
+ * and the fully modeled path, and writes a
+ * BENCH_stage_pipeline.json baseline into the artifacts directory
+ * so later PRs can track the perf trajectory alongside
+ * BENCH_roofline_platform.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hh"
+#include "components/catalog.hh"
+#include "platform/roofline_platform.hh"
+#include "workload/spa_pipeline.hh"
+#include "workload/stage_eval.hh"
+
+namespace {
+
+using namespace uavf1;
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Time `evals` evaluateInto() calls; returns ms. */
+double
+timeEvaluate(const workload::StagePipelineEvaluator &evaluator,
+             const workload::StageEvalOptions &options,
+             std::size_t evals)
+{
+    workload::PipelineBound bound;
+    double sink = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < evals; ++i) {
+        evaluator.evaluateInto(options, bound);
+        sink += bound.totalLatencySeconds;
+    }
+    benchmark::DoNotOptimize(sink);
+    return millisSince(start);
+}
+
+void
+printFigure()
+{
+    bench::banner("Stage pipeline",
+                  "Per-stage workload-aware evaluation throughput");
+
+    const auto catalog = components::Catalog::standard();
+    const workload::SpaPipeline pipeline =
+        workload::SpaPipeline::mavbenchPackageDeliveryTx2();
+    const workload::StagePipelineEvaluator measured(
+        pipeline, catalog.rooflines().byName("Nvidia TX2"));
+    const workload::StagePipelineEvaluator modeled(
+        pipeline, catalog.rooflines().byName("TX2-CPU + Navion"));
+
+    // Measured-first consistency: at the nominal point on the
+    // platform the pipeline was characterized on, the evaluator's
+    // totals must reproduce the SpaPipeline's own arithmetic
+    // bit-for-bit (the legacy-bytes contract of the refactor).
+    const workload::PipelineBound nominal = measured.evaluate();
+    const bool identical =
+        nominal.totalLatencySeconds ==
+            pipeline.totalLatency().value() &&
+        nominal.throughputHz == pipeline.throughput().value();
+    std::printf("  measured-first total vs SpaPipeline "
+                "bit-identical: %s\n",
+                identical ? "yes" : "NO (BUG)");
+
+    // Stage gating: the Navion family shortens exactly its gated
+    // SLAM stage; every other stage keeps its measured latency.
+    const workload::PipelineBound accelerated = modeled.evaluate();
+    bool gated = accelerated.stages[0].binding.attributed;
+    for (std::size_t i = 1; i < accelerated.stageCount; ++i) {
+        gated = gated &&
+                accelerated.stages[i].latencySeconds ==
+                    pipeline.stages()[i].latency.value();
+    }
+    std::printf("  Navion shortens only its gated stage "
+                "(%.2f -> %.2f Hz): %s\n",
+                nominal.throughputHz, accelerated.throughputHz,
+                gated ? "yes" : "NO (BUG)");
+
+    constexpr std::size_t evals = 1000000;
+    const workload::StageEvalOptions options;
+    (void)timeEvaluate(measured, options, evals / 10); // Warm-up.
+
+    const double measured_ms = timeEvaluate(measured, options, evals);
+    const double modeled_ms = timeEvaluate(modeled, options, evals);
+
+    std::printf("  evaluateInto() measured-first on the TX2:    "
+                "%8.1f ms for %zu evals (%.1f ns/eval)\n",
+                measured_ms, evals, measured_ms * 1e6 / evals);
+    std::printf("  evaluateInto() modeled on TX2-CPU + Navion:  "
+                "%8.1f ms for %zu evals (%.1f ns/eval)\n",
+                modeled_ms, evals, modeled_ms * 1e6 / evals);
+    bench::note("absolute timings depend on the machine; the "
+                "consistency column must hold everywhere");
+
+    // Perf-trajectory baseline for later PRs.
+    const std::string path =
+        bench::artifactsDir() + "/BENCH_stage_pipeline.json";
+    std::ofstream json(path);
+    json << "{\n"
+         << "  \"benchmark\": \"stage_pipeline\",\n"
+         << "  \"evals\": " << evals << ",\n"
+         << "  \"measured_first_ms\": " << measured_ms << ",\n"
+         << "  \"modeled_ms\": " << modeled_ms << ",\n"
+         << "  \"measured_first_ns_per_eval\": "
+         << measured_ms * 1e6 / evals << ",\n"
+         << "  \"modeled_ns_per_eval\": "
+         << modeled_ms * 1e6 / evals << ",\n"
+         << "  \"measured_first_bit_identical\": "
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"stage_gating_exact\": "
+         << (gated ? "true" : "false") << "\n"
+         << "}\n";
+    std::printf("  artifacts: BENCH_stage_pipeline.json\n");
+}
+
+void
+BM_StageEvaluateMeasuredFirst(benchmark::State &state)
+{
+    const auto catalog = components::Catalog::standard();
+    const workload::StagePipelineEvaluator evaluator(
+        workload::SpaPipeline::mavbenchPackageDeliveryTx2(),
+        catalog.rooflines().byName("Nvidia TX2"));
+    const workload::StageEvalOptions options;
+    workload::PipelineBound bound;
+    for (auto _ : state) {
+        evaluator.evaluateInto(options, bound);
+        benchmark::DoNotOptimize(bound.totalLatencySeconds);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StageEvaluateMeasuredFirst);
+
+void
+BM_StageEvaluateModeled(benchmark::State &state)
+{
+    const auto catalog = components::Catalog::standard();
+    const workload::StagePipelineEvaluator evaluator(
+        workload::SpaPipeline::mavbenchPackageDeliveryTx2(),
+        catalog.rooflines().byName("TX2-CPU + Navion"));
+    workload::StageEvalOptions options;
+    options.measuredFirst = false;
+    workload::PipelineBound bound;
+    for (auto _ : state) {
+        evaluator.evaluateInto(options, bound);
+        benchmark::DoNotOptimize(bound.totalLatencySeconds);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StageEvaluateModeled);
+
+void
+BM_StageEvaluatePerturbedAi(benchmark::State &state)
+{
+    const auto catalog = components::Catalog::standard();
+    const workload::StagePipelineEvaluator evaluator(
+        workload::SpaPipeline::mavbenchPackageDeliveryTx2(),
+        catalog.rooflines().byName("TX2-CPU + Navion"));
+    workload::StageEvalOptions options;
+    options.measuredFirst = false;
+    workload::PipelineBound bound;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        options.aiScale = 0.5 + 0.001 * static_cast<double>(i++ % 1000);
+        evaluator.evaluateInto(options, bound);
+        benchmark::DoNotOptimize(bound.totalLatencySeconds);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StageEvaluatePerturbedAi);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

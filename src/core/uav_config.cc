@@ -82,6 +82,12 @@ UavConfig::describe() const
             _compute->tdp().value(), _compute->moduleMass().value(),
             _compute->heatsinkMass(_heatsink).value());
     }
+    if (_rooflineFamily) {
+        out += strFormat(
+            "  roofline: %s @ %s\n", _rooflineFamily->name().c_str(),
+            _operatingPoint.empty() ? "nominal"
+                                    : _operatingPoint.c_str());
+    }
     if (_algorithm) {
         out += strFormat("  algorithm: %s (%s)\n",
                          _algorithm->name().c_str(),
@@ -92,13 +98,15 @@ UavConfig::describe() const
     // produced it; the ref's family tag makes a mismatch (e.g. on a
     // hand-assembled config) detectable, and a report must not
     // throw, so ask the family instead of resolving blindly.
-    if (_computeBinding.attributed && _compute &&
-        _compute->roofline().resolves(_computeBinding)) {
+    const platform::RooflinePlatform *family =
+        _rooflineFamily ? &*_rooflineFamily
+                        : (_compute ? &_compute->roofline() : nullptr);
+    if (_computeBinding.attributed && family &&
+        family->resolves(_computeBinding)) {
         provenance +=
             ", " +
             std::string(platform::toString(_computeBinding.kind)) +
-            " ceiling '" +
-            _compute->roofline().ceilingName(_computeBinding) + "'";
+            " ceiling '" + family->ceilingName(_computeBinding) + "'";
     }
     out += strFormat("  f_compute: %.2f Hz (%s)\n",
                      _computeRate.value(), provenance.c_str());
@@ -151,6 +159,20 @@ UavConfig::Builder &
 UavConfig::Builder::algorithm(workload::AutonomyAlgorithm algorithm)
 {
     _algorithm = std::move(algorithm);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::roofline(platform::RooflinePlatform family)
+{
+    _rooflineFamily = std::move(family);
+    return *this;
+}
+
+UavConfig::Builder &
+UavConfig::Builder::operatingPoint(std::string name)
+{
+    _operatingPoint = std::move(name);
     return *this;
 }
 
@@ -256,12 +278,27 @@ UavConfig::Builder::build() const
     config._aMaxOverride = _aMaxOverride;
     config._kneeFraction = _kneeFraction;
 
-    // Compute rate: override wins; otherwise require the
-    // platform+algorithm pair and consult the oracle.
+    // Compute rate: override wins; then the roofline family; then
+    // the flat platform — both of the latter through the oracle's
+    // measured-first ceiling-family path, so every fallback carries
+    // binding attribution.
     if (_computeRateOverride) {
         config._computeRate =
             _redundancy.effectiveThroughput(*_computeRateOverride);
         config._computeRateSource = workload::ThroughputSource::Measured;
+    } else if (_rooflineFamily && _algorithm) {
+        const std::size_t op_index =
+            _operatingPoint.empty()
+                ? 0
+                : _rooflineFamily->operatingPointIndex(_operatingPoint);
+        const auto estimate =
+            _oracle.throughput(*_algorithm, *_rooflineFamily, op_index);
+        config._computeRate =
+            _redundancy.effectiveThroughput(estimate.value);
+        config._computeRateSource = estimate.source;
+        config._computeBinding = estimate.binding;
+        config._rooflineFamily = _rooflineFamily;
+        config._operatingPoint = _operatingPoint;
     } else if (_compute && _algorithm) {
         const auto estimate = _oracle.throughput(*_algorithm, *_compute);
         config._computeRate =
@@ -271,8 +308,9 @@ UavConfig::Builder::build() const
     } else {
         throw ModelError(
             "UAV configuration '" + _name +
-            "' has no compute rate: set computeRateOverride() or "
-            "both compute() and algorithm()");
+            "' has no compute rate: set computeRateOverride(), "
+            "roofline() and algorithm(), or both compute() and "
+            "algorithm()");
     }
 
     // Mass roll-up.

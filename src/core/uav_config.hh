@@ -34,6 +34,7 @@
 #include "physics/battery.hh"
 #include "physics/mass_budget.hh"
 #include "pipeline/redundancy.hh"
+#include "platform/roofline_platform.hh"
 #include "thermal/heatsink.hh"
 #include "workload/algorithm.hh"
 #include "workload/throughput.hh"
@@ -74,6 +75,22 @@ class UavConfig
     const std::optional<workload::AutonomyAlgorithm> &algorithm() const
     {
         return _algorithm;
+    }
+
+    /** The multi-ceiling family f_compute was derived on, when the
+     * builder routed through the roofline path (empty otherwise;
+     * the flat compute() path resolves bindings against
+     * compute()->roofline() instead). */
+    const std::optional<platform::RooflinePlatform> &
+    rooflineFamily() const
+    {
+        return _rooflineFamily;
+    }
+
+    /** Operating-point name of the roofline path ("" = nominal). */
+    const std::string &operatingPoint() const
+    {
+        return _operatingPoint;
     }
 
     /** Redundancy scheme applied to the compute subsystem. */
@@ -149,6 +166,8 @@ class UavConfig
         control::FlightController::typical1kHz()};
     std::optional<components::ComputePlatform> _compute;
     std::optional<workload::AutonomyAlgorithm> _algorithm;
+    std::optional<platform::RooflinePlatform> _rooflineFamily;
+    std::string _operatingPoint;
     pipeline::ModularRedundancy _redundancy{
         pipeline::RedundancyScheme::None};
     thermal::HeatsinkModel _heatsink;
@@ -186,6 +205,22 @@ class UavConfig::Builder
 
     /** Set the autonomy algorithm. */
     Builder &algorithm(workload::AutonomyAlgorithm algorithm);
+
+    /**
+     * Route f_compute through a multi-ceiling roofline family with
+     * measured-throughput-first semantics (the oracle's table wins
+     * at the nominal operating point; the workload-aware bound with
+     * binding attribution answers everywhere else). Takes precedence
+     * over compute() for rate derivation; compute() still
+     * contributes module mass and power.
+     */
+    Builder &roofline(platform::RooflinePlatform family);
+
+    /**
+     * Operating point for the roofline path, by name (default:
+     * nominal). Resolved against the family at build().
+     */
+    Builder &operatingPoint(std::string name);
 
     /** Set the throughput oracle (default: paper-seeded). */
     Builder &throughputOracle(workload::ThroughputOracle oracle);
@@ -237,6 +272,8 @@ class UavConfig::Builder
         control::FlightController::typical1kHz()};
     std::optional<components::ComputePlatform> _compute;
     std::optional<workload::AutonomyAlgorithm> _algorithm;
+    std::optional<platform::RooflinePlatform> _rooflineFamily;
+    std::string _operatingPoint;
     workload::ThroughputOracle _oracle{
         workload::ThroughputOracle::standard()};
     thermal::HeatsinkModel _heatsink;

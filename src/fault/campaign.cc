@@ -11,6 +11,7 @@
 #include "support/errors.hh"
 #include "support/rng.hh"
 #include "support/validate.hh"
+#include "workload/stage_eval.hh"
 
 namespace uavf1::fault {
 
@@ -124,6 +125,12 @@ FaultCampaign::precomputePlatformVariants()
     const std::size_t masks = std::size_t{1}
                               << _platformFaults.size();
     _platformVariants.reserve(masks);
+    if (_spec.pipeline) {
+        _stageCount = _spec.pipeline->stages().size();
+        _stageNames = _spec.pipeline->stageNames();
+        _stageBase.assign(masks * _stageCount, 0.0);
+        _stageSlot.assign(masks * _stageCount, measuredSlot);
+    }
     for (std::size_t mask = 0; mask < masks; ++mask) {
         platform::RooflinePlatform::Spec degraded;
         degraded.name = machine.name();
@@ -231,6 +238,39 @@ FaultCampaign::precomputePlatformVariants()
             bound.attainable.value() / _spec.workPerFrameGop;
         variant.binding = bound.binding;
         _platformVariants.push_back(variant);
+
+        if (!_spec.pipeline)
+            continue;
+        // Evaluate the pipeline's per-stage bounds on this degraded
+        // machine. The un-faulted variant keeps measured-first
+        // semantics (bit-identical to the pipeline-only path on the
+        // measured platform); faulted variants drop rule 1 so a
+        // throttled clock scales the measurements and a derated
+        // ceiling can raise a stage's modeled floor above them.
+        const workload::StagePipelineEvaluator evaluator(
+            *_spec.pipeline, degraded_machine);
+        workload::StageEvalOptions eval_options;
+        eval_options.opIndex = op_index;
+        eval_options.measuredFirst = mask == 0;
+        const workload::PipelineBound stage_bound =
+            evaluator.evaluate(eval_options);
+        const std::size_t compute_ceilings =
+            machine.computeCeilings().size();
+        for (std::size_t s = 0; s < _stageCount; ++s) {
+            const workload::StageBound &stage =
+                stage_bound.stages[s];
+            _stageBase[mask * _stageCount + s] =
+                stage.latencySeconds;
+            if (stage.binding.attributed) {
+                _stageSlot[mask * _stageCount + s] =
+                    static_cast<std::uint32_t>(
+                        stage.binding.kind ==
+                                platform::CeilingKind::Compute
+                            ? stage.binding.index
+                            : compute_ceilings +
+                                  stage.binding.index);
+            }
+        }
     }
 }
 
@@ -245,6 +285,8 @@ FaultCampaign::precomputePipelineVariants()
     const std::size_t masks = std::size_t{1}
                               << _pipelineFaults.size();
     _pipelineVariants.reserve(masks);
+    if (_spec.platform)
+        _stageInflation.assign(masks * _stageCount, 1.0);
     for (std::size_t mask = 0; mask < masks; ++mask) {
         int failures = 0;
         workload::SpaPipeline pipe = *_spec.pipeline;
@@ -270,6 +312,15 @@ FaultCampaign::precomputePipelineVariants()
                     "");
                 break;
             }
+            if (_spec.platform) {
+                // The same compounding, as a factor on the
+                // *evaluated* per-stage bound of the platform path.
+                for (std::size_t s = 0; s < _stageCount; ++s) {
+                    if (_stageNames[s] == fault.stage)
+                        _stageInflation[mask * _stageCount + s] *=
+                            fault.latencyFactor;
+                }
+            }
         }
 
         PipelineVariant variant;
@@ -294,8 +345,19 @@ FaultCampaign::baseline() const
         inputs.computeBinding = variant.binding;
     }
     if (_spec.pipeline) {
-        const double pipeline_rate =
-            _pipelineVariants.front().throughputHz;
+        double pipeline_rate = _pipelineVariants.front().throughputHz;
+        if (_spec.platform) {
+            // The same per-stage path an un-faulted sample takes.
+            const pipeline::ModularRedundancy redundancy(
+                _spec.redundancy);
+            double total = 0.0;
+            for (std::size_t s = 0; s < _stageCount; ++s)
+                total += _stageBase[s];
+            pipeline_rate =
+                redundancy
+                    .effectiveThroughput(units::Hertz(1.0 / total))
+                    .value();
+        }
         if (!_spec.platform ||
             pipeline_rate < inputs.computeRate.value()) {
             inputs.computeRate = units::Hertz(pipeline_rate);
@@ -349,6 +411,15 @@ FaultCampaign::run(std::size_t count, std::uint64_t seed,
     std::vector<std::vector<std::uint64_t>> ceiling_counts(
         machine ? blocks : 0,
         std::vector<std::uint64_t>(total_ceilings, 0));
+
+    // Per-stage binding tallies (kind-major per stage: compute /
+    // memory / measured), only on the combined platform+pipeline
+    // path.
+    const bool stage_path = machine && _spec.pipeline;
+    std::vector<std::vector<std::uint64_t>> stage_counts(
+        stage_path ? blocks : 0,
+        std::vector<std::uint64_t>(_stageCount * 3, 0));
+    const pipeline::ModularRedundancy redundancy(_spec.redundancy);
 
     exec::ParallelOptions options = parallel;
     options.grain = 1; // One block per chunk.
@@ -410,12 +481,34 @@ FaultCampaign::run(std::size_t count, std::uint64_t seed,
                         const PipelineVariant &variant =
                             _pipelineVariants[pipeline_mask];
                         abort = abort || variant.aborts;
+                        double pipeline_rate = variant.throughputHz;
+                        if (!abort && stage_path) {
+                            // Workload-aware path: the degraded
+                            // per-stage bounds, inflated by the
+                            // active stage faults. Table lookups
+                            // and a short sum — allocation-free.
+                            const double *base =
+                                &_stageBase[platform_mask *
+                                            _stageCount];
+                            const double *inflation =
+                                &_stageInflation[pipeline_mask *
+                                                 _stageCount];
+                            double total = 0.0;
+                            for (std::size_t s = 0;
+                                 s < _stageCount; ++s)
+                                total += base[s] * inflation[s];
+                            pipeline_rate =
+                                redundancy
+                                    .effectiveThroughput(
+                                        units::Hertz(1.0 / total))
+                                    .value();
+                        }
                         if (!abort &&
                             (!machine ||
-                             variant.throughputHz <
+                             pipeline_rate <
                                  inputs.computeRate.value())) {
                             inputs.computeRate =
-                                units::Hertz(variant.throughputHz);
+                                units::Hertz(pipeline_rate);
                             binding = {};
                         }
                     }
@@ -436,6 +529,20 @@ FaultCampaign::run(std::size_t count, std::uint64_t seed,
                                 ? binding.index
                                 : compute_ceilings + binding.index;
                         ++ceiling_counts[b][slot];
+                    }
+                    if (stage_path) {
+                        const std::uint32_t *slots =
+                            &_stageSlot[platform_mask * _stageCount];
+                        for (std::size_t s = 0; s < _stageCount;
+                             ++s) {
+                            const std::size_t kind =
+                                slots[s] == measuredSlot
+                                    ? 2
+                                    : (slots[s] < compute_ceilings
+                                           ? 0
+                                           : 1);
+                            ++stage_counts[b][s * 3 + kind];
+                        }
                     }
                 }
             }
@@ -480,6 +587,25 @@ FaultCampaign::run(std::size_t count, std::uint64_t seed,
             else
                 result.probMemoryCeilingBinds[k - compute_ceilings] =
                     prob;
+        }
+    }
+    if (stage_path) {
+        std::vector<std::uint64_t> stage_totals(_stageCount * 3, 0);
+        for (const auto &block : stage_counts)
+            for (std::size_t k = 0; k < stage_totals.size(); ++k)
+                stage_totals[k] += block[k];
+        result.stageBindings.resize(_stageCount);
+        for (std::size_t s = 0; s < _stageCount; ++s) {
+            StageBindingStats &stats = result.stageBindings[s];
+            stats.stage = _stageNames[s];
+            const double denom =
+                survivors > 0 ? static_cast<double>(survivors) : 1.0;
+            stats.probComputeBound =
+                static_cast<double>(stage_totals[s * 3 + 0]) / denom;
+            stats.probMemoryBound =
+                static_cast<double>(stage_totals[s * 3 + 1]) / denom;
+            stats.probMeasured =
+                static_cast<double>(stage_totals[s * 3 + 2]) / denom;
         }
     }
 

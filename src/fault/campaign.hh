@@ -68,6 +68,15 @@ struct CampaignSpec
      * only while active failures stay within `redundancy`'s replica
      * budget (replicas - 1); redundant schemes pay the voter latency
      * on every sample, faulted or not.
+     *
+     * When `platform` is also set, stage latencies route through the
+     * per-stage workload-aware evaluator: with no platform fault
+     * active the measured latencies win (bit-identical to the
+     * pipeline-only path on the pipeline's measured platform), and
+     * under platform faults each stage's degraded modeled bound acts
+     * as a latency floor — so a StageLatencyInflation multiplies the
+     * *evaluated* bound, not just the raw measurement, and the
+     * campaign reports per-stage binding shifts.
      */
     std::optional<workload::SpaPipeline> pipeline;
     pipeline::RedundancyScheme redundancy =
@@ -94,6 +103,10 @@ struct DegradationPoint
     double abortProbability = 0.0; ///< Fraction of aborted missions.
 };
 
+/** Per-stage binding statistics over surviving samples (the same
+ * shape the Monte-Carlo analyzer reports). */
+using StageBindingStats = sim::StageBindingStats;
+
 /** Campaign outputs. */
 struct CampaignResult
 {
@@ -114,6 +127,16 @@ struct CampaignResult
      */
     std::vector<double> probComputeCeilingBinds;
     std::vector<double> probMemoryCeilingBinds;
+    /**
+     * Per-stage binding shifts of the SPA pipeline, in stage order.
+     * Non-empty only when both CampaignSpec::platform and
+     * CampaignSpec::pipeline are set — then every stage's latency is
+     * evaluated through the workload-aware per-stage roofline spine
+     * (measured-first on the un-faulted platform, the degraded
+     * modeled bound under platform faults), and this reports how
+     * often each stage was compute-bound / memory-bound / measured.
+     */
+    std::vector<StageBindingStats> stageBindings;
     std::size_t samples = 0;
 };
 
@@ -195,6 +218,9 @@ class FaultCampaign
     void precomputePlatformVariants();
     void precomputePipelineVariants();
 
+    /** Stage-slot sentinel: measurement-sourced, no ceiling. */
+    static constexpr std::uint32_t measuredSlot = ~std::uint32_t{0};
+
     CampaignSpec _spec;
     /** Fault indices by layer (order preserved within each). */
     std::vector<std::size_t> _platformFaults;
@@ -203,6 +229,22 @@ class FaultCampaign
     /** Variant tables indexed by the layer's activation mask. */
     std::vector<PlatformVariant> _platformVariants;
     std::vector<PipelineVariant> _pipelineVariants;
+    /**
+     * Per-stage tables of the workload-aware path, used only when
+     * both platform and pipeline are configured. _stageBase holds
+     * each platform variant's evaluated per-stage latency (seconds)
+     * and _stageSlot its binding — a flat ceiling slot (compute
+     * ceilings first) or measuredSlot — both indexed
+     * [platform_mask * _stageCount + stage]. _stageInflation holds
+     * each pipeline variant's per-stage latency-inflation product,
+     * indexed [pipeline_mask * _stageCount + stage]. A sample's
+     * pipeline latency is then sum_s base[s] * inflation[s].
+     */
+    std::size_t _stageCount = 0;
+    std::vector<std::string> _stageNames;
+    std::vector<double> _stageBase;
+    std::vector<std::uint32_t> _stageSlot;
+    std::vector<double> _stageInflation;
 };
 
 } // namespace uavf1::fault

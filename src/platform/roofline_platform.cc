@@ -360,8 +360,13 @@ RooflinePlatform::attainable(const WorkloadProfile &profile,
         bound.binding = {CeilingKind::Memory, memory_index, true,
                          _familyTag};
     }
-    requireFinite(bound.attainable.value(),
-                  "attainable bound on " + _spec.name);
+    // Branch-only on the happy path: the message string is built
+    // only when the check is about to throw, so the hot path stays
+    // allocation-free (pinned by the stage-pipeline guard test).
+    if (!std::isfinite(bound.attainable.value())) {
+        requireFinite(bound.attainable.value(),
+                      "attainable bound on " + _spec.name);
+    }
     return bound;
 }
 

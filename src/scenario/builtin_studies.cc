@@ -37,6 +37,7 @@
 #include "thermal/heatsink.hh"
 #include "workload/algorithm.hh"
 #include "workload/spa_pipeline.hh"
+#include "workload/stage_eval.hh"
 #include "workload/throughput.hh"
 
 namespace uavf1::scenario {
@@ -506,6 +507,19 @@ runTable2Study(const StudyContext &ctx)
                        session.model().inputs().computeRate.value(),
                        "Hz");
     }
+    // Per-stage breakdown of the SPA pipeline, present only when
+    // the platform path evaluated one (so legacy sessions keep
+    // their exact artifact bytes).
+    for (std::size_t i = 0; i < analysis.stages.size(); ++i) {
+        const skyline::StageAnalysis &row = analysis.stages[i];
+        const std::string prefix =
+            "stage_" + ScenarioRunner::sanitizeLabel(row.stage);
+        result.addMetric(prefix + "_latency", row.latencyMs, "ms");
+        if (row.bottleneck) {
+            result.addMetric("bottleneck_stage",
+                             static_cast<double>(i));
+        }
+    }
     result.summary = session.renderAnalysis();
     result.reportHtml = skyline::ReportWriter::html(
         session, "Skyline report: " + session.knobs().algorithm);
@@ -651,6 +665,105 @@ runRooflineStudy(const StudyContext &ctx)
     }
     result.series.push_back(std::move(markers));
 
+    // Per-stage pipeline breakdown: pipeline=<algorithm with a
+    // standard SPA stage pipeline> appends the workload-aware
+    // per-stage evaluation on this machine and operating point;
+    // stage=<name> narrows the breakdown to one stage. Both names
+    // are validated up front with "did you mean" suggestions.
+    std::string stage_breakdown;
+    const std::string pipeline_name =
+        trim(ctx.params.get("pipeline", ""));
+    if (!pipeline_name.empty()) {
+        const auto pipeline =
+            workload::standardPipelineFor(pipeline_name);
+        if (!pipeline) {
+            std::vector<std::string> candidates;
+            const auto algorithms = workload::standardAlgorithms();
+            for (const auto &algo : algorithms.items()) {
+                if (workload::standardPipelineFor(algo.name()))
+                    candidates.push_back(algo.name());
+            }
+            const auto hints =
+                closestMatches(pipeline_name, candidates);
+            throw ModelError(
+                "no standard SPA stage pipeline for '" +
+                pipeline_name + "'" +
+                (hints.empty()
+                     ? "; pipelines exist for: " +
+                           join(candidates, ", ")
+                     : " (did you mean " + join(hints, " or ") +
+                           "?)"));
+        }
+        const std::string stage_filter =
+            trim(ctx.params.get("stage", ""));
+        if (!stage_filter.empty() &&
+            !pipeline->hasStage(stage_filter)) {
+            const auto hints = closestMatches(
+                stage_filter, pipeline->stageNames());
+            throw ModelError(
+                "pipeline '" + pipeline->name() +
+                "' has no stage '" + stage_filter + "'" +
+                (hints.empty()
+                     ? "; stages: " +
+                           join(pipeline->stageNames(), ", ")
+                     : " (did you mean " + join(hints, " or ") +
+                           "?)"));
+        }
+        const workload::StagePipelineEvaluator evaluator(*pipeline,
+                                                         machine);
+        workload::StageEvalOptions eval_options;
+        eval_options.opIndex = op;
+        const workload::PipelineBound bound =
+            evaluator.evaluate(eval_options);
+        TextTable stage_table({"Stage", "Latency (ms)", "Source",
+                               "Binding ceiling"});
+        for (std::size_t i = 0; i < bound.stageCount; ++i) {
+            const std::string &stage_name = evaluator.stageName(i);
+            if (!stage_filter.empty() && stage_name != stage_filter)
+                continue;
+            const workload::StageBound &stage = bound.stages[i];
+            stage_table.addRow(
+                {stage_name + (i == bound.bottleneckIndex
+                                   ? " (bottleneck)"
+                                   : ""),
+                 trimmedNumber(stage.latencySeconds * 1e3, 3),
+                 workload::toString(stage.source),
+                 stage.binding.attributed
+                     ? std::string(platform::toString(
+                           stage.binding.kind)) +
+                           ": " +
+                           machine.ceilingName(stage.binding)
+                     : "-"});
+            const std::string prefix =
+                "stage_" +
+                ScenarioRunner::sanitizeLabel(stage_name);
+            result.addMetric(prefix + "_latency",
+                             stage.latencySeconds * 1e3, "ms");
+            if (stage.binding.attributed) {
+                result
+                    .addMetric(prefix + "_binding_kind",
+                               stage.binding.kind ==
+                                       platform::CeilingKind::
+                                           Compute
+                                   ? 0.0
+                                   : 1.0)
+                    .addMetric(prefix + "_binding_index",
+                               static_cast<double>(
+                                   stage.binding.index));
+            }
+        }
+        result
+            .addMetric("pipeline_stages",
+                       static_cast<double>(bound.stageCount))
+            .addMetric("pipeline_throughput", bound.throughputHz,
+                       "Hz");
+        stage_breakdown =
+            strFormat("Per-stage pipeline '%s' (%.4f Hz):\n",
+                      pipeline->name().c_str(),
+                      bound.throughputHz) +
+            stage_table.render();
+    }
+
     result.summary =
         strFormat("%s @ %s (x%.2f clock, %.2f W): %zu compute + "
                   "%zu memory ceilings\n",
@@ -658,7 +771,7 @@ runRooflineStudy(const StudyContext &ctx)
                   point.frequencyFraction, point.tdp.value(),
                   machine.computeCeilings().size(),
                   machine.memoryCeilings().size()) +
-        table.render();
+        table.render() + stage_breakdown;
     return result;
 }
 
@@ -739,6 +852,22 @@ runSweepStudy(const StudyContext &ctx)
                 "binds_memory_" + machine->memoryCeilings()[i].name,
                 count(platform::CeilingKind::Memory, i));
         }
+        // Per-stage breakdown at the *base* configuration (the
+        // swept knob at its session value). The base may itself be
+        // infeasible — a sweep tolerates that per point, so the
+        // breakdown must too.
+        try {
+            const skyline::Analysis analysis = session.analyze();
+            for (const auto &row : analysis.stages) {
+                result.addMetric(
+                    "stage_" +
+                        ScenarioRunner::sanitizeLabel(row.stage) +
+                        "_latency",
+                    row.latencyMs, "ms");
+            }
+        } catch (const ModelError &) {
+            // Infeasible base: the sweep points still stand.
+        }
     }
     result.summary = strFormat(
         "Swept %s from %g to %g in %zu steps: %zu feasible, "
@@ -748,44 +877,27 @@ runSweepStudy(const StudyContext &ctx)
     return result;
 }
 
-StudyResult
-runDvfsStudy(const StudyContext &ctx)
+/**
+ * Sweep one session's DVFS operating points into `result`: two
+ * series (v_safe and roof vs TDP, labelled with `series_suffix`),
+ * one table row per point (prefixed with `row_head` cells) and the
+ * per-point metrics (prefixed with `metric_prefix`). The empty
+ * prefix/suffix case is the single-platform dvfs study's exact
+ * legacy shape, byte for byte.
+ */
+void
+appendDvfsSweep(const skyline::SkylineSession &session,
+                const platform::RooflinePlatform &machine,
+                const std::string &series_suffix,
+                const std::string &metric_prefix,
+                const std::vector<std::string> &row_head,
+                TextTable &table, StudyResult &result)
 {
-    // The paper's recurring remedy for over-provisioned designs —
-    // "trade off this excess performance for a lower TDP" —
-    // quantified per ceiling: sweep one preset's DVFS operating
-    // points and report v_safe against the TDP each point costs,
-    // with the binding ceiling at every point.
-    StudyParams params = ctx.params;
-    // An absent *or empty* platform override means the default
-    // preset (an empty knob value would put the session on the
-    // legacy compute_runtime path, which has no operating points).
-    if (trim(params.get("platform", "")).empty())
-        params.set("platform", "Nvidia TX2");
-    const skyline::SkylineSession session =
-        sessionFromParams(params);
-    const auto machine = session.rooflinePlatform();
-    if (!machine) {
-        throw ModelError("the dvfs study requires a roofline "
-                         "platform preset");
-    }
-    const auto &points = machine->operatingPoints();
-
-    StudyResult result;
-    result.xLabel = "tdp_w";
-    result.yLabel = "v_safe_mps";
-    result.chartTitle =
-        "DVFS sweep: " + session.knobs().platform + " running " +
-        session.knobs().algorithm;
-
-    TextTable table({"Operating point", "Clock (x)", "TDP (W)",
-                     "Heatsink (g)", "f_compute (Hz)",
-                     "v_safe (m/s)", "Roof (m/s)",
-                     "Binding ceiling"});
-    plot::Series v_safe("v_safe", plot::SeriesStyle::LineAndMarkers);
-    plot::Series roof("roof velocity",
+    plot::Series v_safe("v_safe" + series_suffix,
+                        plot::SeriesStyle::LineAndMarkers);
+    plot::Series roof("roof velocity" + series_suffix,
                       plot::SeriesStyle::LineAndMarkers);
-    for (const auto &point : points) {
+    for (const auto &point : machine.operatingPoints()) {
         skyline::SkylineSession variant = session;
         variant.set("operating_point", point.name);
         const skyline::Analysis analysis = variant.analyze();
@@ -796,38 +908,149 @@ runDvfsStudy(const StudyContext &ctx)
 
         v_safe.add(tdp, f1.safeVelocity.value());
         roof.add(tdp, f1.roofVelocity.value());
-        table.addRow(
-            {point.name, trimmedNumber(point.frequencyFraction, 3),
-             trimmedNumber(tdp, 3),
-             trimmedNumber(analysis.heatsinkMass.value(), 1),
-             trimmedNumber(rate, 4),
-             trimmedNumber(f1.safeVelocity.value(), 3),
-             trimmedNumber(f1.roofVelocity.value(), 3),
-             analysis.bindingCeiling.empty()
-                 ? "-"
-                 : analysis.bindingCeiling});
-        result.addMetric(point.name + "_tdp", tdp, "W")
-            .addMetric(point.name + "_v_safe",
+        std::vector<std::string> row = row_head;
+        for (const std::string &cell :
+             {std::string(point.name),
+              trimmedNumber(point.frequencyFraction, 3),
+              trimmedNumber(tdp, 3),
+              trimmedNumber(analysis.heatsinkMass.value(), 1),
+              trimmedNumber(rate, 4),
+              trimmedNumber(f1.safeVelocity.value(), 3),
+              trimmedNumber(f1.roofVelocity.value(), 3),
+              analysis.bindingCeiling.empty()
+                  ? "-"
+                  : analysis.bindingCeiling}) {
+            row.push_back(cell);
+        }
+        table.addRow(row);
+        result
+            .addMetric(metric_prefix + point.name + "_tdp", tdp,
+                       "W")
+            .addMetric(metric_prefix + point.name + "_v_safe",
                        f1.safeVelocity.value(), "m/s")
-            .addMetric(point.name + "_roof",
+            .addMetric(metric_prefix + point.name + "_roof",
                        f1.roofVelocity.value(), "m/s")
-            .addMetric(point.name + "_compute_rate", rate, "Hz")
-            .addMetric(point.name + "_binding_kind",
+            .addMetric(metric_prefix + point.name + "_compute_rate",
+                       rate, "Hz")
+            .addMetric(metric_prefix + point.name + "_binding_kind",
                        f1.computeBinding.kind ==
                                platform::CeilingKind::Compute
                            ? 0.0
                            : 1.0)
-            .addMetric(point.name + "_binding_index",
+            .addMetric(metric_prefix + point.name + "_binding_index",
                        static_cast<double>(f1.computeBinding.index));
     }
     result.series.push_back(std::move(v_safe));
     result.series.push_back(std::move(roof));
-    result.addMetric("operating_points",
-                     static_cast<double>(points.size()));
+}
+
+StudyResult
+runDvfsStudy(const StudyContext &ctx)
+{
+    // The paper's recurring remedy for over-provisioned designs —
+    // "trade off this excess performance for a lower TDP" —
+    // quantified per ceiling: sweep one preset's DVFS operating
+    // points and report v_safe against the TDP each point costs,
+    // with the binding ceiling at every point. Comma-separated
+    // `platforms` / `algorithms` lists overlay several sweeps on
+    // one chart; without them the single-preset path runs with its
+    // exact legacy artifact bytes.
+    StudyParams params;
+    std::vector<std::string> platform_names;
+    std::vector<std::string> algorithm_names;
+    for (const auto &entry : ctx.params.entries()) {
+        if (entry.first == "platforms")
+            platform_names = splitAndTrim(entry.second, ',');
+        else if (entry.first == "algorithms")
+            algorithm_names = splitAndTrim(entry.second, ',');
+        else
+            params.set(entry.first, entry.second);
+    }
+    // An absent *or empty* platform override means the default
+    // preset (an empty knob value would put the session on the
+    // legacy compute_runtime path, which has no operating points).
+    if (trim(params.get("platform", "")).empty())
+        params.set("platform", "Nvidia TX2");
+
+    StudyResult result;
+    result.xLabel = "tdp_w";
+    result.yLabel = "v_safe_mps";
+
+    if (platform_names.empty() && algorithm_names.empty()) {
+        const skyline::SkylineSession session =
+            sessionFromParams(params);
+        const auto machine = session.rooflinePlatform();
+        if (!machine) {
+            throw ModelError("the dvfs study requires a roofline "
+                             "platform preset");
+        }
+        const auto &points = machine->operatingPoints();
+        result.chartTitle =
+            "DVFS sweep: " + session.knobs().platform + " running " +
+            session.knobs().algorithm;
+        TextTable table({"Operating point", "Clock (x)", "TDP (W)",
+                         "Heatsink (g)", "f_compute (Hz)",
+                         "v_safe (m/s)", "Roof (m/s)",
+                         "Binding ceiling"});
+        appendDvfsSweep(session, *machine, "", "", {}, table,
+                        result);
+        result.addMetric("operating_points",
+                         static_cast<double>(points.size()));
+        result.summary =
+            strFormat("%s running %s across %zu operating points\n",
+                      session.knobs().platform.c_str(),
+                      session.knobs().algorithm.c_str(),
+                      points.size()) +
+            table.render();
+        return result;
+    }
+
+    // Overlay mode: the cartesian product of the requested
+    // platforms and algorithms, every combination swept across its
+    // own preset's operating points. Empty lists inherit the single
+    // session's knob.
+    if (platform_names.empty())
+        platform_names = {params.get("platform", "Nvidia TX2")};
+    if (algorithm_names.empty())
+        algorithm_names = {
+            sessionFromParams(params).knobs().algorithm};
+
+    TextTable table({"Platform", "Algorithm", "Operating point",
+                     "Clock (x)", "TDP (W)", "Heatsink (g)",
+                     "f_compute (Hz)", "v_safe (m/s)", "Roof (m/s)",
+                     "Binding ceiling"});
+    std::size_t combos = 0;
+    for (const std::string &platform_name : platform_names) {
+        for (const std::string &algorithm_name : algorithm_names) {
+            StudyParams combo = params;
+            combo.set("platform", platform_name);
+            combo.set("algorithm", algorithm_name);
+            const skyline::SkylineSession session =
+                sessionFromParams(combo);
+            const auto machine = session.rooflinePlatform();
+            if (!machine) {
+                throw ModelError(
+                    "the dvfs study requires a roofline platform "
+                    "preset");
+            }
+            const std::string label =
+                platform_name + " / " + algorithm_name;
+            appendDvfsSweep(
+                session, *machine, " (" + label + ")",
+                ScenarioRunner::sanitizeLabel(platform_name) + "_" +
+                    ScenarioRunner::sanitizeLabel(algorithm_name) +
+                    "_",
+                {platform_name, algorithm_name}, table, result);
+            ++combos;
+        }
+    }
+    result.chartTitle = "DVFS overlay: " +
+                        std::to_string(combos) + " configurations";
+    result.addMetric("combinations",
+                     static_cast<double>(combos));
     result.summary =
-        strFormat("%s running %s across %zu operating points\n",
-                  session.knobs().platform.c_str(),
-                  session.knobs().algorithm.c_str(), points.size()) +
+        strFormat("DVFS overlay: %zu platforms x %zu algorithms\n",
+                  platform_names.size(), algorithm_names.size()) +
         table.render();
     return result;
 }
@@ -987,6 +1210,20 @@ runFaultsStudy(const StudyContext &ctx)
             "binds_memory_" + machine->memoryCeilings()[i].name,
             worst.probMemoryCeilingBinds[i]);
     }
+    // Per-stage binding shifts of the SPA pipeline (present only
+    // on the combined platform+pipeline path, i.e. stage-fault
+    // suites): how often each stage was compute-bound /
+    // memory-bound / measurement-sourced over surviving missions.
+    for (const auto &stats : worst.stageBindings) {
+        const std::string prefix =
+            "stage_" + ScenarioRunner::sanitizeLabel(stats.stage);
+        result
+            .addMetric(prefix + "_compute_bound",
+                       stats.probComputeBound)
+            .addMetric(prefix + "_memory_bound",
+                       stats.probMemoryBound)
+            .addMetric(prefix + "_measured", stats.probMeasured);
+    }
 
     result.summary =
         strFormat("Fault suite '%s' (%s) on %s running %s: "
@@ -1076,14 +1313,23 @@ registerBuiltinStudies(StudyRegistry &registry)
                   "Multi-ceiling compute/memory roofs, DVFS "
                   "operating points and per-algorithm binding "
                   "ceilings for a platform preset; "
-                  "workloads=annotated adds per-workload envelopes",
+                  "workloads=annotated adds per-workload envelopes; "
+                  "pipeline=<algorithm> adds a per-stage breakdown "
+                  "(stage=<name> narrows it)",
                   {"platform", "op", "ai_min", "ai_max", "samples",
-                   "workloads"},
+                   "workloads", "pipeline", "stage"},
                   {"csv", "svg", "json"}, runRooflineStudy});
+    std::vector<std::string> dvfs_params = {"platforms",
+                                            "algorithms"};
+    dvfs_params.insert(dvfs_params.end(), knobs.begin(),
+                       knobs.end());
     registry.add({"dvfs", "DVFS operating-point sweep",
                   "v_safe vs TDP across one roofline preset's "
-                  "operating points, binding ceiling at each point",
-                  knobs, {"csv", "svg", "json"}, runDvfsStudy});
+                  "operating points, binding ceiling at each point; "
+                  "comma-separated platforms=/algorithms= lists "
+                  "overlay several sweeps",
+                  dvfs_params, {"csv", "svg", "json"},
+                  runDvfsStudy});
     registry.add({"sweep", "Skyline knob sweep",
                   "Sweep one numeric knob; infeasible points are "
                   "marked, not fatal",

@@ -12,6 +12,7 @@
 #include "support/errors.hh"
 #include "support/rng.hh"
 #include "support/validate.hh"
+#include "workload/stage_eval.hh"
 
 namespace uavf1::sim {
 
@@ -86,12 +87,29 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(const UncertaintySpec &spec)
     requireNonNegative(spec.rangeRelStd, "rangeRelStd");
     requireNonNegative(spec.computeRelStd, "computeRelStd");
     requireNonNegative(spec.sensorRelStd, "sensorRelStd");
+    if (spec.pipeline && !spec.platform) {
+        throw ModelError(
+            "UncertaintySpec::pipeline requires a platform — the "
+            "per-stage path evaluates modeled roofline bounds");
+    }
     if (spec.platform) {
         requireNonNegative(spec.aiRelStd, "aiRelStd");
-        requirePositive(spec.workPerFrameGop, "workPerFrameGop");
-        // Validate profile, operating point and applicability once
-        // up front so per-sample evaluations cannot throw.
-        (void)spec.platform->attainable(spec.profile, spec.opIndex);
+        if (spec.pipeline) {
+            // Validate stage profiles and the operating point once
+            // up front so per-sample evaluations cannot throw.
+            const workload::StagePipelineEvaluator evaluator(
+                *spec.pipeline, *spec.platform);
+            workload::StageEvalOptions eval_options;
+            eval_options.opIndex = spec.opIndex;
+            eval_options.measuredFirst = false;
+            (void)evaluator.evaluate(eval_options);
+        } else {
+            requirePositive(spec.workPerFrameGop, "workPerFrameGop");
+            // Validate profile, operating point and applicability
+            // once up front so per-sample evaluations cannot throw.
+            (void)spec.platform->attainable(spec.profile,
+                                            spec.opIndex);
+        }
     }
 }
 
@@ -154,12 +172,29 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
         machine ? blocks : 0,
         std::vector<std::uint64_t>(total_ceilings, 0));
 
+    // Per-stage path: one evaluator, constructed (and allocating)
+    // once here; per-sample evaluations write into a stack-owned
+    // PipelineBound and stay allocation-free.
+    std::optional<workload::StagePipelineEvaluator> evaluator;
+    std::size_t stage_count = 0;
+    if (_spec.pipeline) {
+        evaluator.emplace(*_spec.pipeline, *_spec.platform);
+        stage_count = evaluator->stageCount();
+    }
+    std::vector<std::vector<std::uint64_t>> stage_counts(
+        evaluator ? blocks : 0,
+        std::vector<std::uint64_t>(stage_count * 3, 0));
+
     exec::ParallelOptions options = parallel;
     options.grain = 1; // One block per chunk.
     exec::parallelFor(
         blocks,
         [&](std::size_t block_begin, std::size_t block_end) {
             core::F1Analysis analysis;
+            workload::PipelineBound pipeline_bound;
+            workload::StageEvalOptions eval_options;
+            eval_options.opIndex = _spec.opIndex;
+            eval_options.measuredFirst = false;
             for (std::size_t b = block_begin; b < block_end; ++b) {
                 Rng rng = block_rngs[b];
                 // Tally on the stack and store once per block:
@@ -177,7 +212,48 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
                     inputs.sensingRange = units::Meters(
                         perturb(inputs.sensingRange.value(),
                                 _spec.rangeRelStd, rng));
-                    if (machine) {
+                    if (evaluator) {
+                        // Per-stage path: one shared AI draw scales
+                        // every annotated stage's intensity, the
+                        // pipeline's modeled bounds set f_compute,
+                        // and both the bottleneck's and each
+                        // stage's binding are tallied.
+                        eval_options.aiScale =
+                            perturb(1.0, _spec.aiRelStd, rng);
+                        evaluator->evaluateInto(eval_options,
+                                                pipeline_bound);
+                        inputs.computeRate = units::Hertz(
+                            perturb(pipeline_bound.throughputHz,
+                                    _spec.computeRelStd, rng));
+                        const platform::CeilingRef binding =
+                            pipeline_bound.bottleneckBinding();
+                        inputs.computeBinding = binding;
+                        if (binding.attributed) {
+                            const std::size_t slot =
+                                binding.kind ==
+                                        platform::CeilingKind::
+                                            Compute
+                                    ? binding.index
+                                    : compute_ceilings +
+                                          binding.index;
+                            ++ceiling_counts[b][slot];
+                        }
+                        for (std::size_t s = 0; s < stage_count;
+                             ++s) {
+                            const workload::StageBound &stage =
+                                pipeline_bound.stages[s];
+                            const std::size_t kind =
+                                !stage.binding.attributed
+                                    ? 2
+                                    : (stage.binding.kind ==
+                                               platform::
+                                                   CeilingKind::
+                                                       Compute
+                                           ? 0
+                                           : 1);
+                            ++stage_counts[b][s * 3 + kind];
+                        }
+                    } else if (machine) {
                         // Ceiling-family path: the bound at a
                         // perturbed arithmetic intensity drives
                         // f_compute, so which ceiling binds varies
@@ -252,6 +328,26 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
             else
                 result.probMemoryCeilingBinds[k - compute_ceilings] =
                     prob;
+        }
+    }
+    if (evaluator) {
+        std::vector<std::uint64_t> stage_totals(stage_count * 3, 0);
+        for (const auto &block : stage_counts)
+            for (std::size_t k = 0; k < stage_totals.size(); ++k)
+                stage_totals[k] += block[k];
+        result.stageBindings.resize(stage_count);
+        for (std::size_t s = 0; s < stage_count; ++s) {
+            StageBindingStats &stats = result.stageBindings[s];
+            stats.stage = evaluator->stageName(s);
+            stats.probComputeBound =
+                static_cast<double>(stage_totals[s * 3 + 0]) /
+                static_cast<double>(count);
+            stats.probMemoryBound =
+                static_cast<double>(stage_totals[s * 3 + 1]) /
+                static_cast<double>(count);
+            stats.probMeasured =
+                static_cast<double>(stage_totals[s * 3 + 2]) /
+                static_cast<double>(count);
         }
     }
 

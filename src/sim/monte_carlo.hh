@@ -21,6 +21,7 @@
 #include "core/f1_model.hh"
 #include "exec/parallel.hh"
 #include "platform/roofline_platform.hh"
+#include "workload/spa_pipeline.hh"
 
 namespace uavf1::sim {
 
@@ -49,6 +50,33 @@ struct UncertaintySpec
     double workPerFrameGop = 0.0; ///< GOP per decision on `platform`.
     std::size_t opIndex = 0;      ///< DVFS operating point.
     double aiRelStd = 0.0;        ///< On arithmetic intensity.
+
+    /**
+     * Optional per-stage SPA pipeline evaluation of f_compute:
+     * requires `platform`. When set, every sample evaluates the
+     * pipeline's modeled per-stage bounds (measured-first disabled —
+     * the uncertainty is *about* the model) with every annotated
+     * stage's arithmetic intensity scaled by one shared aiRelStd
+     * draw, and f_compute is the pipeline throughput times the
+     * computeRelStd spread. `profile` and workPerFrameGop are unused
+     * on this path; UncertaintyResult additionally tallies per-stage
+     * binding probabilities. When unset, the flat platform (or
+     * legacy) path runs unchanged, bit-for-bit.
+     */
+    std::optional<workload::SpaPipeline> pipeline;
+};
+
+/** Per-stage binding statistics of a sampled SPA pipeline. */
+struct StageBindingStats
+{
+    std::string stage; ///< Stage name, e.g. "SLAM".
+    /** Probability the stage's evaluated latency was a roofline
+     * bound attributed to a compute ceiling. */
+    double probComputeBound = 0.0;
+    /** ... attributed to a memory ceiling. */
+    double probMemoryBound = 0.0;
+    /** ... measurement-sourced (no ceiling attribution). */
+    double probMeasured = 0.0;
 };
 
 /** Summary statistics of one sampled output. */
@@ -85,6 +113,14 @@ struct UncertaintyResult
      */
     std::vector<double> probComputeCeilingBinds;
     std::vector<double> probMemoryCeilingBinds;
+    /**
+     * Per-stage binding probabilities, in pipeline stage order.
+     * Non-empty only when UncertaintySpec::pipeline is set. On that
+     * path the two ceiling vectors above tally the *bottleneck*
+     * stage's binding, so they sum to at most 1 (a measured-sourced
+     * bottleneck has no binding ceiling).
+     */
+    std::vector<StageBindingStats> stageBindings;
     std::size_t samples = 0;
 };
 

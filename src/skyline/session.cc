@@ -13,6 +13,8 @@
 #include "support/strings.hh"
 #include "support/validate.hh"
 #include "workload/algorithm.hh"
+#include "workload/spa_pipeline.hh"
+#include "workload/stage_eval.hh"
 #include "workload/throughput.hh"
 
 namespace uavf1::skyline {
@@ -56,6 +58,14 @@ algorithmCatalog()
     static const components::Registry<workload::AutonomyAlgorithm>
         algorithms = workload::annotatedAlgorithms();
     return algorithms;
+}
+
+const workload::ThroughputOracle &
+standardOracle()
+{
+    static const workload::ThroughputOracle oracle =
+        workload::ThroughputOracle::standard();
+    return oracle;
 }
 
 /**
@@ -213,12 +223,15 @@ SkylineSession::model() const
     inputs.controlRate = _knobs.controlRate;
     inputs.kneeFraction = _knobs.kneeFraction;
     if (const auto machine = rooflinePlatform()) {
-        // Platform path: f_compute is the workload-aware roofline
-        // bound of the algorithm knob on the preset's ceiling
-        // family, and the binding ceiling travels into the model as
-        // provenance. Annotated algorithms (scalar-only kernels,
-        // cache-resident working sets, stage-gated accelerators)
-        // can bind different ceilings than the most capable roof.
+        // Platform path: f_compute is derived measured-first on the
+        // preset's ceiling family — the oracle's measured number
+        // wins at the nominal operating point, the workload-aware
+        // roofline bound (with its binding ceiling as provenance)
+        // answers everywhere else. SPA algorithms with a standard
+        // stage pipeline evaluate per stage, so a stage-gated
+        // accelerator preset shortens exactly the stage it
+        // accelerates and the bottleneck stage's binding travels
+        // into the model.
         const auto &algorithms = algorithmCatalog();
         if (!algorithms.contains(_knobs.algorithm)) {
             throw ModelError(
@@ -227,11 +240,22 @@ SkylineSession::model() const
                 _knobs.algorithm + "' (known: " +
                 join(algorithms.names(), ", ") + ")");
         }
-        const auto estimate = workload::rooflineBound(
-            algorithms.byName(_knobs.algorithm), *machine,
-            operatingPointIndex(*machine));
-        inputs.computeRate = estimate.value;
-        inputs.computeBinding = estimate.binding;
+        const auto &algorithm = algorithms.byName(_knobs.algorithm);
+        const std::size_t op_index = operatingPointIndex(*machine);
+        if (const auto pipeline =
+                workload::standardPipelineFor(algorithm.name())) {
+            const workload::StagePipelineEvaluator evaluator(
+                *pipeline, *machine);
+            const workload::PipelineBound bound =
+                evaluator.evaluate({.opIndex = op_index});
+            inputs.computeRate = units::Hertz(bound.throughputHz);
+            inputs.computeBinding = bound.bottleneckBinding();
+        } else {
+            const auto estimate = standardOracle().throughput(
+                algorithm, *machine, op_index);
+            inputs.computeRate = estimate.value;
+            inputs.computeBinding = estimate.binding;
+        }
     }
     return core::F1Model(inputs);
 }
@@ -258,6 +282,34 @@ SkylineSession::analyze() const
                 " '" +
                 machine->ceilingName(analysis.f1.computeBinding) +
                 "'";
+        }
+    }
+    if (const auto machine = rooflinePlatform()) {
+        // Per-stage breakdown for algorithms with a standard SPA
+        // pipeline (model() above already validated the algorithm).
+        if (const auto pipeline =
+                workload::standardPipelineFor(_knobs.algorithm)) {
+            const workload::StagePipelineEvaluator evaluator(
+                *pipeline, *machine);
+            const workload::PipelineBound bound = evaluator.evaluate(
+                {.opIndex = operatingPointIndex(*machine)});
+            for (std::size_t i = 0; i < bound.stageCount; ++i) {
+                const workload::StageBound &stage = bound.stages[i];
+                StageAnalysis row;
+                row.stage = evaluator.stageName(i);
+                row.latencyMs = stage.latencySeconds * 1e3;
+                row.source = workload::toString(stage.source);
+                if (stage.binding.attributed &&
+                    machine->resolves(stage.binding)) {
+                    row.binding =
+                        std::string(
+                            platform::toString(stage.binding.kind)) +
+                        " '" + machine->ceilingName(stage.binding) +
+                        "'";
+                }
+                row.bottleneck = i == bound.bottleneckIndex;
+                analysis.stages.push_back(std::move(row));
+            }
         }
     }
 
@@ -468,6 +520,14 @@ SkylineSession::renderAnalysis() const
             analysis.bindingCeiling.empty() ? ""
                                             : ", binding ceiling ",
             analysis.bindingCeiling.c_str());
+        for (const auto &row : analysis.stages) {
+            out += strFormat(
+                "    stage %s: %.1f ms (%s%s%s)%s\n",
+                row.stage.c_str(), row.latencyMs, row.source.c_str(),
+                row.binding.empty() ? "" : ", binding ",
+                row.binding.c_str(),
+                row.bottleneck ? " <- bottleneck" : "");
+        }
     }
     out += strFormat(
         "  f_action %.2f Hz (bottleneck: %s), knee %.2f Hz\n",

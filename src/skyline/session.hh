@@ -37,6 +37,20 @@ struct SweepPoint
     platform::CeilingRef binding{};
 };
 
+/** One stage row of the platform path's SPA pipeline breakdown. */
+struct StageAnalysis
+{
+    std::string stage;      ///< Stage name, e.g. "SLAM".
+    double latencyMs = 0.0; ///< Evaluated per-decision latency.
+    /** Latency provenance: measured / measured-scaled /
+     * roofline-bound. */
+    std::string source;
+    /** "<kind> '<name>'" of the stage's binding ceiling; empty for
+     * measurement-sourced stages. */
+    std::string binding;
+    bool bottleneck = false; ///< True for the slowest stage.
+};
+
 /** The automatic-analysis output (paper Section V-D). */
 struct Analysis
 {
@@ -49,6 +63,9 @@ struct Analysis
     /** "<kind> '<name>'" of the binding machine ceiling; empty when
      * f_compute did not come from a roofline bound. */
     std::string bindingCeiling;
+    /** Per-stage breakdown; non-empty only when the platform knob
+     * is set and the algorithm has a standard SPA stage pipeline. */
+    std::vector<StageAnalysis> stages;
 };
 
 /**
@@ -78,11 +95,15 @@ class SkylineSession
      *
      * The `platform` knob routes the session through a roofline
      * platform preset: it is validated eagerly against the catalog
-     * (unknown names get "did you mean" suggestions) and makes
-     * f_compute the workload-aware roofline bound of the
-     * `algorithm` knob on that ceiling family, with binding-ceiling
-     * attribution; the TDP knob then follows the `operating_point`.
-     * An empty value returns to the legacy compute_runtime path.
+     * (unknown names get "did you mean" suggestions) and derives
+     * f_compute with measured-throughput-first semantics — the
+     * oracle's measured number wins at the nominal operating point,
+     * the workload-aware roofline bound (with binding-ceiling
+     * attribution) answers everywhere else; SPA algorithms with a
+     * standard stage pipeline evaluate per stage, so the analysis
+     * carries a stage-by-stage latency/binding breakdown. The TDP
+     * knob then follows the `operating_point`. An empty value
+     * returns to the legacy compute_runtime path.
      *
      * @throws ModelError for unknown names or unparsable values
      */

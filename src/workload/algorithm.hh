@@ -131,9 +131,16 @@ class AutonomyAlgorithm
 components::Registry<AutonomyAlgorithm> standardAlgorithms();
 
 /**
- * The standard algorithms plus ceiling-annotated workload variants
- * that exercise workload-aware ceiling resolution:
+ * The standard algorithms with calibrated DRAM-traffic annotations,
+ * plus ceiling-annotated workload variants that exercise
+ * workload-aware ceiling resolution:
  *
+ * - The standard five each carry a WorkloadTraits.levelTraffic
+ *   fraction (<= 1) for "LPDDR4 DRAM" calibrated from per-layer
+ *   traffic data — the share of nominal per-frame bytes that
+ *   escapes on-chip reuse. Fractions <= 1 only *raise* the DRAM
+ *   CARM roof, so every compute-bound classic number is preserved
+ *   bit-for-bit.
  * - "DroNet (scalar-only)": DroNet's resource profile restricted to
  *   scalar execution (no SIMD/accelerator port), so a scalar
  *   compute ceiling — not the platform's most capable roof — binds.

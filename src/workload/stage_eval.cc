@@ -1,0 +1,157 @@
+/**
+ * @file
+ * StagePipelineEvaluator implementation.
+ */
+
+#include "workload/stage_eval.hh"
+
+#include <cmath>
+
+#include "support/errors.hh"
+#include "workload/throughput.hh"
+
+namespace uavf1::workload {
+
+const char *
+toString(StageLatencySource source)
+{
+    switch (source) {
+      case StageLatencySource::Measured:
+        return "measured";
+      case StageLatencySource::MeasuredScaled:
+        return "measured-scaled";
+      case StageLatencySource::RooflineBound:
+        return "roofline-bound";
+    }
+    return "unknown";
+}
+
+StagePipelineEvaluator::StagePipelineEvaluator(
+    const SpaPipeline &pipeline,
+    const platform::RooflinePlatform &platform)
+    : _platform(platform), _pipelineName(pipeline.name())
+{
+    const auto &stages = pipeline.stages();
+    if (stages.size() > PipelineBound::maxStages) {
+        throw ModelError(
+            "SPA pipeline '" + pipeline.name() + "' has " +
+            std::to_string(stages.size()) +
+            " stages; the per-stage evaluator supports at most " +
+            std::to_string(PipelineBound::maxStages));
+    }
+    _onMeasuredPlatform = pipeline.measuredOn().empty() ||
+                          pipeline.measuredOn() == platform.name();
+    _slots.reserve(stages.size());
+    for (const auto &stage : stages) {
+        Slot slot;
+        slot.name = stage.name;
+        slot.measuredLatency = stage.latency.value();
+        slot.annotated = stage.annotated();
+        if (slot.annotated) {
+            slot.workGop = stage.workGop;
+            WorkloadTraits traits = stage.traits;
+            if (traits.stage.empty())
+                traits.stage = stage.name;
+            slot.profile = workloadProfile(
+                traits, stage.arithmeticIntensity(), platform,
+                "stage '" + stage.name + "' of '" + pipeline.name() +
+                    "'");
+            // One probe per annotated stage so an inapplicable
+            // profile (no admitted compute ceiling) fails here.
+            (void)_platform.attainable(slot.profile, 0);
+        }
+        _slots.push_back(std::move(slot));
+    }
+}
+
+void
+StagePipelineEvaluator::evaluateInto(const StageEvalOptions &options,
+                                     PipelineBound &out) const
+{
+    const auto &points = _platform.operatingPoints();
+    double frequency = 1.0;
+    if (points.empty()) {
+        if (options.opIndex != 0) {
+            throw ModelError("platform " + _platform.name() +
+                             " has no operating points beyond "
+                             "nominal");
+        }
+    } else {
+        if (options.opIndex >= points.size()) {
+            throw ModelError(
+                "operating-point index " +
+                std::to_string(options.opIndex) +
+                " out of range for " + _platform.name());
+        }
+        frequency = points[options.opIndex].frequencyFraction;
+    }
+    if (!(options.aiScale > 0.0) || !std::isfinite(options.aiScale)) {
+        throw ModelError(
+            "aiScale for the per-stage evaluation of '" +
+            _pipelineName + "' must be positive and finite");
+    }
+
+    out.stageCount = _slots.size();
+    out.bottleneckIndex = 0;
+    out.totalLatencySeconds = 0.0;
+    const bool measured_wins = options.measuredFirst &&
+                               _onMeasuredPlatform &&
+                               options.opIndex == 0;
+    for (std::size_t i = 0; i < _slots.size(); ++i) {
+        const Slot &slot = _slots[i];
+        StageBound &bound = out.stages[i];
+        bound.binding = platform::CeilingRef{};
+        const double scaled_measured = slot.measuredLatency / frequency;
+        if (measured_wins || !slot.annotated) {
+            // Rules 1 and 3b: the measurement (clock-scaled away
+            // from nominal) is all we have, or all that counts.
+            bound.latencySeconds =
+                measured_wins ? slot.measuredLatency : scaled_measured;
+            bound.source = (measured_wins || frequency == 1.0)
+                               ? StageLatencySource::Measured
+                               : StageLatencySource::MeasuredScaled;
+        } else {
+            platform::WorkloadProfile profile = slot.profile;
+            profile.ai *= options.aiScale;
+            const platform::AttainableBound attainable =
+                _platform.attainable(profile, options.opIndex);
+            const double model_latency =
+                slot.workGop / attainable.attainable.value();
+            if (_onMeasuredPlatform &&
+                model_latency < scaled_measured) {
+                // Rule 2: on the measured platform the model is
+                // only a floor; the measurement stays in charge.
+                bound.latencySeconds = scaled_measured;
+                bound.source = frequency == 1.0
+                                   ? StageLatencySource::Measured
+                                   : StageLatencySource::MeasuredScaled;
+            } else {
+                bound.latencySeconds = model_latency;
+                bound.source = StageLatencySource::RooflineBound;
+                bound.binding = attainable.binding;
+            }
+        }
+        if (!std::isfinite(bound.latencySeconds) ||
+            bound.latencySeconds <= 0.0) {
+            throw ModelError("non-finite latency for stage '" +
+                             slot.name + "' of '" + _pipelineName +
+                             "'");
+        }
+        out.totalLatencySeconds += bound.latencySeconds;
+        if (bound.latencySeconds >
+            out.stages[out.bottleneckIndex].latencySeconds) {
+            out.bottleneckIndex = i;
+        }
+    }
+    out.throughputHz = 1.0 / out.totalLatencySeconds;
+}
+
+PipelineBound
+StagePipelineEvaluator::evaluate(const StageEvalOptions &options) const
+{
+    PipelineBound out;
+    evaluateInto(options, out);
+    return out;
+}
+
+} // namespace uavf1::workload

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Per-stage workload-aware pipeline evaluation — the single spine
+ * every SPA-latency consumer routes through.
+ *
+ * A StagePipelineEvaluator binds one SpaPipeline to one
+ * RooflinePlatform and answers, per stage, "what latency, from which
+ * source, bound by which ceiling?" under measured-throughput-first
+ * semantics:
+ *
+ * 1. On the platform the pipeline was characterized on
+ *    (SpaPipeline::measuredOn, or an un-pinned pipeline anywhere),
+ *    at the nominal operating point, the measured stage latency
+ *    wins outright (source Measured, no ceiling attribution).
+ * 2. Away from nominal, the measured latency is clock-scaled
+ *    (measured / frequencyFraction, source MeasuredScaled); an
+ *    annotated stage additionally consults its modeled roofline
+ *    bound, which acts as a latency *floor* — the model is an upper
+ *    bound on performance, so the stage can never be faster than
+ *    workGop / attainable(profile, op). When the floor dominates,
+ *    the binding CeilingRef is attributed (source RooflineBound).
+ * 3. On a *different* platform, an annotated stage is evaluated
+ *    purely from its modeled bound (the measurement does not
+ *    transfer), so a stage-gated accelerator ceiling shortens
+ *    exactly the stage carrying its tag; unannotated stages keep
+ *    their measured latency as a port estimate, clock-scaled.
+ *
+ * The hot path (evaluateInto) writes into a caller-owned
+ * fixed-capacity PipelineBound and performs no allocation — pinned
+ * by the operator-new guard test, exactly like F1Model::analyzeInto.
+ */
+
+#ifndef UAVF1_WORKLOAD_STAGE_EVAL_HH
+#define UAVF1_WORKLOAD_STAGE_EVAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/roofline_platform.hh"
+#include "workload/spa_pipeline.hh"
+
+namespace uavf1::workload {
+
+/** Where one stage's latency came from. */
+enum class StageLatencySource
+{
+    Measured,       ///< Measured latency at the nominal point.
+    MeasuredScaled, ///< Measured latency, DVFS clock-scaled.
+    RooflineBound,  ///< Modeled workGop / attainable(profile, op).
+};
+
+/** Printable source name. */
+const char *toString(StageLatencySource source);
+
+/** One stage's evaluated latency with provenance. */
+struct StageBound
+{
+    double latencySeconds = 0.0;
+    StageLatencySource source = StageLatencySource::Measured;
+    /** Binding ceiling; attributed only when source is
+     * RooflineBound. */
+    platform::CeilingRef binding{};
+};
+
+/** Whole-pipeline evaluation result, fixed capacity so the hot
+ * path never allocates. */
+struct PipelineBound
+{
+    /** Stages an evaluator supports (well above any real SPA
+     * pipeline's depth). */
+    static constexpr std::size_t maxStages = 16;
+
+    StageBound stages[maxStages];
+    std::size_t stageCount = 0;
+    std::size_t bottleneckIndex = 0; ///< Slowest stage (first wins ties).
+    double totalLatencySeconds = 0.0;
+    double throughputHz = 0.0; ///< 1 / total latency.
+
+    /** Binding of the bottleneck stage (unattributed when that
+     * stage is measurement-sourced). */
+    platform::CeilingRef bottleneckBinding() const
+    {
+        return stages[bottleneckIndex].binding;
+    }
+};
+
+/** Evaluation knobs for one call. */
+struct StageEvalOptions
+{
+    /** DVFS operating-point index (0 = nominal). */
+    std::size_t opIndex = 0;
+    /** Honor rule 1 (measured wins at nominal on the measured
+     * platform). False forces the modeled spine everywhere it
+     * exists — what uncertainty analyses perturbing AI want. */
+    bool measuredFirst = true;
+    /** Multiplier on every annotated stage's arithmetic intensity
+     * (Monte-Carlo AI perturbation); must be positive. */
+    double aiScale = 1.0;
+};
+
+/**
+ * One SpaPipeline bound to one RooflinePlatform, with per-stage
+ * profiles lowered once at construction.
+ */
+class StagePipelineEvaluator
+{
+  public:
+    /**
+     * Lower every annotated stage's WorkloadTraits onto the
+     * platform's ceiling family (the stage's own name is the stage
+     * tag when the traits leave it empty) and pre-validate each
+     * profile with one attainable() probe, so a bad annotation
+     * fails here — named — instead of inside a sweep.
+     *
+     * @throws ModelError on more than PipelineBound::maxStages
+     *         stages, a degenerate profile, or a stage profile no
+     *         compute ceiling of the platform admits
+     */
+    StagePipelineEvaluator(const SpaPipeline &pipeline,
+                           const platform::RooflinePlatform &platform);
+
+    /** The bound ceiling family. */
+    const platform::RooflinePlatform &platform() const
+    {
+        return _platform;
+    }
+
+    /** Name of the bound pipeline. */
+    const std::string &pipelineName() const { return _pipelineName; }
+
+    /** Number of stages. */
+    std::size_t stageCount() const { return _slots.size(); }
+
+    /** Name of stage i. */
+    const std::string &stageName(std::size_t index) const
+    {
+        return _slots[index].name;
+    }
+
+    /** True when stage i carries a roofline annotation. */
+    bool stageAnnotated(std::size_t index) const
+    {
+        return _slots[index].annotated;
+    }
+
+    /** True when the platform is the one the pipeline's latencies
+     * were measured on (or the pipeline is un-pinned). */
+    bool onMeasuredPlatform() const { return _onMeasuredPlatform; }
+
+    /**
+     * Evaluate every stage under the rules above into a
+     * caller-owned result. Allocation-free.
+     *
+     * @throws ModelError on an out-of-range operating point, a
+     *         non-positive aiScale, or a non-finite stage bound
+     */
+    void evaluateInto(const StageEvalOptions &options,
+                      PipelineBound &out) const;
+
+    /** Convenience wrapper around evaluateInto. */
+    PipelineBound evaluate(const StageEvalOptions &options = {}) const;
+
+  private:
+    struct Slot
+    {
+        std::string name;
+        double measuredLatency = 0.0; ///< Seconds.
+        bool annotated = false;
+        double workGop = 0.0;
+        platform::WorkloadProfile profile{};
+    };
+
+    platform::RooflinePlatform _platform;
+    std::string _pipelineName;
+    std::vector<Slot> _slots;
+    bool _onMeasuredPlatform = false;
+};
+
+} // namespace uavf1::workload
+
+#endif // UAVF1_WORKLOAD_STAGE_EVAL_HH

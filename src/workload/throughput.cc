@@ -29,10 +29,19 @@ platform::WorkloadProfile
 workloadProfile(const AutonomyAlgorithm &algorithm,
                 const platform::RooflinePlatform &platform)
 {
-    platform::WorkloadProfile profile;
-    profile.ai = algorithm.arithmeticIntensity();
+    return workloadProfile(algorithm.traits(),
+                           algorithm.arithmeticIntensity(), platform,
+                           "'" + algorithm.name() + "'");
+}
 
-    const WorkloadTraits &traits = algorithm.traits();
+platform::WorkloadProfile
+workloadProfile(const WorkloadTraits &traits, units::OpsPerByte ai,
+                const platform::RooflinePlatform &platform,
+                const std::string &context)
+{
+    platform::WorkloadProfile profile;
+    profile.ai = ai;
+
     if (!traits.targets.empty()) {
         platform::TargetMask mask = 0;
         for (const platform::ComputeTarget target : traits.targets)
@@ -59,7 +68,7 @@ workloadProfile(const AutonomyAlgorithm &algorithm,
     // Fail at construction with the offending field named, not deep
     // inside a sweep loop.
     platform::validateWorkloadProfile(
-        profile, "'" + algorithm.name() + "' for " + platform.name());
+        profile, context + " for " + platform.name());
     return profile;
 }
 
@@ -150,10 +159,25 @@ ThroughputOracle::throughput(
     const AutonomyAlgorithm &algorithm,
     const components::ComputePlatform &platform) const
 {
-    auto it = _table.find({algorithm.name(), platform.name()});
-    if (it != _table.end())
-        return {it->second, ThroughputSource::Measured, {}};
-    return rooflineBound(algorithm, platform.roofline());
+    // The adapter family is named after the platform, so the
+    // measured-first lookup below hits the same table entries.
+    return throughput(algorithm, platform.roofline());
+}
+
+ThroughputEstimate
+ThroughputOracle::throughput(
+    const AutonomyAlgorithm &algorithm,
+    const platform::RooflinePlatform &platform,
+    std::size_t op_index) const
+{
+    // Measurements characterize the nominal operating point only;
+    // a DVFS-scaled family has no measured row to consult.
+    if (op_index == 0) {
+        auto it = _table.find({algorithm.name(), platform.name()});
+        if (it != _table.end())
+            return {it->second, ThroughputSource::Measured, {}};
+    }
+    return rooflineBound(algorithm, platform, op_index);
 }
 
 units::Hertz

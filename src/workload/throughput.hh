@@ -70,6 +70,18 @@ workloadProfile(const AutonomyAlgorithm &algorithm,
                 const platform::RooflinePlatform &platform);
 
 /**
+ * The same lowering from bare traits + arithmetic intensity, for
+ * workloads that are not whole algorithms (e.g. one SpaStage's
+ * kernel). `context` names the construction site for error messages.
+ *
+ * @throws ModelError as workloadProfile(algorithm, platform)
+ */
+platform::WorkloadProfile
+workloadProfile(const WorkloadTraits &traits, units::OpsPerByte ai,
+                const platform::RooflinePlatform &platform,
+                const std::string &context);
+
+/**
  * Ceiling-set roofline bound from raw workload scalars:
  * attainable(AI) over the platform's ceiling family, divided by the
  * work per frame, with the binding ceiling as provenance.
@@ -158,11 +170,30 @@ class ThroughputOracle
 
     /**
      * Throughput for an algorithm on a platform: the measured value
-     * when available, otherwise the classic-roofline bound.
+     * when available, otherwise the classic-roofline bound. This is
+     * the degenerate caller of the ceiling-family overload below,
+     * through the platform's single-ceiling adapter family (the
+     * family carries the platform's name, so measured entries still
+     * hit), bit-for-bit on every legacy number.
      */
     ThroughputEstimate
     throughput(const AutonomyAlgorithm &algorithm,
                const components::ComputePlatform &platform) const;
+
+    /**
+     * Measured-throughput-first evaluation over a ceiling family:
+     * at the *nominal* operating point (op_index 0) a measured table
+     * entry for (algorithm, family name) wins and carries no ceiling
+     * attribution; away from nominal — where no measurement exists —
+     * and for unmeasured pairs, the workload-aware roofline bound
+     * with binding-ceiling provenance is the answer.
+     *
+     * @throws ModelError as rooflineBound(algorithm, platform)
+     */
+    ThroughputEstimate
+    throughput(const AutonomyAlgorithm &algorithm,
+               const platform::RooflinePlatform &platform,
+               std::size_t op_index = 0) const;
 
     /**
      * Measured throughput for the pair.

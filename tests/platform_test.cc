@@ -562,13 +562,17 @@ TEST(Workload, TraitsMapOntoAPlatformProfile)
     const RooflinePlatform &tx2 =
         catalog.rooflines().byName("Nvidia TX2");
 
-    // Unannotated algorithms yield the default profile and keep the
-    // classic bound bit-for-bit.
+    // The calibrated DroNet annotation (DRAM traffic fraction
+    // 0.95 <= 1) maps onto the TX2's DRAM level, leaves targets and
+    // stage unconstrained, and — because it only *raises* the DRAM
+    // CARM roof — keeps the classic compute-bound number
+    // bit-for-bit.
     const auto &dronet = algorithms.byName("DroNet");
     const WorkloadProfile plain =
         workload::workloadProfile(dronet, tx2);
     EXPECT_EQ(plain.targets, kAllTargets);
     EXPECT_EQ(plain.stage, 0u);
+    EXPECT_DOUBLE_EQ(plain.trafficFraction[0], 0.95);
     EXPECT_EQ(
         workload::rooflineBound(dronet, tx2).value.value(),
         workload::rooflineBound(dronet.workPerFrameGop(),

@@ -81,13 +81,23 @@ TEST(Session, PlatformKnobRoutesComputeThroughTheCeilingFamily)
     session.set("platform", "Nvidia TX2");
     ASSERT_TRUE(session.rooflinePlatform().has_value());
     const auto model = session.model();
-    // DroNet (default algorithm) roofline bound on the TX2 family:
-    // GPU roof 1330 GOPS / 0.04 GOP per frame.
-    EXPECT_DOUBLE_EQ(model.inputs().computeRate.value(),
-                     1330.0 / 0.04);
-    ASSERT_TRUE(model.inputs().computeBinding.attributed);
+    // DroNet (default algorithm) at the nominal point: the oracle's
+    // measured 178 Hz wins over the modeled bound (measured-first),
+    // so the rate is a measurement with no binding ceiling.
+    EXPECT_DOUBLE_EQ(model.inputs().computeRate.value(), 178.0);
+    EXPECT_FALSE(model.inputs().computeBinding.attributed);
+    EXPECT_TRUE(session.analyze().bindingCeiling.empty());
+
+    // Off the measured (nominal) point the roofline bound takes
+    // over: GPU roof 1330 GOPS * 0.5 clock / 0.04 GOP per frame,
+    // attributed to the binding ceiling.
+    session.set("operating_point", "half-clock");
+    const auto scaled = session.model();
+    EXPECT_DOUBLE_EQ(scaled.inputs().computeRate.value(),
+                     0.5 * 1330.0 / 0.04);
+    ASSERT_TRUE(scaled.inputs().computeBinding.attributed);
     EXPECT_EQ(session.rooflinePlatform()->ceilingName(
-                  model.inputs().computeBinding),
+                  scaled.inputs().computeBinding),
               "Pascal GPU FP16");
 
     // The analysis resolves the binding ceiling by name and the
@@ -96,6 +106,7 @@ TEST(Session, PlatformKnobRoutesComputeThroughTheCeilingFamily)
     EXPECT_EQ(analysis.bindingCeiling, "compute 'Pascal GPU FP16'");
     EXPECT_NE(session.renderAnalysis().find("Nvidia TX2"),
               std::string::npos);
+    session.set("operating_point", "");
 
     // An annotated scalar-only kernel binds a non-top compute
     // ceiling through the very same knob path.
@@ -112,14 +123,17 @@ TEST(Session, OperatingPointScalesRateAndTdp)
 {
     SkylineSession session;
     session.set("platform", "Nvidia TX2");
-    const double nominal_rate =
-        session.model().inputs().computeRate.value();
+    // The nominal point carries DroNet's measured 178 Hz
+    // (measured-first); scaled points have no measured row, so the
+    // roofline bound governs and scales with the clock.
+    EXPECT_DOUBLE_EQ(session.model().inputs().computeRate.value(),
+                     178.0);
     const double nominal_heatsink = session.heatsinkMass().value();
     EXPECT_DOUBLE_EQ(session.effectiveTdp().value(), 7.5);
 
     session.set("operating_point", "half-clock");
     EXPECT_DOUBLE_EQ(session.model().inputs().computeRate.value(),
-                     0.5 * nominal_rate);
+                     0.5 * 1330.0 / 0.04);
     // The CMOS law TDP at half clock is far below half: the heat
     // sink shrinks with it (the dvfs study quantifies the curve).
     EXPECT_LT(session.effectiveTdp().value(), 7.5 / 2.0);
@@ -176,6 +190,16 @@ TEST(Session, SweepCarriesBindingAttribution)
 {
     SkylineSession session;
     session.set("platform", "Nvidia TX2");
+    // At the nominal point every sweep sample carries the measured
+    // throughput, so the binding stays unattributed.
+    for (const auto &point :
+         session.sweep("sensor_range", 1.0, 6.0, 5)) {
+        ASSERT_TRUE(point.feasible);
+        EXPECT_FALSE(point.binding.attributed);
+    }
+    // A scaled operating point routes through the roofline bound,
+    // and the binding ceiling rides along on every point.
+    session.set("operating_point", "half-clock");
     const auto points =
         session.sweep("sensor_range", 1.0, 6.0, 5);
     for (const auto &point : points) {
