@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -83,13 +84,16 @@ printFigure()
                 identical ? "yes" : "NO (BUG)");
 
     // Stage gating: the Navion family shortens exactly its gated
-    // SLAM stage; every other stage keeps its measured latency.
+    // SLAM stage; every other stage rides its modeled host-CPU
+    // bound, within a hair of its measured TX2 latency.
     const workload::PipelineBound accelerated = modeled.evaluate();
     bool gated = accelerated.stages[0].binding.attributed;
     for (std::size_t i = 1; i < accelerated.stageCount; ++i) {
+        const double measured_lat =
+            pipeline.stages()[i].latency.value();
         gated = gated &&
-                accelerated.stages[i].latencySeconds ==
-                    pipeline.stages()[i].latency.value();
+                std::abs(accelerated.stages[i].latencySeconds -
+                         measured_lat) < 1e-3 * measured_lat;
     }
     std::printf("  Navion shortens only its gated stage "
                 "(%.2f -> %.2f Hz): %s\n",

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * F-1 block kernel implementations.
+ *
+ * Every expression here mirrors F1Model::analyzeInto() operand for
+ * operand (see that function for the model derivation); the only
+ * transformations applied are (a) hoisting sample-invariant
+ * subexpressions that the scalar path recomputes from identical
+ * operands — which yields identical bits — and (b) skipping outputs
+ * a kernel's caller never reads. No reassociation, no fused
+ * alternatives, no libm calls beyond correctly-rounded sqrt.
+ */
+
+#include "core/f1_batch.hh"
+
+#include <cfloat>
+#include <cmath>
+
+namespace uavf1::core {
+
+namespace {
+
+/** Samples per internal SoA gather of analyzeFullBlock. */
+constexpr std::size_t kernelBlock = 64;
+
+/** The Eq. 3 argmin with analyzeInto()'s strict-< first-wins rule.
+ * Returns the throughput; writes the stage code (0 sensor,
+ * 1 compute, 2 control). */
+inline double
+argminRate(double sensor, double compute, double control,
+           std::uint8_t &stage)
+{
+    double f = sensor;
+    stage = 0;
+    if (compute < f) {
+        f = compute;
+        stage = 1;
+    }
+    if (control < f) {
+        f = control;
+        stage = 2;
+    }
+    return f;
+}
+
+/** v(t) = a * (sqrt(t^2 + 2d/a) - t) with q = 2d/a pre-divided
+ * (the scalar path computes the same quotient from the same
+ * operands, so the hoist is bit-exact). */
+inline double
+safeVelocityAt(double a, double q, double t)
+{
+    return a * (std::sqrt(t * t + q) - t);
+}
+
+/** Bound classification for a below-knee sample. */
+inline std::uint8_t
+bottleneckBound(std::uint8_t stage)
+{
+    // Stage codes: 0 sensor, 1 compute, 2 control; BoundType:
+    // Compute=0, Sensor=1, Control=2.
+    return stage == 0 ? static_cast<std::uint8_t>(
+                            BoundType::SensorBound)
+           : stage == 2
+               ? static_cast<std::uint8_t>(BoundType::ControlBound)
+               : static_cast<std::uint8_t>(BoundType::ComputeBound);
+}
+
+} // namespace
+
+bool
+analyzeBlock(const double *a_max, const double *range,
+             const double *sensor, const double *compute,
+             double control, double knee_fraction, std::size_t n,
+             double *v_safe, double *knee, double *roof,
+             std::uint8_t *bound)
+{
+    // Sample-invariant: the knee criterion x and the control rate.
+    // analyzeInto() recomputes x per call from the same fraction, so
+    // hoisting it is exact.
+    const double knee_x = (1.0 - knee_fraction * knee_fraction) /
+                          (2.0 * knee_fraction);
+    bool ok = control > 0.0 && knee_fraction >= 1e-6 &&
+              knee_fraction <= 1.0 - 1e-9;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = a_max[i];
+        const double d = range[i];
+        const double fs = sensor[i];
+        const double fc = compute[i];
+        // analyzeInto()'s preconditions: rates positive (inf is
+        // accepted there, so no upper bound), physics positive and
+        // finite. !(x <= DBL_MAX) also catches NaN.
+        ok = ok && fs > 0.0 && fc > 0.0 && a > 0.0 &&
+             a <= DBL_MAX && d > 0.0 && d <= DBL_MAX;
+
+        std::uint8_t stage;
+        const double f = argminRate(fs, fc, control, stage);
+        const double q = 2.0 * d / a;
+        const double t = 1.0 / f;
+        const double vs = safeVelocityAt(a, q, t);
+        const double fk = std::sqrt(a / (2.0 * d)) / knee_x;
+        v_safe[i] = vs;
+        knee[i] = fk;
+        roof[i] = std::sqrt(2.0 * d * a);
+        bound[i] = f >= fk ? static_cast<std::uint8_t>(
+                                 BoundType::PhysicsBound)
+                           : bottleneckBound(stage);
+    }
+    return ok;
+}
+
+bool
+analyzeVSafeBlock(double a_max, double range, const double *sensor,
+                  const double *compute, double control,
+                  std::size_t n, double *v_safe)
+{
+    const double a = a_max;
+    const double q = 2.0 * range / a;
+    bool ok = control > 0.0 && a > 0.0 && a <= DBL_MAX &&
+              range > 0.0 && range <= DBL_MAX;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double fs = sensor[i];
+        const double fc = compute[i];
+        ok = ok && fs > 0.0 && fc > 0.0;
+        std::uint8_t stage;
+        const double f = argminRate(fs, fc, control, stage);
+        const double t = 1.0 / f;
+        v_safe[i] = safeVelocityAt(a, q, t);
+    }
+    return ok;
+}
+
+void
+analyzeFullBlock(const F1Inputs *inputs, F1Analysis *out,
+                 std::size_t n)
+{
+    for (std::size_t base = 0; base < n; base += kernelBlock) {
+        const std::size_t m =
+            n - base < kernelBlock ? n - base : kernelBlock;
+        const F1Inputs *in = inputs + base;
+
+        // Gather AoS inputs into SoA lanes, validating with the
+        // accumulated-flag idiom.
+        double a[kernelBlock], d[kernelBlock], fs[kernelBlock];
+        double fc[kernelBlock], fl[kernelBlock], kf[kernelBlock];
+        bool ok = true;
+        for (std::size_t i = 0; i < m; ++i) {
+            a[i] = in[i].aMax.value();
+            d[i] = in[i].sensingRange.value();
+            fs[i] = in[i].sensorRate.value();
+            fc[i] = in[i].computeRate.value();
+            fl[i] = in[i].controlRate.value();
+            kf[i] = in[i].kneeFraction;
+            ok = ok && kf[i] >= 1e-6 && kf[i] <= 1.0 - 1e-9 &&
+                 fs[i] > 0.0 && fc[i] > 0.0 && fl[i] > 0.0 &&
+                 a[i] > 0.0 && a[i] <= DBL_MAX && d[i] > 0.0 &&
+                 d[i] <= DBL_MAX;
+        }
+        if (!ok) {
+            // Scalar rescan in sample order: the first offending
+            // sample throws analyzeInto()'s own error, and every
+            // earlier sample is written exactly as the scalar loop
+            // would have written it before throwing.
+            for (std::size_t i = 0; i < m; ++i)
+                F1Model::analyzeInto(in[i], out[base + i]);
+            continue;
+        }
+
+        // Vectorizable math lanes.
+        double f_min[kernelBlock], v_safe[kernelBlock];
+        double f_knee[kernelBlock], v_roof[kernelBlock];
+        double v_knee[kernelBlock], v_sens[kernelBlock];
+        double v_comp[kernelBlock];
+        std::uint8_t stage[kernelBlock];
+        for (std::size_t i = 0; i < m; ++i) {
+            const double f = argminRate(fs[i], fc[i], fl[i],
+                                        stage[i]);
+            const double q = 2.0 * d[i] / a[i];
+            const double knee_x =
+                (1.0 - kf[i] * kf[i]) / (2.0 * kf[i]);
+            const double fk =
+                std::sqrt(a[i] / (2.0 * d[i])) / knee_x;
+            f_min[i] = f;
+            f_knee[i] = fk;
+            v_safe[i] = safeVelocityAt(a[i], q, 1.0 / f);
+            v_roof[i] = std::sqrt(2.0 * d[i] * a[i]);
+            v_knee[i] = safeVelocityAt(a[i], q, 1.0 / fk);
+            v_sens[i] = safeVelocityAt(a[i], q, 1.0 / fs[i]);
+            v_comp[i] = safeVelocityAt(a[i], q, 1.0 / fc[i]);
+        }
+
+        // Scatter into the AoS analyses with analyzeInto()'s
+        // classification rules.
+        for (std::size_t i = 0; i < m; ++i) {
+            F1Analysis &o = out[base + i];
+            const double f = f_min[i];
+            const double fk = f_knee[i];
+            o.actionThroughput = units::Hertz(f);
+            o.safeVelocity = units::MetersPerSecond(v_safe[i]);
+            o.kneeThroughput = units::Hertz(fk);
+            o.roofVelocity = units::MetersPerSecond(v_roof[i]);
+            o.kneeVelocity = units::MetersPerSecond(v_knee[i]);
+            o.sensorCeiling = units::MetersPerSecond(v_sens[i]);
+            o.computeCeiling = units::MetersPerSecond(v_comp[i]);
+            o.bottleneckStage =
+                stage[i] == 0   ? BottleneckStage::Sensor
+                : stage[i] == 2 ? BottleneckStage::Control
+                                : BottleneckStage::Compute;
+            o.computeBinding = in[i].computeBinding;
+            if (f >= fk) {
+                o.bound = BoundType::PhysicsBound;
+                o.overProvisionFactor = f / fk;
+                o.requiredSpeedup = 1.0;
+            } else {
+                o.requiredSpeedup = fk / f;
+                o.overProvisionFactor = 1.0;
+                o.bound = static_cast<BoundType>(
+                    bottleneckBound(stage[i]));
+            }
+            constexpr double tolerance = 0.05;
+            if (f >= fk * (1.0 - tolerance) &&
+                f <= fk * (1.0 + tolerance)) {
+                o.verdict = DesignVerdict::Optimal;
+            } else if (f > fk) {
+                o.verdict = DesignVerdict::OverOptimized;
+            } else {
+                o.verdict = DesignVerdict::SubOptimal;
+            }
+        }
+    }
+}
+
+} // namespace uavf1::core

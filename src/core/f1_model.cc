@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/f1_batch.hh"
+
 #include "support/errors.hh"
 #include "support/validate.hh"
 
@@ -153,8 +155,7 @@ F1Model::evaluateBatch(std::span<const F1Inputs> inputs,
 {
     if (inputs.size() != out.size())
         throw ModelError("evaluateBatch spans must match in size");
-    for (std::size_t i = 0; i < inputs.size(); ++i)
-        analyzeInto(inputs[i], out[i]);
+    analyzeFullBlock(inputs.data(), out.data(), inputs.size());
 }
 
 RooflineCurve

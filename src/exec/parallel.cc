@@ -11,10 +11,18 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <new>
 
 namespace uavf1::exec {
 
 namespace {
+
+#ifdef __cpp_lib_hardware_interference_size
+constexpr std::size_t cacheLine =
+    std::hardware_destructive_interference_size;
+#else
+constexpr std::size_t cacheLine = 64;
+#endif
 
 /** State shared between the caller and its helper tasks. */
 struct LoopState
@@ -22,18 +30,25 @@ struct LoopState
     std::size_t count = 0;
     std::size_t grain = 1;
     std::size_t chunks = 0;
-    const std::function<void(std::size_t, std::size_t)> *body =
-        nullptr;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        *body = nullptr;
     CancellationToken cancel;
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<bool> failed{false};
+    /** Chunk cursor, alone on its cache line: every participant
+     * hammers it with fetch_add, so co-locating it with the
+     * read-mostly fields above (or the failure latch below) would
+     * false-share and serialize the very loop this class fans
+     * out. */
+    alignas(cacheLine) std::atomic<std::size_t> cursor{0};
+    /** Failure latch on its own line for the same reason: it is
+     * read at every chunk boundary by every participant. */
+    alignas(cacheLine) std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex mutex;
     std::condition_variable done;
     std::size_t pendingHelpers = 0;
 
     /** Pull and run chunks until the cursor runs out. */
-    void drain()
+    void drain(std::size_t slot)
     {
         for (;;) {
             const std::size_t chunk =
@@ -47,7 +62,7 @@ struct LoopState
                 // Captured like a body exception so the first
                 // token firing is rethrown on the caller.
                 cancel.checkpoint();
-                (*body)(begin, end);
+                (*body)(slot, begin, end);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mutex);
                 if (!error)
@@ -58,12 +73,12 @@ struct LoopState
     }
 };
 
-} // namespace
-
+/** Shared engine behind parallelFor / parallelForSlots. */
 void
-parallelFor(std::size_t count,
-            const std::function<void(std::size_t, std::size_t)> &body,
-            const ParallelOptions &options)
+runLoop(std::size_t count,
+        const std::function<void(std::size_t, std::size_t,
+                                 std::size_t)> &body,
+        const ParallelOptions &options)
 {
     if (count == 0)
         return;
@@ -88,7 +103,7 @@ parallelFor(std::size_t count,
         for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
             options.cancel.checkpoint();
             const std::size_t begin = chunk * grain;
-            body(begin, std::min(count, begin + grain));
+            body(0, begin, std::min(count, begin + grain));
         }
         return;
     }
@@ -102,21 +117,77 @@ parallelFor(std::size_t count,
     state->pendingHelpers = participants - 1;
 
     for (std::size_t i = 0; i + 1 < participants; ++i) {
-        pool.submit([state] {
-            state->drain();
+        const std::size_t slot = i + 1;
+        pool.submit([state, slot] {
+            state->drain(slot);
             std::lock_guard<std::mutex> lock(state->mutex);
             if (--state->pendingHelpers == 0)
                 state->done.notify_all();
         });
     }
 
-    state->drain();
+    state->drain(0);
 
     std::unique_lock<std::mutex> lock(state->mutex);
     state->done.wait(lock,
                      [&] { return state->pendingHelpers == 0; });
     if (state->error)
         std::rethrow_exception(state->error);
+}
+
+} // namespace
+
+void
+parallelFor(std::size_t count,
+            const std::function<void(std::size_t, std::size_t)> &body,
+            const ParallelOptions &options)
+{
+    runLoop(
+        count,
+        [&body](std::size_t, std::size_t begin, std::size_t end) {
+            body(begin, end);
+        },
+        options);
+}
+
+std::size_t
+maxSlots(const ParallelOptions &options)
+{
+    ThreadPool &pool =
+        options.pool ? *options.pool : ThreadPool::global();
+    std::size_t slots = pool.threadCount();
+    if (options.maxThreads > 0)
+        slots = std::min(slots, options.maxThreads);
+    return std::max<std::size_t>(1, slots);
+}
+
+void
+parallelForSlots(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &body,
+    const ParallelOptions &options)
+{
+    runLoop(count, body, options);
+}
+
+std::size_t
+suggestedGrain(std::size_t count, double ns_per_index)
+{
+    if (count == 0)
+        return 1;
+    // ~100 us chunks: small enough that dynamic chunk-stealing
+    // still balances skewed workloads, large enough that the cursor
+    // bump is amortized to < 0.1%.
+    constexpr double target_ns = 100000.0;
+    if (!(ns_per_index > 0.0))
+        return count;
+    const double indices = target_ns / ns_per_index;
+    if (indices <= 1.0)
+        return 1;
+    if (indices >= static_cast<double>(count))
+        return count;
+    return static_cast<std::size_t>(indices);
 }
 
 } // namespace uavf1::exec

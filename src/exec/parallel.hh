@@ -62,6 +62,41 @@ void parallelFor(std::size_t count,
                  const ParallelOptions &options = {});
 
 /**
+ * Upper bound (inclusive of the caller) on the number of distinct
+ * slot indices parallelForSlots can hand out under `options`:
+ * min(pool thread count, maxThreads when set). Size per-slot scratch
+ * arenas with this *before* the loop so the body never allocates.
+ */
+std::size_t maxSlots(const ParallelOptions &options = {});
+
+/**
+ * parallelFor with a stable *slot index* handed to the body:
+ * `body(slot, begin, end)` where slot identifies the participating
+ * thread (caller = 0, helpers = 1..participants-1) and is always
+ * < maxSlots(options). Two chunks running concurrently never share
+ * a slot, so slot-indexed scratch arenas (SoA sample buffers, tally
+ * blocks) are data-race-free without locks. The slot an index lands
+ * on is scheduling-dependent — keyed *state* must stay chunk-keyed
+ * (the determinism contract); slots are for scratch only.
+ */
+void parallelForSlots(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &body,
+    const ParallelOptions &options = {});
+
+/**
+ * Grain autoselect for block-sized loops: the smallest chunk size
+ * that amortizes per-chunk overhead (the atomic cursor bump plus a
+ * cancellation check) to noise, targeting ~100 us of work per chunk
+ * at `ns_per_index` estimated index cost. Depends only on its
+ * arguments — never on the thread count — so chunk geometry (and
+ * with it every chunk-keyed determinism contract) stays independent
+ * of the machine the loop runs on.
+ */
+std::size_t suggestedGrain(std::size_t count, double ns_per_index);
+
+/**
  * Evaluate `fn(i)` for i in [0, count) and return the results in
  * index order. T must be default-constructible.
  */

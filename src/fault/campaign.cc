@@ -1,15 +1,28 @@
 /**
  * @file
  * FaultCampaign implementation.
+ *
+ * run() is the batched hot path. A sample's outcome (aside from its
+ * sensor derate) is fully determined by its (platform mask, pipeline
+ * mask) pair, so the winner-selection arithmetic — including the
+ * redundancy voter sequence — is collapsed into a pair table
+ * computed once per run with the exact scalar operation order, and
+ * the per-sample loop becomes draws + table lookups + the
+ * core::analyzeVSafeBlock kernel. runReference() keeps the original
+ * mission-at-a-time loop as the bit-identity oracle; when a kernel
+ * validation flag trips, run() re-executes the sub-batch through it
+ * from a saved RNG state so the thrown error matches the scalar
+ * path exactly.
  */
 
 #include "fault/campaign.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
+#include "core/f1_batch.hh"
 #include "support/errors.hh"
-#include "support/rng.hh"
 #include "support/validate.hh"
 #include "workload/stage_eval.hh"
 
@@ -369,6 +382,150 @@ FaultCampaign::baseline() const
     return analysis;
 }
 
+void
+FaultCampaign::scalarSamples(
+    const std::vector<double> &effective_prob,
+    const pipeline::ModularRedundancy &redundancy,
+    std::size_t compute_ceilings, std::size_t lo, std::size_t hi,
+    Rng &rng, double *v_safe, unsigned char *aborted,
+    std::uint64_t &abort_count, std::uint64_t *activation_counts,
+    std::uint64_t *ceiling_counts, std::uint64_t *stage_counts) const
+{
+    const std::size_t fault_count = _spec.faults.size();
+    const platform::RooflinePlatform *machine =
+        _spec.platform ? &*_spec.platform : nullptr;
+    const bool stage_path = machine && _spec.pipeline.has_value();
+    core::F1Analysis analysis;
+    for (std::size_t i = lo; i < hi; ++i) {
+        // Exactly one draw per fault, active or not, so the stream a
+        // later fault sees never depends on an earlier activation
+        // (or on probabilityScale turning one off).
+        std::size_t platform_mask = 0;
+        std::size_t pipeline_mask = 0;
+        std::size_t platform_bit = 0;
+        std::size_t pipeline_bit = 0;
+        double sensor_fraction = 1.0;
+        for (std::size_t j = 0; j < fault_count; ++j) {
+            const bool active = rng.uniform() < effective_prob[j];
+            const FaultSpec &fault = _spec.faults[j];
+            if (isPlatformFault(fault.kind)) {
+                if (active) {
+                    platform_mask |= std::size_t{1} << platform_bit;
+                }
+                ++platform_bit;
+            } else if (isPipelineFault(fault.kind)) {
+                if (active) {
+                    pipeline_mask |= std::size_t{1} << pipeline_bit;
+                }
+                ++pipeline_bit;
+            } else if (active) {
+                sensor_fraction *= 1.0 - fault.sensorDerate;
+            }
+            if (active)
+                ++activation_counts[j];
+        }
+
+        core::F1Inputs inputs = _spec.nominal;
+        bool abort = sensor_fraction <= 0.0;
+        platform::CeilingRef binding{};
+        if (machine) {
+            const PlatformVariant &variant =
+                _platformVariants[platform_mask];
+            abort = abort || variant.aborts;
+            inputs.computeRate = units::Hertz(variant.computeRate);
+            binding = variant.binding;
+        }
+        if (_spec.pipeline) {
+            const PipelineVariant &variant =
+                _pipelineVariants[pipeline_mask];
+            abort = abort || variant.aborts;
+            double pipeline_rate = variant.throughputHz;
+            if (!abort && stage_path) {
+                // Workload-aware path: the degraded per-stage
+                // bounds, inflated by the active stage faults.
+                // Table lookups and a short sum — allocation-free.
+                const double *base =
+                    &_stageBase[platform_mask * _stageCount];
+                const double *inflation =
+                    &_stageInflation[pipeline_mask * _stageCount];
+                double total = 0.0;
+                for (std::size_t s = 0; s < _stageCount; ++s)
+                    total += base[s] * inflation[s];
+                pipeline_rate =
+                    redundancy
+                        .effectiveThroughput(
+                            units::Hertz(1.0 / total))
+                        .value();
+            }
+            if (!abort &&
+                (!machine ||
+                 pipeline_rate < inputs.computeRate.value())) {
+                inputs.computeRate = units::Hertz(pipeline_rate);
+                binding = {};
+            }
+        }
+        if (abort) {
+            aborted[i] = 1;
+            ++abort_count;
+            continue;
+        }
+        inputs.sensorRate = units::Hertz(inputs.sensorRate.value() *
+                                         sensor_fraction);
+        inputs.computeBinding = binding;
+        core::F1Model::analyzeInto(inputs, analysis);
+        v_safe[i] = analysis.safeVelocity.value();
+        if (machine && binding.attributed) {
+            const std::size_t slot =
+                binding.kind == platform::CeilingKind::Compute
+                    ? binding.index
+                    : compute_ceilings + binding.index;
+            ++ceiling_counts[slot];
+        }
+        if (stage_path) {
+            const std::uint32_t *slots =
+                &_stageSlot[platform_mask * _stageCount];
+            for (std::size_t s = 0; s < _stageCount; ++s) {
+                const std::size_t kind =
+                    slots[s] == measuredSlot
+                        ? 2
+                        : (slots[s] < compute_ceilings ? 0 : 1);
+                ++stage_counts[s * 3 + kind];
+            }
+        }
+    }
+}
+
+namespace {
+
+/** Per-slot scratch for the batched campaign run, reused across
+ * blocks. */
+struct CampaignArena
+{
+    static constexpr std::size_t cap =
+        sim::MonteCarloAnalyzer::kernelBlock;
+    std::uint32_t platformMask[cap];
+    std::uint32_t pipelineMask[cap];
+    double sensorFraction[cap];
+    std::uint8_t abortFlag[cap];
+    /** Dense (non-aborted) lanes for the kernel. */
+    std::uint32_t denseIndex[cap]; ///< Global sample index.
+    std::uint32_t densePair[cap];  ///< Pair-table index.
+    std::uint32_t densePlatformMask[cap];
+    double sensorRate[cap];
+    double computeRate[cap];
+    double vSafe[cap];
+    /** Per-fault activation tallies, committed post-validation. */
+    std::vector<std::uint64_t> activations;
+    /** Platform-mask histogram for batched stage tallies. */
+    std::vector<std::uint64_t> maskHist;
+    /** Uniform draws for one sub-block, sample-major
+     * [i * faultCount + j]; filled by Rng::uniformBlock so the
+     * activation loop is free of the serial generator chain. */
+    std::vector<double> draws;
+};
+
+} // namespace
+
 CampaignResult
 FaultCampaign::run(std::size_t count, std::uint64_t seed,
                    const exec::ParallelOptions &parallel) const
@@ -412,137 +569,335 @@ FaultCampaign::run(std::size_t count, std::uint64_t seed,
         machine ? blocks : 0,
         std::vector<std::uint64_t>(total_ceilings, 0));
 
-    // Per-stage binding tallies (kind-major per stage: compute /
-    // memory / measured), only on the combined platform+pipeline
-    // path.
-    const bool stage_path = machine && _spec.pipeline;
+    const bool stage_path = machine && _spec.pipeline.has_value();
     std::vector<std::vector<std::uint64_t>> stage_counts(
         stage_path ? blocks : 0,
         std::vector<std::uint64_t>(_stageCount * 3, 0));
     const pipeline::ModularRedundancy redundancy(_spec.redundancy);
 
+    // Per-fault layer routing, precomputed out of the draw loop.
+    // layer: 0 platform, 1 pipeline, 2 sensor; bit is the mask bit
+    // within the fault's layer.
+    std::vector<std::uint8_t> fault_layer(fault_count, 2);
+    std::vector<std::uint32_t> fault_bit(fault_count, 0);
+    std::vector<double> sensor_keep(fault_count, 1.0);
+    {
+        std::uint32_t platform_bit = 0;
+        std::uint32_t pipeline_bit = 0;
+        for (std::size_t j = 0; j < fault_count; ++j) {
+            const FaultSpec &fault = _spec.faults[j];
+            if (isPlatformFault(fault.kind)) {
+                fault_layer[j] = 0;
+                fault_bit[j] = platform_bit++;
+            } else if (isPipelineFault(fault.kind)) {
+                fault_layer[j] = 1;
+                fault_bit[j] = pipeline_bit++;
+            } else {
+                sensor_keep[j] = 1.0 - fault.sensorDerate;
+            }
+        }
+    }
+
+    // Branch-light companions for the draw loop: the mask bit a
+    // fault contributes when active (0 outside its layer) and the
+    // sensor multiplier applied when active (1.0 for non-sensor
+    // faults; x * 1.0 is exact, so the product sequence is
+    // unchanged).
+    std::vector<std::uint32_t> active_pbit(fault_count, 0);
+    std::vector<std::uint32_t> active_qbit(fault_count, 0);
+    std::vector<double> active_keep(fault_count, 1.0);
+    for (std::size_t j = 0; j < fault_count; ++j) {
+        if (fault_layer[j] == 0)
+            active_pbit[j] = std::uint32_t{1} << fault_bit[j];
+        else if (fault_layer[j] == 1)
+            active_qbit[j] = std::uint32_t{1} << fault_bit[j];
+        else
+            active_keep[j] = sensor_keep[j];
+    }
+
+    // Pair tables over (platform mask, pipeline mask): every
+    // mask-determined per-sample expression — the stage-path
+    // latency sum, the redundancy voter arithmetic, the
+    // pipeline-vs-platform winner select, the flat binding slot —
+    // evaluated once per pair with the exact scalar operation
+    // order. pair = platform_mask * qmasks + pipeline_mask.
+    const std::size_t pmasks =
+        machine ? _platformVariants.size() : 1;
+    const std::size_t qmasks =
+        _spec.pipeline ? _pipelineVariants.size() : 1;
+    constexpr std::uint32_t no_slot = ~std::uint32_t{0};
+    std::vector<std::uint8_t> pair_aborts(pmasks * qmasks, 0);
+    std::vector<double> pair_rate(pmasks * qmasks, 0.0);
+    std::vector<std::uint32_t> pair_slot(pmasks * qmasks, no_slot);
+    const double nominal_compute = _spec.nominal.computeRate.value();
+    for (std::size_t p = 0; p < pmasks; ++p) {
+        for (std::size_t q = 0; q < qmasks; ++q) {
+            const std::size_t pair = p * qmasks + q;
+            bool abort = false;
+            double rate = nominal_compute;
+            std::uint32_t slot = no_slot;
+            if (machine) {
+                const PlatformVariant &variant = _platformVariants[p];
+                abort = abort || variant.aborts;
+                rate = variant.computeRate;
+                if (variant.binding.attributed) {
+                    slot = static_cast<std::uint32_t>(
+                        variant.binding.kind ==
+                                platform::CeilingKind::Compute
+                            ? variant.binding.index
+                            : compute_ceilings +
+                                  variant.binding.index);
+                }
+            }
+            if (_spec.pipeline) {
+                const PipelineVariant &variant = _pipelineVariants[q];
+                abort = abort || variant.aborts;
+                double pipeline_rate = variant.throughputHz;
+                if (!abort && stage_path) {
+                    const double *base =
+                        &_stageBase[p * _stageCount];
+                    const double *inflation =
+                        &_stageInflation[q * _stageCount];
+                    double total = 0.0;
+                    for (std::size_t s = 0; s < _stageCount; ++s)
+                        total += base[s] * inflation[s];
+                    pipeline_rate =
+                        redundancy
+                            .effectiveThroughput(
+                                units::Hertz(1.0 / total))
+                            .value();
+                }
+                if (!abort && (!machine || pipeline_rate < rate)) {
+                    rate = pipeline_rate;
+                    slot = no_slot;
+                }
+            }
+            pair_aborts[pair] = abort ? 1 : 0;
+            pair_rate[pair] = rate;
+            pair_slot[pair] = slot;
+        }
+    }
+
+    // Stage-kind table per platform mask (kind: 0 compute, 1 memory,
+    // 2 measured), so per-sample stage tallies reduce to one
+    // platform-mask histogram per block.
+    std::vector<std::uint8_t> stage_kind;
+    if (stage_path) {
+        stage_kind.resize(pmasks * _stageCount, 2);
+        for (std::size_t p = 0; p < pmasks; ++p) {
+            for (std::size_t s = 0; s < _stageCount; ++s) {
+                const std::uint32_t slot =
+                    _stageSlot[p * _stageCount + s];
+                stage_kind[p * _stageCount + s] =
+                    slot == measuredSlot
+                        ? 2
+                        : (slot < compute_ceilings ? 0 : 1);
+            }
+        }
+    }
+
+    const double nominal_sensor = _spec.nominal.sensorRate.value();
+    const double nominal_amax = _spec.nominal.aMax.value();
+    const double nominal_range = _spec.nominal.sensingRange.value();
+    const double control = _spec.nominal.controlRate.value();
+    const double knee_fraction = _spec.nominal.kneeFraction;
+    constexpr std::size_t kernel_block =
+        sim::MonteCarloAnalyzer::kernelBlock;
+
     exec::ParallelOptions options = parallel;
     options.grain = 1; // One block per chunk.
-    exec::parallelFor(
+    std::vector<CampaignArena> arenas(exec::maxSlots(options));
+    for (auto &arena : arenas) {
+        arena.activations.assign(fault_count, 0);
+        arena.maskHist.assign(stage_path ? pmasks : 0, 0);
+        arena.draws.assign(kernel_block * fault_count, 0.0);
+    }
+
+    exec::parallelForSlots(
         blocks,
-        [&](std::size_t block_begin, std::size_t block_end) {
-            core::F1Analysis analysis;
+        [&](std::size_t slot_index, std::size_t block_begin,
+            std::size_t block_end) {
+            CampaignArena &arena = arenas[slot_index];
             for (std::size_t b = block_begin; b < block_end; ++b) {
                 Rng rng = block_rngs[b];
                 const std::size_t lo = b * sampleBlock;
                 const std::size_t hi =
                     std::min(count, lo + sampleBlock);
-                for (std::size_t i = lo; i < hi; ++i) {
-                    // Exactly one draw per fault, active or not, so
-                    // the stream a later fault sees never depends on
-                    // an earlier activation (or on probabilityScale
-                    // turning one off).
-                    std::size_t platform_mask = 0;
-                    std::size_t pipeline_mask = 0;
-                    std::size_t platform_bit = 0;
-                    std::size_t pipeline_bit = 0;
-                    double sensor_fraction = 1.0;
-                    for (std::size_t j = 0; j < fault_count; ++j) {
-                        const bool active =
-                            rng.uniform() < effective_prob[j];
-                        const FaultSpec &fault = _spec.faults[j];
-                        if (isPlatformFault(fault.kind)) {
-                            if (active) {
-                                platform_mask |= std::size_t{1}
-                                                 << platform_bit;
+                if (stage_path)
+                    std::fill(arena.maskHist.begin(),
+                              arena.maskHist.end(), 0);
+                for (std::size_t sub = lo; sub < hi;
+                     sub += kernel_block) {
+                    const std::size_t m =
+                        std::min(hi - sub, kernel_block);
+                    Rng rescan_rng = rng;
+
+                    // Phase A: draws — one uniform per fault per
+                    // sample, in fault order, exactly the scalar
+                    // sequence (uniformBlock emits the same
+                    // stream without the serial generator chain).
+                    std::fill(arena.activations.begin(),
+                              arena.activations.end(), 0);
+                    rng.uniformBlock(arena.draws.data(),
+                                     m * fault_count);
+                    if (fault_count <= 64) {
+                        // Activations are rare, so reduce each
+                        // sample to one activation bitmask (a
+                        // compare/or chain) and run the mask and
+                        // derate bookkeeping over set bits only.
+                        // Bits ascend in fault order, so the
+                        // sensor-keep multiplies happen in exactly
+                        // the scalar sequence.
+                        for (std::size_t i = 0; i < m; ++i) {
+                            const double *draw =
+                                arena.draws.data() +
+                                i * fault_count;
+                            std::uint64_t amask = 0;
+                            for (std::size_t j = 0;
+                                 j < fault_count; ++j)
+                                amask |= draw[j] <
+                                                 effective_prob[j]
+                                             ? std::uint64_t{1}
+                                                   << j
+                                             : 0u;
+                            std::uint32_t pmask = 0;
+                            std::uint32_t qmask = 0;
+                            double sensor_fraction = 1.0;
+                            for (std::uint64_t t = amask; t != 0;
+                                 t &= t - 1) {
+                                const std::size_t j =
+                                    static_cast<std::size_t>(
+                                        std::countr_zero(t));
+                                pmask |= active_pbit[j];
+                                qmask |= active_qbit[j];
+                                sensor_fraction *= active_keep[j];
+                                ++arena.activations[j];
                             }
-                            ++platform_bit;
-                        } else if (isPipelineFault(fault.kind)) {
-                            if (active) {
-                                pipeline_mask |= std::size_t{1}
-                                                 << pipeline_bit;
-                            }
-                            ++pipeline_bit;
-                        } else if (active) {
-                            sensor_fraction *=
-                                1.0 - fault.sensorDerate;
+                            arena.platformMask[i] = pmask;
+                            arena.pipelineMask[i] = qmask;
+                            arena.sensorFraction[i] =
+                                sensor_fraction;
                         }
-                        if (active)
-                            ++activation_counts[b][j];
+                    } else {
+                        for (std::size_t i = 0; i < m; ++i) {
+                            const double *draw =
+                                arena.draws.data() +
+                                i * fault_count;
+                            std::uint32_t pmask = 0;
+                            std::uint32_t qmask = 0;
+                            double sensor_fraction = 1.0;
+                            for (std::size_t j = 0;
+                                 j < fault_count; ++j) {
+                                const bool active =
+                                    draw[j] < effective_prob[j];
+                                pmask |=
+                                    active ? active_pbit[j] : 0u;
+                                qmask |=
+                                    active ? active_qbit[j] : 0u;
+                                sensor_fraction *=
+                                    active ? active_keep[j] : 1.0;
+                                arena.activations[j] +=
+                                    active ? 1 : 0;
+                            }
+                            arena.platformMask[i] = pmask;
+                            arena.pipelineMask[i] = qmask;
+                            arena.sensorFraction[i] =
+                                sensor_fraction;
+                        }
                     }
 
-                    core::F1Inputs inputs = _spec.nominal;
-                    bool abort = sensor_fraction <= 0.0;
-                    platform::CeilingRef binding{};
-                    if (machine) {
-                        const PlatformVariant &variant =
-                            _platformVariants[platform_mask];
-                        abort = abort || variant.aborts;
-                        inputs.computeRate =
-                            units::Hertz(variant.computeRate);
-                        binding = variant.binding;
+                    // Phase B: pair-table lookups; compact the
+                    // non-aborted samples into dense kernel lanes.
+                    // requireInRange's exact acceptance (NaN
+                    // passes both comparisons, as in the scalar).
+                    std::size_t dense = 0;
+                    bool ok = !(knee_fraction < 1e-6 ||
+                                knee_fraction > 1.0 - 1e-9);
+                    for (std::size_t i = 0; i < m; ++i) {
+                        const std::size_t pair =
+                            arena.platformMask[i] * qmasks +
+                            arena.pipelineMask[i];
+                        const bool abort =
+                            arena.sensorFraction[i] <= 0.0 ||
+                            pair_aborts[pair] != 0;
+                        arena.abortFlag[i] = abort ? 1 : 0;
+                        if (abort)
+                            continue;
+                        arena.denseIndex[dense] =
+                            static_cast<std::uint32_t>(sub + i);
+                        arena.densePair[dense] =
+                            static_cast<std::uint32_t>(pair);
+                        arena.densePlatformMask[dense] =
+                            arena.platformMask[i];
+                        arena.sensorRate[dense] =
+                            nominal_sensor *
+                            arena.sensorFraction[i];
+                        arena.computeRate[dense] = pair_rate[pair];
+                        ++dense;
                     }
-                    if (_spec.pipeline) {
-                        const PipelineVariant &variant =
-                            _pipelineVariants[pipeline_mask];
-                        abort = abort || variant.aborts;
-                        double pipeline_rate = variant.throughputHz;
-                        if (!abort && stage_path) {
-                            // Workload-aware path: the degraded
-                            // per-stage bounds, inflated by the
-                            // active stage faults. Table lookups
-                            // and a short sum — allocation-free.
-                            const double *base =
-                                &_stageBase[platform_mask *
-                                            _stageCount];
-                            const double *inflation =
-                                &_stageInflation[pipeline_mask *
-                                                 _stageCount];
-                            double total = 0.0;
-                            for (std::size_t s = 0;
-                                 s < _stageCount; ++s)
-                                total += base[s] * inflation[s];
-                            pipeline_rate =
-                                redundancy
-                                    .effectiveThroughput(
-                                        units::Hertz(1.0 / total))
-                                    .value();
-                        }
-                        if (!abort &&
-                            (!machine ||
-                             pipeline_rate <
-                                 inputs.computeRate.value())) {
-                            inputs.computeRate =
-                                units::Hertz(pipeline_rate);
-                            binding = {};
-                        }
-                    }
-                    if (abort) {
-                        aborted[i] = 1;
-                        ++abort_counts[b];
+
+                    // Phase C: the v_safe kernel over the dense
+                    // lanes (physics is constant — the campaign
+                    // never perturbs the airframe).
+                    ok = core::analyzeVSafeBlock(
+                             nominal_amax, nominal_range,
+                             arena.sensorRate, arena.computeRate,
+                             control, dense, arena.vSafe) &&
+                         ok;
+
+                    if (!ok) {
+                        // Scalar fallback from the saved RNG state:
+                        // the first failing sample throws the
+                        // scalar path's own error, and nothing was
+                        // committed for this sub-batch.
+                        std::uint64_t abort_local = 0;
+                        scalarSamples(
+                            effective_prob, redundancy,
+                            compute_ceilings, sub, sub + m,
+                            rescan_rng, v_safe.data(),
+                            aborted.data(), abort_local,
+                            activation_counts[b].data(),
+                            machine ? ceiling_counts[b].data()
+                                    : nullptr,
+                            stage_path ? stage_counts[b].data()
+                                       : nullptr);
+                        abort_counts[b] += abort_local;
                         continue;
                     }
-                    inputs.sensorRate = units::Hertz(
-                        inputs.sensorRate.value() * sensor_fraction);
-                    inputs.computeBinding = binding;
-                    core::F1Model::analyzeInto(inputs, analysis);
-                    v_safe[i] = analysis.safeVelocity.value();
-                    if (machine && binding.attributed) {
-                        const std::size_t slot =
-                            binding.kind ==
-                                    platform::CeilingKind::Compute
-                                ? binding.index
-                                : compute_ceilings + binding.index;
-                        ++ceiling_counts[b][slot];
-                    }
-                    if (stage_path) {
-                        const std::uint32_t *slots =
-                            &_stageSlot[platform_mask * _stageCount];
-                        for (std::size_t s = 0; s < _stageCount;
-                             ++s) {
-                            const std::size_t kind =
-                                slots[s] == measuredSlot
-                                    ? 2
-                                    : (slots[s] < compute_ceilings
-                                           ? 0
-                                           : 1);
-                            ++stage_counts[b][s * 3 + kind];
+
+                    // Commit: activations, aborts, outputs and
+                    // tallies, only after every phase validated.
+                    for (std::size_t j = 0; j < fault_count; ++j)
+                        activation_counts[b][j] +=
+                            arena.activations[j];
+                    for (std::size_t i = 0; i < m; ++i) {
+                        if (arena.abortFlag[i]) {
+                            aborted[sub + i] = 1;
+                            ++abort_counts[b];
                         }
+                    }
+                    for (std::size_t k = 0; k < dense; ++k) {
+                        v_safe[arena.denseIndex[k]] = arena.vSafe[k];
+                        const std::uint32_t ceiling =
+                            pair_slot[arena.densePair[k]];
+                        if (machine && ceiling != no_slot)
+                            ++ceiling_counts[b][ceiling];
+                        if (stage_path)
+                            ++arena.maskHist
+                                  [arena.densePlatformMask[k]];
+                    }
+                }
+                if (stage_path) {
+                    for (std::size_t p = 0; p < pmasks; ++p) {
+                        const std::uint64_t hits = arena.maskHist[p];
+                        if (hits == 0)
+                            continue;
+                        const std::uint8_t *kinds =
+                            &stage_kind[p * _stageCount];
+                        for (std::size_t s = 0; s < _stageCount;
+                             ++s)
+                            stage_counts[b][s * 3 + kinds[s]] +=
+                                hits;
                     }
                 }
             }
@@ -612,6 +967,146 @@ FaultCampaign::run(std::size_t count, std::uint64_t seed,
     if (survivors > 0) {
         // Compacted in sample-index order, so the distribution is
         // independent of which thread ran which block.
+        std::vector<double> surviving;
+        surviving.reserve(survivors);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!aborted[i])
+                surviving.push_back(v_safe[i]);
+        }
+        result.safeVelocity =
+            sim::Distribution::fromSamples(std::move(surviving));
+    }
+    return result;
+}
+
+CampaignResult
+FaultCampaign::runReference(
+    std::size_t count, std::uint64_t seed,
+    const exec::ParallelOptions &parallel) const
+{
+    if (count < 10)
+        throw ModelError("fault campaign needs >= 10 samples");
+
+    const std::size_t fault_count = _spec.faults.size();
+    std::vector<double> effective_prob(fault_count);
+    for (std::size_t j = 0; j < fault_count; ++j) {
+        effective_prob[j] =
+            std::min(1.0, _spec.faults[j].probability *
+                              _spec.probabilityScale);
+    }
+
+    const std::size_t blocks =
+        (count + sampleBlock - 1) / sampleBlock;
+    std::vector<Rng> block_rngs;
+    block_rngs.reserve(blocks);
+    Rng root(seed);
+    for (std::size_t b = 0; b < blocks; ++b)
+        block_rngs.push_back(root.fork());
+
+    std::vector<double> v_safe(count);
+    std::vector<unsigned char> aborted(count, 0);
+    std::vector<std::uint64_t> abort_counts(blocks, 0);
+    std::vector<std::vector<std::uint64_t>> activation_counts(
+        blocks, std::vector<std::uint64_t>(fault_count, 0));
+
+    const platform::RooflinePlatform *machine =
+        _spec.platform ? &*_spec.platform : nullptr;
+    const std::size_t compute_ceilings =
+        machine ? machine->computeCeilings().size() : 0;
+    const std::size_t total_ceilings =
+        machine ? compute_ceilings + machine->memoryCeilings().size()
+                : 0;
+    std::vector<std::vector<std::uint64_t>> ceiling_counts(
+        machine ? blocks : 0,
+        std::vector<std::uint64_t>(total_ceilings, 0));
+
+    const bool stage_path = machine && _spec.pipeline.has_value();
+    std::vector<std::vector<std::uint64_t>> stage_counts(
+        stage_path ? blocks : 0,
+        std::vector<std::uint64_t>(_stageCount * 3, 0));
+    const pipeline::ModularRedundancy redundancy(_spec.redundancy);
+
+    exec::ParallelOptions options = parallel;
+    options.grain = 1; // One block per chunk.
+    exec::parallelFor(
+        blocks,
+        [&](std::size_t block_begin, std::size_t block_end) {
+            for (std::size_t b = block_begin; b < block_end; ++b) {
+                Rng rng = block_rngs[b];
+                const std::size_t lo = b * sampleBlock;
+                const std::size_t hi =
+                    std::min(count, lo + sampleBlock);
+                scalarSamples(
+                    effective_prob, redundancy, compute_ceilings, lo,
+                    hi, rng, v_safe.data(), aborted.data(),
+                    abort_counts[b], activation_counts[b].data(),
+                    machine ? ceiling_counts[b].data() : nullptr,
+                    stage_path ? stage_counts[b].data() : nullptr);
+            }
+        },
+        options);
+
+    CampaignResult result;
+    result.samples = count;
+
+    std::uint64_t aborts = 0;
+    for (const std::uint64_t block_aborts : abort_counts)
+        aborts += block_aborts;
+    result.abortProbability =
+        static_cast<double>(aborts) / static_cast<double>(count);
+
+    result.faultActivationRate.assign(fault_count, 0.0);
+    for (const auto &block : activation_counts)
+        for (std::size_t j = 0; j < fault_count; ++j)
+            result.faultActivationRate[j] +=
+                static_cast<double>(block[j]);
+    for (std::size_t j = 0; j < fault_count; ++j)
+        result.faultActivationRate[j] /=
+            static_cast<double>(count);
+
+    const std::size_t survivors = count - aborts;
+    if (machine) {
+        std::vector<std::uint64_t> ceiling_totals(total_ceilings, 0);
+        for (const auto &block : ceiling_counts)
+            for (std::size_t k = 0; k < total_ceilings; ++k)
+                ceiling_totals[k] += block[k];
+        result.probComputeCeilingBinds.resize(compute_ceilings);
+        result.probMemoryCeilingBinds.resize(total_ceilings -
+                                             compute_ceilings);
+        for (std::size_t k = 0; k < total_ceilings; ++k) {
+            const double prob =
+                survivors > 0
+                    ? static_cast<double>(ceiling_totals[k]) /
+                          static_cast<double>(survivors)
+                    : 0.0;
+            if (k < compute_ceilings)
+                result.probComputeCeilingBinds[k] = prob;
+            else
+                result.probMemoryCeilingBinds[k - compute_ceilings] =
+                    prob;
+        }
+    }
+    if (stage_path) {
+        std::vector<std::uint64_t> stage_totals(_stageCount * 3, 0);
+        for (const auto &block : stage_counts)
+            for (std::size_t k = 0; k < stage_totals.size(); ++k)
+                stage_totals[k] += block[k];
+        result.stageBindings.resize(_stageCount);
+        for (std::size_t s = 0; s < _stageCount; ++s) {
+            StageBindingStats &stats = result.stageBindings[s];
+            stats.stage = _stageNames[s];
+            const double denom =
+                survivors > 0 ? static_cast<double>(survivors) : 1.0;
+            stats.probComputeBound =
+                static_cast<double>(stage_totals[s * 3 + 0]) / denom;
+            stats.probMemoryBound =
+                static_cast<double>(stage_totals[s * 3 + 1]) / denom;
+            stats.probMeasured =
+                static_cast<double>(stage_totals[s * 3 + 2]) / denom;
+        }
+    }
+
+    if (survivors > 0) {
         std::vector<double> surviving;
         surviving.reserve(survivors);
         for (std::size_t i = 0; i < count; ++i) {

@@ -38,6 +38,7 @@
 #include "pipeline/redundancy.hh"
 #include "platform/roofline_platform.hh"
 #include "sim/monte_carlo.hh"
+#include "support/rng.hh"
 #include "workload/spa_pipeline.hh"
 
 namespace uavf1::fault {
@@ -182,6 +183,19 @@ class FaultCampaign
         const exec::ParallelOptions &parallel = {}) const;
 
     /**
+     * Mission-at-a-time reference implementation. run() collapses
+     * the per-sample outcome into precomputed (platform mask,
+     * pipeline mask) pair tables and batched SoA kernels; this is
+     * the original scalar loop, kept as the bit-identity oracle for
+     * the property tests and the baseline side of the perf benches.
+     * For any (spec, count, seed) the two return bit-identical
+     * results.
+     */
+    CampaignResult
+    runReference(std::size_t count, std::uint64_t seed = 1,
+                 const exec::ParallelOptions &parallel = {}) const;
+
+    /**
      * The graceful-degradation curve: run() at `levels` linearly
      * spaced severity scales in [0, 1] (each scaling the spec's own
      * probabilityScale), the same seed at every level so the curve
@@ -217,6 +231,23 @@ class FaultCampaign
 
     void precomputePlatformVariants();
     void precomputePipelineVariants();
+
+    /**
+     * The scalar per-sample loop over samples [lo, hi) of one RNG
+     * block — the reference semantics run() falls back to when a
+     * kernel validation flag trips, and everything runReference()
+     * executes. Tally pointers may be null when the matching layer
+     * is unconfigured.
+     */
+    void scalarSamples(const std::vector<double> &effective_prob,
+                       const pipeline::ModularRedundancy &redundancy,
+                       std::size_t compute_ceilings, std::size_t lo,
+                       std::size_t hi, Rng &rng, double *v_safe,
+                       unsigned char *aborted,
+                       std::uint64_t &abort_count,
+                       std::uint64_t *activation_counts,
+                       std::uint64_t *ceiling_counts,
+                       std::uint64_t *stage_counts) const;
 
     /** Stage-slot sentinel: measurement-sourced, no ceiling. */
     static constexpr std::uint32_t measuredSlot = ~std::uint32_t{0};

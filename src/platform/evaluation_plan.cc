@@ -1,0 +1,199 @@
+/**
+ * @file
+ * EvaluationPlan implementation.
+ */
+
+#include "platform/evaluation_plan.hh"
+
+#include <cfloat>
+
+namespace uavf1::platform {
+
+EvaluationPlan::EvaluationPlan(const RooflinePlatform &platform,
+                               const WorkloadProfile &profile)
+    : _platform(platform), _profile(profile)
+{
+    // One scalar probe per operating point surfaces every
+    // configuration error (degenerate profile, no admitted compute
+    // ceiling, bad operating point) with the platform's own message
+    // before any table is built.
+    const auto &points = platform.operatingPoints();
+    for (std::size_t op = 0; op < points.size(); ++op)
+        (void)platform.attainable(profile, op);
+
+    const auto &computes = platform.computeCeilings();
+    const auto &memories = platform.memoryCeilings();
+    _computeCeilingCount = computes.size();
+    _totalCeilingCount = computes.size() + memories.size();
+
+    // Which compute ceilings the profile admits is AI-independent
+    // (target mask + stage tag only), so the scalar argmax loop can
+    // run here once per op — same skip conditions, same peak * f
+    // expression, same strict-> first-wins rule, hence the same
+    // winner and the same roof bits as every per-sample call.
+    std::vector<std::uint32_t> tags;
+    tags.reserve(computes.size());
+    for (const auto &ceiling : computes)
+        tags.push_back(stageTag(ceiling.stage));
+
+    _computeRoof.reserve(points.size());
+    _computeSlot.reserve(points.size());
+    for (const auto &point : points) {
+        const double f = point.frequencyFraction;
+        bool found = false;
+        std::uint32_t index = 0;
+        double roof = 0.0;
+        for (std::size_t i = 0; i < computes.size(); ++i) {
+            const ComputeCeiling &ceiling = computes[i];
+            if (ceiling.target != ComputeTarget::General &&
+                (targetBit(ceiling.target) & profile.targets) == 0) {
+                continue;
+            }
+            if (tags[i] != 0 && tags[i] != profile.stage)
+                continue;
+            const double r = ceiling.peak.value() * f;
+            if (!found || r > roof) {
+                found = true;
+                roof = r;
+                index = static_cast<std::uint32_t>(i);
+            }
+        }
+        // The probes above already threw when nothing applies.
+        _computeRoof.push_back(roof);
+        _computeSlot.push_back(index);
+    }
+
+    // Dense admitted memory levels: zero-traffic levels can never
+    // bind, so they are dropped here instead of branch-skipped per
+    // sample. Order is preserved — the strict-< first-wins argmin
+    // over the dense list visits candidates in the same order as the
+    // scalar loop over the full list.
+    for (std::size_t i = 0; i < memories.size(); ++i) {
+        const double traffic =
+            i < WorkloadProfile::maxMemoryLevels
+                ? profile.trafficFraction[i]
+                : 1.0;
+        if (traffic <= 0.0)
+            continue;
+        _memTraffic.push_back(traffic);
+        _memIsUnit.push_back(traffic == 1.0 ? 1 : 0);
+        _memSlot.push_back(static_cast<std::uint32_t>(
+            computes.size() + i));
+    }
+    _levelCount = _memTraffic.size();
+    _memBwf.reserve(points.size() * _levelCount);
+    for (const auto &point : points) {
+        const double f = point.frequencyFraction;
+        for (std::size_t l = 0; l < _levelCount; ++l) {
+            // Find the original level for this dense entry.
+            const std::size_t original =
+                _memSlot[l] - computes.size();
+            _memBwf.push_back(
+                memories[original].bandwidth.value() * f);
+        }
+    }
+}
+
+bool
+EvaluationPlan::computeBinds(std::size_t op, double ai) const
+{
+    // Same level loop and comparison as the evaluateBlock() body.
+    const double compute_roof = _computeRoof[op];
+    const std::size_t levels = _levelCount;
+    const double *bwf = _memBwf.data() + op * levels;
+    bool memory_found = false;
+    double memory_roof = 0.0;
+    for (std::size_t l = 0; l < levels; ++l) {
+        const double level_ai =
+            _memIsUnit[l] ? ai : ai / _memTraffic[l];
+        const double roof = level_ai * bwf[l];
+        if (!memory_found || roof < memory_roof) {
+            memory_found = true;
+            memory_roof = roof;
+        }
+    }
+    return !memory_found || compute_roof <= memory_roof;
+}
+
+bool
+EvaluationPlan::tryEvaluateBlock(std::size_t op, const double *ai,
+                                 std::size_t n, double *attainable,
+                                 std::uint32_t *slot) const
+{
+    if (op >= _computeRoof.size())
+        return false;
+    const double compute_roof = _computeRoof[op];
+    const std::uint32_t compute_slot = _computeSlot[op];
+    const std::size_t levels = _levelCount;
+    const double *bwf = _memBwf.data() + op * levels;
+    const double *traffic = _memTraffic.data();
+    const std::uint8_t *is_unit = _memIsUnit.data();
+    const std::uint32_t *mem_slot = _memSlot.data();
+
+    // Validation stays branch-only (an accumulated flag, no throws,
+    // no strings) so the loop body is straight-line arithmetic. The
+    // expressions mirror RooflinePlatform::attainable() exactly:
+    // level_ai = traffic == 1 ? ai : ai / traffic, roof = level_ai *
+    // (bandwidth * frequency) with the product pre-folded, argmin by
+    // strict <, compute binds iff no memory level exists or
+    // compute_roof <= memory_roof.
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = ai[i];
+        ok = ok && a > 0.0 && a <= 1e300;
+        bool memory_found = false;
+        double memory_roof = 0.0;
+        std::uint32_t memory_slot = 0;
+        for (std::size_t l = 0; l < levels; ++l) {
+            const double level_ai =
+                is_unit[l] ? a : a / traffic[l];
+            const double roof = level_ai * bwf[l];
+            if (!memory_found || roof < memory_roof) {
+                memory_found = true;
+                memory_roof = roof;
+                memory_slot = mem_slot[l];
+            }
+        }
+        double bound;
+        std::uint32_t binding;
+        if (!memory_found || compute_roof <= memory_roof) {
+            bound = compute_roof;
+            binding = compute_slot;
+        } else {
+            bound = memory_roof;
+            binding = memory_slot;
+        }
+        attainable[i] = bound;
+        slot[i] = binding;
+        // !(bound <= DBL_MAX) catches +inf and NaN; bounds are
+        // products of positives, so -inf cannot occur — the same
+        // set the scalar path's isfinite() check rejects.
+        ok = ok && bound <= DBL_MAX;
+    }
+    return ok;
+}
+
+void
+EvaluationPlan::throwFirstError(std::size_t op, const double *ai,
+                                std::size_t n) const
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        WorkloadProfile probe = _profile;
+        probe.ai = units::OpsPerByte(ai[i]);
+        (void)_platform.attainable(probe, op);
+    }
+    // All samples pass the scalar path: surface the op-range error
+    // the probe loop above would mask when n == 0.
+    (void)_platform.attainable(_profile, op);
+}
+
+void
+EvaluationPlan::evaluateBlock(std::size_t op, const double *ai,
+                              std::size_t n, double *attainable,
+                              std::uint32_t *slot) const
+{
+    if (!tryEvaluateBlock(op, ai, n, attainable, slot))
+        throwFirstError(op, ai, n);
+}
+
+} // namespace uavf1::platform

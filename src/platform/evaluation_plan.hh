@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Compiled batch-evaluation plan for one (platform, profile) pair.
+ *
+ * RooflinePlatform::attainable() answers one sample at a time and
+ * re-derives, on every call, facts that do not depend on the sample:
+ * which compute ceilings the profile's target mask and stage tag
+ * admit, which memory levels carry traffic, and the DVFS-scaled
+ * peaks and bandwidths. An EvaluationPlan hoists all of that to
+ * construction time — per operating point it stores the *winning*
+ * compute roof (the admitted-ceiling argmax is AI-independent, so it
+ * is resolved once with the exact same first-wins loop) and a dense
+ * SoA table of admitted memory levels (pre-scaled bandwidth, traffic
+ * divisor, flat ceiling slot) — leaving evaluateBlock() with a
+ * branch-minimal per-sample loop over plain double arrays that the
+ * compiler can auto-vectorize.
+ *
+ * Bit-identity contract: for every sample, evaluateBlock() performs
+ * the *same arithmetic on the same values in the same order* as
+ * RooflinePlatform::attainable(profile-with-that-AI, op) — the
+ * per-level effective AI (ai / traffic, with the ==1.0 fast path),
+ * the roof products, the strict-inequality first-wins tie rules and
+ * the compute-vs-memory comparison are reproduced expression for
+ * expression, with no reassociation. The batch path is therefore
+ * bit-identical to the scalar path (pinned by property tests), and
+ * validation failures re-run the scalar call sample-major so even
+ * the thrown error matches.
+ */
+
+#ifndef UAVF1_PLATFORM_EVALUATION_PLAN_HH
+#define UAVF1_PLATFORM_EVALUATION_PLAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/roofline_platform.hh"
+#include "platform/workload_profile.hh"
+
+namespace uavf1::platform {
+
+/**
+ * Immutable SoA tables for batch attainable-bound evaluation of one
+ * WorkloadProfile family (fixed targets / stage / traffic fractions,
+ * per-sample arithmetic intensity) on one RooflinePlatform.
+ */
+class EvaluationPlan
+{
+  public:
+    /** Flat-slot sentinel: no ceiling (never produced by this plan —
+     * every bound binds a ceiling — but shared by consumers that mix
+     * plan slots with unattributed sources). */
+    static constexpr std::uint32_t noSlot = ~std::uint32_t{0};
+
+    /**
+     * Compile the plan. Validates the profile and every operating
+     * point with one scalar attainable() probe each, so a profile no
+     * ceiling admits (or a degenerate traffic fraction) fails here
+     * with the platform's own diagnostic.
+     *
+     * @throws ModelError exactly when
+     *         platform.attainable(profile, op) would
+     */
+    EvaluationPlan(const RooflinePlatform &platform,
+                   const WorkloadProfile &profile);
+
+    /** Number of operating points (ops valid for evaluateBlock). */
+    std::size_t operatingPointCount() const
+    {
+        return _computeRoof.size();
+    }
+
+    /** Compute-ceiling count of the compiled platform; memory
+     * ceilings follow in the flat slot space. */
+    std::size_t computeCeilingCount() const
+    {
+        return _computeCeilingCount;
+    }
+
+    /** Total flat slots (compute ceilings + memory ceilings). */
+    std::size_t totalCeilingCount() const
+    {
+        return _totalCeilingCount;
+    }
+
+    /** The admitted compute roof at an operating point — constant
+     * across samples (admission is AI-independent), so a consumer
+     * can hoist per-sample work that only depends on it (e.g. a
+     * latency division) out of its block loop bit-exactly. `op`
+     * must be < operatingPointCount(). */
+    double computeRoof(std::size_t op) const
+    {
+        return _computeRoof[op];
+    }
+
+    /** Flat slot of the admitted compute roof at an operating
+     * point; evaluateBlock() writes exactly this slot for every
+     * compute-bound sample. `op` must be < operatingPointCount(). */
+    std::uint32_t computeCeilingSlot(std::size_t op) const
+    {
+        return _computeSlot[op];
+    }
+
+    /**
+     * True when the compute roof binds at this AI — the exact
+     * comparison evaluateBlock() performs for one sample, exposed
+     * so consumers can precompute fast-path thresholds (the result
+     * is monotone non-decreasing in `ai`: memory roofs are
+     * compositions of monotone floating-point ops with positive
+     * constants). Performs no validation; `op` must be <
+     * operatingPointCount().
+     */
+    bool computeBinds(std::size_t op, double ai) const;
+
+    /**
+     * Evaluate `n` samples at arithmetic intensities `ai[0..n)` on
+     * operating point `op`: writes min(compute roof, memory roof)
+     * into `attainable[i]` and the binding ceiling's flat slot
+     * (compute index, or computeCeilingCount() + memory index) into
+     * `slot[i]`. Allocation-free; all arrays are caller-owned.
+     *
+     * @throws ModelError exactly as the scalar attainable() would,
+     *         for the first (sample-major) offending sample
+     */
+    void evaluateBlock(std::size_t op, const double *ai,
+                       std::size_t n, double *attainable,
+                       std::uint32_t *slot) const;
+
+    /**
+     * Non-throwing core of evaluateBlock: returns false when any
+     * sample fails validation or produced a non-finite bound, in
+     * which case outputs are unspecified and the caller decides when
+     * to surface the error (throwFirstError(), possibly after
+     * finishing other phases so the error order matches a scalar
+     * sample-major loop).
+     */
+    bool tryEvaluateBlock(std::size_t op, const double *ai,
+                          std::size_t n, double *attainable,
+                          std::uint32_t *slot) const;
+
+    /**
+     * Re-run the scalar attainable() over the samples in order and
+     * throw its first error (ModelError). Returns normally when no
+     * sample fails — tryEvaluateBlock() false positives cannot
+     * happen, but callers treat this as a plain rescan.
+     */
+    void throwFirstError(std::size_t op, const double *ai,
+                         std::size_t n) const;
+
+  private:
+    /** Scalar-path fallback state for error reproduction. */
+    RooflinePlatform _platform;
+    WorkloadProfile _profile;
+
+    std::size_t _computeCeilingCount = 0;
+    std::size_t _totalCeilingCount = 0;
+
+    /** Per-op winning compute roof (peak * f of the admitted argmax,
+     * resolved with the scalar loop) and its flat slot. */
+    std::vector<double> _computeRoof;
+    std::vector<std::uint32_t> _computeSlot;
+
+    /** Dense admitted memory levels (traffic > 0), in platform
+     * order. _memBwf is op-major: [op * levelCount + level]. */
+    std::size_t _levelCount = 0;
+    std::vector<double> _memBwf;     ///< bandwidth * frequency.
+    std::vector<double> _memTraffic; ///< Traffic fraction (> 0).
+    std::vector<std::uint8_t> _memIsUnit; ///< traffic == 1.0.
+    std::vector<std::uint32_t> _memSlot;  ///< Flat ceiling slot.
+};
+
+} // namespace uavf1::platform
+
+#endif // UAVF1_PLATFORM_EVALUATION_PLAN_HH

@@ -1,6 +1,18 @@
 /**
  * @file
  * MonteCarloAnalyzer implementation.
+ *
+ * run() is the batched hot path: per RNG block, samples are
+ * processed in kernelBlock-sized sub-batches — a sequential draw
+ * phase (libm exp stays scalar; its vector forms are not bit-exact),
+ * a batched bound-evaluation phase over compiled plans, and the
+ * core::analyzeBlock kernel. Every per-sample expression matches the
+ * scalar loop operand for operand, so the result is bit-identical to
+ * runReference() — the original sample-at-a-time loop, kept as the
+ * oracle. When any sample in a sub-batch fails a kernel's validation
+ * flag, the sub-batch is re-run through the scalar path from a saved
+ * RNG state, so the thrown error (and every committed value before
+ * it) matches the scalar loop exactly.
  */
 
 #include "sim/monte_carlo.hh"
@@ -9,9 +21,12 @@
 #include <array>
 #include <cmath>
 
+#include "core/f1_batch.hh"
+#include "platform/evaluation_plan.hh"
 #include "support/errors.hh"
 #include "support/rng.hh"
 #include "support/validate.hh"
+#include "workload/batch_eval.hh"
 #include "workload/stage_eval.hh"
 
 namespace uavf1::sim {
@@ -23,27 +38,19 @@ Distribution::fromSamples(std::vector<double> samples)
         throw ModelError("distribution requires samples");
 
     Distribution out;
+    const std::size_t n = samples.size();
     double sum = 0.0;
     for (double s : samples)
         sum += s;
-    out.mean = sum / static_cast<double>(samples.size());
+    out.mean = sum / static_cast<double>(n);
     double var = 0.0;
     for (double s : samples)
         var += (s - out.mean) * (s - out.mean);
-    out.stddev = samples.size() > 1
-                     ? std::sqrt(var / static_cast<double>(
-                                           samples.size() - 1))
-                     : 0.0;
+    out.stddev =
+        n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
 
-    // Only six order statistics are needed, so select them with
-    // progressive nth_element passes (expected O(n)) instead of a
-    // full O(n log n) sort. After nth_element at rank k, position k
-    // is pinned and everything left of it is <= samples[k], so
-    // later (larger) ranks only repartition the suffix [k+1, end) —
-    // starting at k+1, not k, so pinned positions are never
-    // permuted again. The selected values are exact order
-    // statistics, identical to the sorted-array ones.
-    const std::size_t n = samples.size();
+    // Only six order statistics are needed — the (lo, lo + 1)
+    // pairs bracketing p5/p50/p95.
     std::array<std::size_t, 6> ranks{};
     std::array<double, 3> fracs{};
     for (std::size_t i = 0; i < 3; ++i) {
@@ -56,20 +63,46 @@ Distribution::fromSamples(std::vector<double> samples)
         fracs[i] = rank - static_cast<double>(lo);
     }
 
-    std::array<std::size_t, 6> sorted_ranks = ranks;
-    std::sort(sorted_ranks.begin(), sorted_ranks.end());
-    std::size_t partitioned_up_to = 0;
-    for (std::size_t k : sorted_ranks) {
-        if (k < partitioned_up_to)
-            continue; // Duplicate rank, already pinned.
-        std::nth_element(samples.begin() + partitioned_up_to,
-                         samples.begin() + k, samples.end());
-        partitioned_up_to = k + 1;
+    std::array<double, 6> stat{};
+    if (n < 64) {
+        std::sort(samples.begin(), samples.end());
+        for (std::size_t i = 0; i < 6; ++i)
+            stat[i] = samples[ranks[i]];
+    } else {
+        // Select the three lo ranks with nth_element — median over
+        // the whole array first and then one pass per half, so no
+        // partition ever revisits the other half; each lo + 1
+        // statistic is the minimum of the range the partitions
+        // bound it to (the value at sorted position k + 1 is the
+        // smallest element stored right of pinned position k),
+        // a cheap vectorizable scan instead of another partition
+        // pass. Every selected value is an exact order statistic,
+        // identical to the sorted-array one; n >= 64 keeps
+        // l < m < h strict and every min range non-empty.
+        const auto begin = samples.begin();
+        const auto minOver = [&](std::size_t lo, std::size_t hi) {
+            double v = samples[lo];
+            for (std::size_t i = lo + 1; i < hi; ++i)
+                v = samples[i] < v ? samples[i] : v;
+            return v;
+        };
+        const std::size_t l = ranks[0];
+        const std::size_t m = ranks[2];
+        const std::size_t h = ranks[4];
+        std::nth_element(begin, begin + m, samples.end());
+        stat[2] = samples[m];
+        stat[3] = ranks[3] == m ? stat[2] : minOver(m + 1, n);
+        std::nth_element(begin, begin + l, begin + m);
+        stat[0] = samples[l];
+        stat[1] = ranks[1] == l ? stat[0] : minOver(l + 1, m + 1);
+        std::nth_element(begin + m + 1, begin + h, samples.end());
+        stat[4] = samples[h];
+        stat[5] = ranks[5] == h ? stat[4] : minOver(h + 1, n);
     }
 
     auto interpolate = [&](std::size_t i) {
-        const double lo = samples[ranks[2 * i]];
-        const double hi = samples[ranks[2 * i + 1]];
+        const double lo = stat[2 * i];
+        const double hi = stat[2 * i + 1];
         return lo + fracs[i] * (hi - lo);
     };
     out.p5 = interpolate(0);
@@ -130,178 +163,178 @@ perturb(double nominal, double rel_std, Rng &rng)
     return nominal * std::exp(mu + std::sqrt(sigma2) * rng.normal());
 }
 
-} // namespace
-
-UncertaintyResult
-MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
-                        const exec::ParallelOptions &parallel) const
+/**
+ * perturb() split at its sample-invariant seam: mu and sqrt(sigma2)
+ * depend only on rel_std, so the batch draw phase precomputes them
+ * once and draws only the factor. The scalar path recomputes them
+ * per call from the same rel_std — identical bits — and factor
+ * application (`nominal * factor`) is the same multiply perturb()
+ * performs, with factor = 1.0 (an exact identity) when inactive.
+ */
+struct PerturbParams
 {
-    if (count < 10)
-        throw ModelError("Monte-Carlo run needs >= 10 samples");
+    bool active = false;
+    double mu = 0.0;
+    double sqrtSigma = 0.0;
+};
 
-    // Deterministic decomposition: samples come in fixed-size
-    // blocks, each drawing from its own forked substream. Block
-    // geometry depends only on `count`, every sample writes to its
-    // own slot, and per-block tallies are merged in block order, so
-    // the result is bit-identical at any thread count.
-    const std::size_t blocks =
-        (count + sampleBlock - 1) / sampleBlock;
-    std::vector<Rng> block_rngs;
-    block_rngs.reserve(blocks);
-    Rng root(seed);
-    for (std::size_t b = 0; b < blocks; ++b)
-        block_rngs.push_back(root.fork());
+PerturbParams
+perturbParams(double rel_std)
+{
+    PerturbParams p;
+    if (rel_std <= 0.0)
+        return p;
+    const double sigma2 = std::log(1.0 + rel_std * rel_std);
+    p.active = true;
+    p.mu = -sigma2 / 2.0;
+    p.sqrtSigma = std::sqrt(sigma2);
+    return p;
+}
 
-    std::vector<double> v_safe(count);
-    std::vector<double> knee(count);
-    std::vector<double> roof(count);
-    std::vector<std::array<std::uint64_t, 4>> bound_counts(
-        blocks, std::array<std::uint64_t, 4>{});
+double
+drawFactor(const PerturbParams &p, Rng &rng)
+{
+    if (!p.active)
+        return 1.0;
+    return std::exp(p.mu + p.sqrtSigma * rng.normal());
+}
 
-    // Per-ceiling binding tallies (platform path only): one slot
-    // per (block, ceiling), compute ceilings first, written only by
-    // the block's owner and merged in block order below.
-    const platform::RooflinePlatform *machine =
-        _spec.platform ? &*_spec.platform : nullptr;
-    const std::size_t compute_ceilings =
-        machine ? machine->computeCeilings().size() : 0;
-    const std::size_t total_ceilings =
-        machine ? compute_ceilings + machine->memoryCeilings().size()
-                : 0;
-    std::vector<std::vector<std::uint64_t>> ceiling_counts(
-        machine ? blocks : 0,
-        std::vector<std::uint64_t>(total_ceilings, 0));
+/** Per-slot scratch for the batched run: one sub-batch of SoA
+ * lanes plus the plan scratch, reused across blocks. */
+struct Arena
+{
+    static constexpr std::size_t cap =
+        MonteCarloAnalyzer::kernelBlock;
+    double aMax[cap];
+    double range[cap];
+    double aiScale[cap];
+    double ai[cap];
+    double computeFactor[cap];
+    double sensorFactor[cap];
+    double throughput[cap];
+    double attainable[cap];
+    double sensorRate[cap];
+    double computeRate[cap];
+    std::uint32_t bottleneckSlot[cap];
+    std::uint32_t ceilingSlot[cap];
+    std::uint8_t bound[cap];
+    std::uint64_t stageKind[workload::PipelineBound::maxStages * 3];
+    workload::StagePipelinePlan::Scratch planScratch;
+};
 
-    // Per-stage path: one evaluator, constructed (and allocating)
-    // once here; per-sample evaluations write into a stack-owned
-    // PipelineBound and stay allocation-free.
-    std::optional<workload::StagePipelineEvaluator> evaluator;
-    std::size_t stage_count = 0;
-    if (_spec.pipeline) {
-        evaluator.emplace(*_spec.pipeline, *_spec.platform);
-        stage_count = evaluator->stageCount();
-    }
-    std::vector<std::vector<std::uint64_t>> stage_counts(
-        evaluator ? blocks : 0,
-        std::vector<std::uint64_t>(stage_count * 3, 0));
-
-    exec::ParallelOptions options = parallel;
-    options.grain = 1; // One block per chunk.
-    exec::parallelFor(
-        blocks,
-        [&](std::size_t block_begin, std::size_t block_end) {
-            core::F1Analysis analysis;
-            workload::PipelineBound pipeline_bound;
-            workload::StageEvalOptions eval_options;
-            eval_options.opIndex = _spec.opIndex;
-            eval_options.measuredFirst = false;
-            for (std::size_t b = block_begin; b < block_end; ++b) {
-                Rng rng = block_rngs[b];
-                // Tally on the stack and store once per block:
-                // adjacent blocks' slots share cache lines, so
-                // per-sample increments would false-share.
-                std::array<std::uint64_t, 4> counts{};
-                const std::size_t lo = b * sampleBlock;
-                const std::size_t hi =
-                    std::min(count, lo + sampleBlock);
-                for (std::size_t i = lo; i < hi; ++i) {
-                    core::F1Inputs inputs = _spec.nominal;
-                    inputs.aMax = units::MetersPerSecondSquared(
-                        perturb(inputs.aMax.value(),
-                                _spec.aMaxRelStd, rng));
-                    inputs.sensingRange = units::Meters(
-                        perturb(inputs.sensingRange.value(),
-                                _spec.rangeRelStd, rng));
-                    if (evaluator) {
-                        // Per-stage path: one shared AI draw scales
-                        // every annotated stage's intensity, the
-                        // pipeline's modeled bounds set f_compute,
-                        // and both the bottleneck's and each
-                        // stage's binding are tallied.
-                        eval_options.aiScale =
-                            perturb(1.0, _spec.aiRelStd, rng);
-                        evaluator->evaluateInto(eval_options,
-                                                pipeline_bound);
-                        inputs.computeRate = units::Hertz(
-                            perturb(pipeline_bound.throughputHz,
-                                    _spec.computeRelStd, rng));
-                        const platform::CeilingRef binding =
-                            pipeline_bound.bottleneckBinding();
-                        inputs.computeBinding = binding;
-                        if (binding.attributed) {
-                            const std::size_t slot =
-                                binding.kind ==
-                                        platform::CeilingKind::
-                                            Compute
-                                    ? binding.index
-                                    : compute_ceilings +
-                                          binding.index;
-                            ++ceiling_counts[b][slot];
-                        }
-                        for (std::size_t s = 0; s < stage_count;
-                             ++s) {
-                            const workload::StageBound &stage =
-                                pipeline_bound.stages[s];
-                            const std::size_t kind =
-                                !stage.binding.attributed
-                                    ? 2
-                                    : (stage.binding.kind ==
-                                               platform::
-                                                   CeilingKind::
-                                                       Compute
-                                           ? 0
-                                           : 1);
-                            ++stage_counts[b][s * 3 + kind];
-                        }
-                    } else if (machine) {
-                        // Ceiling-family path: the bound at a
-                        // perturbed arithmetic intensity drives
-                        // f_compute, so which ceiling binds varies
-                        // sample to sample. perturb() draws nothing
-                        // for zero spreads, so the legacy draw
-                        // sequence (and its results) is untouched
-                        // when no platform is configured.
-                        platform::WorkloadProfile profile =
-                            _spec.profile;
-                        profile.ai = units::OpsPerByte(
-                            perturb(profile.ai.value(),
-                                    _spec.aiRelStd, rng));
-                        const platform::AttainableBound bound =
-                            machine->attainable(profile,
-                                                _spec.opIndex);
-                        inputs.computeRate = units::Hertz(perturb(
-                            bound.attainable.value() /
-                                _spec.workPerFrameGop,
-                            _spec.computeRelStd, rng));
-                        inputs.computeBinding = bound.binding;
-                        const std::size_t slot =
-                            bound.binding.kind ==
-                                    platform::CeilingKind::Compute
-                                ? bound.binding.index
-                                : compute_ceilings +
-                                      bound.binding.index;
-                        ++ceiling_counts[b][slot];
-                    } else {
-                        inputs.computeRate = units::Hertz(
-                            perturb(inputs.computeRate.value(),
-                                    _spec.computeRelStd, rng));
-                    }
-                    inputs.sensorRate = units::Hertz(
-                        perturb(inputs.sensorRate.value(),
-                                _spec.sensorRelStd, rng));
-
-                    core::F1Model::analyzeInto(inputs, analysis);
-                    v_safe[i] = analysis.safeVelocity.value();
-                    knee[i] = analysis.kneeThroughput.value();
-                    roof[i] = analysis.roofVelocity.value();
-                    ++counts[static_cast<std::size_t>(
-                        analysis.bound)];
-                }
-                bound_counts[b] = counts;
+/**
+ * The original sample-at-a-time loop over samples [lo, hi) of one
+ * RNG block: the reference semantics, byte for byte. run() falls
+ * back to it when a kernel validation flag trips (reproducing the
+ * scalar error), and runReference() routes everything through it.
+ */
+void
+scalarSamples(const UncertaintySpec &spec,
+              const workload::StagePipelineEvaluator *evaluator,
+              std::size_t stage_count,
+              const platform::RooflinePlatform *machine,
+              std::size_t compute_ceilings, std::size_t lo,
+              std::size_t hi, Rng &rng, double *v_safe, double *knee,
+              double *roof, std::array<std::uint64_t, 4> &counts,
+              std::uint64_t *ceiling_counts,
+              std::uint64_t *stage_counts)
+{
+    core::F1Analysis analysis;
+    workload::PipelineBound pipeline_bound;
+    workload::StageEvalOptions eval_options;
+    eval_options.opIndex = spec.opIndex;
+    eval_options.measuredFirst = false;
+    for (std::size_t i = lo; i < hi; ++i) {
+        core::F1Inputs inputs = spec.nominal;
+        inputs.aMax = units::MetersPerSecondSquared(
+            perturb(inputs.aMax.value(), spec.aMaxRelStd, rng));
+        inputs.sensingRange = units::Meters(perturb(
+            inputs.sensingRange.value(), spec.rangeRelStd, rng));
+        if (evaluator) {
+            // Per-stage path: one shared AI draw scales every
+            // annotated stage's intensity, the pipeline's modeled
+            // bounds set f_compute, and both the bottleneck's and
+            // each stage's binding are tallied.
+            eval_options.aiScale = perturb(1.0, spec.aiRelStd, rng);
+            evaluator->evaluateInto(eval_options, pipeline_bound);
+            inputs.computeRate = units::Hertz(
+                perturb(pipeline_bound.throughputHz,
+                        spec.computeRelStd, rng));
+            const platform::CeilingRef binding =
+                pipeline_bound.bottleneckBinding();
+            inputs.computeBinding = binding;
+            if (binding.attributed) {
+                const std::size_t slot =
+                    binding.kind == platform::CeilingKind::Compute
+                        ? binding.index
+                        : compute_ceilings + binding.index;
+                ++ceiling_counts[slot];
             }
-        },
-        options);
+            for (std::size_t s = 0; s < stage_count; ++s) {
+                const workload::StageBound &stage =
+                    pipeline_bound.stages[s];
+                const std::size_t kind =
+                    !stage.binding.attributed
+                        ? 2
+                        : (stage.binding.kind ==
+                                   platform::CeilingKind::Compute
+                               ? 0
+                               : 1);
+                ++stage_counts[s * 3 + kind];
+            }
+        } else if (machine) {
+            // Ceiling-family path: the bound at a perturbed
+            // arithmetic intensity drives f_compute, so which
+            // ceiling binds varies sample to sample. perturb()
+            // draws nothing for zero spreads, so the legacy draw
+            // sequence (and its results) is untouched when no
+            // platform is configured.
+            platform::WorkloadProfile profile = spec.profile;
+            profile.ai = units::OpsPerByte(
+                perturb(profile.ai.value(), spec.aiRelStd, rng));
+            const platform::AttainableBound bound =
+                machine->attainable(profile, spec.opIndex);
+            inputs.computeRate = units::Hertz(
+                perturb(bound.attainable.value() /
+                            spec.workPerFrameGop,
+                        spec.computeRelStd, rng));
+            inputs.computeBinding = bound.binding;
+            const std::size_t slot =
+                bound.binding.kind == platform::CeilingKind::Compute
+                    ? bound.binding.index
+                    : compute_ceilings + bound.binding.index;
+            ++ceiling_counts[slot];
+        } else {
+            inputs.computeRate = units::Hertz(perturb(
+                inputs.computeRate.value(), spec.computeRelStd, rng));
+        }
+        inputs.sensorRate = units::Hertz(
+            perturb(inputs.sensorRate.value(), spec.sensorRelStd,
+                    rng));
 
+        core::F1Model::analyzeInto(inputs, analysis);
+        v_safe[i] = analysis.safeVelocity.value();
+        knee[i] = analysis.kneeThroughput.value();
+        roof[i] = analysis.roofVelocity.value();
+        ++counts[static_cast<std::size_t>(analysis.bound)];
+    }
+}
+
+/** Shared tally-merge and distribution-building tail of both run
+ * flavours. Per-block tallies are merged in block order — the
+ * determinism contract. */
+UncertaintyResult
+buildResult(
+    std::size_t count,
+    const std::vector<std::array<std::uint64_t, 4>> &bound_counts,
+    bool machine, std::size_t compute_ceilings,
+    std::size_t total_ceilings,
+    const std::vector<std::vector<std::uint64_t>> &ceiling_counts,
+    const std::vector<std::string> &stage_names,
+    const std::vector<std::vector<std::uint64_t>> &stage_counts,
+    std::vector<double> v_safe, std::vector<double> knee,
+    std::vector<double> roof)
+{
     UncertaintyResult result;
     result.samples = count;
     std::array<std::uint64_t, 4> totals{};
@@ -310,8 +343,6 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
             totals[k] += counts[k];
 
     if (machine) {
-        // Merge per-block ceiling tallies in block order (the
-        // determinism contract) and normalize.
         std::vector<std::uint64_t> ceiling_totals(total_ceilings, 0);
         for (const auto &block : ceiling_counts)
             for (std::size_t k = 0; k < total_ceilings; ++k)
@@ -330,7 +361,8 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
                     prob;
         }
     }
-    if (evaluator) {
+    if (!stage_names.empty()) {
+        const std::size_t stage_count = stage_names.size();
         std::vector<std::uint64_t> stage_totals(stage_count * 3, 0);
         for (const auto &block : stage_counts)
             for (std::size_t k = 0; k < stage_totals.size(); ++k)
@@ -338,7 +370,7 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
         result.stageBindings.resize(stage_count);
         for (std::size_t s = 0; s < stage_count; ++s) {
             StageBindingStats &stats = result.stageBindings[s];
-            stats.stage = evaluator->stageName(s);
+            stats.stage = stage_names[s];
             stats.probComputeBound =
                 static_cast<double>(stage_totals[s * 3 + 0]) /
                 static_cast<double>(count);
@@ -373,6 +405,307 @@ MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
     result.kneeThroughput = Distribution::fromSamples(std::move(knee));
     result.roofVelocity = Distribution::fromSamples(std::move(roof));
     return result;
+}
+
+} // namespace
+
+UncertaintyResult
+MonteCarloAnalyzer::run(std::size_t count, std::uint64_t seed,
+                        const exec::ParallelOptions &parallel) const
+{
+    if (count < 10)
+        throw ModelError("Monte-Carlo run needs >= 10 samples");
+
+    // Deterministic decomposition: samples come in fixed-size
+    // blocks, each drawing from its own forked substream. Block
+    // geometry depends only on `count`, every sample writes to its
+    // own slot, and per-block tallies are merged in block order, so
+    // the result is bit-identical at any thread count.
+    const std::size_t blocks =
+        (count + sampleBlock - 1) / sampleBlock;
+    std::vector<Rng> block_rngs;
+    block_rngs.reserve(blocks);
+    Rng root(seed);
+    for (std::size_t b = 0; b < blocks; ++b)
+        block_rngs.push_back(root.fork());
+
+    std::vector<double> v_safe(count);
+    std::vector<double> knee(count);
+    std::vector<double> roof(count);
+    std::vector<std::array<std::uint64_t, 4>> bound_counts(
+        blocks, std::array<std::uint64_t, 4>{});
+
+    const platform::RooflinePlatform *machine =
+        _spec.platform ? &*_spec.platform : nullptr;
+    const std::size_t compute_ceilings =
+        machine ? machine->computeCeilings().size() : 0;
+    const std::size_t total_ceilings =
+        machine ? compute_ceilings + machine->memoryCeilings().size()
+                : 0;
+    std::vector<std::vector<std::uint64_t>> ceiling_counts(
+        machine ? blocks : 0,
+        std::vector<std::uint64_t>(total_ceilings, 0));
+
+    // Compile the per-sample evaluation once. The pipeline path gets
+    // a StagePipelinePlan (per-stage SoA evaluation), the flat
+    // platform path an EvaluationPlan over the spec profile; the
+    // legacy path needs neither.
+    std::optional<workload::StagePipelinePlan> plan;
+    std::optional<platform::EvaluationPlan> machine_plan;
+    std::size_t stage_count = 0;
+    std::vector<std::string> stage_names;
+    if (_spec.pipeline) {
+        plan.emplace(*_spec.pipeline, *_spec.platform);
+        stage_count = plan->stageCount();
+        for (std::size_t s = 0; s < stage_count; ++s)
+            stage_names.push_back(plan->evaluator().stageName(s));
+    } else if (machine) {
+        machine_plan.emplace(*machine, _spec.profile);
+    }
+    std::vector<std::vector<std::uint64_t>> stage_counts(
+        plan ? blocks : 0,
+        std::vector<std::uint64_t>(stage_count * 3, 0));
+
+    // Sample-invariant draw parameters and nominals, hoisted.
+    const PerturbParams p_amax = perturbParams(_spec.aMaxRelStd);
+    const PerturbParams p_range = perturbParams(_spec.rangeRelStd);
+    const PerturbParams p_ai = perturbParams(_spec.aiRelStd);
+    const PerturbParams p_compute =
+        perturbParams(_spec.computeRelStd);
+    const PerturbParams p_sensor = perturbParams(_spec.sensorRelStd);
+    const double nominal_amax = _spec.nominal.aMax.value();
+    const double nominal_range = _spec.nominal.sensingRange.value();
+    const double nominal_ai = _spec.profile.ai.value();
+    const double nominal_compute = _spec.nominal.computeRate.value();
+    const double nominal_sensor = _spec.nominal.sensorRate.value();
+    const double control = _spec.nominal.controlRate.value();
+    const double knee_fraction = _spec.nominal.kneeFraction;
+    const double work = _spec.workPerFrameGop;
+    const std::size_t op = _spec.opIndex;
+
+    exec::ParallelOptions options = parallel;
+    options.grain = 1; // One block per chunk.
+    std::vector<Arena> arenas(exec::maxSlots(options));
+    const workload::StagePipelineEvaluator *evaluator =
+        plan ? &plan->evaluator() : nullptr;
+
+    exec::parallelForSlots(
+        blocks,
+        [&](std::size_t slot, std::size_t block_begin,
+            std::size_t block_end) {
+            Arena &arena = arenas[slot];
+            for (std::size_t b = block_begin; b < block_end; ++b) {
+                Rng rng = block_rngs[b];
+                // Tally on the stack and store once per block:
+                // adjacent blocks' slots share cache lines, so
+                // per-sample increments would false-share.
+                std::array<std::uint64_t, 4> counts{};
+                const std::size_t lo = b * sampleBlock;
+                const std::size_t hi =
+                    std::min(count, lo + sampleBlock);
+                for (std::size_t sub = lo; sub < hi;
+                     sub += kernelBlock) {
+                    const std::size_t m =
+                        std::min(hi - sub, kernelBlock);
+                    // Saved state for the scalar fallback: phase A
+                    // consumes exactly the scalar draw sequence, so
+                    // re-running from here reproduces it.
+                    Rng rescan_rng = rng;
+                    bool ok = true;
+
+                    // Phase A: sequential draws, per-sample order
+                    // identical to the scalar loop (exp stays a
+                    // scalar libm call).
+                    for (std::size_t i = 0; i < m; ++i) {
+                        arena.aMax[i] =
+                            nominal_amax * drawFactor(p_amax, rng);
+                        arena.range[i] =
+                            nominal_range * drawFactor(p_range, rng);
+                        if (plan) {
+                            arena.aiScale[i] =
+                                1.0 * drawFactor(p_ai, rng);
+                        } else if (machine_plan) {
+                            arena.ai[i] =
+                                nominal_ai * drawFactor(p_ai, rng);
+                        }
+                        arena.computeFactor[i] =
+                            drawFactor(p_compute, rng);
+                        arena.sensorFactor[i] =
+                            drawFactor(p_sensor, rng);
+                    }
+
+                    // Phase B: batched f_compute evaluation.
+                    if (plan) {
+                        for (std::size_t k = 0;
+                             k < stage_count * 3; ++k)
+                            arena.stageKind[k] = 0;
+                        ok = plan->tryEvaluateBlock(
+                                 op, false, arena.aiScale, m,
+                                 arena.throughput,
+                                 arena.bottleneckSlot,
+                                 arena.stageKind,
+                                 arena.planScratch) &&
+                             ok;
+                        for (std::size_t i = 0; i < m; ++i)
+                            arena.computeRate[i] =
+                                arena.throughput[i] *
+                                arena.computeFactor[i];
+                    } else if (machine_plan) {
+                        ok = machine_plan->tryEvaluateBlock(
+                                 op, arena.ai, m, arena.attainable,
+                                 arena.ceilingSlot) &&
+                             ok;
+                        for (std::size_t i = 0; i < m; ++i)
+                            arena.computeRate[i] =
+                                arena.attainable[i] / work *
+                                arena.computeFactor[i];
+                    } else {
+                        for (std::size_t i = 0; i < m; ++i)
+                            arena.computeRate[i] =
+                                nominal_compute *
+                                arena.computeFactor[i];
+                    }
+                    for (std::size_t i = 0; i < m; ++i)
+                        arena.sensorRate[i] =
+                            nominal_sensor * arena.sensorFactor[i];
+
+                    // Phase C: the F-1 block kernel, writing the
+                    // output lanes in place.
+                    ok = core::analyzeBlock(
+                             arena.aMax, arena.range,
+                             arena.sensorRate, arena.computeRate,
+                             control, knee_fraction, m,
+                             v_safe.data() + sub, knee.data() + sub,
+                             roof.data() + sub, arena.bound) &&
+                         ok;
+
+                    if (!ok) {
+                        // Scalar fallback: recompute the whole
+                        // sub-batch sample-at-a-time so the first
+                        // failing sample throws the scalar path's
+                        // own error (and, if none does, every
+                        // output and tally is the scalar one).
+                        scalarSamples(
+                            _spec, evaluator, stage_count, machine,
+                            compute_ceilings, sub, sub + m,
+                            rescan_rng, v_safe.data(), knee.data(),
+                            roof.data(), counts,
+                            machine ? ceiling_counts[b].data()
+                                    : nullptr,
+                            plan ? stage_counts[b].data()
+                                 : nullptr);
+                        continue;
+                    }
+
+                    // Commit tallies only after every phase
+                    // validated, so the fallback never
+                    // double-counts.
+                    for (std::size_t i = 0; i < m; ++i)
+                        ++counts[arena.bound[i]];
+                    if (plan) {
+                        for (std::size_t i = 0; i < m; ++i) {
+                            const std::uint32_t s =
+                                arena.bottleneckSlot[i];
+                            if (s != workload::StagePipelinePlan::
+                                         measuredSlot)
+                                ++ceiling_counts[b][s];
+                        }
+                        for (std::size_t k = 0;
+                             k < stage_count * 3; ++k)
+                            stage_counts[b][k] +=
+                                arena.stageKind[k];
+                    } else if (machine_plan) {
+                        for (std::size_t i = 0; i < m; ++i)
+                            ++ceiling_counts[b]
+                                            [arena.ceilingSlot[i]];
+                    }
+                }
+                bound_counts[b] = counts;
+            }
+        },
+        options);
+
+    return buildResult(count, bound_counts, machine != nullptr,
+                       compute_ceilings, total_ceilings,
+                       ceiling_counts, stage_names, stage_counts,
+                       std::move(v_safe), std::move(knee),
+                       std::move(roof));
+}
+
+UncertaintyResult
+MonteCarloAnalyzer::runReference(
+    std::size_t count, std::uint64_t seed,
+    const exec::ParallelOptions &parallel) const
+{
+    if (count < 10)
+        throw ModelError("Monte-Carlo run needs >= 10 samples");
+
+    const std::size_t blocks =
+        (count + sampleBlock - 1) / sampleBlock;
+    std::vector<Rng> block_rngs;
+    block_rngs.reserve(blocks);
+    Rng root(seed);
+    for (std::size_t b = 0; b < blocks; ++b)
+        block_rngs.push_back(root.fork());
+
+    std::vector<double> v_safe(count);
+    std::vector<double> knee(count);
+    std::vector<double> roof(count);
+    std::vector<std::array<std::uint64_t, 4>> bound_counts(
+        blocks, std::array<std::uint64_t, 4>{});
+
+    const platform::RooflinePlatform *machine =
+        _spec.platform ? &*_spec.platform : nullptr;
+    const std::size_t compute_ceilings =
+        machine ? machine->computeCeilings().size() : 0;
+    const std::size_t total_ceilings =
+        machine ? compute_ceilings + machine->memoryCeilings().size()
+                : 0;
+    std::vector<std::vector<std::uint64_t>> ceiling_counts(
+        machine ? blocks : 0,
+        std::vector<std::uint64_t>(total_ceilings, 0));
+
+    std::optional<workload::StagePipelineEvaluator> evaluator;
+    std::size_t stage_count = 0;
+    std::vector<std::string> stage_names;
+    if (_spec.pipeline) {
+        evaluator.emplace(*_spec.pipeline, *_spec.platform);
+        stage_count = evaluator->stageCount();
+        for (std::size_t s = 0; s < stage_count; ++s)
+            stage_names.push_back(evaluator->stageName(s));
+    }
+    std::vector<std::vector<std::uint64_t>> stage_counts(
+        evaluator ? blocks : 0,
+        std::vector<std::uint64_t>(stage_count * 3, 0));
+
+    exec::ParallelOptions options = parallel;
+    options.grain = 1; // One block per chunk.
+    exec::parallelFor(
+        blocks,
+        [&](std::size_t block_begin, std::size_t block_end) {
+            for (std::size_t b = block_begin; b < block_end; ++b) {
+                Rng rng = block_rngs[b];
+                std::array<std::uint64_t, 4> counts{};
+                const std::size_t lo = b * sampleBlock;
+                const std::size_t hi =
+                    std::min(count, lo + sampleBlock);
+                scalarSamples(
+                    _spec, evaluator ? &*evaluator : nullptr,
+                    stage_count, machine, compute_ceilings, lo, hi,
+                    rng, v_safe.data(), knee.data(), roof.data(),
+                    counts,
+                    machine ? ceiling_counts[b].data() : nullptr,
+                    evaluator ? stage_counts[b].data() : nullptr);
+                bound_counts[b] = counts;
+            }
+        },
+        options);
+
+    return buildResult(count, bound_counts, machine != nullptr,
+                       compute_ceilings, total_ceilings,
+                       ceiling_counts, stage_names, stage_counts,
+                       std::move(v_safe), std::move(knee),
+                       std::move(roof));
 }
 
 } // namespace uavf1::sim

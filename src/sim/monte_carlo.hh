@@ -154,8 +154,22 @@ class MonteCarloAnalyzer
     run(std::size_t count, std::uint64_t seed = 1,
         const exec::ParallelOptions &parallel = {}) const;
 
+    /**
+     * Sample-at-a-time reference implementation. run() routes every
+     * sample through the batched SoA kernels; this is the original
+     * scalar loop, kept as the bit-identity oracle for the property
+     * tests and the baseline side of the perf benches. For any
+     * (spec, count, seed) the two return bit-identical results.
+     */
+    UncertaintyResult
+    runReference(std::size_t count, std::uint64_t seed = 1,
+                 const exec::ParallelOptions &parallel = {}) const;
+
     /** Samples per RNG substream block (the determinism grain). */
     static constexpr std::size_t sampleBlock = 2048;
+
+    /** Samples per SoA kernel invocation inside a block. */
+    static constexpr std::size_t kernelBlock = 64;
 
   private:
     UncertaintySpec _spec;

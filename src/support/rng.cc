@@ -10,28 +10,6 @@
 
 namespace uavf1 {
 
-std::uint64_t
-Rng::nextU64()
-{
-    std::uint64_t z = (_state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-double
-Rng::uniform()
-{
-    // 53 high-quality bits -> double in [0, 1).
-    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
 double
 Rng::normal()
 {

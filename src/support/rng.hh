@@ -11,6 +11,7 @@
 #ifndef UAVF1_SUPPORT_RNG_HH
 #define UAVF1_SUPPORT_RNG_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace uavf1 {
@@ -28,14 +29,52 @@ class Rng
         : _state(seed)
     {}
 
-    /** Next raw 64-bit value. */
-    std::uint64_t nextU64();
+    /** Next raw 64-bit value. Header-inline: the hot sampling
+     * loops draw one uniform per fault per sample, and an
+     * out-of-line call would dominate the draw itself. */
+    std::uint64_t nextU64()
+    {
+        std::uint64_t z = (_state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 high-quality bits -> double in [0, 1).
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /**
+     * Fill out[0..n) with the next n uniform() draws, bit-identical
+     * to calling uniform() n times. SplitMix64's state advances by
+     * a fixed increment per draw, so draw k is a pure function of
+     * state + (k+1) * increment; evaluating the output mixes from
+     * those independent states removes the serial state dependency
+     * from the loop, which matters in block samplers drawing many
+     * variates at once.
+     */
+    void uniformBlock(double *out, std::size_t n)
+    {
+        const std::uint64_t s0 = _state;
+        for (std::size_t k = 0; k < n; ++k) {
+            std::uint64_t z =
+                s0 + (k + 1) * 0x9e3779b97f4a7c15ull;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            z ^= z >> 31;
+            out[k] = static_cast<double>(z >> 11) * 0x1.0p-53;
+        }
+        _state = s0 + n * 0x9e3779b97f4a7c15ull;
+    }
 
     /** Standard normal deviate via Box-Muller (deterministic). */
     double normal();

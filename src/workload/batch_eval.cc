@@ -1,0 +1,377 @@
+/**
+ * @file
+ * StagePipelinePlan implementation.
+ *
+ * The per-sample arithmetic mirrors
+ * StagePipelineEvaluator::evaluateInto() operand for operand; see
+ * that function for the rule derivations. Transformations applied
+ * here are all bit-exact: stages whose latency is sample-invariant
+ * are folded to constants (the scalar path computes measured /
+ * frequency from the same operands every call), and annotated
+ * stages run through a compiled platform::EvaluationPlan whose own
+ * bit-identity contract covers the ceiling walk.
+ */
+
+#include "workload/batch_eval.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cfloat>
+#include <limits>
+
+namespace uavf1::workload {
+
+namespace {
+
+/**
+ * Exact threshold search over the positive-double bit-space: for
+ * positive finite doubles the IEEE-754 bit pattern is monotone, so
+ * binary search over bits finds the exact first/last double
+ * satisfying a monotone predicate in ~64 predicate calls.
+ */
+template <typename Pred>
+double
+lowestTrue(Pred pred)
+{
+    std::uint64_t lo = 1; // Smallest positive subnormal.
+    std::uint64_t hi = std::bit_cast<std::uint64_t>(DBL_MAX);
+    if (!pred(std::bit_cast<double>(hi)))
+        return std::numeric_limits<double>::infinity();
+    if (pred(std::bit_cast<double>(lo)))
+        return std::bit_cast<double>(lo);
+    while (hi - lo > 1) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (pred(std::bit_cast<double>(mid)))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return std::bit_cast<double>(hi);
+}
+
+/** Largest positive double satisfying a monotone non-increasing
+ * predicate; 0 when even the smallest subnormal fails. */
+template <typename Pred>
+double
+highestTrue(Pred pred)
+{
+    std::uint64_t lo = 1;
+    std::uint64_t hi = std::bit_cast<std::uint64_t>(DBL_MAX);
+    if (pred(std::bit_cast<double>(hi)))
+        return std::bit_cast<double>(hi);
+    if (!pred(std::bit_cast<double>(lo)))
+        return 0.0;
+    while (hi - lo > 1) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (pred(std::bit_cast<double>(mid)))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return std::bit_cast<double>(lo);
+}
+
+} // namespace
+
+StagePipelinePlan::StagePipelinePlan(
+    const SpaPipeline &pipeline,
+    const platform::RooflinePlatform &platform)
+    : _evaluator(pipeline, platform)
+{
+    _stageCount = _evaluator.stageCount();
+    _onMeasuredPlatform = _evaluator.onMeasuredPlatform();
+    _computeCeilingCount =
+        _evaluator.platform().computeCeilings().size();
+
+    const auto &points = _evaluator.platform().operatingPoints();
+    // RooflinePlatform guarantees at least the nominal point; the
+    // empty case mirrors evaluateInto()'s frequency = 1 fallback.
+    std::vector<double> frequencies;
+    if (points.empty()) {
+        frequencies.push_back(1.0);
+    } else {
+        frequencies.reserve(points.size());
+        for (const auto &point : points)
+            frequencies.push_back(point.frequencyFraction);
+    }
+    _opCount = frequencies.size();
+
+    _annotated.resize(_stageCount, 0);
+    _workGop.resize(_stageCount, 0.0);
+    _measured.resize(_stageCount, 0.0);
+    _baseAi.resize(_stageCount, 0.0);
+    _planIndex.resize(_stageCount, ~std::size_t{0});
+    for (std::size_t s = 0; s < _stageCount; ++s) {
+        _measured[s] = _evaluator.stageMeasuredLatency(s);
+        if (!_evaluator.stageAnnotated(s))
+            continue;
+        _annotated[s] = 1;
+        _workGop[s] = _evaluator.stageWorkGop(s);
+        _baseAi[s] = _evaluator.stageProfile(s).ai.value();
+        _planIndex[s] = _plans.size();
+        _plans.emplace_back(_evaluator.platform(),
+                            _evaluator.stageProfile(s));
+    }
+
+    // Clock-scaled measurements, op-major. At a frequency fraction
+    // of exactly 1.0 the division is an identity, matching the
+    // scalar path's unscaled value bit for bit.
+    _scaledMeasured.resize(_opCount * _stageCount, 0.0);
+    for (std::size_t op = 0; op < _opCount; ++op)
+        for (std::size_t s = 0; s < _stageCount; ++s)
+            _scaledMeasured[op * _stageCount + s] =
+                _measured[s] / frequencies[op];
+
+    // Whole-block fast path: inside [lo, hi] every annotated stage
+    // binds its constant compute roof and passes every per-sample
+    // validity check, so the pipeline result collapses to one
+    // precomputed constant. The interval endpoints are the exact
+    // flip points of the kernel's own (monotone-in-scale)
+    // predicates, found by bisection; at the endpoints and beyond
+    // the slow path takes over with identical results.
+    _fastLo.assign(_opCount,
+                   std::numeric_limits<double>::infinity());
+    _fastHi.assign(_opCount, 0.0);
+    _fastThroughput.assign(_opCount, 0.0);
+    _fastBottleneck.assign(_opCount, measuredSlot);
+    _fastKind.assign(_opCount * _stageCount, 2);
+    for (std::size_t op = 0; op < _opCount; ++op) {
+        double lo = std::numeric_limits<double>::denorm_min();
+        double hi = DBL_MAX;
+        bool valid = true;
+        double total = 0.0;
+        double bottleneck_lat = 0.0;
+        std::uint32_t bottleneck = measuredSlot;
+        const double *scaled =
+            _scaledMeasured.data() + op * _stageCount;
+        for (std::size_t s = 0; s < _stageCount && valid; ++s) {
+            double lat;
+            std::uint32_t slot;
+            std::uint8_t kind;
+            if (!_annotated[s]) {
+                lat = scaled[s];
+                slot = measuredSlot;
+                kind = 2;
+            } else {
+                const platform::EvaluationPlan &plan =
+                    _plans[_planIndex[s]];
+                const double base_ai = _baseAi[s];
+                const double roof = plan.computeRoof(op);
+                lat = _workGop[s] / roof;
+                slot = plan.computeCeilingSlot(op);
+                kind = 0;
+                if (_onMeasuredPlatform && lat < scaled[s]) {
+                    lat = scaled[s];
+                    slot = measuredSlot;
+                    kind = 2;
+                }
+                valid = valid && roof <= DBL_MAX;
+                lo = std::max(
+                    lo, lowestTrue([&](double scale) {
+                        const double a = base_ai * scale;
+                        return a > 0.0 && plan.computeBinds(op, a);
+                    }));
+                hi = std::min(
+                    hi, highestTrue([&](double scale) {
+                        return base_ai * scale <= 1e300;
+                    }));
+            }
+            valid = valid && lat > 0.0 && lat <= DBL_MAX;
+            total += lat;
+            if (lat > bottleneck_lat) {
+                bottleneck_lat = lat;
+                bottleneck = slot;
+            }
+            _fastKind[op * _stageCount + s] = kind;
+        }
+        if (valid && lo <= hi) {
+            _fastLo[op] = lo;
+            _fastHi[op] = hi;
+            _fastThroughput[op] = 1.0 / total;
+            _fastBottleneck[op] = bottleneck;
+        }
+    }
+}
+
+bool
+StagePipelinePlan::tryEvaluateBlock(
+    std::size_t op_index, bool measured_first,
+    const double *ai_scale, std::size_t n, double *throughput_hz,
+    std::uint32_t *bottleneck_slot,
+    std::uint64_t *stage_kind_counts, Scratch &scratch) const
+{
+    if (n == 0)
+        return true;
+    if (n > blockSize || op_index >= _opCount)
+        return false;
+
+    const bool measured_wins =
+        measured_first && _onMeasuredPlatform && op_index == 0;
+
+    // Whole-block fast path: when every scale lands inside the
+    // precomputed all-compute-bound interval, the result is the
+    // op's constant (see the constructor). The >= / <= gates also
+    // reject NaN scales, which must take the slow path to fail
+    // validation there.
+    const double fast_lo = _fastLo[op_index];
+    const double fast_hi = _fastHi[op_index];
+    if (!measured_wins && fast_lo <= fast_hi) {
+        bool fast = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double as = ai_scale[i];
+            fast = fast && as >= fast_lo && as <= fast_hi;
+        }
+        if (fast) {
+            const double fast_throughput =
+                _fastThroughput[op_index];
+            const std::uint32_t fast_bottleneck =
+                _fastBottleneck[op_index];
+            for (std::size_t i = 0; i < n; ++i) {
+                throughput_hz[i] = fast_throughput;
+                bottleneck_slot[i] = fast_bottleneck;
+            }
+            const std::uint8_t *kinds =
+                _fastKind.data() + op_index * _stageCount;
+            for (std::size_t s = 0; s < _stageCount; ++s)
+                stage_kind_counts[s * 3 + kinds[s]] += n;
+            return true;
+        }
+    }
+
+    // evaluateInto()'s aiScale precondition, accumulated branch-only
+    // (> 0 rejects NaN and non-positives, <= DBL_MAX rejects +inf).
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double as = ai_scale[i];
+        ok = ok && as > 0.0 && as <= DBL_MAX;
+        scratch.total[i] = 0.0;
+        scratch.bottleneckLat[i] = 0.0;
+        scratch.bottleneckSlot[i] = measuredSlot;
+    }
+
+    const double *scaled =
+        _scaledMeasured.data() + op_index * _stageCount;
+
+    for (std::size_t s = 0; s < _stageCount; ++s) {
+        if (measured_wins || !_annotated[s]) {
+            // Rules 1 and 3b: one latency for every sample.
+            const double lat =
+                measured_wins ? _measured[s] : scaled[s];
+            ok = ok && lat > 0.0 && lat <= DBL_MAX;
+            stage_kind_counts[s * 3 + 2] += n;
+            for (std::size_t i = 0; i < n; ++i) {
+                scratch.total[i] += lat;
+                if (lat > scratch.bottleneckLat[i]) {
+                    scratch.bottleneckLat[i] = lat;
+                    scratch.bottleneckSlot[i] = measuredSlot;
+                }
+            }
+            continue;
+        }
+
+        // Rules 2 and 3a: modeled bound per sample, floored by the
+        // clock-scaled measurement on the measured platform.
+        const platform::EvaluationPlan &plan =
+            _plans[_planIndex[s]];
+        const double base_ai = _baseAi[s];
+        for (std::size_t i = 0; i < n; ++i)
+            scratch.ai[i] = base_ai * ai_scale[i];
+        ok = plan.tryEvaluateBlock(op_index, scratch.ai, n,
+                                   scratch.attainable,
+                                   scratch.ceilingSlot) &&
+             ok;
+
+        const double work = _workGop[s];
+        const double floor_lat = scaled[s];
+        const bool floored = _onMeasuredPlatform;
+
+        // A compute-bound sample's attainable is the op's constant
+        // compute roof, so its latency division — and the floor and
+        // kind resolution behind it — collapses to one precomputed
+        // value (same operands, same bits as the per-sample form).
+        // Only memory-bound samples pay the division.
+        const std::uint32_t compute_slot =
+            plan.computeCeilingSlot(op_index);
+        double compute_lat = work / plan.computeRoof(op_index);
+        std::uint32_t compute_resolved = compute_slot;
+        if (floored && compute_lat < floor_lat) {
+            compute_lat = floor_lat;
+            compute_resolved = measuredSlot;
+        }
+        const bool compute_ok =
+            compute_lat > 0.0 && compute_lat <= DBL_MAX;
+
+        std::uint64_t n_compute = 0;
+        std::uint64_t k_memory = 0;
+        std::uint64_t k_measured = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double lat;
+            std::uint32_t slot;
+            if (scratch.ceilingSlot[i] == compute_slot) {
+                lat = compute_lat;
+                slot = compute_resolved;
+                ++n_compute;
+            } else {
+                lat = work / scratch.attainable[i];
+                slot = scratch.ceilingSlot[i];
+                if (floored && lat < floor_lat) {
+                    lat = floor_lat;
+                    slot = measuredSlot;
+                }
+                ok = ok && lat > 0.0 && lat <= DBL_MAX;
+                k_measured += slot == measuredSlot;
+                k_memory += slot != measuredSlot;
+            }
+            scratch.total[i] += lat;
+            if (lat > scratch.bottleneckLat[i]) {
+                scratch.bottleneckLat[i] = lat;
+                scratch.bottleneckSlot[i] = slot;
+            }
+        }
+        ok = ok && (n_compute == 0 || compute_ok);
+        if (compute_resolved == measuredSlot)
+            k_measured += n_compute;
+        else
+            stage_kind_counts[s * 3 + 0] += n_compute;
+        stage_kind_counts[s * 3 + 1] += k_memory;
+        stage_kind_counts[s * 3 + 2] += k_measured;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        throughput_hz[i] = 1.0 / scratch.total[i];
+        bottleneck_slot[i] = scratch.bottleneckSlot[i];
+    }
+    return ok;
+}
+
+void
+StagePipelinePlan::throwFirstError(std::size_t op_index,
+                                   bool measured_first,
+                                   const double *ai_scale,
+                                   std::size_t n) const
+{
+    PipelineBound bound;
+    for (std::size_t i = 0; i < n; ++i) {
+        StageEvalOptions options;
+        options.opIndex = op_index;
+        options.measuredFirst = measured_first;
+        options.aiScale = ai_scale[i];
+        _evaluator.evaluateInto(options, bound);
+    }
+}
+
+void
+StagePipelinePlan::evaluateBlock(
+    std::size_t op_index, bool measured_first,
+    const double *ai_scale, std::size_t n, double *throughput_hz,
+    std::uint32_t *bottleneck_slot,
+    std::uint64_t *stage_kind_counts, Scratch &scratch) const
+{
+    if (!tryEvaluateBlock(op_index, measured_first, ai_scale, n,
+                          throughput_hz, bottleneck_slot,
+                          stage_kind_counts, scratch)) {
+        throwFirstError(op_index, measured_first, ai_scale, n);
+    }
+}
+
+} // namespace uavf1::workload

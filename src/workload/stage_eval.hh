@@ -144,6 +144,28 @@ class StagePipelineEvaluator
         return _slots[index].annotated;
     }
 
+    /** Measured latency of stage i, seconds (the nominal-clock
+     * measurement the evaluation rules scale and floor). */
+    double stageMeasuredLatency(std::size_t index) const
+    {
+        return _slots[index].measuredLatency;
+    }
+
+    /** Per-decision work of stage i, giga-ops (0 when
+     * unannotated). */
+    double stageWorkGop(std::size_t index) const
+    {
+        return _slots[index].workGop;
+    }
+
+    /** Lowered workload profile of stage i (meaningful only when
+     * stageAnnotated(index)); this is what batch plans compile. */
+    const platform::WorkloadProfile &
+    stageProfile(std::size_t index) const
+    {
+        return _slots[index].profile;
+    }
+
     /** True when the platform is the one the pipeline's latencies
      * were measured on (or the pipeline is un-pinned). */
     bool onMeasuredPlatform() const { return _onMeasuredPlatform; }

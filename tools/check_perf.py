@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the batch-kernel benchmarks.
+
+Compares a freshly generated bench artifact against the committed
+baseline and exits non-zero when
+
+  * any ``*_batch_ns_per_eval`` metric regressed by more than the
+    threshold (default 25%, matching the headroom CI machines need
+    over the machine that recorded the baseline), or
+  * the artifact reports ``bit_identical: false`` — a correctness
+    failure dressed up as a perf number.
+
+Reference-path timings are reported but never gated: the scalar
+oracle's speed is not a property this repo defends.
+
+Usage:
+    tools/check_perf.py CURRENT BASELINE [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="artifact JSON from this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional ns/eval regression (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    failures = []
+
+    if current.get("bit_identical") is not True:
+        failures.append(
+            "bit_identical is %r — batch kernels diverged from the "
+            "scalar oracle" % (current.get("bit_identical"),)
+        )
+
+    gated = sorted(
+        key
+        for key in baseline
+        if key.endswith("_batch_ns_per_eval")
+    )
+    if not gated:
+        failures.append("baseline defines no *_batch_ns_per_eval keys")
+
+    for key in gated:
+        base = baseline[key]
+        if key not in current:
+            failures.append("current artifact is missing %s" % key)
+            continue
+        now = current[key]
+        limit = base * (1.0 + args.threshold)
+        ratio = now / base if base > 0 else float("inf")
+        status = "OK" if now <= limit else "REGRESSION"
+        print(
+            "%-36s %8.2f ns (baseline %8.2f, %5.2fx, limit %8.2f) %s"
+            % (key, now, base, ratio, limit, status)
+        )
+        if now > limit:
+            failures.append(
+                "%s regressed: %.2f ns vs baseline %.2f ns "
+                "(>%.0f%% over)" % (key, now, base, args.threshold * 100)
+            )
+
+    for key in sorted(baseline):
+        if key.endswith("_reference_ns_per_eval") and key in current:
+            print(
+                "%-36s %8.2f ns (baseline %8.2f, not gated)"
+                % (key, current[key], baseline[key])
+            )
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print("  - " + failure, file=sys.stderr)
+        return 1
+
+    print("\nperf gate passed (threshold %.0f%%)" % (args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
