@@ -1,0 +1,371 @@
+/**
+ * @file
+ * SIMD kernel perf bench and CI perf-gate artifact.
+ *
+ * Times the three vectorized kernel layers — the core F-1 block
+ * kernel (core::analyzeBlock), the per-ceiling roofline evaluator
+ * (platform::EvaluationPlan::evaluateBlock) and the per-stage SPA
+ * pipeline evaluator (workload::StagePipelinePlan::evaluateBlock) —
+ * under native SIMD dispatch vs the forced-scalar W=1 path
+ * (simd::setMode), verifies the two modes are bit-identical first,
+ * and writes BENCH_simd_kernels.json into the artifacts directory.
+ * CI compares the native timings against the committed baseline in
+ * bench/baselines/ via tools/check_perf.py and fails on >25%
+ * ns/eval regression or any vector-vs-scalar mismatch; the scalar
+ * reference timings and the speedups are recorded but not gated.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "components/catalog.hh"
+#include "core/f1_batch.hh"
+#include "platform/evaluation_plan.hh"
+#include "simd/simd.hh"
+#include "support/rng.hh"
+#include "workload/batch_eval.hh"
+#include "workload/spa_pipeline.hh"
+
+namespace {
+
+using namespace uavf1;
+
+constexpr std::size_t kBlock = 64;
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+bool
+bitEq(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+           std::bit_cast<std::uint64_t>(b);
+}
+
+/** Restore the dispatch mode on scope exit. */
+struct ModeGuard
+{
+    simd::Mode saved = simd::activeMode();
+    ~ModeGuard() { simd::setMode(saved); }
+};
+
+// ---------------------------------------------------------- F-1 block
+
+struct F1Data
+{
+    double aMax[kBlock], range[kBlock], sensor[kBlock],
+        compute[kBlock];
+    double vSafe[kBlock], knee[kBlock], roof[kBlock];
+    std::uint8_t bound[kBlock];
+
+    F1Data()
+    {
+        Rng rng(31);
+        for (std::size_t i = 0; i < kBlock; ++i) {
+            aMax[i] = rng.uniform(1.0, 30.0);
+            range[i] = rng.uniform(5.0, 200.0);
+            sensor[i] = rng.uniform(1.0, 120.0);
+            compute[i] = rng.uniform(1.0, 120.0);
+        }
+    }
+
+    void run()
+    {
+        benchmark::DoNotOptimize(core::analyzeBlock(
+            aMax, range, sensor, compute, 1000.0, 0.5, kBlock,
+            vSafe, knee, roof, bound));
+    }
+};
+
+// ------------------------------------------------------ roofline plan
+
+struct PlanData
+{
+    platform::RooflinePlatform machine;
+    platform::EvaluationPlan plan;
+    double ai[kBlock];
+    double attainable[kBlock];
+    std::uint32_t slot[kBlock];
+
+    PlanData()
+        : machine(components::Catalog::standard().rooflines().byName(
+              "Nvidia TX2")),
+          plan(machine,
+               platform::WorkloadProfile{
+                   .ai = units::OpsPerByte(1.0)})
+    {
+        Rng rng(37);
+        for (std::size_t i = 0; i < kBlock; ++i)
+            ai[i] = rng.uniform(0.01, 80.0);
+    }
+
+    // No DoNotOptimize on the outputs: the kernel is an opaque
+    // library call writing through pointers, so it cannot be
+    // eliminated — and DoNotOptimize on an lvalue ("+m,r") is
+    // allowed to clobber it, which would break the bit-identity
+    // check below.
+    void run() { plan.evaluateBlock(0, ai, kBlock, attainable, slot); }
+};
+
+// ------------------------------------------------------ SPA pipeline
+
+struct PipelineData
+{
+    platform::RooflinePlatform machine;
+    workload::StagePipelinePlan plan;
+    workload::StagePipelinePlan::Scratch scratch;
+    double aiScale[kBlock];
+    double throughput[kBlock];
+    std::uint32_t slot[kBlock];
+    std::vector<std::uint64_t> kindCounts;
+
+    // The Navion preset with annotation-scale extremes in the block:
+    // the measured row is invalid there and the extremes defeat the
+    // whole-block fast path, so the per-stage vector loops — the
+    // Monte-Carlo hot path — run for real.
+    PipelineData()
+        : machine(components::Catalog::standard().rooflines().byName(
+              "TX2-CPU + Navion")),
+          plan(workload::SpaPipeline::mavbenchPackageDeliveryTx2(),
+               machine),
+          kindCounts(plan.stageCount() * 3, 0)
+    {
+        Rng rng(41);
+        for (std::size_t i = 0; i < kBlock; ++i)
+            aiScale[i] = rng.uniform(0.5, 2.0);
+        aiScale[kBlock - 1] = 1e-9;
+        aiScale[kBlock - 2] = 1e9;
+    }
+
+    void run()
+    {
+        plan.evaluateBlock(0, true, aiScale, kBlock, throughput,
+                           slot, kindCounts.data(), scratch);
+    }
+};
+
+/** Time `reps` kernel calls in the given mode, ns per sample. */
+template <typename Data>
+double
+timeMode(Data &data, simd::Mode mode, std::size_t reps)
+{
+    simd::setMode(mode);
+    data.run(); // Warm-up (and touches every page).
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r)
+        data.run();
+    return millisSince(start) * 1e6 /
+           (static_cast<double>(reps) * kBlock);
+}
+
+/** Vector-vs-scalar bit-identity of all three layers. */
+bool
+checkBitIdentity()
+{
+    bool f1_ok = true;
+    F1Data f1_scalar, f1_native;
+    simd::setMode(simd::Mode::Scalar);
+    f1_scalar.run();
+    simd::setMode(simd::Mode::Native);
+    f1_native.run();
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        f1_ok = f1_ok &&
+                bitEq(f1_scalar.vSafe[i], f1_native.vSafe[i]) &&
+                bitEq(f1_scalar.knee[i], f1_native.knee[i]) &&
+                bitEq(f1_scalar.roof[i], f1_native.roof[i]) &&
+                f1_scalar.bound[i] == f1_native.bound[i];
+    }
+
+    bool plan_ok = true;
+    PlanData plan_scalar, plan_native;
+    simd::setMode(simd::Mode::Scalar);
+    plan_scalar.run();
+    simd::setMode(simd::Mode::Native);
+    plan_native.run();
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        plan_ok = plan_ok &&
+                  bitEq(plan_scalar.attainable[i],
+                        plan_native.attainable[i]) &&
+                  plan_scalar.slot[i] == plan_native.slot[i];
+    }
+
+    bool pipe_ok = true;
+    PipelineData pipe_scalar, pipe_native;
+    simd::setMode(simd::Mode::Scalar);
+    pipe_scalar.run();
+    simd::setMode(simd::Mode::Native);
+    pipe_native.run();
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        pipe_ok = pipe_ok &&
+                  bitEq(pipe_scalar.throughput[i],
+                        pipe_native.throughput[i]) &&
+                  pipe_scalar.slot[i] == pipe_native.slot[i];
+    }
+    pipe_ok =
+        pipe_ok && pipe_scalar.kindCounts == pipe_native.kindCounts;
+
+    if (!f1_ok || !plan_ok || !pipe_ok) {
+        std::printf("  MISMATCH in:%s%s%s\n",
+                    f1_ok ? "" : " core::analyzeBlock",
+                    plan_ok ? "" : " EvaluationPlan",
+                    pipe_ok ? "" : " StagePipelinePlan");
+    }
+    return f1_ok && plan_ok && pipe_ok;
+}
+
+void
+printFigure()
+{
+    ModeGuard guard;
+    bench::banner("SIMD kernels",
+                  "Vectorized block kernels vs the forced-scalar "
+                  "W=1 path");
+
+    std::printf("  backend: %s (native width %zu)\n",
+                simd::backendName(), simd::nativeWidth);
+
+    const bool bit_identical = checkBitIdentity();
+    std::printf("  native vs scalar bit-identical: %s\n",
+                bit_identical ? "yes" : "NO (BUG)");
+
+    F1Data f1;
+    constexpr std::size_t f1_reps = 40000;
+    const double f1_native = timeMode(f1, simd::Mode::Native,
+                                      f1_reps);
+    const double f1_scalar = timeMode(f1, simd::Mode::Scalar,
+                                      f1_reps);
+    std::printf("  core::analyzeBlock:        native %6.2f "
+                "ns/eval, scalar %6.2f ns/eval (%.2fx)\n",
+                f1_native, f1_scalar, f1_scalar / f1_native);
+
+    PlanData plan;
+    constexpr std::size_t plan_reps = 40000;
+    const double plan_native = timeMode(plan, simd::Mode::Native,
+                                        plan_reps);
+    const double plan_scalar = timeMode(plan, simd::Mode::Scalar,
+                                        plan_reps);
+    std::printf("  EvaluationPlan block:      native %6.2f "
+                "ns/eval, scalar %6.2f ns/eval (%.2fx)\n",
+                plan_native, plan_scalar, plan_scalar / plan_native);
+
+    PipelineData pipe;
+    constexpr std::size_t pipe_reps = 10000;
+    const double pipe_native = timeMode(pipe, simd::Mode::Native,
+                                        pipe_reps);
+    const double pipe_scalar = timeMode(pipe, simd::Mode::Scalar,
+                                        pipe_reps);
+    std::printf("  StagePipelinePlan block:   native %6.2f "
+                "ns/eval, scalar %6.2f ns/eval (%.2fx)\n",
+                pipe_native, pipe_scalar, pipe_scalar / pipe_native);
+
+    bench::note("absolute timings depend on the machine; CI gates "
+                "the native timings on the committed baseline with "
+                "25% headroom");
+
+    const std::string path =
+        bench::artifactsDir() + "/BENCH_simd_kernels.json";
+    std::ofstream json(path);
+    json << "{\n"
+         << "  \"benchmark\": \"simd_kernels\",\n"
+         << "  \"simd_backend\": \"" << simd::backendName()
+         << "\",\n"
+         << "  \"native_width\": " << simd::nativeWidth << ",\n"
+         << "  \"f1_block_batch_ns_per_eval\": " << f1_native
+         << ",\n"
+         << "  \"f1_block_reference_ns_per_eval\": " << f1_scalar
+         << ",\n"
+         << "  \"f1_block_speedup\": " << f1_scalar / f1_native
+         << ",\n"
+         << "  \"plan_block_batch_ns_per_eval\": " << plan_native
+         << ",\n"
+         << "  \"plan_block_reference_ns_per_eval\": " << plan_scalar
+         << ",\n"
+         << "  \"plan_block_speedup\": " << plan_scalar / plan_native
+         << ",\n"
+         << "  \"pipeline_block_batch_ns_per_eval\": " << pipe_native
+         << ",\n"
+         << "  \"pipeline_block_reference_ns_per_eval\": "
+         << pipe_scalar << ",\n"
+         << "  \"pipeline_block_speedup\": "
+         << pipe_scalar / pipe_native << ",\n"
+         << "  \"bit_identical\": "
+         << (bit_identical ? "true" : "false") << "\n"
+         << "}\n";
+    std::printf("  artifacts: BENCH_simd_kernels.json\n");
+}
+
+void
+BM_AnalyzeBlockNative(benchmark::State &state)
+{
+    ModeGuard guard;
+    simd::setMode(simd::Mode::Native);
+    F1Data data;
+    for (auto _ : state)
+        data.run();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBlock);
+}
+BENCHMARK(BM_AnalyzeBlockNative);
+
+void
+BM_AnalyzeBlockScalar(benchmark::State &state)
+{
+    ModeGuard guard;
+    simd::setMode(simd::Mode::Scalar);
+    F1Data data;
+    for (auto _ : state)
+        data.run();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBlock);
+}
+BENCHMARK(BM_AnalyzeBlockScalar);
+
+void
+BM_StagePipelineBlockNative(benchmark::State &state)
+{
+    ModeGuard guard;
+    simd::setMode(simd::Mode::Native);
+    PipelineData data;
+    for (auto _ : state)
+        data.run();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBlock);
+}
+BENCHMARK(BM_StagePipelineBlockNative);
+
+void
+BM_StagePipelineBlockScalar(benchmark::State &state)
+{
+    ModeGuard guard;
+    simd::setMode(simd::Mode::Scalar);
+    PipelineData data;
+    for (auto _ : state)
+        data.run();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBlock);
+}
+BENCHMARK(BM_StagePipelineBlockScalar);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

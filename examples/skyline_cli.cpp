@@ -315,7 +315,8 @@ printKnobs(const skyline::SkylineSession &session)
         "  control_rate     = %.0f Hz\n"
         "  knee_fraction    = %.3f\n"
         "  platform         = %s\n"
-        "  operating_point  = %s\n",
+        "  operating_point  = %s\n"
+        "  pipeline         = %s\n",
         k.sensorFramerate.value(), k.computeTdp.value(),
         k.algorithm.c_str(), k.computeRuntime.value(),
         f_compute.c_str(), k.sensorRange.value(),
@@ -326,7 +327,9 @@ printKnobs(const skyline::SkylineSession &session)
                              "f_compute)"
                            : k.platform.c_str(),
         k.operatingPoint.empty() ? "nominal"
-                                 : k.operatingPoint.c_str());
+                                 : k.operatingPoint.c_str(),
+        k.pipeline.empty() ? "(algorithm's standard pipeline)"
+                           : k.pipeline.c_str());
 }
 
 int

@@ -9,6 +9,16 @@
  * operands — which yields identical bits — and (b) skipping outputs
  * a kernel's caller never reads. No reassociation, no fused
  * alternatives, no libm calls beyond correctly-rounded sqrt.
+ *
+ * The loop bodies are templated on the simd::Pack width and
+ * instantiated at W = 1 (the scalar reference, also the tail
+ * handler) and at simd::nativeWidth; because every Pack op is
+ * correctly rounded and lane-local, both instantiations produce the
+ * same bits (see simd/pack.hh for the contract). Scalar ternaries
+ * become select() on compare masks — including the argmin's
+ * strict-< first-wins rule — and the stage/bound codes ride in
+ * double lanes (small integers are exactly representable) until the
+ * final scalar narrowing store.
  */
 
 #include "core/f1_batch.hh"
@@ -16,53 +26,178 @@
 #include <cfloat>
 #include <cmath>
 
+#include "simd/simd.hh"
+
 namespace uavf1::core {
 
 namespace {
 
 /** Samples per internal SoA gather of analyzeFullBlock. */
 constexpr std::size_t kernelBlock = 64;
-
-/** The Eq. 3 argmin with analyzeInto()'s strict-< first-wins rule.
- * Returns the throughput; writes the stage code (0 sensor,
- * 1 compute, 2 control). */
-inline double
-argminRate(double sensor, double compute, double control,
-           std::uint8_t &stage)
-{
-    double f = sensor;
-    stage = 0;
-    if (compute < f) {
-        f = compute;
-        stage = 1;
-    }
-    if (control < f) {
-        f = control;
-        stage = 2;
-    }
-    return f;
-}
-
-/** v(t) = a * (sqrt(t^2 + 2d/a) - t) with q = 2d/a pre-divided
- * (the scalar path computes the same quotient from the same
- * operands, so the hoist is bit-exact). */
-inline double
-safeVelocityAt(double a, double q, double t)
-{
-    return a * (std::sqrt(t * t + q) - t);
-}
+static_assert(kernelBlock % simd::nativeWidth == 0,
+              "native width must divide the kernel block");
 
 /** Bound classification for a below-knee sample. */
 inline std::uint8_t
-bottleneckBound(std::uint8_t stage)
+bottleneckBound(double stage)
 {
     // Stage codes: 0 sensor, 1 compute, 2 control; BoundType:
     // Compute=0, Sensor=1, Control=2.
-    return stage == 0 ? static_cast<std::uint8_t>(
-                            BoundType::SensorBound)
-           : stage == 2
+    return stage == 0.0 ? static_cast<std::uint8_t>(
+                              BoundType::SensorBound)
+           : stage == 2.0
                ? static_cast<std::uint8_t>(BoundType::ControlBound)
                : static_cast<std::uint8_t>(BoundType::ComputeBound);
+}
+
+/**
+ * Width-W stride body of analyzeBlock over the leading
+ * n - n % W samples. The W = 1 instantiation doubles as the scalar
+ * reference and the tail handler.
+ */
+template <std::size_t W>
+bool
+analyzeBlockStrides(const double *a_max, const double *range,
+                    const double *sensor, const double *compute,
+                    double control, double knee_x, std::size_t n,
+                    double *v_safe, double *knee, double *roof,
+                    std::uint8_t *bound)
+{
+    using P = simd::Pack<double, W>;
+    const P zero = P::broadcast(0.0);
+    const P one = P::broadcast(1.0);
+    const P two = P::broadcast(2.0);
+    const P huge = P::broadcast(DBL_MAX);
+    const P ctrl = P::broadcast(control);
+    const P kx = P::broadcast(knee_x);
+    bool ok = true;
+
+    for (std::size_t i = 0; i + W <= n; i += W) {
+        const P a = P::load(a_max + i);
+        const P d = P::load(range + i);
+        const P fs = P::load(sensor + i);
+        const P fc = P::load(compute + i);
+        // analyzeInto()'s preconditions: rates positive (inf is
+        // accepted there, so no upper bound), physics positive and
+        // finite. !(x <= DBL_MAX) also catches NaN.
+        ok = ok && allTrue((fs > zero) & (fc > zero) & (a > zero) &
+                           (a <= huge) & (d > zero) & (d <= huge));
+
+        // The Eq. 3 argmin with analyzeInto()'s strict-< first-wins
+        // rule; stage codes 0 sensor, 1 compute, 2 control ride in
+        // double lanes.
+        P f = fs;
+        P stage = zero;
+        const auto mc = fc < f;
+        f = select(mc, fc, f);
+        stage = select(mc, one, stage);
+        const auto ml = ctrl < f;
+        f = select(ml, ctrl, f);
+        stage = select(ml, two, stage);
+
+        // v(t) = a * (sqrt(t^2 + 2d/a) - t); the scalar path
+        // computes q from the same operands, so hoisting is exact.
+        const P q = two * d / a;
+        const P t = one / f;
+        const P fk = sqrt(a / (two * d)) / kx;
+        (a * (sqrt(t * t + q) - t)).store(v_safe + i);
+        fk.store(knee + i);
+        sqrt(two * d * a).store(roof + i);
+
+        const auto physics = f >= fk;
+        double stage_lane[W], physics_lane[W];
+        stage.store(stage_lane);
+        select(physics, one, zero).store(physics_lane);
+        for (std::size_t l = 0; l < W; ++l)
+            bound[i + l] =
+                physics_lane[l] != 0.0
+                    ? static_cast<std::uint8_t>(
+                          BoundType::PhysicsBound)
+                    : bottleneckBound(stage_lane[l]);
+    }
+    return ok;
+}
+
+/** Width-W stride body of analyzeVSafeBlock; same scheme. */
+template <std::size_t W>
+bool
+vSafeStrides(double a_max, double q, const double *sensor,
+             const double *compute, double control, std::size_t n,
+             double *v_safe)
+{
+    using P = simd::Pack<double, W>;
+    const P zero = P::broadcast(0.0);
+    const P one = P::broadcast(1.0);
+    const P a = P::broadcast(a_max);
+    const P vq = P::broadcast(q);
+    const P ctrl = P::broadcast(control);
+    bool ok = true;
+
+    for (std::size_t i = 0; i + W <= n; i += W) {
+        const P fs = P::load(sensor + i);
+        const P fc = P::load(compute + i);
+        ok = ok && allTrue((fs > zero) & (fc > zero));
+        P f = fs;
+        f = select(fc < f, fc, f);
+        f = select(ctrl < f, ctrl, f);
+        const P t = one / f;
+        (a * (sqrt(t * t + vq) - t)).store(v_safe + i);
+    }
+    return ok;
+}
+
+/**
+ * Width-W stride body of analyzeFullBlock's math lanes (the gather
+ * and scatter stay scalar — they walk AoS records). Stage codes are
+ * written as doubles for the scatter loop to interpret.
+ */
+template <std::size_t W>
+void
+fullMathStrides(const double *a, const double *d, const double *fs,
+                const double *fc, const double *fl,
+                const double *kf, std::size_t m, double *f_min,
+                double *f_knee, double *v_safe, double *v_roof,
+                double *v_knee, double *v_sens, double *v_comp,
+                double *stage)
+{
+    using P = simd::Pack<double, W>;
+    const P one = P::broadcast(1.0);
+    const P two = P::broadcast(2.0);
+
+    for (std::size_t i = 0; i + W <= m; i += W) {
+        const P pa = P::load(a + i);
+        const P pd = P::load(d + i);
+        const P pfs = P::load(fs + i);
+        const P pfc = P::load(fc + i);
+        const P pfl = P::load(fl + i);
+        const P pkf = P::load(kf + i);
+
+        P f = pfs;
+        P st = P::broadcast(0.0);
+        const auto mc = pfc < f;
+        f = select(mc, pfc, f);
+        st = select(mc, one, st);
+        const auto ml = pfl < f;
+        f = select(ml, pfl, f);
+        st = select(ml, two, st);
+
+        const P q = two * pd / pa;
+        const P knee_x = (one - pkf * pkf) / (two * pkf);
+        const P fk = sqrt(pa / (two * pd)) / knee_x;
+        f.store(f_min + i);
+        fk.store(f_knee + i);
+        st.store(stage + i);
+
+        const P t = one / f;
+        (pa * (sqrt(t * t + q) - t)).store(v_safe + i);
+        sqrt(two * pd * pa).store(v_roof + i);
+        const P tk = one / fk;
+        (pa * (sqrt(tk * tk + q) - tk)).store(v_knee + i);
+        const P ts = one / pfs;
+        (pa * (sqrt(ts * ts + q) - ts)).store(v_sens + i);
+        const P tc = one / pfc;
+        (pa * (sqrt(tc * tc + q) - tc)).store(v_comp + i);
+    }
 }
 
 } // namespace
@@ -82,29 +217,24 @@ analyzeBlock(const double *a_max, const double *range,
     bool ok = control > 0.0 && knee_fraction >= 1e-6 &&
               knee_fraction <= 1.0 - 1e-9;
 
-    for (std::size_t i = 0; i < n; ++i) {
-        const double a = a_max[i];
-        const double d = range[i];
-        const double fs = sensor[i];
-        const double fc = compute[i];
-        // analyzeInto()'s preconditions: rates positive (inf is
-        // accepted there, so no upper bound), physics positive and
-        // finite. !(x <= DBL_MAX) also catches NaN.
-        ok = ok && fs > 0.0 && fc > 0.0 && a > 0.0 &&
-             a <= DBL_MAX && d > 0.0 && d <= DBL_MAX;
-
-        std::uint8_t stage;
-        const double f = argminRate(fs, fc, control, stage);
-        const double q = 2.0 * d / a;
-        const double t = 1.0 / f;
-        const double vs = safeVelocityAt(a, q, t);
-        const double fk = std::sqrt(a / (2.0 * d)) / knee_x;
-        v_safe[i] = vs;
-        knee[i] = fk;
-        roof[i] = std::sqrt(2.0 * d * a);
-        bound[i] = f >= fk ? static_cast<std::uint8_t>(
-                                 BoundType::PhysicsBound)
-                           : bottleneckBound(stage);
+    if (simd::useNative()) {
+        constexpr std::size_t W = simd::nativeWidth;
+        const std::size_t main = n - n % W;
+        ok = analyzeBlockStrides<W>(a_max, range, sensor, compute,
+                                    control, knee_x, main, v_safe,
+                                    knee, roof, bound) &&
+             ok;
+        ok = analyzeBlockStrides<1>(
+                 a_max + main, range + main, sensor + main,
+                 compute + main, control, knee_x, n - main,
+                 v_safe + main, knee + main, roof + main,
+                 bound + main) &&
+             ok;
+    } else {
+        ok = analyzeBlockStrides<1>(a_max, range, sensor, compute,
+                                    control, knee_x, n, v_safe,
+                                    knee, roof, bound) &&
+             ok;
     }
     return ok;
 }
@@ -119,14 +249,19 @@ analyzeVSafeBlock(double a_max, double range, const double *sensor,
     bool ok = control > 0.0 && a > 0.0 && a <= DBL_MAX &&
               range > 0.0 && range <= DBL_MAX;
 
-    for (std::size_t i = 0; i < n; ++i) {
-        const double fs = sensor[i];
-        const double fc = compute[i];
-        ok = ok && fs > 0.0 && fc > 0.0;
-        std::uint8_t stage;
-        const double f = argminRate(fs, fc, control, stage);
-        const double t = 1.0 / f;
-        v_safe[i] = safeVelocityAt(a, q, t);
+    if (simd::useNative()) {
+        constexpr std::size_t W = simd::nativeWidth;
+        const std::size_t main = n - n % W;
+        ok = vSafeStrides<W>(a, q, sensor, compute, control, main,
+                             v_safe) &&
+             ok;
+        ok = vSafeStrides<1>(a, q, sensor + main, compute + main,
+                             control, n - main, v_safe + main) &&
+             ok;
+    } else {
+        ok = vSafeStrides<1>(a, q, sensor, compute, control, n,
+                             v_safe) &&
+             ok;
     }
     return ok;
 }
@@ -172,22 +307,24 @@ analyzeFullBlock(const F1Inputs *inputs, F1Analysis *out,
         double f_knee[kernelBlock], v_roof[kernelBlock];
         double v_knee[kernelBlock], v_sens[kernelBlock];
         double v_comp[kernelBlock];
-        std::uint8_t stage[kernelBlock];
-        for (std::size_t i = 0; i < m; ++i) {
-            const double f = argminRate(fs[i], fc[i], fl[i],
-                                        stage[i]);
-            const double q = 2.0 * d[i] / a[i];
-            const double knee_x =
-                (1.0 - kf[i] * kf[i]) / (2.0 * kf[i]);
-            const double fk =
-                std::sqrt(a[i] / (2.0 * d[i])) / knee_x;
-            f_min[i] = f;
-            f_knee[i] = fk;
-            v_safe[i] = safeVelocityAt(a[i], q, 1.0 / f);
-            v_roof[i] = std::sqrt(2.0 * d[i] * a[i]);
-            v_knee[i] = safeVelocityAt(a[i], q, 1.0 / fk);
-            v_sens[i] = safeVelocityAt(a[i], q, 1.0 / fs[i]);
-            v_comp[i] = safeVelocityAt(a[i], q, 1.0 / fc[i]);
+        double stage[kernelBlock];
+        if (simd::useNative()) {
+            constexpr std::size_t W = simd::nativeWidth;
+            const std::size_t main = m - m % W;
+            fullMathStrides<W>(a, d, fs, fc, fl, kf, main, f_min,
+                               f_knee, v_safe, v_roof, v_knee,
+                               v_sens, v_comp, stage);
+            fullMathStrides<1>(a + main, d + main, fs + main,
+                               fc + main, fl + main, kf + main,
+                               m - main, f_min + main,
+                               f_knee + main, v_safe + main,
+                               v_roof + main, v_knee + main,
+                               v_sens + main, v_comp + main,
+                               stage + main);
+        } else {
+            fullMathStrides<1>(a, d, fs, fc, fl, kf, m, f_min,
+                               f_knee, v_safe, v_roof, v_knee,
+                               v_sens, v_comp, stage);
         }
 
         // Scatter into the AoS analyses with analyzeInto()'s
@@ -204,9 +341,9 @@ analyzeFullBlock(const F1Inputs *inputs, F1Analysis *out,
             o.sensorCeiling = units::MetersPerSecond(v_sens[i]);
             o.computeCeiling = units::MetersPerSecond(v_comp[i]);
             o.bottleneckStage =
-                stage[i] == 0   ? BottleneckStage::Sensor
-                : stage[i] == 2 ? BottleneckStage::Control
-                                : BottleneckStage::Compute;
+                stage[i] == 0.0   ? BottleneckStage::Sensor
+                : stage[i] == 2.0 ? BottleneckStage::Control
+                                  : BottleneckStage::Compute;
             o.computeBinding = in[i].computeBinding;
             if (f >= fk) {
                 o.bound = BoundType::PhysicsBound;

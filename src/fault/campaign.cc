@@ -498,8 +498,9 @@ FaultCampaign::scalarSamples(
 namespace {
 
 /** Per-slot scratch for the batched campaign run, reused across
- * blocks. */
-struct CampaignArena
+ * blocks. Aligned like the Monte-Carlo arena so the v_safe
+ * kernel's stride loads never split a cache line. */
+struct alignas(64) CampaignArena
 {
     static constexpr std::size_t cap =
         sim::MonteCarloAnalyzer::kernelBlock;

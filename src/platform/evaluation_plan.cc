@@ -7,7 +7,83 @@
 
 #include <cfloat>
 
+#include "simd/simd.hh"
+
 namespace uavf1::platform {
+
+namespace {
+
+/**
+ * Width-W stride body of tryEvaluateBlock over `n` samples
+ * (`n % W == 0` — the dispatcher splits off the tail and runs it
+ * through the W = 1 instantiation). Mirrors the scalar attainable()
+ * expression for expression; ceiling slots ride in double lanes
+ * (they are < 2^32, exactly representable) and narrow per lane at
+ * the store, matching the scalar path's integer writes.
+ */
+template <std::size_t W>
+bool
+evaluateStrides(double compute_roof, double compute_slot_d,
+                std::size_t levels, const double *bwf,
+                const double *traffic, const std::uint8_t *is_unit,
+                const std::uint32_t *mem_slot, const double *ai,
+                std::size_t n, double *attainable,
+                std::uint32_t *slot)
+{
+    using P = simd::Pack<double, W>;
+    const P zero = P::broadcast(0.0);
+    const P ai_cap = P::broadcast(1e300);
+    const P huge = P::broadcast(DBL_MAX);
+    const P croof = P::broadcast(compute_roof);
+    const P cslot = P::broadcast(compute_slot_d);
+    bool ok = true;
+
+    for (std::size_t i = 0; i + W <= n; i += W) {
+        const P a = P::load(ai + i);
+        ok = ok && allTrue((a > zero) & (a <= ai_cap));
+
+        // Strict-< first-wins argmin over the dense levels; the
+        // first level initializes, exactly like the scalar loop's
+        // !memory_found clause.
+        P mroof = zero;
+        P mslot = zero;
+        for (std::size_t l = 0; l < levels; ++l) {
+            const P level_ai =
+                is_unit[l] ? a : a / P::broadcast(traffic[l]);
+            const P roof = level_ai * P::broadcast(bwf[l]);
+            const P lslot = P::broadcast(
+                static_cast<double>(mem_slot[l]));
+            if (l == 0) {
+                mroof = roof;
+                mslot = lslot;
+            } else {
+                const auto m = roof < mroof;
+                mroof = select(m, roof, mroof);
+                mslot = select(m, lslot, mslot);
+            }
+        }
+
+        P bound = croof;
+        P binding = cslot;
+        if (levels > 0) {
+            const auto cm = croof <= mroof;
+            bound = select(cm, croof, mroof);
+            binding = select(cm, cslot, mslot);
+        }
+        bound.store(attainable + i);
+        double lanes[W];
+        binding.store(lanes);
+        for (std::size_t l = 0; l < W; ++l)
+            slot[i + l] = static_cast<std::uint32_t>(lanes[l]);
+        // !(bound <= DBL_MAX) catches +inf and NaN; bounds are
+        // products of positives, so -inf cannot occur — the same
+        // set the scalar path's isfinite() check rejects.
+        ok = ok && allTrue(bound <= huge);
+    }
+    return ok;
+}
+
+} // namespace
 
 EvaluationPlan::EvaluationPlan(const RooflinePlatform &platform,
                                const WorkloadProfile &profile)
@@ -136,41 +212,25 @@ EvaluationPlan::tryEvaluateBlock(std::size_t op, const double *ai,
     // level_ai = traffic == 1 ? ai : ai / traffic, roof = level_ai *
     // (bandwidth * frequency) with the product pre-folded, argmin by
     // strict <, compute binds iff no memory level exists or
-    // compute_roof <= memory_roof.
-    bool ok = true;
-    for (std::size_t i = 0; i < n; ++i) {
-        const double a = ai[i];
-        ok = ok && a > 0.0 && a <= 1e300;
-        bool memory_found = false;
-        double memory_roof = 0.0;
-        std::uint32_t memory_slot = 0;
-        for (std::size_t l = 0; l < levels; ++l) {
-            const double level_ai =
-                is_unit[l] ? a : a / traffic[l];
-            const double roof = level_ai * bwf[l];
-            if (!memory_found || roof < memory_roof) {
-                memory_found = true;
-                memory_roof = roof;
-                memory_slot = mem_slot[l];
-            }
-        }
-        double bound;
-        std::uint32_t binding;
-        if (!memory_found || compute_roof <= memory_roof) {
-            bound = compute_roof;
-            binding = compute_slot;
-        } else {
-            bound = memory_roof;
-            binding = memory_slot;
-        }
-        attainable[i] = bound;
-        slot[i] = binding;
-        // !(bound <= DBL_MAX) catches +inf and NaN; bounds are
-        // products of positives, so -inf cannot occur — the same
-        // set the scalar path's isfinite() check rejects.
-        ok = ok && bound <= DBL_MAX;
+    // compute_roof <= memory_roof. See evaluateStrides for the
+    // width-invariance argument.
+    const double compute_slot_d =
+        static_cast<double>(compute_slot);
+    if (simd::useNative()) {
+        constexpr std::size_t W = simd::nativeWidth;
+        const std::size_t main = n - n % W;
+        bool ok = evaluateStrides<W>(
+            compute_roof, compute_slot_d, levels, bwf, traffic,
+            is_unit, mem_slot, ai, main, attainable, slot);
+        return evaluateStrides<1>(compute_roof, compute_slot_d,
+                                  levels, bwf, traffic, is_unit,
+                                  mem_slot, ai + main, n - main,
+                                  attainable + main, slot + main) &&
+               ok;
     }
-    return ok;
+    return evaluateStrides<1>(compute_roof, compute_slot_d, levels,
+                              bwf, traffic, is_unit, mem_slot, ai,
+                              n, attainable, slot);
 }
 
 void

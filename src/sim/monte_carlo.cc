@@ -23,6 +23,7 @@
 
 #include "core/f1_batch.hh"
 #include "platform/evaluation_plan.hh"
+#include "simd/pack.hh"
 #include "support/errors.hh"
 #include "support/rng.hh"
 #include "support/validate.hh"
@@ -200,11 +201,15 @@ drawFactor(const PerturbParams &p, Rng &rng)
 }
 
 /** Per-slot scratch for the batched run: one sub-batch of SoA
- * lanes plus the plan scratch, reused across blocks. */
-struct Arena
+ * lanes plus the plan scratch, reused across blocks. Aligned to
+ * the widest vector the build could select so the kernels' stride
+ * loads never split a cache line. */
+struct alignas(64) Arena
 {
     static constexpr std::size_t cap =
         MonteCarloAnalyzer::kernelBlock;
+    static_assert(cap % simd::nativeWidth == 0,
+                  "native width must divide the kernel block");
     double aMax[cap];
     double range[cap];
     double aiScale[cap];

@@ -1,0 +1,50 @@
+#include "simd/simd.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace uavf1::simd {
+
+namespace {
+
+Mode
+modeFromEnvironment()
+{
+    const char *raw = std::getenv("UAVF1_SIMD");
+    if (raw == nullptr || *raw == '\0')
+        return Mode::Native;
+    if (std::strcmp(raw, "scalar") == 0)
+        return Mode::Scalar;
+    if (std::strcmp(raw, "native") == 0)
+        return Mode::Native;
+    std::fprintf(stderr,
+                 "uavf1: ignoring UAVF1_SIMD=%s (expected "
+                 "\"scalar\" or \"native\"); using native\n",
+                 raw);
+    return Mode::Native;
+}
+
+std::atomic<Mode> &
+modeCell()
+{
+    static std::atomic<Mode> cell{modeFromEnvironment()};
+    return cell;
+}
+
+} // namespace
+
+Mode
+activeMode()
+{
+    return modeCell().load(std::memory_order_relaxed);
+}
+
+void
+setMode(Mode mode)
+{
+    modeCell().store(mode, std::memory_order_relaxed);
+}
+
+} // namespace uavf1::simd

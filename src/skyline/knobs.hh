@@ -14,6 +14,7 @@
  * | payload weight | g | compute + sensors + battery payload |
  * | platform | - | roofline platform preset (ceiling attribution) |
  * | operating point | - | DVFS operating point of that preset |
+ * | pipeline | - | named SPA stage pipeline (overrides algorithm) |
  */
 
 #ifndef UAVF1_SKYLINE_KNOBS_HH
@@ -63,6 +64,14 @@ struct Knobs
     /** DVFS operating point of the platform preset (name); empty =
      * nominal. Only meaningful when `platform` is set. */
     std::string operatingPoint;
+    /**
+     * Named SPA stage pipeline from workload::standardPipelines()
+     * (e.g. "MAVBench package delivery (TX2) + Navion SLAM"). When
+     * set together with `platform`, the platform path evaluates this
+     * pipeline per stage instead of the `algorithm` knob's standard
+     * pipeline mapping. Empty (default): the algorithm mapping.
+     */
+    std::string pipeline;
 };
 
 } // namespace uavf1::skyline

@@ -111,6 +111,15 @@ SkylineSession::set(const std::string &name, const std::string &value)
         _knobs.operatingPoint = grammarSafe("operating_point", value);
         return;
     }
+    if (key == "pipeline") {
+        const std::string pipeline = grammarSafe("pipeline", value);
+        // Validate eagerly against the pipeline registry, same
+        // treatment as the platform knob.
+        if (!pipeline.empty())
+            (void)workload::standardPipelines().byName(pipeline);
+        _knobs.pipeline = pipeline;
+        return;
+    }
 
     const double number = parseNumber(key, trim(value));
     if (key == "sensor_framerate") {
@@ -154,6 +163,7 @@ SkylineSession::knobNames()
         "compute_runtime", "sensor_range", "drone_weight",
         "rotor_pull", "payload_weight", "control_rate",
         "knee_fraction", "platform", "operating_point",
+        "pipeline",
     };
 }
 
@@ -163,6 +173,14 @@ SkylineSession::rooflinePlatform() const
     if (_knobs.platform.empty())
         return std::nullopt;
     return rooflinePresets().byName(_knobs.platform);
+}
+
+std::optional<workload::SpaPipeline>
+SkylineSession::stagePipeline(const std::string &algorithm_name) const
+{
+    if (!_knobs.pipeline.empty())
+        return workload::standardPipelines().byName(_knobs.pipeline);
+    return workload::standardPipelineFor(algorithm_name);
 }
 
 std::size_t
@@ -242,8 +260,7 @@ SkylineSession::model() const
         }
         const auto &algorithm = algorithms.byName(_knobs.algorithm);
         const std::size_t op_index = operatingPointIndex(*machine);
-        if (const auto pipeline =
-                workload::standardPipelineFor(algorithm.name())) {
+        if (const auto pipeline = stagePipeline(algorithm.name())) {
             const workload::StagePipelineEvaluator evaluator(
                 *pipeline, *machine);
             const workload::PipelineBound bound =
@@ -286,9 +303,9 @@ SkylineSession::analyze() const
     }
     if (const auto machine = rooflinePlatform()) {
         // Per-stage breakdown for algorithms with a standard SPA
-        // pipeline (model() above already validated the algorithm).
-        if (const auto pipeline =
-                workload::standardPipelineFor(_knobs.algorithm)) {
+        // pipeline — or for the explicitly selected pipeline knob
+        // (model() above already validated the algorithm).
+        if (const auto pipeline = stagePipeline(_knobs.algorithm)) {
             const workload::StagePipelineEvaluator evaluator(
                 *pipeline, *machine);
             const workload::PipelineBound bound = evaluator.evaluate(
@@ -432,6 +449,8 @@ SkylineSession::saveConfig() const
         out += "platform = " + _knobs.platform + "\n";
     if (!_knobs.operatingPoint.empty())
         out += "operating_point = " + _knobs.operatingPoint + "\n";
+    if (!_knobs.pipeline.empty())
+        out += "pipeline = " + _knobs.pipeline + "\n";
     return out;
 }
 
@@ -459,7 +478,7 @@ SkylineSession::sweep(const std::string &knob, double from,
         throw ModelError("sweep requires at least 2 steps");
     const std::string key = toLower(trim(knob));
     if (key == "algorithm" || key == "platform" ||
-        key == "operating_point") {
+        key == "operating_point" || key == "pipeline") {
         throw ModelError("cannot sweep the non-numeric knob '" +
                          key + "'");
     }

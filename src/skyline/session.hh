@@ -20,6 +20,7 @@
 #include "platform/roofline_platform.hh"
 #include "skyline/knobs.hh"
 #include "thermal/heatsink.hh"
+#include "workload/spa_pipeline.hh"
 
 namespace uavf1::skyline {
 
@@ -91,7 +92,7 @@ class SkylineSession
      * (case-insensitive): sensor_framerate, compute_tdp, algorithm,
      * compute_runtime, sensor_range, drone_weight, rotor_pull,
      * payload_weight, control_rate, knee_fraction, platform,
-     * operating_point.
+     * operating_point, pipeline.
      *
      * The `platform` knob routes the session through a roofline
      * platform preset: it is validated eagerly against the catalog
@@ -104,6 +105,12 @@ class SkylineSession
      * carries a stage-by-stage latency/binding breakdown. The TDP
      * knob then follows the `operating_point`. An empty value
      * returns to the legacy compute_runtime path.
+     *
+     * The `pipeline` knob selects a named SPA stage pipeline from
+     * workload::standardPipelines() (validated eagerly, with "did
+     * you mean" suggestions), overriding the algorithm's standard
+     * pipeline mapping on the platform path. An empty value returns
+     * to the algorithm mapping.
      *
      * @throws ModelError for unknown names or unparsable values
      */
@@ -191,6 +198,15 @@ class SkylineSession
     std::size_t
     operatingPointIndex(const platform::RooflinePlatform &machine)
         const;
+
+    /**
+     * The SPA stage pipeline the platform path should evaluate: the
+     * `pipeline` knob's registry entry when set, else the standard
+     * pipeline mapped from the algorithm name (nothing for
+     * algorithms without one).
+     */
+    std::optional<workload::SpaPipeline>
+    stagePipeline(const std::string &algorithm_name) const;
 
     Knobs _knobs;
     thermal::HeatsinkModel _heatsink;

@@ -19,6 +19,8 @@
 #include <cfloat>
 #include <limits>
 
+#include "simd/simd.hh"
+
 namespace uavf1::workload {
 
 namespace {
@@ -193,20 +195,42 @@ StagePipelinePlan::StagePipelinePlan(
     }
 }
 
+/**
+ * Width-W body over `n % W == 0` samples. Every per-sample loop of
+ * the scalar form becomes a stride-W loop of correctly-rounded
+ * lane-local ops with the scalar ternaries as select() on compare
+ * masks, so the W = 1 and W = nativeWidth instantiations produce
+ * the same bits (simd/pack.hh). Slots ride in double lanes; the
+ * measured sentinel ~0u is 4294967295.0 exactly, and the narrowing
+ * back to uint32 happens per lane in the scalar epilogue.
+ *
+ * The dispatcher may split one caller block across a W-stride call
+ * and a W = 1 tail call; that is output-equivalent to the single
+ * scalar block: per-sample outputs are independent, tallies and the
+ * ok flag are additive/commutative, and the whole-block fast path
+ * agrees bit-for-bit with the slow path inside its interval (the
+ * constructor derives it from the kernel's own predicates), so
+ * gating it per sub-block cannot change results.
+ */
+template <std::size_t W>
 bool
-StagePipelinePlan::tryEvaluateBlock(
+StagePipelinePlan::evaluateStrided(
     std::size_t op_index, bool measured_first,
     const double *ai_scale, std::size_t n, double *throughput_hz,
     std::uint32_t *bottleneck_slot,
     std::uint64_t *stage_kind_counts, Scratch &scratch) const
 {
+    using P = simd::Pack<double, W>;
     if (n == 0)
         return true;
-    if (n > blockSize || op_index >= _opCount)
-        return false;
 
     const bool measured_wins =
         measured_first && _onMeasuredPlatform && op_index == 0;
+
+    const P zero = P::broadcast(0.0);
+    const P huge = P::broadcast(DBL_MAX);
+    const P mslotd =
+        P::broadcast(static_cast<double>(measuredSlot));
 
     // Whole-block fast path: when every scale lands inside the
     // precomputed all-compute-bound interval, the result is the
@@ -216,10 +240,12 @@ StagePipelinePlan::tryEvaluateBlock(
     const double fast_lo = _fastLo[op_index];
     const double fast_hi = _fastHi[op_index];
     if (!measured_wins && fast_lo <= fast_hi) {
+        const P plo = P::broadcast(fast_lo);
+        const P phi = P::broadcast(fast_hi);
         bool fast = true;
-        for (std::size_t i = 0; i < n; ++i) {
-            const double as = ai_scale[i];
-            fast = fast && as >= fast_lo && as <= fast_hi;
+        for (std::size_t i = 0; i + W <= n; i += W) {
+            const P as = P::load(ai_scale + i);
+            fast = fast && allTrue((as >= plo) & (as <= phi));
         }
         if (fast) {
             const double fast_throughput =
@@ -241,12 +267,12 @@ StagePipelinePlan::tryEvaluateBlock(
     // evaluateInto()'s aiScale precondition, accumulated branch-only
     // (> 0 rejects NaN and non-positives, <= DBL_MAX rejects +inf).
     bool ok = true;
-    for (std::size_t i = 0; i < n; ++i) {
-        const double as = ai_scale[i];
-        ok = ok && as > 0.0 && as <= DBL_MAX;
-        scratch.total[i] = 0.0;
-        scratch.bottleneckLat[i] = 0.0;
-        scratch.bottleneckSlot[i] = measuredSlot;
+    for (std::size_t i = 0; i + W <= n; i += W) {
+        const P as = P::load(ai_scale + i);
+        ok = ok && allTrue((as > zero) & (as <= huge));
+        zero.store(scratch.total + i);
+        zero.store(scratch.bottleneckLat + i);
+        mslotd.store(scratch.bottleneckSlotD + i);
     }
 
     const double *scaled =
@@ -259,12 +285,17 @@ StagePipelinePlan::tryEvaluateBlock(
                 measured_wins ? _measured[s] : scaled[s];
             ok = ok && lat > 0.0 && lat <= DBL_MAX;
             stage_kind_counts[s * 3 + 2] += n;
-            for (std::size_t i = 0; i < n; ++i) {
-                scratch.total[i] += lat;
-                if (lat > scratch.bottleneckLat[i]) {
-                    scratch.bottleneckLat[i] = lat;
-                    scratch.bottleneckSlot[i] = measuredSlot;
-                }
+            const P plat = P::broadcast(lat);
+            for (std::size_t i = 0; i + W <= n; i += W) {
+                (P::load(scratch.total + i) + plat)
+                    .store(scratch.total + i);
+                const P bl = P::load(scratch.bottleneckLat + i);
+                const auto bm = plat > bl;
+                select(bm, plat, bl)
+                    .store(scratch.bottleneckLat + i);
+                select(bm, mslotd,
+                       P::load(scratch.bottleneckSlotD + i))
+                    .store(scratch.bottleneckSlotD + i);
             }
             continue;
         }
@@ -273,13 +304,18 @@ StagePipelinePlan::tryEvaluateBlock(
         // clock-scaled measurement on the measured platform.
         const platform::EvaluationPlan &plan =
             _plans[_planIndex[s]];
-        const double base_ai = _baseAi[s];
-        for (std::size_t i = 0; i < n; ++i)
-            scratch.ai[i] = base_ai * ai_scale[i];
+        const P pbase = P::broadcast(_baseAi[s]);
+        for (std::size_t i = 0; i + W <= n; i += W)
+            (pbase * P::load(ai_scale + i)).store(scratch.ai + i);
         ok = plan.tryEvaluateBlock(op_index, scratch.ai, n,
                                    scratch.attainable,
                                    scratch.ceilingSlot) &&
              ok;
+        // Widen the plan's slots once; every comparison below stays
+        // in the double domain (slots are < 2^32, exact).
+        for (std::size_t i = 0; i < n; ++i)
+            scratch.ceilingSlotD[i] =
+                static_cast<double>(scratch.ceilingSlot[i]);
 
         const double work = _workGop[s];
         const double floor_lat = scaled[s];
@@ -301,32 +337,53 @@ StagePipelinePlan::tryEvaluateBlock(
         const bool compute_ok =
             compute_lat > 0.0 && compute_lat <= DBL_MAX;
 
+        const P cslotd =
+            P::broadcast(static_cast<double>(compute_slot));
+        const P cres =
+            P::broadcast(static_cast<double>(compute_resolved));
+        const P clat = P::broadcast(compute_lat);
+        const P pwork = P::broadcast(work);
+        const P pfloor = P::broadcast(floor_lat);
+
         std::uint64_t n_compute = 0;
         std::uint64_t k_memory = 0;
         std::uint64_t k_measured = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            double lat;
-            std::uint32_t slot;
-            if (scratch.ceilingSlot[i] == compute_slot) {
-                lat = compute_lat;
-                slot = compute_resolved;
-                ++n_compute;
-            } else {
-                lat = work / scratch.attainable[i];
-                slot = scratch.ceilingSlot[i];
-                if (floored && lat < floor_lat) {
-                    lat = floor_lat;
-                    slot = measuredSlot;
-                }
-                ok = ok && lat > 0.0 && lat <= DBL_MAX;
-                k_measured += slot == measuredSlot;
-                k_memory += slot != measuredSlot;
+        for (std::size_t i = 0; i + W <= n; i += W) {
+            const P slotd = P::load(scratch.ceilingSlotD + i);
+            const auto cm = slotd == cslotd;
+            // Memory-bound lanes pay the division; compute lanes
+            // compute it too but discard it in the select (the op
+            // is lane-local and side-effect-free, so the unused
+            // lanes cannot perturb anything).
+            P else_lat = pwork / P::load(scratch.attainable + i);
+            P else_slot = slotd;
+            if (floored) {
+                const auto fm = else_lat < pfloor;
+                else_lat = select(fm, pfloor, else_lat);
+                else_slot = select(fm, mslotd, else_slot);
             }
-            scratch.total[i] += lat;
-            if (lat > scratch.bottleneckLat[i]) {
-                scratch.bottleneckLat[i] = lat;
-                scratch.bottleneckSlot[i] = slot;
-            }
+            // Validation applies to memory-bound lanes only; the
+            // compute lane's single check happens once below.
+            ok = ok &&
+                 allTrue(cm | ((else_lat > zero) &
+                               (else_lat <= huge)));
+            const std::size_t lanes_compute = count(cm);
+            const std::size_t lanes_measured =
+                count(andnot(cm, else_slot == mslotd));
+            n_compute += lanes_compute;
+            k_measured += lanes_measured;
+            k_memory += W - lanes_compute - lanes_measured;
+
+            const P lat = select(cm, clat, else_lat);
+            const P slot = select(cm, cres, else_slot);
+            (P::load(scratch.total + i) + lat)
+                .store(scratch.total + i);
+            const P bl = P::load(scratch.bottleneckLat + i);
+            const auto bm = lat > bl;
+            select(bm, lat, bl).store(scratch.bottleneckLat + i);
+            select(bm, slot,
+                   P::load(scratch.bottleneckSlotD + i))
+                .store(scratch.bottleneckSlotD + i);
         }
         ok = ok && (n_compute == 0 || compute_ok);
         if (compute_resolved == measuredSlot)
@@ -337,11 +394,45 @@ StagePipelinePlan::tryEvaluateBlock(
         stage_kind_counts[s * 3 + 2] += k_measured;
     }
 
-    for (std::size_t i = 0; i < n; ++i) {
-        throughput_hz[i] = 1.0 / scratch.total[i];
-        bottleneck_slot[i] = scratch.bottleneckSlot[i];
-    }
+    const P one = P::broadcast(1.0);
+    for (std::size_t i = 0; i + W <= n; i += W)
+        (one / P::load(scratch.total + i))
+            .store(throughput_hz + i);
+    for (std::size_t i = 0; i < n; ++i)
+        bottleneck_slot[i] = static_cast<std::uint32_t>(
+            scratch.bottleneckSlotD[i]);
     return ok;
+}
+
+bool
+StagePipelinePlan::tryEvaluateBlock(
+    std::size_t op_index, bool measured_first,
+    const double *ai_scale, std::size_t n, double *throughput_hz,
+    std::uint32_t *bottleneck_slot,
+    std::uint64_t *stage_kind_counts, Scratch &scratch) const
+{
+    if (n == 0)
+        return true;
+    if (n > blockSize || op_index >= _opCount)
+        return false;
+
+    if (simd::useNative()) {
+        constexpr std::size_t W = simd::nativeWidth;
+        const std::size_t main = n - n % W;
+        bool ok = evaluateStrided<W>(
+            op_index, measured_first, ai_scale, main,
+            throughput_hz, bottleneck_slot, stage_kind_counts,
+            scratch);
+        return evaluateStrided<1>(
+                   op_index, measured_first, ai_scale + main,
+                   n - main, throughput_hz + main,
+                   bottleneck_slot + main, stage_kind_counts,
+                   scratch) &&
+               ok;
+    }
+    return evaluateStrided<1>(op_index, measured_first, ai_scale,
+                              n, throughput_hz, bottleneck_slot,
+                              stage_kind_counts, scratch);
 }
 
 void

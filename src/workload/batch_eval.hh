@@ -58,15 +58,21 @@ class StagePipelinePlan
 
     /** Caller-owned SoA scratch for one block; reuse across calls
      * (e.g. one per parallel slot) so the hot loop never
-     * allocates. */
-    struct Scratch
+     * allocates. Opaque to callers — the layout serves the kernel:
+     * ceiling/bottleneck slots ride in double lanes (every slot is
+     * < 2^32, hence exactly representable) so the select chains stay
+     * in one vector domain, narrowing to uint32 only at the final
+     * scalar store. Aligned to the widest vector the build could
+     * select. */
+    struct alignas(64) Scratch
     {
         double ai[blockSize];
         double attainable[blockSize];
         std::uint32_t ceilingSlot[blockSize];
+        double ceilingSlotD[blockSize];
         double total[blockSize];
         double bottleneckLat[blockSize];
-        std::uint32_t bottleneckSlot[blockSize];
+        double bottleneckSlotD[blockSize];
     };
 
     /** @throws ModelError exactly when StagePipelineEvaluator's
@@ -129,6 +135,19 @@ class StagePipelinePlan
                          std::size_t n) const;
 
   private:
+    /** Width-W body of tryEvaluateBlock over `n % W == 0` samples;
+     * the public entry splits off the tail for the W = 1
+     * instantiation (see simd/pack.hh for the width-invariance
+     * contract). Defined in the implementation file; both needed
+     * instantiations are referenced there. */
+    template <std::size_t W>
+    bool evaluateStrided(std::size_t op_index, bool measured_first,
+                         const double *ai_scale, std::size_t n,
+                         double *throughput_hz,
+                         std::uint32_t *bottleneck_slot,
+                         std::uint64_t *stage_kind_counts,
+                         Scratch &scratch) const;
+
     StagePipelineEvaluator _evaluator;
     std::size_t _stageCount = 0;
     std::size_t _computeCeilingCount = 0;

@@ -192,4 +192,22 @@ standardPipelineFor(const std::string &algorithm_name)
     return std::nullopt;
 }
 
+const components::Registry<SpaPipeline> &
+standardPipelines()
+{
+    // Immutable and deterministic, so the C++11 thread-safe static
+    // init makes concurrent readers safe.
+    static const components::Registry<SpaPipeline> pipelines = [] {
+        components::Registry<SpaPipeline> registry;
+        registry.add(SpaPipeline::mavbenchPackageDeliveryTx2());
+        registry.add(
+            SpaPipeline::mavbenchPackageDeliveryTx2()
+                .withStageLatency("SLAM",
+                                  SpaPipeline::navionSlamLatency(),
+                                  " + Navion SLAM"));
+        return registry;
+    }();
+    return pipelines;
+}
+
 } // namespace uavf1::workload

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "components/registry.hh"
 #include "units/units.hh"
 #include "workload/algorithm.hh"
 
@@ -159,6 +160,19 @@ class SpaPipeline
  */
 std::optional<SpaPipeline>
 standardPipelineFor(const std::string &algorithm_name);
+
+/**
+ * Name-keyed registry of the standard stage pipelines, for sessions
+ * that select a pipeline explicitly (the `pipeline=` knob) instead
+ * of through the algorithm mapping. Built once per process; entries:
+ *
+ *   - "MAVBench package delivery (TX2)" — the measured baseline
+ *   - "MAVBench package delivery (TX2) + Navion SLAM" — the paper's
+ *     Section VII what-if, SLAM swapped for Navion's 172 FPS kernel
+ *
+ * Unknown lookups throw ModelError with "did you mean" suggestions.
+ */
+const components::Registry<SpaPipeline> &standardPipelines();
 
 } // namespace uavf1::workload
 

@@ -70,7 +70,7 @@ TEST(Session, RejectsUnknownKnobAndBadValues)
     EXPECT_THROW(session.set("compute_tdp", "alot"), ModelError);
     EXPECT_THROW(session.set("compute_tdp", "30W"), ModelError);
     EXPECT_THROW(session.set("compute_tdp", "-3"), ModelError);
-    EXPECT_EQ(SkylineSession::knobNames().size(), 12u);
+    EXPECT_EQ(SkylineSession::knobNames().size(), 13u);
 }
 
 TEST(Session, PlatformKnobRoutesComputeThroughTheCeilingFamily)
@@ -184,6 +184,87 @@ TEST(Session, PlatformKnobsRoundTripThroughConfig)
     EXPECT_EQ(restored.saveConfig(), session.saveConfig());
     EXPECT_EQ(restored.knobs().platform, "Nvidia TX2");
     EXPECT_EQ(restored.knobs().operatingPoint, "dvfs-floor");
+}
+
+TEST(Session, PipelineKnobSelectsRegistryEntry)
+{
+    SkylineSession session;
+    session.set("platform", "Nvidia TX2");
+    session.set("algorithm", "SPA package delivery");
+    // Default: the algorithm's standard pipeline — the paper's
+    // 909 ms MAVBench baseline at 1.1 Hz.
+    EXPECT_NEAR(session.model().inputs().computeRate.value(), 1.1,
+                0.01);
+
+    // Selecting the Navion variant swaps the SLAM stage for the
+    // 172 FPS kernel: 810 ms end-to-end, 1.23 Hz (Section VII).
+    session.set("pipeline",
+                "MAVBench package delivery (TX2) + Navion SLAM");
+    EXPECT_NEAR(session.model().inputs().computeRate.value(), 1.2346,
+                0.001);
+    const Analysis analysis = session.analyze();
+    ASSERT_FALSE(analysis.stages.empty());
+    bool found_slam = false;
+    for (const auto &row : analysis.stages) {
+        if (row.stage == "SLAM") {
+            found_slam = true;
+            EXPECT_NEAR(row.latencyMs, 1000.0 / 172.0, 1e-6);
+            EXPECT_FALSE(row.bottleneck);
+        }
+    }
+    EXPECT_TRUE(found_slam);
+
+    // The knob overrides the algorithm mapping outright: DroNet has
+    // no standard pipeline, but the explicit selection evaluates
+    // anyway (instead of the oracle's measured 178 Hz).
+    session.set("algorithm", "DroNet");
+    EXPECT_NEAR(session.model().inputs().computeRate.value(), 1.2346,
+                0.001);
+
+    // Clearing the knob returns to the algorithm mapping.
+    session.set("pipeline", "");
+    EXPECT_DOUBLE_EQ(session.model().inputs().computeRate.value(),
+                     178.0);
+}
+
+TEST(Session, PipelineKnobValidatesEagerlyWithSuggestions)
+{
+    SkylineSession session;
+    try {
+        session.set("pipeline", "MAVBench package delivery (TX3)");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("did you mean"),
+                  std::string::npos);
+        EXPECT_NE(
+            std::string(e.what()).find(
+                "MAVBench package delivery (TX2)"),
+            std::string::npos);
+    }
+    // The knob never landed, so the session is unchanged.
+    EXPECT_TRUE(session.knobs().pipeline.empty());
+    // Config-grammar characters are rejected up front, and the
+    // non-numeric knob cannot be swept.
+    EXPECT_THROW(session.set("pipeline", "bad # name"), ModelError);
+    EXPECT_THROW(session.sweep("pipeline", 0.0, 1.0, 3), ModelError);
+}
+
+TEST(Session, PipelineKnobRoundTripsThroughConfig)
+{
+    SkylineSession session;
+    // No pipeline line unless the knob is set.
+    EXPECT_EQ(session.saveConfig().find("pipeline"),
+              std::string::npos);
+
+    session.set("platform", "Nvidia TX2");
+    session.set("algorithm", "SPA package delivery");
+    session.set("pipeline",
+                "MAVBench package delivery (TX2) + Navion SLAM");
+    SkylineSession restored;
+    restored.loadConfig(session.saveConfig());
+    EXPECT_EQ(restored.saveConfig(), session.saveConfig());
+    EXPECT_EQ(restored.knobs().pipeline,
+              "MAVBench package delivery (TX2) + Navion SLAM");
 }
 
 TEST(Session, SweepCarriesBindingAttribution)

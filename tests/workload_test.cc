@@ -80,6 +80,36 @@ TEST(SpaPipeline, NavionSubstitutionMatchesPaper)
                 1.0 / 172.0, 1e-12);
 }
 
+TEST(SpaPipeline, StandardRegistryContents)
+{
+    const auto &pipelines = standardPipelines();
+    EXPECT_EQ(pipelines.size(), 2u);
+    EXPECT_TRUE(
+        pipelines.contains("MAVBench package delivery (TX2)"));
+
+    // The Navion entry matches the paper's Section VII what-if:
+    // SLAM replaced by the 172 FPS kernel, 810 ms end-to-end.
+    const auto &navion = pipelines.byName(
+        "MAVBench package delivery (TX2) + Navion SLAM");
+    EXPECT_NEAR(navion.totalLatency().value(), 0.810, 0.002);
+    EXPECT_EQ(navion.measuredOn(), "Nvidia TX2");
+
+    // Unknown names get the catalog's did-you-mean treatment.
+    try {
+        (void)pipelines.byName("MAVBench package delivery (TX1)");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("did you mean"),
+                  std::string::npos);
+    }
+
+    // The algorithm mapping and the registry agree on the baseline.
+    const auto mapped = standardPipelineFor("SPA package delivery");
+    ASSERT_TRUE(mapped.has_value());
+    EXPECT_EQ(mapped->name(),
+              pipelines.items().front().name());
+}
+
 TEST(SpaPipeline, BottleneckIsThePlanner)
 {
     const auto pipeline = SpaPipeline::mavbenchPackageDeliveryTx2();

@@ -13,6 +13,11 @@ baseline and exits non-zero when
 Reference-path timings are reported but never gated: the scalar
 oracle's speed is not a property this repo defends.
 
+Bootstrap mode: when the baseline file does not exist yet — a brand
+new benchmark landing in the same PR as its first baseline — the
+gate warns and passes instead of crashing, but still fails on
+``bit_identical: false`` (correctness does not bootstrap).
+
 Usage:
     tools/check_perf.py CURRENT BASELINE [--threshold 0.25]
 """
@@ -36,8 +41,30 @@ def main() -> int:
 
     with open(args.current) as handle:
         current = json.load(handle)
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(
+            "WARNING: no committed baseline at %s — bootstrap mode, "
+            "timings not gated this run. Commit the current artifact "
+            "as the baseline to arm the gate." % args.baseline,
+            file=sys.stderr,
+        )
+        for key in sorted(current):
+            if key.endswith("_ns_per_eval"):
+                print("%-36s %8.2f ns (no baseline)"
+                      % (key, current[key]))
+        if current.get("bit_identical") is not True:
+            print(
+                "\nFAIL:\n  - bit_identical is %r — batch kernels "
+                "diverged from the scalar oracle"
+                % (current.get("bit_identical"),),
+                file=sys.stderr,
+            )
+            return 1
+        print("\nperf gate passed (bootstrap: no baseline)")
+        return 0
 
     failures = []
 
