@@ -119,6 +119,37 @@ mixedCampaignSpec()
     return spec;
 }
 
+/**
+ * Stage-scoped platform-fault campaign on the accelerated Navion
+ * family: ECC fallback derates the SLAM accelerator class and cache
+ * contention inflates per-stage DRAM traffic. Platform faults with
+ * a pipeline exercise the precomputed per-(mask, stage) variant
+ * tables — the run() path indexes them per sample instead of
+ * re-evaluating the roofline, which is exactly what this case gates.
+ */
+fault::CampaignSpec
+stageCampaignSpec()
+{
+    const auto catalog = components::Catalog::standard();
+    const auto algorithms = workload::annotatedAlgorithms();
+    const auto &spa = algorithms.byName("SPA package delivery");
+    const platform::RooflinePlatform &navion =
+        catalog.rooflines().byName("TX2-CPU + Navion");
+
+    fault::CampaignSpec spec;
+    spec.nominal = studies::pelicanInputs(units::Hertz(20.0));
+    spec.platform = navion;
+    spec.profile = workload::workloadProfile(spa, navion);
+    spec.workPerFrameGop = spa.workPerFrameGop();
+    spec.pipeline =
+        workload::SpaPipeline::mavbenchPackageDeliveryTx2();
+    spec.faults = fault::findFaultSuite("ecc-fallback").faults;
+    for (const fault::FaultSpec &fault :
+         fault::findFaultSuite("cache-contention").faults)
+        spec.faults.push_back(fault);
+    return spec;
+}
+
 bool
 identical(const sim::UncertaintyResult &a,
           const sim::UncertaintyResult &b)
@@ -138,6 +169,18 @@ bool
 identical(const fault::CampaignResult &a,
           const fault::CampaignResult &b)
 {
+    if (a.stageBindings.size() != b.stageBindings.size())
+        return false;
+    for (std::size_t s = 0; s < a.stageBindings.size(); ++s) {
+        if (a.stageBindings[s].stage != b.stageBindings[s].stage ||
+            a.stageBindings[s].probComputeBound !=
+                b.stageBindings[s].probComputeBound ||
+            a.stageBindings[s].probMemoryBound !=
+                b.stageBindings[s].probMemoryBound ||
+            a.stageBindings[s].probMeasured !=
+                b.stageBindings[s].probMeasured)
+            return false;
+    }
     return a.samples == b.samples &&
            a.abortProbability == b.abortProbability &&
            a.faultActivationRate == b.faultActivationRate &&
@@ -248,10 +291,39 @@ printFigure()
                 mixed_batch_ns, mixed_ref_ns,
                 mixed_ref_ns / mixed_batch_ns);
 
+    // --- Stage-scoped fault campaign -----------------------------
+    // Platform faults scoped to single pipeline stages: the sampler
+    // indexes precomputed per-(mask, stage) variant tables, so this
+    // case gates the table-lookup path the stage-scoped kinds added.
+    const fault::FaultCampaign stage_campaign(stageCampaignSpec());
+    const bool stage_identical =
+        identical(stage_campaign.run(20011, 3, serial),
+                  stage_campaign.runReference(20011, 3, serial));
+    std::printf("  Stage-fault campaign run() vs runReference() "
+                "bit-identical: %s\n",
+                stage_identical ? "yes" : "NO (BUG)");
+
+    (void)stage_campaign.run(missions / 10, 1, serial); // Warm-up.
+    start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        stage_campaign.run(missions, 1, serial).safeVelocity.mean);
+    const double stage_batch_ns =
+        millisSince(start) * 1e6 / missions;
+    start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        stage_campaign.runReference(missions, 1, serial)
+            .safeVelocity.mean);
+    const double stage_ref_ns = millisSince(start) * 1e6 / missions;
+    std::printf("  Stage-fault campaign, 1 thread: batch %.1f "
+                "ns/sample, reference %.1f ns/sample (%.2fx)\n",
+                stage_batch_ns, stage_ref_ns,
+                stage_ref_ns / stage_batch_ns);
+
     bench::note("absolute timings depend on the machine; CI gates "
                 "on the committed baseline with 25% headroom");
 
-    const bool bit_identical = mc_identical && campaign_identical;
+    const bool bit_identical =
+        mc_identical && campaign_identical && stage_identical;
     const std::string path =
         bench::artifactsDir() + "/BENCH_batch_kernels.json";
     std::ofstream json(path);
@@ -271,6 +343,12 @@ printFigure()
          << ",\n"
          << "  \"campaign_speedup\": " << fc_ref_ns / fc_batch_ns
          << ",\n"
+         << "  \"stage_campaign_batch_ns_per_eval\": "
+         << stage_batch_ns << ",\n"
+         << "  \"stage_campaign_reference_ns_per_eval\": "
+         << stage_ref_ns << ",\n"
+         << "  \"stage_campaign_speedup\": "
+         << stage_ref_ns / stage_batch_ns << ",\n"
          << "  \"bit_identical\": "
          << (bit_identical ? "true" : "false") << "\n"
          << "}\n";
@@ -338,6 +416,37 @@ BM_CampaignReference(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 4096);
 }
 BENCHMARK(BM_CampaignReference);
+
+void
+BM_StageCampaignBatch(benchmark::State &state)
+{
+    const fault::FaultCampaign campaign(stageCampaignSpec());
+    exec::ParallelOptions serial;
+    serial.maxThreads = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            campaign.run(4096, 1, serial).safeVelocity.mean);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_StageCampaignBatch);
+
+void
+BM_StageCampaignReference(benchmark::State &state)
+{
+    const fault::FaultCampaign campaign(stageCampaignSpec());
+    exec::ParallelOptions serial;
+    serial.maxThreads = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            campaign.runReference(4096, 1, serial)
+                .safeVelocity.mean);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_StageCampaignReference);
 
 } // namespace
 

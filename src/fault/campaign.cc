@@ -30,13 +30,28 @@ namespace uavf1::fault {
 
 namespace {
 
-/** True for fault kinds evaluated on the platform layer. */
+/** True for fault kinds evaluated on the platform layer. The
+ * stage-scoped kinds belong here: they perturb how one stage sees
+ * the *ceiling family* (through its WorkloadProfile), not the
+ * stage's measured latency, so they ride the platform activation
+ * mask and lower through the per-mask stage tables. */
 bool
 isPlatformFault(FaultKind kind)
 {
     return kind == FaultKind::CeilingDerate ||
            kind == FaultKind::OperatingPointLoss ||
-           kind == FaultKind::ThermalThrottle;
+           kind == FaultKind::ThermalThrottle ||
+           kind == FaultKind::StageCeilingDerate ||
+           kind == FaultKind::StageTrafficInflation;
+}
+
+/** True for the platform-layer kinds that are scoped to one stage's
+ * workload profile rather than the shared ceiling family. */
+bool
+isStageScopedPlatformFault(FaultKind kind)
+{
+    return kind == FaultKind::StageCeilingDerate ||
+           kind == FaultKind::StageTrafficInflation;
 }
 
 /** True for fault kinds evaluated on the SPA pipeline layer. */
@@ -111,6 +126,53 @@ FaultCampaign::FaultCampaign(CampaignSpec spec) : _spec(std::move(spec))
                     "' is out of range for the " +
                     std::string(toString(fault.ceilingKind)) +
                     " ceilings of " + _spec.platform->name());
+            }
+        }
+        for (const std::size_t j : _platformFaults) {
+            const FaultSpec &fault = _spec.faults[j];
+            if (!isStageScopedPlatformFault(fault.kind))
+                continue;
+            if (!_spec.pipeline) {
+                throw ModelError(
+                    "fault '" + fault.name + "' (" +
+                    toString(fault.kind) +
+                    ") is scoped to stage '" + fault.stage +
+                    "', but the campaign has no SPA pipeline "
+                    "configured to resolve the stage against");
+            }
+            bool found = false;
+            bool annotated = false;
+            for (const auto &stage : _spec.pipeline->stages()) {
+                if (stage.name != fault.stage)
+                    continue;
+                found = true;
+                annotated = stage.annotated();
+                break;
+            }
+            if (!found) {
+                // Reuse the pipeline's own unknown-stage diagnostic
+                // (with its did-you-mean hints).
+                (void)_spec.pipeline->withStageLatency(
+                    fault.stage, units::Seconds(1.0), "");
+            }
+            if (!annotated) {
+                throw ModelError(
+                    "stage '" + fault.stage + "' named by fault '" +
+                    fault.name +
+                    "' carries no roofline annotation, so a "
+                    "stage-scoped platform fault cannot reach it "
+                    "(the stage has no workload profile to derate)");
+            }
+            if (fault.kind == FaultKind::StageTrafficInflation) {
+                const std::size_t limit = std::min(
+                    _spec.platform->memoryCeilings().size(),
+                    platform::WorkloadProfile::maxMemoryLevels);
+                if (fault.ceilingIndex >= limit) {
+                    throw ModelError(
+                        "ceilingIndex of fault '" + fault.name +
+                        "' does not name a memory level of " +
+                        _spec.platform->name());
+                }
             }
         }
         precomputePlatformVariants();
@@ -260,8 +322,56 @@ FaultCampaign::precomputePlatformVariants()
         // measured platform); faulted variants drop rule 1 so a
         // throttled clock scales the measurements and a derated
         // ceiling can raise a stage's modeled floor above them.
-        const workload::StagePipelineEvaluator evaluator(
+        workload::StagePipelineEvaluator evaluator(
             *_spec.pipeline, degraded_machine);
+        // Stage-scoped faults lower through the *stage's* profile —
+        // the workload's view of the ceiling family degrades, never
+        // the platform the other stages share. Effects compound in
+        // fault order by transforming the already-overridden
+        // profile, mirroring how latency inflations multiply.
+        for (std::size_t bit = 0; bit < _platformFaults.size();
+             ++bit) {
+            if ((mask & (std::size_t{1} << bit)) == 0)
+                continue;
+            const FaultSpec &fault =
+                _spec.faults[_platformFaults[bit]];
+            if (!isStageScopedPlatformFault(fault.kind))
+                continue;
+            for (std::size_t s = 0; s < _stageCount; ++s) {
+                if (_stageNames[s] != fault.stage)
+                    continue;
+                platform::WorkloadProfile profile =
+                    evaluator.stageProfile(s);
+                if (fault.kind == FaultKind::StageCeilingDerate) {
+                    profile.targetDerate[static_cast<unsigned>(
+                        fault.targetClass)] *= fault.derate;
+                } else {
+                    profile.trafficFraction[fault.ceilingIndex] *=
+                        fault.trafficFactor;
+                }
+                evaluator.overrideStageProfile(s, profile);
+            }
+        }
+        // A derate-0 fault that strips a stage's *only* admitted
+        // roof leaves it with 0 GOPS attainable — the stage cannot
+        // execute at all, so the mission aborts for this fault
+        // combination (the stage-eval spine would otherwise reject
+        // the infinite latency). SLAM-style stages with a fallback
+        // roof never hit this: their derated class just loses ties.
+        bool stage_removed = false;
+        for (std::size_t s = 0; s < _stageCount && !stage_removed;
+             ++s) {
+            if (!evaluator.stageAnnotated(s))
+                continue;
+            stage_removed =
+                degraded_machine
+                    .attainable(evaluator.stageProfile(s), op_index)
+                    .attainable.value() <= 0.0;
+        }
+        if (stage_removed) {
+            _platformVariants.back().aborts = true;
+            continue;
+        }
         workload::StageEvalOptions eval_options;
         eval_options.opIndex = op_index;
         eval_options.measuredFirst = mask == 0;

@@ -26,6 +26,10 @@ toString(FaultKind kind)
         return "stage-failure";
       case FaultKind::SensorDropout:
         return "sensor-dropout";
+      case FaultKind::StageCeilingDerate:
+        return "stage-ceiling-derate";
+      case FaultKind::StageTrafficInflation:
+        return "stage-traffic-inflation";
     }
     return "unknown";
 }
@@ -78,6 +82,34 @@ validateFaultSpec(const FaultSpec &spec)
         if (!(spec.sensorDerate >= 0.0) || spec.sensorDerate > 1.0) {
             throw ModelError("sensorDerate of " + where +
                              " must be in [0, 1]");
+        }
+        break;
+      case FaultKind::StageCeilingDerate:
+        if (trim(spec.stage).empty()) {
+            throw ModelError("stage of " + where +
+                             " must name an SPA stage");
+        }
+        if (!(spec.derate >= 0.0) || spec.derate > 1.0) {
+            throw ModelError("derate of " + where +
+                             " must be in [0, 1]");
+        }
+        if (spec.targetClass == platform::ComputeTarget::General) {
+            throw ModelError(
+                "targetClass of " + where +
+                " cannot be general: general-target ceilings apply "
+                "regardless of the profile mask (pick scalar, simd "
+                "or accelerator)");
+        }
+        break;
+      case FaultKind::StageTrafficInflation:
+        if (trim(spec.stage).empty()) {
+            throw ModelError("stage of " + where +
+                             " must name an SPA stage");
+        }
+        if (!(spec.trafficFactor >= 1.0) ||
+            spec.trafficFactor > 1e6) {
+            throw ModelError("trafficFactor of " + where +
+                             " must be in [1, 1e6]");
         }
         break;
     }
@@ -176,6 +208,61 @@ standardFaultSuites()
             full.probability = 0.05;
             full.sensorDerate = 1.0;
             suite.faults = {partial, full};
+            out.push_back(std::move(suite));
+        }
+
+        {
+            FaultSuite suite;
+            suite.name = "ecc-fallback";
+            suite.description =
+                "stage-scoped platform layer: the SLAM accelerator "
+                "drops to ECC-fallback mode — half peak when "
+                "correctable, the class removed outright when not — "
+                "so the stage falls back to the CPU roofs";
+            FaultSpec half;
+            half.name = "SLAM accelerator ECC half peak";
+            half.kind = FaultKind::StageCeilingDerate;
+            half.probability = 0.25;
+            half.stage = "SLAM";
+            half.targetClass = platform::ComputeTarget::Accelerator;
+            half.derate = 0.5;
+            FaultSpec removed;
+            removed.name = "SLAM accelerator offline";
+            removed.kind = FaultKind::StageCeilingDerate;
+            removed.probability = 0.1;
+            removed.stage = "SLAM";
+            removed.targetClass =
+                platform::ComputeTarget::Accelerator;
+            removed.derate = 0.0;
+            suite.faults = {half, removed};
+            out.push_back(std::move(suite));
+        }
+
+        {
+            FaultSuite suite;
+            suite.name = "cache-contention";
+            suite.description =
+                "stage-scoped platform layer: contention spills "
+                "cache-resident working sets, inflating per-stage "
+                "DRAM traffic (memory level 0)";
+            FaultSpec octomap;
+            octomap.name = "OctoMap voxel spill to DRAM";
+            octomap.kind = FaultKind::StageTrafficInflation;
+            octomap.probability = 0.3;
+            octomap.stage = "OctoMap";
+            octomap.ceilingIndex = 0;
+            // 4x pushes the mapping stage's DRAM roof below the
+            // NEON compute roof on the TX2-class families, so the
+            // stage actually flips memory-bound when active.
+            octomap.trafficFactor = 4.0;
+            FaultSpec slam;
+            slam.name = "SLAM feature-track spill to DRAM";
+            slam.kind = FaultKind::StageTrafficInflation;
+            slam.probability = 0.2;
+            slam.stage = "SLAM";
+            slam.ceilingIndex = 0;
+            slam.trafficFactor = 8.0;
+            suite.faults = {octomap, slam};
             out.push_back(std::move(suite));
         }
 

@@ -11,6 +11,11 @@
  *    (CeilingDerate), the selected DVFS operating point becomes
  *    unavailable (OperatingPointLoss), or thermal protection pins
  *    the part at the workload::DvfsModel floor (ThermalThrottle);
+ *    the stage-scoped variants perturb one SPA stage's *view* of
+ *    the ceiling family — its admitted ceilings of one target
+ *    class derate (StageCeilingDerate) or its traffic fraction at
+ *    one memory level inflates (StageTrafficInflation) — leaving
+ *    the platform every other stage shares untouched;
  *  - workload faults: an SPA stage slows down
  *    (StageLatencyInflation) or fails outright (StageFailure),
  *    the latter surviving only through pipeline/redundancy
@@ -53,6 +58,17 @@ enum class FaultKind
     /** The sensor stream degrades: sensorRate is multiplied by
      * (1 - sensorDerate); a full dropout aborts the mission. */
     SensorDropout,
+    /** One named stage's *admitted* ceilings of target class
+     * `targetClass` derate to `derate` of their peak (0 removes the
+     * class from the stage's mask outright — an accelerator in ECC
+     * fallback, dropping the stage to the next roof it can use).
+     * Platform-layer: the transform lowers through the stage's
+     * WorkloadProfile, never the platform other stages share. */
+    StageCeilingDerate,
+    /** One named stage's traffic fraction at memory level
+     * `ceilingIndex` is multiplied by `trafficFactor` (cache spill
+     * under contention raising effective DRAM traffic). */
+    StageTrafficInflation,
 };
 
 /** Printable fault-kind name. */
@@ -77,19 +93,33 @@ struct FaultSpec
 
     /** [CeilingDerate] Which ceiling list the target lives in. */
     platform::CeilingKind ceilingKind = platform::CeilingKind::Compute;
-    /** [CeilingDerate] Index into that ceiling list. */
+    /** [CeilingDerate, StageTrafficInflation] Index into that
+     * ceiling list (for StageTrafficInflation: the memory level
+     * whose traffic fraction inflates). */
     std::size_t ceilingIndex = 0;
-    /** [CeilingDerate] Remaining capability fraction in (0, 1]. */
+    /** [CeilingDerate, StageCeilingDerate] Remaining capability
+     * fraction; (0, 1] for CeilingDerate, [0, 1] for
+     * StageCeilingDerate (0 removes the class). */
     double derate = 1.0;
 
     /** [ThermalThrottle] DVFS law giving the throttle floor and the
      * power curve to it. */
     workload::DvfsModel::Params dvfs{};
 
-    /** [StageLatencyInflation, StageFailure] SPA stage name. */
+    /** [StageLatencyInflation, StageFailure, StageCeilingDerate,
+     * StageTrafficInflation] SPA stage name. */
     std::string stage;
     /** [StageLatencyInflation] Latency multiplier, >= 1. */
     double latencyFactor = 1.0;
+
+    /** [StageCeilingDerate] Execution-target class whose ceilings
+     * derate for the stage (General is rejected: General ceilings
+     * apply regardless of the mask, so removing the class would be
+     * meaningless at derate 0). */
+    platform::ComputeTarget targetClass =
+        platform::ComputeTarget::Accelerator;
+    /** [StageTrafficInflation] Traffic multiplier, in [1, 1e6]. */
+    double trafficFactor = 1.0;
 
     /** [SensorDropout] Fraction of the sensor stream lost, in
      * [0, 1]; 1 is a full dropout (mission abort). */
@@ -113,8 +143,10 @@ struct FaultSuite
 
 /**
  * The built-in suites: "none" (control; reproduces the baseline
- * byte-for-byte), one suite per fault layer, and "mixed" combining
- * all three layers.
+ * byte-for-byte), one suite per fault layer, the stage-scoped
+ * platform suites "ecc-fallback" (a SLAM accelerator demoted to
+ * the CPU roofs) and "cache-contention" (per-stage DRAM traffic
+ * inflation), and "mixed" combining all three layers.
  */
 const std::vector<FaultSuite> &standardFaultSuites();
 

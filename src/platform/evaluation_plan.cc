@@ -104,8 +104,9 @@ EvaluationPlan::EvaluationPlan(const RooflinePlatform &platform,
 
     // Which compute ceilings the profile admits is AI-independent
     // (target mask + stage tag only), so the scalar argmax loop can
-    // run here once per op — same skip conditions, same peak * f
-    // expression, same strict-> first-wins rule, hence the same
+    // run here once per op — same skip conditions, same
+    // peak * derate * f expression, same strict-> first-wins rule,
+    // hence the same
     // winner and the same roof bits as every per-sample call.
     std::vector<std::uint32_t> tags;
     tags.reserve(computes.size());
@@ -127,7 +128,12 @@ EvaluationPlan::EvaluationPlan(const RooflinePlatform &platform,
             }
             if (tags[i] != 0 && tags[i] != profile.stage)
                 continue;
-            const double r = ceiling.peak.value() * f;
+            // Same peak * derate * f association as the scalar
+            // path; the 1.0 default multiplies exactly.
+            const double r =
+                ceiling.peak.value() *
+                profile.targetDerate[static_cast<unsigned>(
+                    ceiling.target)] * f;
             if (!found || r > roof) {
                 found = true;
                 roof = r;

@@ -114,6 +114,18 @@ validateWorkloadProfile(const WorkloadProfile &profile,
                 std::to_string(traffic));
         }
     }
+    for (std::size_t i = 0; i < WorkloadProfile::targetClassCount;
+         ++i) {
+        const double derate = profile.targetDerate[i];
+        // !(x >= 0) catches NaN; the <= 1 bound catches +inf, so the
+        // pair doubles as a finiteness check.
+        if (!(derate >= 0.0) || derate > 1.0) {
+            throw ModelError(
+                "targetDerate[" + std::to_string(i) + "] on " +
+                context + " must be in [0, 1], got " +
+                std::to_string(derate));
+        }
+    }
 }
 
 namespace {
@@ -281,6 +293,11 @@ RooflinePlatform::attainable(const WorkloadProfile &profile,
         profile_ok =
             profile_ok && traffic >= 0.0 && traffic <= 1e300;
     }
+    for (std::size_t i = 0; i < WorkloadProfile::targetClassCount;
+         ++i) {
+        const double derate = profile.targetDerate[i];
+        profile_ok = profile_ok && derate >= 0.0 && derate <= 1.0;
+    }
     if (!profile_ok)
         validateWorkloadProfile(profile, _spec.name);
     if (op_index >= _spec.operatingPoints.size()) {
@@ -309,7 +326,16 @@ RooflinePlatform::attainable(const WorkloadProfile &profile,
             _computeStageTags[i] != profile.stage) {
             continue;
         }
-        const double roof = ceiling.peak.value() * f;
+        // Per-class derate left of f: multiplying by the 1.0
+        // default is exact, so unannotated profiles keep the old
+        // bits. A zero derate makes the roof 0 GOPS — it loses
+        // every tie against a positive roof, so the class is
+        // effectively removed while the no-ceiling diagnostic
+        // still fires only when nothing at all is admitted.
+        const double roof =
+            ceiling.peak.value() *
+            profile.targetDerate[static_cast<unsigned>(
+                ceiling.target)] * f;
         if (!compute_found || roof > compute_roof) {
             compute_found = true;
             compute_roof = roof;

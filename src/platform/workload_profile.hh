@@ -93,6 +93,21 @@ struct WorkloadProfile
      */
     double trafficFraction[maxMemoryLevels] = {1.0, 1.0, 1.0, 1.0,
                                                1.0, 1.0, 1.0, 1.0};
+
+    /** Execution-target classes a profile can derate individually
+     * (one slot per ComputeTarget enumerator). */
+    static constexpr std::size_t targetClassCount = 4;
+
+    /**
+     * Remaining peak fraction per execution-target class, in [0, 1]
+     * (indexed by ComputeTarget). Compute roofs of class c bind at
+     * peak * targetDerate[c]; 0 removes the class from this
+     * workload's view entirely (an ECC-fallback accelerator, say)
+     * without touching the platform other workloads see. The 1.0
+     * default multiplies exactly, so unannotated evaluation is
+     * preserved bit-for-bit.
+     */
+    double targetDerate[targetClassCount] = {1.0, 1.0, 1.0, 1.0};
 };
 
 /**

@@ -1068,17 +1068,34 @@ runFaultsStudy(const StudyContext &ctx)
         suite_name.empty() ? "mixed" : suite_name);
     const double fault_scale =
         ctx.params.getNumber("fault_scale", 1.0);
+    // Reject rather than clamp: a scale outside the sweep range is
+    // a typo'd scenario, and silently pinning it to [0, 1] would
+    // report a different severity than the spec asked for.
+    if (!std::isfinite(fault_scale) || fault_scale < 0.0 ||
+        fault_scale > 1.0) {
+        throw ModelError(
+            "fault_scale of the faults study must be in [0, 1] "
+            "(got " +
+            trimmedNumber(fault_scale) +
+            "); the degradation curve already sweeps scale 0 to "
+            "fault_scale");
+    }
     const auto samples = ctx.params.getCount("samples", 4096);
     const auto levels = ctx.params.getCount("levels", 9);
     const auto seed = static_cast<std::uint64_t>(
         ctx.params.getNumber("seed", 1.0));
 
+    // Any stage-resolved fault — workload-layer latency/failure or
+    // the stage-scoped platform kinds — needs the SPA pipeline
+    // configured so the campaign can resolve stage names.
     bool stage_faults = false;
     for (const auto &spec : suite.faults) {
         stage_faults =
             stage_faults ||
             spec.kind == fault::FaultKind::StageFailure ||
-            spec.kind == fault::FaultKind::StageLatencyInflation;
+            spec.kind == fault::FaultKind::StageLatencyInflation ||
+            spec.kind == fault::FaultKind::StageCeilingDerate ||
+            spec.kind == fault::FaultKind::StageTrafficInflation;
     }
 
     // Stage-failure suites default to DMR takeover (the paper's
@@ -1094,8 +1111,16 @@ runFaultsStudy(const StudyContext &ctx)
     else if (redundancy_name == "triple")
         redundancy = pipeline::RedundancyScheme::Triple;
     else {
-        throw ModelError("unknown redundancy '" + redundancy_name +
-                         "'; expected none, dual or triple");
+        const std::vector<std::string> schemes = {"none", "dual",
+                                                  "triple"};
+        std::string message = "unknown redundancy '" +
+                              redundancy_name +
+                              "'; expected none, dual or triple";
+        const std::vector<std::string> hints =
+            closestMatches(redundancy_name, schemes);
+        if (!hints.empty())
+            message += " (did you mean " + join(hints, " or ") + "?)";
+        throw ModelError(message);
     }
 
     StudyParams knob_overrides;

@@ -65,6 +65,31 @@ StagePipelineEvaluator::StagePipelineEvaluator(
 }
 
 void
+StagePipelineEvaluator::overrideStageProfile(
+    std::size_t index, const platform::WorkloadProfile &profile)
+{
+    if (index >= _slots.size()) {
+        throw ModelError("stage index " + std::to_string(index) +
+                         " out of range for '" + _pipelineName + "'");
+    }
+    Slot &slot = _slots[index];
+    if (!slot.annotated) {
+        throw ModelError(
+            "stage '" + slot.name + "' of '" + _pipelineName +
+            "' carries no roofline annotation, so its profile "
+            "cannot be overridden");
+    }
+    platform::validateWorkloadProfile(
+        profile, "profile override for stage '" + slot.name +
+                     "' of '" + _pipelineName + "'");
+    // Same probe as construction: an override that strips every
+    // admitted compute ceiling fails here with the platform's own
+    // no-ceiling diagnostic.
+    (void)_platform.attainable(profile, 0);
+    slot.profile = profile;
+}
+
+void
 StagePipelineEvaluator::evaluateInto(const StageEvalOptions &options,
                                      PipelineBound &out) const
 {

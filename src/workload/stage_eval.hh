@@ -171,6 +171,22 @@ class StagePipelineEvaluator
     bool onMeasuredPlatform() const { return _onMeasuredPlatform; }
 
     /**
+     * Replace stage i's lowered profile — how stage-scoped platform
+     * faults (an accelerator in ECC fallback, cache contention
+     * inflating a stage's DRAM traffic) reach the evaluator spine:
+     * the fault transforms the *workload's view* of the ceiling
+     * family, never the platform other stages share. The profile is
+     * validated and re-probed (one attainable() call) exactly like
+     * a constructed one, so an override that strips every admitted
+     * compute ceiling fails here, named, not inside a sweep.
+     *
+     * @throws ModelError when stage i is unannotated, the profile
+     *         is degenerate, or no compute ceiling admits it
+     */
+    void overrideStageProfile(std::size_t index,
+                              const platform::WorkloadProfile &profile);
+
+    /**
      * Evaluate every stage under the rules above into a
      * caller-owned result. Allocation-free.
      *

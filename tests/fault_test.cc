@@ -34,6 +34,7 @@
 #include "support/atomic_file.hh"
 #include "support/errors.hh"
 #include "workload/spa_pipeline.hh"
+#include "workload/stage_eval.hh"
 #include "workload/throughput.hh"
 
 namespace {
@@ -186,13 +187,51 @@ TEST(FaultSpec, ValidationNamesTheOffendingField)
     EXPECT_THROW(validateFaultSpec(spec), ModelError);
     spec.sensorDerate = 1.0;
     EXPECT_NO_THROW(validateFaultSpec(spec));
+
+    // Stage-scoped ceiling derate: needs a stage, a derate in
+    // [0, 1] (0 removes the class), and a non-General class.
+    spec.kind = FaultKind::StageCeilingDerate;
+    spec.stage.clear();
+    spec.derate = 0.5;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError); // No stage.
+    spec.stage = "SLAM";
+    spec.derate = -0.1;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.derate = 1.5;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.derate = 0.0; // Legal: the class is removed outright.
+    EXPECT_NO_THROW(validateFaultSpec(spec));
+    spec.targetClass = platform::ComputeTarget::General;
+    try {
+        validateFaultSpec(spec);
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("targetClass"),
+                  std::string::npos)
+            << e.what();
+    }
+    spec.targetClass = platform::ComputeTarget::Accelerator;
+
+    // Stage-scoped traffic inflation: needs a stage and a factor
+    // in [1, 1e6].
+    spec.kind = FaultKind::StageTrafficInflation;
+    spec.stage.clear();
+    EXPECT_THROW(validateFaultSpec(spec), ModelError); // No stage.
+    spec.stage = "OctoMap";
+    spec.trafficFactor = 0.5;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.trafficFactor = 2e6;
+    EXPECT_THROW(validateFaultSpec(spec), ModelError);
+    spec.trafficFactor = 2.0;
+    EXPECT_NO_THROW(validateFaultSpec(spec));
 }
 
 TEST(FaultSuite, CatalogCoversEveryLayerAndRejectsUnknownNames)
 {
     for (const char *name :
          {"none", "ceiling-derate", "thermal-throttle",
-          "stage-failure", "sensor-dropout", "mixed"}) {
+          "stage-failure", "sensor-dropout", "ecc-fallback",
+          "cache-contention", "mixed"}) {
         const FaultSuite &suite = findFaultSuite(name);
         EXPECT_EQ(suite.name, name);
         EXPECT_FALSE(suite.description.empty());
@@ -214,6 +253,10 @@ TEST(FaultSuite, CatalogCoversEveryLayerAndRejectsUnknownNames)
                  "ceiling-derate");
     EXPECT_STREQ(toString(FaultKind::SensorDropout),
                  "sensor-dropout");
+    EXPECT_STREQ(toString(FaultKind::StageCeilingDerate),
+                 "stage-ceiling-derate");
+    EXPECT_STREQ(toString(FaultKind::StageTrafficInflation),
+                 "stage-traffic-inflation");
 }
 
 /** A TX2 + DroNet campaign spec loaded with one standard suite. */
@@ -293,6 +336,16 @@ expectBitIdentical(const CampaignResult &a, const CampaignResult &b)
          ++k)
         EXPECT_EQ(a.probMemoryCeilingBinds[k],
                   b.probMemoryCeilingBinds[k]);
+    ASSERT_EQ(a.stageBindings.size(), b.stageBindings.size());
+    for (std::size_t s = 0; s < a.stageBindings.size(); ++s) {
+        EXPECT_EQ(a.stageBindings[s].stage, b.stageBindings[s].stage);
+        EXPECT_EQ(a.stageBindings[s].probComputeBound,
+                  b.stageBindings[s].probComputeBound);
+        EXPECT_EQ(a.stageBindings[s].probMemoryBound,
+                  b.stageBindings[s].probMemoryBound);
+        EXPECT_EQ(a.stageBindings[s].probMeasured,
+                  b.stageBindings[s].probMeasured);
+    }
     EXPECT_EQ(a.samples, b.samples);
 }
 
@@ -475,6 +528,330 @@ TEST(FaultCampaign, ConstructorRejectsMisconfiguredCampaigns)
     const FaultCampaign campaign(tx2Campaign("mixed"));
     EXPECT_THROW(campaign.run(5), ModelError);
     EXPECT_THROW(campaign.degradationCurve(1, 100), ModelError);
+}
+
+/** A TX2-CPU + Navion campaign with the mavbench pipeline: the
+ * configuration where the stage-gated accelerator ceiling is in
+ * play, so stage-scoped platform faults have a roof to demote. */
+CampaignSpec
+navionStageCampaign(std::vector<FaultSpec> faults)
+{
+    const auto &catalog = components::Catalog::standard();
+    const platform::RooflinePlatform &navion =
+        catalog.rooflines().byName("TX2-CPU + Navion");
+    const auto algorithms = workload::annotatedAlgorithms();
+    const auto &dronet = algorithms.byName("DroNet");
+
+    CampaignSpec spec;
+    spec.nominal = studies::pelicanInputs(units::Hertz(20.0));
+    spec.platform = navion;
+    spec.profile = workload::workloadProfile(dronet, navion);
+    spec.workPerFrameGop = dronet.workPerFrameGop();
+    spec.pipeline =
+        workload::SpaPipeline::mavbenchPackageDeliveryTx2();
+    spec.faults = std::move(faults);
+    return spec;
+}
+
+/** Index of the first compute ceiling of `target` class. */
+std::size_t
+ceilingOfClass(const platform::RooflinePlatform &machine,
+               platform::ComputeTarget target)
+{
+    const auto &ceilings = machine.computeCeilings();
+    for (std::size_t i = 0; i < ceilings.size(); ++i) {
+        if (ceilings[i].target == target)
+            return i;
+    }
+    ADD_FAILURE() << "no ceiling of that class on "
+                  << machine.name();
+    return 0;
+}
+
+TEST(StageScopedFaults, EccFallbackRebindsSlamToTheCpuRoof)
+{
+    // Evaluator-level: removing the Accelerator class from SLAM's
+    // profile demotes the stage from the stage-gated Navion VIO
+    // ceiling to the NEON CPU roof, with the latency growing by
+    // exactly the roof ratio.
+    const auto &catalog = components::Catalog::standard();
+    const platform::RooflinePlatform &navion =
+        catalog.rooflines().byName("TX2-CPU + Navion");
+    const std::size_t accel_index = ceilingOfClass(
+        navion, platform::ComputeTarget::Accelerator);
+    const std::size_t simd_index =
+        ceilingOfClass(navion, platform::ComputeTarget::Simd);
+
+    workload::StagePipelineEvaluator evaluator(
+        workload::SpaPipeline::mavbenchPackageDeliveryTx2(), navion);
+    std::size_t slam = evaluator.stageCount();
+    for (std::size_t s = 0; s < evaluator.stageCount(); ++s) {
+        if (evaluator.stageName(s) == "SLAM")
+            slam = s;
+    }
+    ASSERT_LT(slam, evaluator.stageCount());
+
+    workload::StageEvalOptions options;
+    options.measuredFirst = false;
+    const workload::PipelineBound before = evaluator.evaluate(options);
+    ASSERT_TRUE(before.stages[slam].binding.attributed);
+    EXPECT_EQ(before.stages[slam].binding.kind,
+              platform::CeilingKind::Compute);
+    EXPECT_EQ(before.stages[slam].binding.index, accel_index);
+
+    platform::WorkloadProfile profile = evaluator.stageProfile(slam);
+    profile.targetDerate[static_cast<unsigned>(
+        platform::ComputeTarget::Accelerator)] = 0.0;
+    evaluator.overrideStageProfile(slam, profile);
+    const workload::PipelineBound after = evaluator.evaluate(options);
+    ASSERT_TRUE(after.stages[slam].binding.attributed);
+    EXPECT_EQ(after.stages[slam].binding.kind,
+              platform::CeilingKind::Compute);
+    EXPECT_EQ(after.stages[slam].binding.index, simd_index);
+    EXPECT_GT(after.stages[slam].latencySeconds,
+              before.stages[slam].latencySeconds);
+    // Other stages never see the override.
+    for (std::size_t s = 0; s < before.stageCount; ++s) {
+        if (s == slam)
+            continue;
+        EXPECT_EQ(after.stages[s].latencySeconds,
+                  before.stages[s].latencySeconds);
+    }
+
+    // Campaign-level: the certain ECC fallback degrades the
+    // envelope, the SLAM stage stays compute-bound (on the lower
+    // roof), and the batched path stays bit-identical to the
+    // scalar reference at 1/2/8 threads.
+    FaultSpec ecc;
+    ecc.name = "SLAM accelerator offline";
+    ecc.kind = FaultKind::StageCeilingDerate;
+    ecc.probability = 1.0;
+    ecc.stage = "SLAM";
+    ecc.targetClass = platform::ComputeTarget::Accelerator;
+    ecc.derate = 0.0;
+    const FaultCampaign faulted(navionStageCampaign({ecc}));
+    const FaultCampaign clean(navionStageCampaign({}));
+
+    const std::size_t count = 20011; // Partial kernel + RNG blocks.
+    exec::ThreadPool pool1(1);
+    exec::ThreadPool pool2(2);
+    exec::ThreadPool pool8(8);
+    exec::ParallelOptions on1;
+    on1.pool = &pool1;
+    exec::ParallelOptions on2;
+    on2.pool = &pool2;
+    exec::ParallelOptions on8;
+    on8.pool = &pool8;
+    const CampaignResult run1 = faulted.run(count, 42, on1);
+    expectBitIdentical(run1, faulted.run(count, 42, on2));
+    expectBitIdentical(run1, faulted.run(count, 42, on8));
+    expectBitIdentical(run1, faulted.runReference(count, 42, on1));
+    expectBitIdentical(run1, faulted.runReference(count, 42, on8));
+
+    EXPECT_EQ(run1.abortProbability, 0.0);
+    EXPECT_LT(run1.safeVelocity.mean,
+              clean.run(count, 42, on8).safeVelocity.mean);
+    ASSERT_EQ(run1.stageBindings.size(), 4u);
+    for (const auto &stats : run1.stageBindings) {
+        if (stats.stage == "SLAM") {
+            EXPECT_EQ(stats.probComputeBound, 1.0);
+            EXPECT_EQ(stats.probMeasured, 0.0);
+        }
+    }
+}
+
+TEST(StageScopedFaults, TrafficInflationFlipsAStageToMemoryBound)
+{
+    // OctoMap on the Navion family is NEON compute-bound at its
+    // annotated 0.5 DRAM traffic; a 4x contention spill pushes the
+    // DRAM roof below NEON, flipping the stage to memory-bound.
+    FaultSpec spill;
+    spill.name = "OctoMap voxel spill";
+    spill.kind = FaultKind::StageTrafficInflation;
+    spill.probability = 1.0;
+    spill.stage = "OctoMap";
+    spill.ceilingIndex = 0;
+    spill.trafficFactor = 4.0;
+    const FaultCampaign faulted(navionStageCampaign({spill}));
+    const FaultCampaign clean(navionStageCampaign({}));
+
+    const CampaignResult result = faulted.run(4096, 9);
+    expectBitIdentical(result, faulted.runReference(4096, 9));
+    EXPECT_EQ(result.abortProbability, 0.0);
+    bool octomap_checked = false;
+    for (const auto &stats : result.stageBindings) {
+        if (stats.stage != "OctoMap")
+            continue;
+        octomap_checked = true;
+        EXPECT_EQ(stats.probMemoryBound, 1.0);
+        EXPECT_EQ(stats.probComputeBound, 0.0);
+    }
+    EXPECT_TRUE(octomap_checked);
+    EXPECT_LT(result.safeVelocity.mean,
+              clean.run(4096, 9).safeVelocity.mean);
+}
+
+TEST(StageScopedFaults, AllSamplesAbortWhenTheOnlyRoofIsRemoved)
+{
+    // The path planner is scalar-only: derating the Scalar class to
+    // 0 leaves the stage without any admitted roof, so every sample
+    // with the fault active aborts — at probability 1, all of them,
+    // through the batched path and the scalar reference alike.
+    FaultSpec dead;
+    dead.name = "planner scalar unit offline";
+    dead.kind = FaultKind::StageCeilingDerate;
+    dead.probability = 1.0;
+    dead.stage = "Path planner";
+    dead.targetClass = platform::ComputeTarget::Scalar;
+    dead.derate = 0.0;
+    const FaultCampaign campaign(navionStageCampaign({dead}));
+
+    const std::size_t count = 2148; // 2048 + a 100-sample block.
+    const CampaignResult result = campaign.run(count, 5);
+    expectBitIdentical(result, campaign.runReference(count, 5));
+    EXPECT_EQ(result.abortProbability, 1.0);
+    EXPECT_EQ(result.safeVelocity.mean, 0.0);
+    EXPECT_EQ(result.safeVelocity.p95, 0.0);
+    // The campaign itself stays well-formed: the baseline (fault
+    // free) is untouched by the removable roof.
+    EXPECT_GT(campaign.baseline().safeVelocity.value(), 0.0);
+}
+
+TEST(StageScopedFaults, MisconfigurationsAreNamed)
+{
+    // Stage-scoped platform faults need a pipeline to resolve the
+    // stage name against.
+    FaultSpec ecc;
+    ecc.name = "SLAM accelerator offline";
+    ecc.kind = FaultKind::StageCeilingDerate;
+    ecc.probability = 0.5;
+    ecc.stage = "SLAM";
+    ecc.derate = 0.0;
+    CampaignSpec no_pipeline = tx2Campaign("none");
+    no_pipeline.faults = {ecc};
+    try {
+        FaultCampaign campaign(no_pipeline);
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("SLAM accelerator offline"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("pipeline"), std::string::npos)
+            << message;
+    }
+
+    // Unknown stage names surface the pipeline's own diagnostic.
+    FaultSpec ghost = ecc;
+    ghost.stage = "Warp";
+    EXPECT_THROW(FaultCampaign{navionStageCampaign({ghost})},
+                 ModelError);
+
+    // A stage without a roofline annotation has no profile to
+    // derate.
+    CampaignSpec bare = navionStageCampaign({});
+    workload::SpaStage plain{"Plain", units::Seconds(0.1)};
+    bare.pipeline = workload::SpaPipeline("bare", {plain});
+    FaultSpec unreachable = ecc;
+    unreachable.stage = "Plain";
+    bare.faults = {unreachable};
+    try {
+        FaultCampaign campaign(bare);
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("annotation"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Traffic inflation must name a real memory level.
+    FaultSpec deep;
+    deep.name = "phantom level";
+    deep.kind = FaultKind::StageTrafficInflation;
+    deep.probability = 0.5;
+    deep.stage = "OctoMap";
+    deep.ceilingIndex = 7;
+    deep.trafficFactor = 2.0;
+    try {
+        FaultCampaign campaign(navionStageCampaign({deep}));
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("phantom level"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(StageScopedFaults, DegradationCurveAtScaleZeroAndOne)
+{
+    FaultSpec ecc;
+    ecc.name = "SLAM accelerator ECC half peak";
+    ecc.kind = FaultKind::StageCeilingDerate;
+    ecc.probability = 0.4;
+    ecc.stage = "SLAM";
+    ecc.targetClass = platform::ComputeTarget::Accelerator;
+    ecc.derate = 0.5;
+
+    // probabilityScale exactly 0: every fault is off at every curve
+    // level, so the whole curve is the flat baseline.
+    CampaignSpec zeroed = navionStageCampaign({ecc});
+    zeroed.probabilityScale = 0.0;
+    const FaultCampaign at_zero(zeroed);
+    const double baseline =
+        at_zero.baseline().safeVelocity.value();
+    const auto flat = at_zero.degradationCurve(3, 500, 11);
+    ASSERT_EQ(flat.size(), 3u);
+    for (const auto &point : flat) {
+        EXPECT_EQ(point.abortProbability, 0.0);
+        EXPECT_EQ(point.p5SafeVelocity, baseline);
+        EXPECT_EQ(point.p95SafeVelocity, baseline);
+    }
+
+    // probabilityScale exactly 1: the top curve level reproduces
+    // run() at full severity, bit for bit (same seed, same scale).
+    CampaignSpec full = navionStageCampaign({ecc});
+    full.probabilityScale = 1.0;
+    const FaultCampaign at_one(full);
+    const auto curve = at_one.degradationCurve(3, 500, 11);
+    const CampaignResult top = at_one.run(500, 11);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_EQ(curve.front().p95SafeVelocity, baseline);
+    EXPECT_EQ(curve.back().scale, 1.0);
+    EXPECT_EQ(curve.back().meanSafeVelocity, top.safeVelocity.mean);
+    EXPECT_EQ(curve.back().p5SafeVelocity, top.safeVelocity.p5);
+    EXPECT_EQ(curve.back().p95SafeVelocity, top.safeVelocity.p95);
+    EXPECT_EQ(curve.back().abortProbability, top.abortProbability);
+}
+
+TEST(StageScopedFaults, StandardSuitesRunBitIdenticalAcrossThreads)
+{
+    exec::ThreadPool pool1(1);
+    exec::ThreadPool pool2(2);
+    exec::ThreadPool pool8(8);
+    exec::ParallelOptions on1;
+    on1.pool = &pool1;
+    exec::ParallelOptions on2;
+    on2.pool = &pool2;
+    exec::ParallelOptions on8;
+    on8.pool = &pool8;
+    for (const char *suite : {"ecc-fallback", "cache-contention"}) {
+        const FaultCampaign campaign(
+            navionStageCampaign(findFaultSuite(suite).faults));
+        // Spans two full RNG blocks plus a >64-sample partial block
+        // (2148 = 2048 + 100 = 2048 + 64 + 36), so partial kernel
+        // sub-blocks run through the batch path at every thread
+        // count.
+        const std::size_t count = 4196;
+        const CampaignResult serial = campaign.run(count, 17, on1);
+        expectBitIdentical(serial, campaign.run(count, 17, on2));
+        expectBitIdentical(serial, campaign.run(count, 17, on8));
+        expectBitIdentical(serial,
+                           campaign.runReference(count, 17, on1));
+        expectBitIdentical(serial,
+                           campaign.runReference(count, 17, on8));
+        EXPECT_LT(serial.safeVelocity.mean,
+                  campaign.baseline().safeVelocity.value());
+    }
 }
 
 } // namespace

@@ -572,6 +572,101 @@ TEST(Runner, FaultsStudyReportsTheDegradedEnvelope)
               std::string::npos);
 }
 
+TEST(Runner, StageScopedSuitesRoundTripThroughTheTextForm)
+{
+    // The new stage-scoped suites, written exactly as a scenario
+    // file would spell them, parse and run end to end on the
+    // accelerated Navion family.
+    const ScenarioSpec spec = ScenarioSpec::parse(
+        "# ECC fallback drill on the accelerated family\n"
+        "study = faults\n"
+        "label = ecc drill\n"
+        "fault = ecc-fallback\n"
+        "platform = TX2-CPU + Navion\n"
+        "samples = 512\n"
+        "levels = 2\n");
+    EXPECT_EQ(spec.study, "faults");
+    EXPECT_EQ(spec.displayLabel(), "ecc drill");
+    EXPECT_EQ(spec.overrides.get("fault", ""), "ecc-fallback");
+
+    const ScenarioRunner runner;
+    const ScenarioOutcome outcome = runner.run(spec);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    const auto metric = [&](const std::string &name) {
+        for (const auto &m : outcome.result.metrics) {
+            if (m.name == name)
+                return m.value;
+        }
+        ADD_FAILURE() << "missing metric " << name;
+        return -1.0;
+    };
+    // Stage-scoped derates never strand SLAM: whether the Navion
+    // runs at full peak, half peak, or drops out entirely, the
+    // stage lands on *a* compute roof (worst case the NEON one).
+    EXPECT_EQ(metric("stage_slam_compute_bound"), 1.0);
+    EXPECT_EQ(metric("abort_probability"), 0.0);
+    EXPECT_GT(
+        metric("activation_slam_accelerator_ecc_half_peak"), 0.0);
+    EXPECT_LE(metric("degraded_v_safe_mean"),
+              metric("baseline_v_safe") + 1e-12);
+    EXPECT_NE(outcome.result.summary.find("ecc-fallback"),
+              std::string::npos);
+
+    // Same grammar, the traffic-inflation suite: contention flips
+    // the mapping stage memory-bound in the activated missions.
+    const ScenarioSpec spill = ScenarioSpec::parse(
+        "study = faults\n"
+        "fault = cache-contention\n"
+        "platform = TX2-CPU + Navion\n"
+        "samples = 512\n"
+        "levels = 2\n");
+    const ScenarioOutcome spilled = runner.run(spill);
+    ASSERT_TRUE(spilled.ok) << spilled.error;
+    double octomap_memory_bound = -1.0;
+    for (const auto &m : spilled.result.metrics) {
+        if (m.name == "stage_octomap_memory_bound")
+            octomap_memory_bound = m.value;
+    }
+    EXPECT_GT(octomap_memory_bound, 0.0);
+    EXPECT_LT(octomap_memory_bound, 1.0);
+}
+
+TEST(Runner, FaultsStudyRejectsOutOfRangeParams)
+{
+    // Out-of-range severities and typo'd redundancy schemes are
+    // rejected by name, never silently clamped.
+    ScenarioSpec spec;
+    spec.study = "faults";
+    spec.overrides.set("fault", "ecc-fallback");
+    spec.overrides.set("samples", "64");
+    spec.overrides.set("levels", "2");
+
+    const ScenarioRunner runner;
+    // (Non-numeric/NaN text is already rejected one layer down by
+    // StudyParams::getNumber, which names the parameter itself.)
+    for (const char *scale : {"1.5", "-0.5"}) {
+        ScenarioSpec bad = spec;
+        bad.overrides.set("fault_scale", scale);
+        const ScenarioOutcome failed = runner.run(bad);
+        EXPECT_FALSE(failed.ok) << scale;
+        EXPECT_NE(failed.error.find("fault_scale"),
+                  std::string::npos)
+            << failed.error;
+        EXPECT_NE(failed.error.find("[0, 1]"), std::string::npos)
+            << failed.error;
+    }
+
+    ScenarioSpec typo = spec;
+    typo.overrides.set("redundancy", "dul");
+    const ScenarioOutcome failed = runner.run(typo);
+    EXPECT_FALSE(failed.ok);
+    EXPECT_NE(failed.error.find("did you mean"), std::string::npos)
+        << failed.error;
+    EXPECT_NE(failed.error.find("dual"), std::string::npos)
+        << failed.error;
+}
+
 TEST(Runner, DeadlineTimesOutAnOverrunningScenario)
 {
     ScenarioSpec spec;

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Line-coverage floor for the fault and workload evaluation spines.
+
+Aggregates the gcov counters a ``-DUAVF1_COVERAGE=ON`` build leaves
+behind after a ctest run into a per-directory line-coverage summary
+(one row per top-level directory under ``src/``), then enforces a
+*soft floor* on the directories whose behaviour the test suite
+promises to pin: the fault-campaign spine (``src/fault/``) and the
+workload evaluators it lowers through (``src/workload/``).
+
+The floors are deliberately set below the coverage those directories
+actually have: the gate is not a ratchet chasing every last line,
+it exists to catch a *collapse* — a refactor that silently detaches
+the differential/fault suites from the code they are supposed to
+exercise.
+
+Lines are merged across translation units (a header line counts as
+covered when any TU executed it), so the numbers match what a human
+reading the annotated source would call covered.
+
+Usage:
+    tools/check_coverage.py BUILD_DIR [--floor src/fault=75] \
+        [--summary coverage-summary.txt]
+
+Requires gcov >= 9 (JSON intermediate format).
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+DEFAULT_FLOORS = {
+    "src/fault": 75.0,
+    "src/workload": 75.0,
+}
+
+
+def parse_floor(text):
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            "floor must look like src/fault=75, got %r" % text)
+    directory, _, value = text.partition("=")
+    return directory.strip().strip("/"), float(value)
+
+
+def gcda_files(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda):
+    """Run gcov on one .gcda and yield its per-file JSON records."""
+    result = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        capture_output=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        print("WARNING: gcov failed on %s: %s"
+              % (gcda, result.stderr.decode(errors="replace").strip()),
+              file=sys.stderr)
+        return
+    payload = result.stdout
+    # Older gcov honours --stdout but still gzips; sniff the magic.
+    if payload[:2] == b"\x1f\x8b":
+        payload = gzip.decompress(payload)
+    for line in payload.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("build_dir",
+                        help="build tree configured with "
+                             "-DUAVF1_COVERAGE=ON, after a ctest run")
+    parser.add_argument("--floor", action="append", type=parse_floor,
+                        default=None, metavar="DIR=PCT",
+                        help="minimum line coverage for one directory "
+                             "(default: src/fault=75 src/workload=75)")
+    parser.add_argument("--summary", default=None,
+                        help="also write the summary table to this file")
+    args = parser.parse_args()
+
+    floors = dict(args.floor) if args.floor else dict(DEFAULT_FLOORS)
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    src_root = os.path.join(repo_root, "src")
+
+    # file path -> {line number -> covered?}, merged across TUs.
+    covered = defaultdict(dict)
+    gcda_count = 0
+    for gcda in sorted(gcda_files(args.build_dir)):
+        gcda_count += 1
+        for record in gcov_json(gcda):
+            for entry in record.get("files", []):
+                path = os.path.abspath(
+                    os.path.join(args.build_dir, entry["file"])
+                    if not os.path.isabs(entry["file"])
+                    else entry["file"])
+                if not path.startswith(src_root + os.sep):
+                    continue
+                lines = covered[os.path.relpath(path, repo_root)]
+                for line in entry.get("lines", []):
+                    number = line["line_number"]
+                    lines[number] = (lines.get(number, False)
+                                     or line.get("count", 0) > 0)
+
+    if gcda_count == 0:
+        print("FAIL: no .gcda files under %s — configure with "
+              "-DUAVF1_COVERAGE=ON and run the tests first"
+              % args.build_dir, file=sys.stderr)
+        return 1
+
+    # Per top-level src/ directory: executable vs executed lines.
+    totals = defaultdict(lambda: [0, 0])  # dir -> [executable, hit]
+    for path, lines in covered.items():
+        parts = path.split(os.sep)
+        key = os.sep.join(parts[:2]) if len(parts) > 2 else parts[0]
+        totals[key][0] += len(lines)
+        totals[key][1] += sum(1 for hit in lines.values() if hit)
+
+    rows = ["%-18s %10s %8s %8s"
+            % ("directory", "lines", "hit", "cover"),
+            "-" * 48]
+    failures = []
+    for key in sorted(totals):
+        executable, hit = totals[key]
+        pct = 100.0 * hit / executable if executable else 100.0
+        marker = ""
+        if key in floors:
+            marker = "  (floor %.0f%%)" % floors[key]
+            if pct < floors[key]:
+                failures.append(
+                    "%s: %.1f%% line coverage is below the %.0f%% "
+                    "floor" % (key, pct, floors[key]))
+        rows.append("%-18s %10d %8d %7.1f%%%s"
+                    % (key, executable, hit, pct, marker))
+    for directory in sorted(floors):
+        if directory not in totals:
+            failures.append(
+                "%s: no coverage data at all (floor %.0f%%)"
+                % (directory, floors[directory]))
+
+    summary = "\n".join(rows) + "\n"
+    print(summary, end="")
+    if args.summary:
+        with open(args.summary, "w") as handle:
+            handle.write(summary)
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print("  - " + failure, file=sys.stderr)
+        return 1
+    print("\ncoverage floors passed (%d .gcda files)" % gcda_count)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
